@@ -1,0 +1,130 @@
+"""Ablation A3 — the movement cost ("energy") of talking.
+
+Movement is the swarm's scarcest resource; this ablation maps the
+distance-per-delivered-bit surface across the design knobs DESIGN.md
+calls out:
+
+* excursion_fraction of the granular protocol — linear in the knob
+  (shorter wiggles, same information);
+* alphabet size of the pair protocol — bigger alphabets send fewer,
+  *longer* excursions; distance per bit still falls because the level
+  ladder is shared by more bits;
+* synchronous vs asynchronous — the price of missing a global clock.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import transmission_stats
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+BITS = [1, 0] * 10
+
+
+def granular_distance_per_bit(excursion_fraction: float) -> float:
+    h = SwarmHarness(
+        ring_positions(5, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncGranularProtocol(
+            excursion_fraction=excursion_fraction
+        ),
+        sigma=6.0,
+    )
+    h.simulator.protocol_of(0).send_bits(2, BITS)
+    h.run(2 * len(BITS) + 2)
+    stats = transmission_stats(h.simulator.trace, h.simulator.protocol_of(2).received)
+    assert stats.bits_delivered == len(BITS)
+    return stats.distance_per_bit
+
+
+def pair_distance_per_bit(alphabet: int) -> float:
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(alphabet_size=alphabet),
+        identified=False,
+        sigma=10.0,
+    )
+    h.simulator.protocol_of(0).send_bits(1, BITS)
+    h.run(2 * len(BITS) + 2)
+    stats = transmission_stats(h.simulator.trace, h.simulator.protocol_of(1).received)
+    assert stats.bits_delivered >= len(BITS)
+    return stats.total_distance / len(BITS)
+
+
+def async_distance_per_bit(seed: int = 3) -> float:
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+        protocol_factory=lambda: AsyncTwoProtocol(bounded=True),
+        scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=seed),
+        identified=False,
+        sigma=10.0,
+    )
+    h.simulator.protocol_of(0).send_bits(1, BITS)
+    assert h.pump(
+        lambda hh: len(hh.simulator.protocol_of(1).received) >= len(BITS),
+        max_steps=60_000,
+    )
+    stats = transmission_stats(h.simulator.trace, h.simulator.protocol_of(1).received)
+    return stats.distance_per_bit
+
+
+def sweep():
+    fractions = [(f, round(granular_distance_per_bit(f), 3)) for f in (0.15, 0.30, 0.45, 0.70)]
+    alphabets = [(b, round(pair_distance_per_bit(b), 3)) for b in (2, 16, 256)]
+    async_cost = round(async_distance_per_bit(), 3)
+    return fractions, alphabets, async_cost
+
+
+def test_a3_shape(benchmark):
+    fractions, alphabets, async_cost = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Distance/bit is monotone in the excursion fraction (and ~linear).
+    values = [v for _, v in fractions]
+    assert values == sorted(values)
+    assert values[-1] / values[0] == pytest_approx_ratio(0.70 / 0.15)
+    # Bigger alphabets cost less distance per bit.
+    pair_values = [v for _, v in alphabets]
+    assert pair_values == sorted(pair_values, reverse=True)
+    # Asynchrony costs more movement than the same pair synchronously:
+    # drift legs and ack-waiting excursions are pure overhead.
+    assert async_cost > 2 * pair_values[0]
+
+
+def pytest_approx_ratio(expected: float):
+    import pytest
+
+    return pytest.approx(expected, rel=0.05)
+
+
+def main() -> None:
+    fractions, alphabets, async_cost = sweep()
+    print_table(
+        "A3 — distance per delivered bit vs excursion fraction (sync granular, n=5)",
+        ["excursion fraction", "distance/bit"],
+        fractions,
+    )
+    print_table(
+        "A3 — distance per delivered bit vs alphabet size (sync pair)",
+        ["B", "distance/bit"],
+        alphabets,
+    )
+    print_table(
+        "A3 — the price of asynchrony (bounded Async2, fair scheduler)",
+        ["protocol", "distance/bit"],
+        [("sync pair, B=2", alphabets[0][1]), ("async pair (bounded)", async_cost)],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Experiment C1 — the Section 3.1 multi-symbol coding remark.
+
+    "the total distance 2 sigma [...] can be divided by the number of
+    possible bytes [...] to reduce the number of moves"
+
+Sweeps the alphabet size B over {2, 4, 16, 256} for a fixed message and
+measures moves and steps.  Shape claim: moves shrink by log2(B).
+"""
+
+from __future__ import annotations
+
+from repro.apps.harness import SwarmHarness
+from repro.coding.bitstream import encode_message
+from repro.geometry.vec import Vec2
+from repro.protocols.sync_two import SyncTwoProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+ALPHABETS = (2, 4, 16, 256)
+MESSAGE = b"stigmergic robots chat by moving"
+
+
+def run_alphabet(alphabet: int) -> dict:
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(8.0, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(alphabet_size=alphabet),
+        identified=False,
+        sigma=8.0,
+    )
+    bits = encode_message(MESSAGE)
+    h.simulator.protocol_of(0).send_bits(1, bits)
+
+    def done(hh):
+        return len(hh.simulator.protocol_of(1).received) >= len(bits)
+
+    assert h.pump(done, max_steps=4 * len(bits) + 8)
+    got = [e.bit for e in h.simulator.protocol_of(1).received]
+    assert got[: len(bits)] == bits
+    moves = len(h.simulator.trace.movements_of(0))
+    return {
+        "B": alphabet,
+        "bits": len(bits),
+        "moves": moves,
+        "steps": h.simulator.time,
+        "distance": h.simulator.trace.distance_travelled(0),
+    }
+
+
+def sweep():
+    return [run_alphabet(b) for b in ALPHABETS]
+
+
+def test_c1_shape(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_b = {r["B"]: r for r in rows}
+    base = by_b[2]["moves"]
+    # Moves divide by log2(B) (within rounding of the last symbol).
+    assert abs(by_b[4]["moves"] - base / 2) <= 4
+    assert abs(by_b[16]["moves"] - base / 4) <= 4
+    assert abs(by_b[256]["moves"] - base / 8) <= 4
+
+
+def main() -> None:
+    rows = sweep()
+    base = rows[0]["moves"]
+    print_table(
+        f"C1 / §3.1 remark — alphabet size sweep, message = {MESSAGE!r}",
+        ["B", "bits", "moves", "moves reduction", "steps", "distance"],
+        [
+            (
+                r["B"],
+                r["bits"],
+                r["moves"],
+                f"x{base / r['moves']:.2f}",
+                r["steps"],
+                round(r["distance"], 2),
+            )
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Experiment C2 — the Section 5 slice/step trade-off.
+
+    "by taking O(log n) slices instead of O(n), the number of steps to
+    transmit a message would increase by O(log n / log log n)"
+
+Closed-form table for n up to 4096 plus *simulated* step counts (the
+working SyncLogKProtocol) for laptop-scale swarms, cross-validating the
+model.  Shape claims: the measured slowdown is monotone in n for fixed
+k, monotone decreasing in k for fixed n, and the k = O(log n) column
+tracks log n / log log n within a constant factor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import log_slice_choice, slice_tradeoff_table
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.coding.logk_addressing import steps_per_message_logk
+from repro.protocols.sync_logk import SyncLogKProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+MODEL_SIZES = (16, 64, 256, 1024, 4096)
+SIM_CASES = ((8, 2), (8, 3), (16, 2), (16, 4))
+PAYLOAD_BITS = 1
+
+
+def simulate(n: int, k: int) -> int:
+    """Measured instants for a 1-bit message under the §5 protocol."""
+    h = SwarmHarness(
+        ring_positions(n, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncLogKProtocol(k=k),
+        sigma=4.0,
+    )
+    dst = n // 2
+    h.simulator.protocol_of(0).send_bits(dst, [1] * PAYLOAD_BITS)
+
+    def done(hh):
+        return len(hh.simulator.protocol_of(dst).received) >= PAYLOAD_BITS
+
+    assert h.pump(done, max_steps=500)
+    return h.simulator.time
+
+
+def model_rows():
+    return slice_tradeoff_table(MODEL_SIZES, bases=(2, 4, 8, 16), payload_bits=PAYLOAD_BITS)
+
+
+def simulated_rows():
+    rows = []
+    for n, k in SIM_CASES:
+        measured = simulate(n, k)
+        model = steps_per_message_logk(PAYLOAD_BITS, n, k)
+        rows.append((n, k, measured, model))
+    return rows
+
+
+def test_c2_model_shape(benchmark):
+    rows = benchmark.pedantic(model_rows, rounds=3, iterations=1)
+    by_nk = {(r.n, r.k): r for r in rows}
+    # Monotone in n at fixed k.
+    assert by_nk[(4096, 2)].slowdown > by_nk[(16, 2)].slowdown
+    # Monotone decreasing in k at fixed n.
+    assert by_nk[(1024, 16)].slowdown < by_nk[(1024, 2)].slowdown
+    # k = O(log n) tracks log n / log log n.
+    for n in (64, 1024, 4096):
+        row = slice_tradeoff_table([n])[0]
+        assert 0.3 < row.slowdown / row.reference < 5.0
+
+
+def test_c2_simulation_matches_model(benchmark):
+    rows = benchmark.pedantic(simulated_rows, rounds=1, iterations=1)
+    for n, k, measured, model in rows:
+        assert abs(measured - model) <= 2, (n, k, measured, model)
+
+
+def main() -> None:
+    print_table(
+        "C2 / §5 — closed-form slice trade-off (1-bit message)",
+        ["n", "k", "digits", "steps(2n slices)", "steps(2k+1 slices)", "slowdown", "log n/log log n"],
+        [
+            (r.n, r.k, r.digits, r.steps_full, r.steps_logk, round(r.slowdown, 2), round(r.reference, 2))
+            for r in model_rows()
+        ],
+    )
+    print_table(
+        "C2 / §5 — simulated SyncLogKProtocol vs model",
+        ["n", "k", "measured steps", "model steps"],
+        simulated_rows(),
+    )
+    print_table(
+        "C2 / §5 — the paper's k = O(log n) choice",
+        ["n", "k=O(log n)", "slowdown", "log n/log log n"],
+        [
+            (r.n, r.k, round(r.slowdown, 2), round(r.reference, 2))
+            for r in slice_tradeoff_table(MODEL_SIZES)
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Experiment C3 — the silence property of the synchronous protocols.
+
+    "the protocols proposed with synchronous settings are clearly
+    silent" — a robot moves only when it has a message to transmit.
+
+Random configurations, one busy sender, everyone else idle; the audit
+counts movements of idle robots (must be zero) — and contrasts with the
+asynchronous protocol, which is provably NOT silent (Remark 4.3, and
+the Section 5 open problem).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import silence_audit
+from repro.apps.harness import SwarmHarness
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+import random
+
+from repro.geometry.vec import Vec2
+
+
+def scatter(count: int, seed: int):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-20, 20), rng.uniform(-20, 20))
+        if all(p.distance_to(q) > 2.0 for q in pts):
+            pts.append(p)
+    return pts
+
+
+def run_sync_case(count: int, seed: int) -> int:
+    h = SwarmHarness(
+        scatter(count, seed),
+        protocol_factory=lambda: SyncGranularProtocol(),
+        sigma=4.0,
+    )
+    h.simulator.protocol_of(0).send_bits(1, [1, 0, 1])
+    h.run(30)
+    idle = list(range(1, count))
+    return len(silence_audit(h.simulator.trace, idle))
+
+
+def run_async_contrast(count: int = 4, seed: int = 0) -> int:
+    h = SwarmHarness(
+        scatter(count, seed),
+        protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+        scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=seed),
+        identified=False,
+        frame_regime="chirality",
+        sigma=4.0,
+    )
+    h.run(60)
+    idle = list(range(count))
+    return len(silence_audit(h.simulator.trace, idle))
+
+
+def sweep():
+    sync_rows = [(n, seed, run_sync_case(n, seed)) for n in (4, 8, 16) for seed in (0, 1)]
+    async_movers = run_async_contrast()
+    return sync_rows, async_movers
+
+
+def test_c3_shape(benchmark):
+    sync_rows, async_movers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, seed, movers in sync_rows:
+        assert movers == 0, f"idle robot moved in sync run n={n} seed={seed}"
+    # Contrast: in the asynchronous protocol *every* robot moves.
+    assert async_movers == 4
+
+
+def main() -> None:
+    sync_rows, async_movers = sweep()
+    print_table(
+        "C3 / silence — idle robots that moved (synchronous protocols)",
+        ["n", "seed", "idle movers (must be 0)"],
+        sync_rows,
+    )
+    print_table(
+        "C3 / silence — asynchronous contrast (Remark 4.3)",
+        ["protocol", "robots that moved while idle"],
+        [("Asyncn (n=4, 60 steps)", async_movers)],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Experiment C4 — collision freedom via Voronoi granulars (§3.2).
+
+All-pairs chatter on random configurations: every robot sends bits to
+every other robot simultaneously.  The audit tracks the minimum
+pairwise distance over the run; the granular confinement guarantees it
+never reaches zero — in fact each pair keeps at least the gap left by
+their two excursion bands.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.metrics import collision_audit
+from repro.apps.harness import SwarmHarness
+from repro.geometry.vec import Vec2
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+CASES = ((4, 0), (8, 1), (16, 2), (32, 3))
+
+
+def scatter(count: int, seed: int):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-30, 30), rng.uniform(-30, 30))
+        if all(p.distance_to(q) > 2.0 for q in pts):
+            pts.append(p)
+    return pts
+
+
+def run_case(count: int, seed: int) -> dict:
+    positions = scatter(count, seed)
+    initial_min = min(
+        positions[i].distance_to(positions[j])
+        for i in range(count)
+        for j in range(i + 1, count)
+    )
+    h = SwarmHarness(positions, protocol_factory=lambda: SyncGranularProtocol(), sigma=4.0)
+    for i in range(count):
+        for j in range(count):
+            if i != j:
+                h.simulator.protocol_of(i).send_bits(j, [i & 1, j & 1])
+    h.run(4 * 2 * (count - 1) + 4)
+    # All bits must actually have been delivered (the run is no toy).
+    delivered = sum(len(h.simulator.protocol_of(j).received) for j in range(count))
+    return {
+        "n": count,
+        "seed": seed,
+        "initial_min": initial_min,
+        "run_min": collision_audit(h.simulator.trace),
+        "bits": delivered,
+    }
+
+
+def sweep():
+    return [run_case(n, seed) for n, seed in CASES]
+
+
+def test_c4_shape(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        n = row["n"]
+        assert row["bits"] == n * (n - 1) * 2
+        assert row["run_min"] > 0.0
+        # Excursions cover at most 45% of each granular (half the
+        # nearest-neighbour gap), so pairs keep >= 55% of their gap.
+        assert row["run_min"] >= 0.5 * row["initial_min"]
+
+
+def main() -> None:
+    rows = sweep()
+    print_table(
+        "C4 / §3.2 — collision audit under all-pairs chatter",
+        ["n", "seed", "bits delivered", "initial min dist", "run min dist", "ratio"],
+        [
+            (
+                r["n"],
+                r["seed"],
+                r["bits"],
+                round(r["initial_min"], 3),
+                round(r["run_min"], 3),
+                round(r["run_min"] / r["initial_min"], 3),
+            )
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Experiment C5 — the movement channel as wireless backup (§1).
+
+    "our solution can serve as a communication backup, i.e., it
+    provides fault-tolerance by allowing the robots to communicate
+    without means of communication (wireless device)."
+
+Three fault scenarios against the dual-channel stack: device crash
+(detectable), jamming (silent, recovered by ACK timeout) and heavy
+intermittent loss.  Shape claim: every message is eventually delivered
+exactly once, with the failing ones travelling over the movement path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.channels.stack import DualChannelStack
+from repro.faults.wireless import SimulatedWireless
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def build(count: int = 4, drop: float = 0.0, seed: int = 0):
+    h = SwarmHarness(
+        ring_positions(count, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncGranularProtocol(),
+        sigma=4.0,
+    )
+    wireless = SimulatedWireless(count, drop_probability=drop, seed=seed)
+    stacks = [
+        DualChannelStack(i, wireless, h.channel(i), ack_timeout=4) for i in range(count)
+    ]
+    return h, wireless, stacks
+
+
+def pump(h, stacks, steps: int):
+    for _ in range(steps):
+        h.run(1)
+        for s in stacks:
+            s.tick(h.simulator.time)
+
+
+def scenario_crash() -> dict:
+    h, wireless, stacks = build()
+    stacks[0].send(2, b"before crash", time=0)
+    pump(h, stacks, 3)
+    wireless.crash_device(0)
+    path = stacks[0].send(2, b"after crash", time=h.simulator.time)
+    pump(h, stacks, 500)
+    vias = [(m.payload, m.via) for m in stacks[2].inbox]
+    return {"name": "crash", "immediate_path": path, "deliveries": vias}
+
+
+def scenario_jam() -> dict:
+    h, wireless, stacks = build()
+    stacks[0].send(2, b"clear air", time=0)
+    pump(h, stacks, 3)
+    wireless.jam()
+    path = stacks[0].send(2, b"into the jam", time=h.simulator.time)
+    pump(h, stacks, 600)
+    vias = [(m.payload, m.via) for m in stacks[2].inbox]
+    return {"name": "jam", "immediate_path": path, "deliveries": vias}
+
+
+def scenario_lossy() -> dict:
+    h, wireless, stacks = build(drop=0.5, seed=7)
+    sent: List[bytes] = []
+    for i in range(5):
+        payload = f"lossy {i}".encode()
+        stacks[0].send(1, payload, time=h.simulator.time)
+        sent.append(payload)
+        pump(h, stacks, 30)
+    pump(h, stacks, 1500)
+    got = sorted(m.payload for m in stacks[1].inbox)
+    return {"name": "lossy", "sent": sorted(sent), "got": got,
+            "fallbacks": stacks[0].fallback_count}
+
+
+def run_all():
+    return scenario_crash(), scenario_jam(), scenario_lossy()
+
+
+def test_c5_shape(benchmark):
+    crash, jam, lossy = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Crash: detectable, movement used immediately; both messages land
+    # exactly once.
+    assert crash["immediate_path"] == "movement"
+    assert sorted(crash["deliveries"]) == [
+        (b"after crash", "movement"),
+        (b"before crash", "wireless"),
+    ]
+    # Jam: the sender cannot tell; the ACK timeout reroutes.
+    assert jam["immediate_path"] == "wireless"
+    assert sorted(jam["deliveries"]) == [
+        (b"clear air", "wireless"),
+        (b"into the jam", "movement"),
+    ]
+    # Lossy: everything arrives exactly once despite 50% frame loss.
+    assert lossy["got"] == lossy["sent"]
+
+
+def main() -> None:
+    crash, jam, lossy = run_all()
+    print_table(
+        "C5 / §1 — wireless failover scenarios",
+        ["scenario", "send path", "deliveries (payload, via)"],
+        [
+            ("device crash", crash["immediate_path"], crash["deliveries"]),
+            ("jamming", jam["immediate_path"], jam["deliveries"]),
+        ],
+    )
+    print_table(
+        "C5 / §1 — 50% frame loss, 5 messages",
+        ["sent", "delivered exactly once", "movement fallbacks"],
+        [(len(lossy["sent"]), lossy["got"] == lossy["sent"], lossy["fallbacks"])],
+    )
+
+
+if __name__ == "__main__":
+    main()

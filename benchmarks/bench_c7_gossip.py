@@ -1,0 +1,76 @@
+"""Experiment C7 — one-to-all: addressed fan-out vs overhearing (§1/§5).
+
+    "our protocols can be easily adapted to implement efficiently
+    one-to-many or one-to-all explicit communication"
+
+The movement medium is a broadcast channel: a single addressed
+transmission is decoded by every observer.  This experiment spreads the
+same rumor both ways and counts transmissions, source movements and
+completion time.  Shape claim: overhearing needs exactly one
+transmission and ``(n-1)x`` fewer source movements.
+"""
+
+from __future__ import annotations
+
+from repro.apps.gossip import spread_rumor
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+SIZES = (4, 8, 12)
+RUMOR = "the nest has moved"
+
+
+def sweep():
+    rows = []
+    for count in SIZES:
+        over = spread_rumor(RUMOR, count=count, mode="overheard")
+        addr = spread_rumor(RUMOR, count=count, mode="addressed")
+        rows.append(
+            (
+                count,
+                over.transmissions,
+                addr.transmissions,
+                over.source_moves,
+                addr.source_moves,
+                over.steps,
+                addr.steps,
+            )
+        )
+    return rows
+
+
+def test_c7_shape(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, tx_over, tx_addr, mv_over, mv_addr, st_over, st_addr in rows:
+        assert tx_over == 1
+        assert tx_addr == n - 1
+        # Source movement scales with the copy count.
+        assert abs(mv_addr - (n - 1) * mv_over) <= 2
+        assert st_addr >= st_over
+
+
+def main() -> None:
+    print_table(
+        f"C7 / one-to-all — spreading {RUMOR!r}",
+        [
+            "n",
+            "tx (overheard)",
+            "tx (addressed)",
+            "source moves (ovh)",
+            "source moves (addr)",
+            "steps (ovh)",
+            "steps (addr)",
+        ],
+        sweep(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Experiment F1 — Figure 1: two synchronous robots coding by side-steps.
+
+Regenerates the figure's scenario: two robots exchange messages
+simultaneously by stepping right ("0") / left ("1") of the line between
+them.  Reports steps, moves and distance per bit and checks the exact
+2-instants-per-bit cost of the protocol.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import transmission_stats
+from repro.apps.harness import SwarmHarness
+from repro.coding.bitstream import encode_message
+from repro.geometry.vec import Vec2
+from repro.protocols.sync_two import SyncTwoProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def run_fig1(message_a: str = "hello", message_b: str = "world"):
+    """One Figure 1 exchange; returns (harness, stats rows)."""
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(8.0, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(),
+        identified=False,
+        sigma=8.0,
+    )
+    bits_a = encode_message(message_a)
+    bits_b = encode_message(message_b)
+    h.channel(0).send(1, message_a)
+    h.channel(1).send(0, message_b)
+    done = h.pump(
+        lambda hh: len(hh.channel(0).inbox) >= 1 and len(hh.channel(1).inbox) >= 1,
+        max_steps=4 * max(len(bits_a), len(bits_b)),
+    )
+    assert done, "figure 1 exchange did not complete"
+    assert h.channel(1).inbox[0].text() == message_a
+    assert h.channel(0).inbox[0].text() == message_b
+
+    rows = []
+    for robot, bits in ((0, bits_a), (1, bits_b)):
+        stats = transmission_stats(
+            h.simulator.trace, h.simulator.protocol_of(1 - robot).received
+        )
+        rows.append(
+            (
+                f"r{robot}",
+                len(bits),
+                h.simulator.time,
+                round(h.simulator.time / len(bits), 3),
+                round(h.simulator.trace.distance_travelled(robot), 2),
+            )
+        )
+    return h, rows
+
+
+def test_fig1_shape(benchmark):
+    h, rows = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+    # The paper's protocol costs exactly 2 instants per bit (out+back),
+    # and the run ends when the longer message completes.
+    longest = max(rows[0][1], rows[1][1])
+    assert h.simulator.time == 2 * longest
+    for _, bits, steps, steps_per_bit, distance in rows:
+        assert distance > 0.0
+
+
+def main() -> None:
+    _, rows = run_fig1()
+    print_table(
+        "F1 / Figure 1 — two synchronous robots, simultaneous exchange",
+        ["sender", "bits", "steps", "steps/bit(run)", "distance"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

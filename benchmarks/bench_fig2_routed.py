@@ -1,0 +1,80 @@
+"""Experiment F2 — Figure 2: 12 identified robots, Voronoi + granulars.
+
+Regenerates the figure's scenario: the 12-robot configuration is
+preprocessed (Voronoi diagram, granulars sliced in 2n), then robot 9
+sends "0" and "1" to robot 3.  Reports per-robot granular radii, the
+delivery, the universal overhearing, and the collision audit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import collision_audit
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def run_fig2():
+    h = SwarmHarness(
+        ring_positions(12, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncGranularProtocol(naming="identified"),
+        sigma=4.0,
+    )
+    h.simulator.protocol_of(9).send_bits(3, [0, 1])
+    h.run(6)
+    received = h.simulator.protocol_of(3).received
+    assert [(e.src, e.bit) for e in received] == [(9, 0), (9, 1)]
+    return h
+
+
+def test_fig2_shape(benchmark):
+    h = benchmark.pedantic(run_fig2, rounds=3, iterations=1)
+    # Universal overhearing and zero received elsewhere.
+    for other in range(12):
+        if other in (3, 9):
+            continue
+        assert h.simulator.protocol_of(other).received == ()
+        assert len(h.simulator.protocol_of(other).overheard) == 2
+    # Collision avoidance: nobody left its granular, so the minimum
+    # pairwise distance never fell below the nearest-neighbour gap
+    # minus the two granular radii (which is >= 0 by construction).
+    assert collision_audit(h.simulator.trace) > 0.0
+
+
+def main() -> None:
+    h = run_fig2()
+    protocol = h.simulator.protocol_of(0)
+    rows = [
+        (j, round(protocol.granular_of(j).radius, 3))
+        for j in range(12)
+    ]
+    print_table(
+        "F2 / Figure 2 — granular radii after Voronoi preprocessing",
+        ["robot", "granular radius (robot 0's units)"],
+        rows,
+    )
+    print_table(
+        "F2 / Figure 2 — robot 9 sends '0','1' to robot 3",
+        ["event", "value"],
+        [
+            ("bits delivered to r3", [(e.src, e.bit) for e in h.simulator.protocol_of(3).received]),
+            ("steps", h.simulator.time),
+            ("min pairwise distance", round(collision_audit(h.simulator.trace), 3)),
+            ("observers that overheard", sum(
+                1 for j in range(12)
+                if j != 9 and len(h.simulator.protocol_of(j).overheard) == 2
+            )),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

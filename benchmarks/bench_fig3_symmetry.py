@@ -1,0 +1,82 @@
+"""Experiment F3 — Figure 3: symmetry defeats common naming.
+
+Regenerates the figure's six-robot symmetric configuration, verifies
+the obstruction (orbit mates with identical views), and shows the
+Section 3.4 escape hatch: relative naming still routes messages on the
+very same configuration.
+"""
+
+from __future__ import annotations
+
+from repro.apps.harness import SwarmHarness
+from repro.naming.symmetry import (
+    common_naming_is_impossible,
+    figure3_configuration,
+    local_view,
+    rotational_symmetry_order,
+    symmetric_view_pairs,
+)
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def run_fig3():
+    pts = figure3_configuration()
+    order = rotational_symmetry_order(pts)
+    pairs = symmetric_view_pairs(pts)
+    identical = []
+    for i, j, frame_i, frame_j in pairs:
+        view_i = local_view(pts, i, frame_i)
+        view_j = local_view(pts, j, frame_j)
+        identical.append(all(a.distance_to(b) < 1e-9 for a, b in zip(view_i, view_j)))
+
+    # Relative naming on the same (scaled) configuration still works.
+    h = SwarmHarness(
+        [p * 10.0 for p in pts],
+        protocol_factory=lambda: SyncGranularProtocol(naming="sec"),
+        identified=False,
+        frame_regime="chirality",
+        sigma=3.0,
+    )
+    h.simulator.protocol_of(0).send_bits(3, [1, 0])
+    h.run(6)
+    delivered = [e.bit for e in h.simulator.protocol_of(3).received]
+    return pts, order, pairs, identical, delivered
+
+
+def test_fig3_shape(benchmark):
+    pts, order, pairs, identical, delivered = benchmark.pedantic(
+        run_fig3, rounds=3, iterations=1
+    )
+    assert order == 2
+    assert common_naming_is_impossible(pts)
+    assert len(pairs) == 3
+    assert all(identical)
+    assert delivered == [1, 0]
+
+
+def main() -> None:
+    pts, order, pairs, identical, delivered = run_fig3()
+    print_table(
+        "F3 / Figure 3 — the symmetric six-robot configuration",
+        ["property", "value"],
+        [
+            ("rotational symmetry order", order),
+            ("common naming possible", not common_naming_is_impossible(pts)),
+            ("indistinguishable pairs", [(i, j) for i, j, *_ in pairs]),
+            ("orbit-mate views identical", identical),
+            ("relative-naming delivery (bits)", delivered),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Experiment F4 — Figure 4: relative naming from SEC + horizon line.
+
+Regenerates a 12-robot instance with radius ties (like the figure's
+robots sharing a radius), prints the labelling relative to robot r, and
+verifies that every observer reconstructs it identically under private
+rotations/scales (chirality only).
+"""
+
+from __future__ import annotations
+
+from repro.apps.harness import ring_positions
+from repro.geometry.frames import make_frames
+from repro.geometry.vec import Vec2
+from repro.naming.sec_naming import relative_labels
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def build_configuration():
+    pts = ring_positions(10, radius=10.0, jitter=0.06)
+    direction = pts[0].normalized()
+    # Two extra robots on robot 0's radius (the figure's tie case).
+    return pts + [direction * 4.0, direction * 7.0]
+
+
+def run_fig4(observers: int = 8):
+    pts = build_configuration()
+    labels = relative_labels(pts, 0)
+    agreements = 0
+    for frame in make_frames(observers, "chirality", seed=11):
+        view = [frame.to_local(p, Vec2(1.0, -2.0)) for p in pts]
+        if relative_labels(view, 0) == labels:
+            agreements += 1
+    return pts, labels, agreements, observers
+
+
+def test_fig4_shape(benchmark):
+    pts, labels, agreements, observers = benchmark.pedantic(
+        run_fig4, rounds=3, iterations=1
+    )
+    assert sorted(labels.values()) == list(range(12))
+    assert agreements == observers  # every observer agrees
+    # Radius ties ordered outward from O (robots 10, 11 then 0).
+    assert labels[10] < labels[11] < labels[0]
+
+
+def main() -> None:
+    pts, labels, agreements, observers = run_fig4()
+    rows = sorted(((label, index) for index, label in labels.items()))
+    print_table(
+        "F4 / Figure 4 — labelling relative to robot 0 (clockwise from H_r)",
+        ["label", "robot (tracking index)"],
+        rows,
+    )
+    print_table(
+        "F4 / Figure 4 — observer agreement",
+        ["observers with private frames", "reconstructions identical"],
+        [(observers, agreements)],
+    )
+
+
+if __name__ == "__main__":
+    main()

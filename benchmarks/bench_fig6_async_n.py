@@ -1,0 +1,85 @@
+"""Experiment F6 — Figure 6: n asynchronous robots, kappa idle slice.
+
+Regenerates Protocol Asyncn runs for n in {3, 6, 12}: granulars sliced
+in n+1, kappa heartbeats keeping every acknowledgement counter alive,
+one-to-one payload delivered under a fair asynchronous scheduler.
+Reports steps per delivered bit as n grows (the shape: superlinear in
+n, because each leg waits for *everyone* to be observed twice).
+"""
+
+from __future__ import annotations
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_n import AsyncNProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+SIZES = (3, 6, 12)
+BITS = [1, 0]
+
+
+def run_asyncn(count: int, seed: int = 1) -> dict:
+    h = SwarmHarness(
+        ring_positions(count, radius=10.0, jitter=0.07),
+        protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+        scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=seed),
+        identified=False,
+        frame_regime="chirality",
+        sigma=4.0,
+    )
+    dst = count - 1
+    h.simulator.protocol_of(0).send_bits(dst, BITS)
+
+    def done(hh):
+        return len(hh.simulator.protocol_of(dst).received) >= len(BITS)
+
+    assert h.pump(done, max_steps=400_000), f"n={count}: bits lost"
+    assert [e.bit for e in h.simulator.protocol_of(dst).received] == BITS
+    idle_moves = len(h.simulator.trace.movements_of(1))
+    return {
+        "n": count,
+        "steps": h.simulator.time,
+        "steps_per_bit": h.simulator.time / len(BITS),
+        "idle_robot_moves": idle_moves,
+        "min_distance": h.simulator.trace.min_pairwise_distance(),
+    }
+
+
+def sweep():
+    return [run_asyncn(count) for count in SIZES]
+
+
+def test_fig6_shape(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_n = {r["n"]: r for r in rows}
+    # Cost grows with the swarm (each leg awaits everyone's ack).
+    assert by_n[12]["steps_per_bit"] > by_n[3]["steps_per_bit"]
+    # Remark 4.3: idle robots move constantly (kappa oscillation) —
+    # the protocol is NOT silent, unlike the synchronous ones.
+    for row in rows:
+        assert row["idle_robot_moves"] > 0
+        assert row["min_distance"] > 0.0
+
+
+def main() -> None:
+    rows = sweep()
+    print_table(
+        "F6 / Figure 6 — Protocol Asyncn (kappa idle slice), 2-bit payload",
+        ["n", "steps", "steps/bit", "idle robot moves", "min pairwise dist"],
+        [
+            (r["n"], r["steps"], round(r["steps_per_bit"], 1), r["idle_robot_moves"], round(r["min_distance"], 3))
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

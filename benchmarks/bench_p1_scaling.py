@@ -1,0 +1,140 @@
+"""Experiment P1 — scaling and substrate performance (ours).
+
+Not a paper artefact: engineering numbers for the reproduction itself.
+
+* steps-per-bit vs swarm size per protocol family (sync granular is
+  flat at 2; async grows with n);
+* wall-clock cost of the geometric substrate (Voronoi diagram, SEC,
+  relative naming) at growing n — the quantities that bound how large
+  a swarm the simulator handles comfortably.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.geometry.voronoi import voronoi_diagram
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.naming.sec_naming import relative_labels
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+
+def scatter(count: int, seed: int = 0):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-60, 60), rng.uniform(-60, 60))
+        if all(p.distance_to(q) > 2.0 for q in pts):
+            pts.append(p)
+    return pts
+
+
+def sync_steps_per_bit(n: int) -> float:
+    h = SwarmHarness(
+        ring_positions(n, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncGranularProtocol(),
+        sigma=4.0,
+    )
+    bits = [1, 0, 1, 0]
+    h.simulator.protocol_of(0).send_bits(n // 2, bits)
+
+    def done(hh):
+        return len(hh.simulator.protocol_of(n // 2).received) >= len(bits)
+
+    assert h.pump(done, max_steps=200)
+    return h.simulator.time / len(bits)
+
+
+def async_steps_per_bit(n: int) -> float:
+    h = SwarmHarness(
+        ring_positions(n, radius=10.0, jitter=0.07),
+        protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+        scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=1),
+        identified=False,
+        frame_regime="chirality",
+        sigma=4.0,
+    )
+    bits = [1, 0]
+    h.simulator.protocol_of(0).send_bits(n - 1, bits)
+
+    def done(hh):
+        return len(hh.simulator.protocol_of(n - 1).received) >= len(bits)
+
+    assert h.pump(done, max_steps=400_000)
+    return h.simulator.time / len(bits)
+
+
+def protocol_scaling_rows():
+    rows = []
+    for n in (4, 8, 16):
+        rows.append((n, sync_steps_per_bit(n), round(async_steps_per_bit(n), 1)))
+    return rows
+
+
+# --- substrate micro-benchmarks (pytest-benchmark timings) -----------
+
+def test_p1_protocol_scaling(benchmark):
+    rows = benchmark.pedantic(protocol_scaling_rows, rounds=1, iterations=1)
+    sync = [r[1] for r in rows]
+    asyn = [r[2] for r in rows]
+    # Sync cost is flat (2 steps/bit); async grows with n.
+    assert max(sync) == min(sync) == 2.0
+    assert asyn[-1] > asyn[0]
+
+
+def test_p1_voronoi_speed(benchmark):
+    pts = scatter(64, seed=3)
+    diagram = benchmark(voronoi_diagram, pts)
+    assert len(diagram) == 64
+
+
+def test_p1_sec_speed(benchmark):
+    pts = scatter(256, seed=4)
+    circle = benchmark(smallest_enclosing_circle, pts)
+    assert circle.radius > 0.0
+
+
+def test_p1_relative_naming_speed(benchmark):
+    pts = scatter(64, seed=5)
+    labels = benchmark(relative_labels, pts, 0)
+    assert sorted(labels.values()) == list(range(64))
+
+
+def test_p1_simulator_throughput(benchmark):
+    def run():
+        h = SwarmHarness(
+            ring_positions(16, radius=10.0, jitter=0.06),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(8, [1, 0] * 8)
+        h.run(40)
+        return h
+
+    h = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(h.simulator.protocol_of(8).received) == 16
+
+
+def main() -> None:
+    print_table(
+        "P1 — steps per delivered bit vs swarm size",
+        ["n", "sync granular", "async (sec naming)"],
+        protocol_scaling_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Experiment P3 — the protocol comparison matrix (ours).
+
+One table, all protocol families, one workload: a 3-bit message on a
+4-robot swarm (or the 2-robot pair where the protocol demands it).
+Columns: instants and distance per delivered bit, silence, and the
+assumptions consumed — the engineering summary of the whole paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import silence_audit, transmission_stats
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_logk import SyncLogKProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+# Support running as a standalone script (python benchmarks/bench_x.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table
+
+BITS = [1, 0, 1]
+
+
+def run_case(name: str, build) -> dict:
+    """Run one protocol case; build() returns (harness, src, dst)."""
+    h, src, dst = build()
+    h.simulator.protocol_of(src).send_bits(dst, BITS)
+    delivered = h.pump(
+        lambda hh: len(hh.simulator.protocol_of(dst).received) >= len(BITS),
+        max_steps=120_000,
+    )
+    assert delivered, f"{name}: bits lost"
+    got = [e.bit for e in h.simulator.protocol_of(dst).received]
+    # Symbol-coded variants pad the last symbol with zero bits.
+    assert got[: len(BITS)] == BITS
+    assert all(bit == 0 for bit in got[len(BITS):])
+    stats = transmission_stats(h.simulator.trace, h.simulator.protocol_of(dst).received)
+    idle = [i for i in range(h.count) if i != src]
+    silent = not silence_audit(h.simulator.trace, idle)
+    return {
+        "name": name,
+        "steps_per_bit": stats.steps_per_bit,
+        "distance_per_bit": stats.distance_per_bit,
+        "silent": silent,
+    }
+
+
+def pair(factory):
+    def build():
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+            protocol_factory=factory,
+            identified=False,
+            sigma=10.0,
+            scheduler=None,
+        )
+        return h, 0, 1
+
+    return build
+
+
+def pair_async():
+    def build():
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+            protocol_factory=lambda: AsyncTwoProtocol(bounded=True),
+            scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=1),
+            identified=False,
+            sigma=10.0,
+        )
+        return h, 0, 1
+
+    return build
+
+
+def swarm(factory, identified=True, regime="sense_of_direction", scheduler=None):
+    def build():
+        h = SwarmHarness(
+            ring_positions(4, radius=10.0, jitter=0.07),
+            protocol_factory=factory,
+            scheduler=scheduler,
+            identified=identified,
+            frame_regime=regime,  # type: ignore[arg-type]
+            sigma=4.0,
+        )
+        return h, 0, 2
+
+    return build
+
+
+CASES = [
+    ("SyncTwo (§3.1)", pair(lambda: SyncTwoProtocol())),
+    ("SyncTwo B=16 (§3.1 rmk)", pair(lambda: SyncTwoProtocol(alphabet_size=16))),
+    ("SyncGranular id (§3.2)", swarm(lambda: SyncGranularProtocol())),
+    (
+        "SyncGranular sec (§3.4)",
+        swarm(
+            lambda: SyncGranularProtocol(naming="sec"),
+            identified=False,
+            regime="chirality",
+        ),
+    ),
+    ("SyncLogK k=2 (§5)", swarm(lambda: SyncLogKProtocol(k=2))),
+    ("AsyncTwo bounded (§4.1)", pair_async()),
+    (
+        "AsyncN sec (§4.2)",
+        swarm(
+            lambda: AsyncNProtocol(naming="sec"),
+            identified=False,
+            regime="chirality",
+            scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=1),
+        ),
+    ),
+]
+
+ASSUMPTIONS = {
+    "SyncTwo (§3.1)": "sync, chirality",
+    "SyncTwo B=16 (§3.1 rmk)": "sync, chirality, known sigma",
+    "SyncGranular id (§3.2)": "sync, IDs, SoD",
+    "SyncGranular sec (§3.4)": "sync, chirality",
+    "SyncLogK k=2 (§5)": "sync, IDs, SoD, 6 slices",
+    "AsyncTwo bounded (§4.1)": "fair async, chirality",
+    "AsyncN sec (§4.2)": "fair async, chirality, P(t0)",
+}
+
+
+def sweep():
+    return [run_case(name, build) for name, build in CASES]
+
+
+def test_p3_matrix(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_name = {r["name"]: r for r in rows}
+    # Sync protocols: 2 instants/bit and silent.
+    for name in ("SyncTwo (§3.1)", "SyncGranular id (§3.2)", "SyncGranular sec (§3.4)"):
+        assert by_name[name]["steps_per_bit"] == 2.0
+        assert by_name[name]["silent"]
+    # Symbol coding is cheaper than bit coding.
+    assert (
+        by_name["SyncTwo B=16 (§3.1 rmk)"]["steps_per_bit"]
+        < by_name["SyncTwo (§3.1)"]["steps_per_bit"]
+    )
+    # Asynchrony costs more and is not silent.
+    for name in ("AsyncTwo bounded (§4.1)", "AsyncN sec (§4.2)"):
+        assert by_name[name]["steps_per_bit"] > 2.0
+        assert not by_name[name]["silent"]
+
+
+def main() -> None:
+    print_table(
+        "P3 — all protocols, one workload (3 bits, n=4 or pair)",
+        ["protocol", "steps/bit", "distance/bit", "silent", "assumptions"],
+        [
+            (
+                r["name"],
+                round(r["steps_per_bit"], 2),
+                round(r["distance_per_bit"], 2),
+                r["silent"],
+                ASSUMPTIONS[r["name"]],
+            )
+            for r in sweep()
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

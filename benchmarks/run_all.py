@@ -1,0 +1,81 @@
+"""Print every experiment's regenerated tables (the EXPERIMENTS.md source).
+
+Usage::
+
+    python benchmarks/run_all.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+# Allow `python benchmarks/run_all.py` from the repo root.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks import (
+    bench_fig1_sync_two,
+    bench_fig2_routed,
+    bench_fig3_symmetry,
+    bench_fig4_naming,
+    bench_fig5_async_two,
+    bench_fig6_async_n,
+    bench_c1_symbols,
+    bench_c2_slice_tradeoff,
+    bench_c3_silence,
+    bench_c4_collision,
+    bench_c5_failover,
+    bench_c6_flocking,
+    bench_c7_gossip,
+    bench_a1_resolution,
+    bench_a2_ack_threshold,
+    bench_a3_energy,
+    bench_a4_staleness,
+    bench_a5_noise,
+    bench_p1_scaling,
+    bench_p2_throughput,
+    bench_p3_protocol_matrix,
+)
+
+MODULES = [
+    bench_fig1_sync_two,
+    bench_fig2_routed,
+    bench_fig3_symmetry,
+    bench_fig4_naming,
+    bench_fig5_async_two,
+    bench_fig6_async_n,
+    bench_c1_symbols,
+    bench_c2_slice_tradeoff,
+    bench_c3_silence,
+    bench_c4_collision,
+    bench_c5_failover,
+    bench_c6_flocking,
+    bench_c7_gossip,
+    bench_a1_resolution,
+    bench_a2_ack_threshold,
+    bench_a3_energy,
+    bench_a4_staleness,
+    bench_a5_noise,
+    bench_p1_scaling,
+    bench_p2_throughput,
+    bench_p3_protocol_matrix,
+]
+
+
+def main() -> int:
+    failures = 0
+    for module in MODULES:
+        started = time.perf_counter()
+        try:
+            module.main()
+            elapsed = time.perf_counter() - started
+            print(f"[{module.__name__}: ok in {elapsed:.1f}s]")
+        except Exception as exc:  # pragma: no cover - reporting path
+            failures += 1
+            print(f"[{module.__name__}: FAILED — {exc!r}]", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Every ``bench_*.py`` module is both
+
+* a pytest-benchmark module (``pytest benchmarks/ --benchmark-only``)
+  whose assertions pin the *qualitative shape* the paper claims, and
+* a runnable script (``python benchmarks/bench_xxx.py``) that prints
+  the regenerated rows/series; ``python benchmarks/run_all.py`` prints
+  everything and is the source of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["print_table", "fmt"]
+
+
+def fmt(value) -> str:
+    """Human formatting for table cells."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned text table (the 'figure' regeneration format)."""
+    materialised: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in materialised:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

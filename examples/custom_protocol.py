@@ -1,0 +1,117 @@
+"""A custom movement protocol: liveness beacons.
+
+Companion to ``docs/EXTENDING.md`` — implements the Protocol contract
+from scratch.  Every robot bounces between its home and a beacon point
+inside its granular; observers timestamp each peer's last observed
+movement and suspect peers that have been still too long.
+
+One robot is wired to crash mid-run; everyone else detects it.
+
+Run::
+
+    python examples/custom_protocol.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import Robot, Simulator, Vec2
+from repro.apps.harness import ring_positions
+from repro.geometry.granular import granular_radius
+from repro.model.observation import Observation
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+
+
+class BeaconProtocol(Protocol):
+    """Bounce forever; suspect peers that stop bouncing.
+
+    Args:
+        suspect_after: a peer unseen moving for this many of our own
+            activations is suspected crashed.
+        crash_at: for the demo — stop moving after this many
+            activations (None = live forever).
+    """
+
+    def __init__(self, suspect_after: int = 6, crash_at: int | None = None) -> None:
+        super().__init__()
+        self.suspect_after = suspect_after
+        self.crash_at = crash_at
+        self._home = Vec2.zero()
+        self._beacon = Vec2.zero()
+        self._outbound = True
+        self._last_seen: Dict[int, Vec2] = {}
+        self._still_for: Dict[int, int] = {}
+
+    # -- the contract --------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        self._home = info.initial_positions[info.index]
+        others = [
+            p for i, p in enumerate(info.initial_positions) if i != info.index
+        ]
+        radius = granular_radius(self._home, others)
+        step = min(0.4 * radius, info.sigma)
+        self._beacon = self._home + Vec2(0.0, step)
+        self._still_for = {i: 0 for i in range(info.count) if i != info.index}
+
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        for peer in self._still_for:
+            position = observation.position_of(peer)
+            previous = self._last_seen.get(peer)
+            if previous is None or position != previous:
+                self._still_for[peer] = 0
+            else:
+                self._still_for[peer] += 1
+            self._last_seen[peer] = position
+        return []  # beacons carry liveness, not data bits
+
+    def _compute(self, observation: Observation) -> Vec2:
+        if self.crash_at is not None and self.activations > self.crash_at:
+            return observation.self_position  # the simulated crash
+        self._outbound = not self._outbound
+        return self._beacon if self._outbound else self._home
+
+    # -- query surface ---------------------------------------------------
+    def suspected(self) -> List[int]:
+        """Peers that have been still for too long."""
+        return sorted(
+            peer
+            for peer, still in self._still_for.items()
+            if still >= self.suspect_after
+        )
+
+
+def main() -> None:
+    crash_victim = 3
+    positions = ring_positions(5, radius=10.0, jitter=0.06)
+    robots = [
+        Robot(
+            position=p,
+            protocol=BeaconProtocol(crash_at=10 if i == crash_victim else None),
+            sigma=4.0,
+            observable_id=i,
+        )
+        for i, p in enumerate(positions)
+    ]
+    sim = Simulator(robots)
+    sim.run(30)
+
+    print(f"robot {crash_victim} silently crashed at t=10\n")
+    for i in range(5):
+        if i == crash_victim:
+            continue
+        protocol = robots[i].protocol
+        assert isinstance(protocol, BeaconProtocol)
+        print(f"robot {i} suspects: {protocol.suspected()}")
+
+    verdicts = {
+        tuple(r.protocol.suspected())  # type: ignore[attr-defined]
+        for i, r in enumerate(robots)
+        if i != crash_victim
+    }
+    assert verdicts == {(crash_victim,)}, "detection must be unanimous"
+    print("\nunanimous and correct — failure detection by observation alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart — send a text message between deaf-and-dumb robots.
+
+Six identified robots stand on a ring.  Robot 0 sends a message to
+robot 3 purely by wiggling inside its granular disc; every robot
+watches everyone and decodes the movement signals.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SwarmHarness, SyncGranularProtocol, ring_positions
+from repro.analysis.render import render_configuration
+
+
+def main() -> None:
+    positions = ring_positions(6, radius=10.0, jitter=0.05)
+    print("The swarm (robot i drawn as its id):")
+    print(render_configuration(positions))
+
+    harness = SwarmHarness(
+        positions,
+        protocol_factory=lambda: SyncGranularProtocol(naming="identified"),
+        sigma=4.0,
+    )
+
+    message = "hello, robot 3 — no radio needed"
+    bits = harness.channel(0).send(3, message)
+    print(f"\nrobot 0 -> robot 3: {message!r} ({bits} bits queued)")
+
+    delivered = harness.pump(lambda h: len(h.channel(3).inbox) >= 1, max_steps=2000)
+    assert delivered, "message should arrive"
+
+    received = harness.channel(3).inbox[0]
+    print(f"robot 3 received: {received.text()!r}")
+    print(f"from robot {received.src}, completed at instant {received.completed_at}")
+    print(f"simulated instants: {harness.simulator.time} "
+          f"({harness.simulator.time / bits:.1f} per bit — the paper's 2/bit)")
+
+    # The medium is a broadcast: everyone overheard the message.
+    eavesdropper = harness.monitors[5]
+    overheard = eavesdropper.log[0]
+    print(f"robot 5 overheard it too: {overheard.payload.decode()!r}")
+
+
+if __name__ == "__main__":
+    main()

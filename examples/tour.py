@@ -1,0 +1,81 @@
+"""A guided tour of the library, layer by layer.
+
+Walks bottom-up through the stack — geometry, naming, a raw protocol,
+the message channel, an application — printing what each layer
+contributes.  Read alongside ``docs/MODEL.md`` and
+``docs/PROTOCOLS.md``.
+
+Run::
+
+    python examples/tour.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SwarmHarness,
+    SyncGranularProtocol,
+    Vec2,
+    granular_radius,
+    relative_labels,
+    ring_positions,
+    smallest_enclosing_circle,
+    voronoi_diagram,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 8} {title} {'=' * 8}")
+
+
+def main() -> None:
+    positions = ring_positions(5, radius=10.0, jitter=0.07)
+
+    section("1. Geometry — the substrate")
+    diagram = voronoi_diagram(positions)
+    sec = smallest_enclosing_circle(positions)
+    print(f"5 robots; SEC centre {sec.center}, radius {sec.radius:.2f}")
+    for i, p in enumerate(positions):
+        others = [q for q in positions if q != p]
+        print(
+            f"  robot {i}: Voronoi cell area {diagram[p].polygon.area():7.2f}, "
+            f"granular radius {granular_radius(p, others):.2f}"
+        )
+
+    section("2. Naming — who is 'robot 3' to an anonymous robot?")
+    labels = relative_labels(positions, 0)
+    ordered = [index for index, _ in sorted(labels.items(), key=lambda kv: kv[1])]
+    print(f"robot 0's relative naming (clockwise from its horizon): {ordered}")
+    print("every other robot reconstructs this identical labelling —")
+    print("that is how receivers resolve addressees without IDs.")
+
+    section("3. A protocol — bits as excursions")
+    harness = SwarmHarness(
+        positions, protocol_factory=lambda: SyncGranularProtocol(), sigma=4.0
+    )
+    harness.simulator.protocol_of(0).send_bits(3, [1, 0, 1])
+    harness.run(8)
+    received = harness.simulator.protocol_of(3).received
+    print(f"robot 0 queued [1, 0, 1] for robot 3; "
+          f"decoded: {[e.bit for e in received]} in {harness.simulator.time} instants")
+    print(f"robot 1 overheard all of it too: "
+          f"{[(e.src, e.dst, e.bit) for e in harness.simulator.protocol_of(1).overheard]}")
+
+    section("4. The channel — messages, not bits")
+    harness.channel(2).send(4, "entire framed messages ride on those bits")
+    harness.pump(lambda h: len(h.channel(4).inbox) >= 1, max_steps=2000)
+    message = harness.channel(4).inbox[0]
+    print(f"robot 4 received from robot {message.src}: {message.text()!r}")
+
+    section("5. An application — distributed computation")
+    from repro import elect_leader
+
+    result = elect_leader(positions=positions, values=[17, 42, 8, 33, 25])
+    print(f"leader election over movement messages: robot {result.leader} wins "
+          f"(value 42) after {result.messages} messages in {result.steps} instants")
+
+    print("\nTour complete — every layer ran for real; nothing was mocked.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Trace analysis, metrics and figure rendering.
+
+* :mod:`~repro.analysis.metrics` — steps-per-bit, latency, distance
+  and silence/collision audits over recorded traces.
+* :mod:`~repro.analysis.complexity` — empirical-vs-closed-form step
+  counts for the Section 5 slice trade-off.
+* :mod:`~repro.analysis.render` — ASCII rendering of configurations
+  and paths (text-mode regeneration of the paper's figures).
+"""
+
+from repro.analysis.metrics import (
+    TransmissionStats,
+    bit_latencies,
+    collision_audit,
+    silence_audit,
+    transmission_stats,
+)
+from repro.analysis.complexity import SliceTradeoffRow, slice_tradeoff_table
+from repro.analysis.render import render_configuration, render_paths
+from repro.analysis.animate import animate_frames, play
+from repro.analysis.svg import svg_configuration, svg_trace, write_svg
+from repro.analysis.trace_io import (
+    dump_trace,
+    load_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+
+__all__ = [
+    "animate_frames",
+    "play",
+    "svg_configuration",
+    "svg_trace",
+    "write_svg",
+    "dump_trace",
+    "load_trace",
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "TransmissionStats",
+    "transmission_stats",
+    "bit_latencies",
+    "silence_audit",
+    "collision_audit",
+    "SliceTradeoffRow",
+    "slice_tradeoff_table",
+    "render_configuration",
+    "render_paths",
+]

@@ -1,0 +1,107 @@
+"""Terminal animation of traces.
+
+Renders a trace as a list of fixed-viewport ASCII frames (so playback
+does not jitter) for quick visual inspection of protocol runs without
+any graphics stack.  :func:`play` prints them with ANSI home-cursor
+control for an in-terminal movie.
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _time
+from typing import List, Tuple
+
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace
+
+__all__ = ["animate_frames", "play"]
+
+
+def _global_bounds(trace: Trace, margin: float) -> Tuple[float, float, float, float]:
+    points: List[Vec2] = []
+    for index in range(trace.count):
+        points.extend(trace.path_of(index))
+    min_x = min(p.x for p in points) - margin
+    max_x = max(p.x for p in points) + margin
+    min_y = min(p.y for p in points) - margin
+    max_y = max(p.y for p in points) + margin
+    if max_x - min_x <= 0.0:
+        max_x = min_x + 1.0
+    if max_y - min_y <= 0.0:
+        max_y = min_y + 1.0
+    return min_x, max_x, min_y, max_y
+
+
+def animate_frames(
+    trace: Trace,
+    width: int = 64,
+    height: int = 22,
+    every: int = 1,
+    margin: float = 0.5,
+    trails: bool = True,
+) -> List[str]:
+    """Render a trace as ASCII frames with a shared viewport.
+
+    Args:
+        trace: the run to animate.
+        width, height: character-grid dimensions.
+        every: render one frame per ``every`` instants.
+        margin: world-units padding around the global bounding box.
+        trails: draw ``.`` at previously visited positions.
+
+    Returns:
+        One string per rendered frame, each headed by a time caption.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    bounds = _global_bounds(trace, margin)
+    min_x, max_x, min_y, max_y = bounds
+
+    def plot(grid: List[List[str]], p: Vec2, glyph: str) -> None:
+        col = int((p.x - min_x) / (max_x - min_x) * (width - 1))
+        row = int((max_y - p.y) / (max_y - min_y) * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = glyph
+
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    frames: List[str] = []
+    visited: List[Vec2] = []
+    for t in range(0, len(trace) + 1, every):
+        grid = [[" "] * width for _ in range(height)]
+        if trails:
+            for p in visited:
+                plot(grid, p, ".")
+        positions = trace.positions_at(t)
+        for index, p in enumerate(positions):
+            plot(grid, p, glyphs[index % len(glyphs)])
+        caption = f"t={t}/{len(trace)}"
+        frames.append(caption + "\n" + "\n".join("".join(row).rstrip() for row in grid))
+        if trails:
+            visited.extend(positions)
+    return frames
+
+
+def play(
+    trace: Trace,
+    delay: float = 0.08,
+    every: int = 1,
+    width: int = 64,
+    height: int = 22,
+    stream=None,
+) -> int:
+    """Print the animation to a terminal; returns the frame count.
+
+    Uses ANSI cursor-home between frames.  Pass a ``stream`` (e.g. a
+    StringIO) to capture instead of animating.
+    """
+    out = stream if stream is not None else sys.stdout
+    frames = animate_frames(trace, width=width, height=height, every=every)
+    for i, frame in enumerate(frames):
+        if stream is None and i:
+            out.write("\x1b[H\x1b[J")
+        out.write(frame + "\n")
+        out.flush()
+        if stream is None and delay > 0:
+            _time.sleep(delay)
+    return len(frames)

@@ -1,0 +1,84 @@
+"""The Section 5 slice/step trade-off, tabulated.
+
+Combines the closed-form step models of
+:mod:`repro.coding.logk_addressing` into the table the C2 benchmark
+prints: for each swarm size ``n`` and digit base ``k``, the instants
+needed per 1-bit message under the full ``2n``-slice scheme versus the
+``2k+1``-slice scheme, the measured slowdown, and the paper's
+asymptotic reference ``log n / log log n`` for ``k = O(log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.coding.logk_addressing import (
+    address_digit_count,
+    steps_per_message_full_slicing,
+    steps_per_message_logk,
+    theoretical_slowdown_logslices,
+)
+
+__all__ = ["SliceTradeoffRow", "slice_tradeoff_table", "log_slice_choice"]
+
+
+@dataclass(frozen=True)
+class SliceTradeoffRow:
+    """One (n, k) cell of the trade-off table.
+
+    Attributes:
+        n: swarm size.
+        k: digit base (the scheme uses ``k + 1`` diameters).
+        digits: address digits per message, ``ceil(log_k n)``.
+        steps_full: instants per 1-bit message, ``2n``-slice scheme.
+        steps_logk: instants per 1-bit message, ``2k+1``-slice scheme.
+        slowdown: ``steps_logk / steps_full``.
+        reference: the paper's ``log n / log log n`` yardstick.
+    """
+
+    n: int
+    k: int
+    digits: int
+    steps_full: int
+    steps_logk: int
+    slowdown: float
+    reference: float
+
+
+def log_slice_choice(n: int) -> int:
+    """The paper's suggested base: ``k = O(log n)`` (at least 2)."""
+    return max(2, round(math.log2(n)))
+
+
+def slice_tradeoff_table(
+    sizes: Sequence[int],
+    bases: Sequence[int] = (),
+    payload_bits: int = 1,
+) -> List[SliceTradeoffRow]:
+    """Build the trade-off table.
+
+    Args:
+        sizes: swarm sizes ``n`` (each >= 4 for the reference column).
+        bases: digit bases to evaluate; empty means "the paper's
+            ``k = O(log n)`` choice per size".
+        payload_bits: message length in bits.
+    """
+    rows: List[SliceTradeoffRow] = []
+    for n in sizes:
+        for k in bases or (log_slice_choice(n),):
+            steps_full = steps_per_message_full_slicing(payload_bits)
+            steps_logk = steps_per_message_logk(payload_bits, n, k)
+            rows.append(
+                SliceTradeoffRow(
+                    n=n,
+                    k=k,
+                    digits=address_digit_count(n, k),
+                    steps_full=steps_full,
+                    steps_logk=steps_logk,
+                    slowdown=steps_logk / steps_full,
+                    reference=theoretical_slowdown_logslices(n) if n >= 4 else float("nan"),
+                )
+            )
+    return rows

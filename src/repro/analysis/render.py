@@ -1,0 +1,108 @@
+"""ASCII rendering of configurations and robot paths.
+
+The paper's figures are geometric diagrams; these helpers regenerate
+them as terminal text so the examples and benchmarks can *show* the
+scenarios without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace
+
+__all__ = ["render_configuration", "render_paths"]
+
+
+def _bounds(points: Sequence[Vec2], margin: float) -> Tuple[float, float, float, float]:
+    min_x = min(p.x for p in points) - margin
+    max_x = max(p.x for p in points) + margin
+    min_y = min(p.y for p in points) - margin
+    max_y = max(p.y for p in points) + margin
+    if max_x - min_x <= 0.0:
+        max_x = min_x + 1.0
+    if max_y - min_y <= 0.0:
+        max_y = min_y + 1.0
+    return min_x, max_x, min_y, max_y
+
+
+def _plot(
+    grid: List[List[str]],
+    point: Vec2,
+    glyph: str,
+    bounds: Tuple[float, float, float, float],
+    width: int,
+    height: int,
+) -> None:
+    min_x, max_x, min_y, max_y = bounds
+    col = int((point.x - min_x) / (max_x - min_x) * (width - 1))
+    row = int((max_y - point.y) / (max_y - min_y) * (height - 1))
+    if 0 <= row < height and 0 <= col < width:
+        grid[row][col] = glyph
+
+
+def render_configuration(
+    points: Sequence[Vec2],
+    labels: Optional[Dict[int, str]] = None,
+    width: int = 60,
+    height: int = 24,
+    margin: float = 1.0,
+) -> str:
+    """Render a configuration as an ASCII scene.
+
+    Args:
+        points: robot positions.
+        labels: optional per-index glyph (first character used);
+            defaults to the index in base 36.
+        width, height: character-grid dimensions.
+        margin: world-units padding around the bounding box.
+    """
+    if not points:
+        return "(empty configuration)"
+    bounds = _bounds(points, margin)
+    grid = [[" "] * width for _ in range(height)]
+    for index, point in enumerate(points):
+        if labels and index in labels:
+            glyph = labels[index][:1] or "?"
+        else:
+            glyph = _base36(index)
+        _plot(grid, point, glyph, bounds, width, height)
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def render_paths(
+    trace: Trace,
+    robots: Optional[Sequence[int]] = None,
+    width: int = 72,
+    height: int = 28,
+    margin: float = 0.5,
+) -> str:
+    """Render robot trajectories from a trace.
+
+    Waypoints are drawn with ``.`` and final positions with the robot
+    index, so excursion shapes (the side-steps of Figure 1, the
+    perpendicular legs of Figure 5) are visible in a terminal.
+    """
+    indices = list(robots) if robots is not None else list(range(trace.count))
+    all_points: List[Vec2] = []
+    for index in indices:
+        all_points.extend(trace.path_of(index))
+    if not all_points:
+        return "(empty trace)"
+    bounds = _bounds(all_points, margin)
+    grid = [[" "] * width for _ in range(height)]
+    for index in indices:
+        path = trace.path_of(index)
+        for point in path[:-1]:
+            _plot(grid, point, ".", bounds, width, height)
+    for index in indices:
+        path = trace.path_of(index)
+        _plot(grid, path[0], "o", bounds, width, height)
+        _plot(grid, path[-1], _base36(index), bounds, width, height)
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def _base36(value: int) -> str:
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+    return digits[value % len(digits)]

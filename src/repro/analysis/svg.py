@@ -1,0 +1,157 @@
+"""SVG rendering of configurations and traces (dependency-free).
+
+Generates standalone ``.svg`` documents for the paper's figures:
+robot positions, granular discs with their sliced diameters, and full
+movement trajectories.  Pure string assembly — no plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.granular import Granular
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace
+
+__all__ = ["svg_configuration", "svg_trace", "write_svg"]
+
+_PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+]
+
+
+class _Canvas:
+    """Maps world coordinates onto an SVG viewport (y flipped)."""
+
+    def __init__(self, points: Sequence[Vec2], size: int, margin: float) -> None:
+        min_x = min(p.x for p in points) - margin
+        max_x = max(p.x for p in points) + margin
+        min_y = min(p.y for p in points) - margin
+        max_y = max(p.y for p in points) + margin
+        span = max(max_x - min_x, max_y - min_y, 1e-9)
+        self.size = size
+        self._scale = size / span
+        self._min_x = min_x
+        self._max_y = max_y
+        self.elements: List[str] = []
+
+    def project(self, p: Vec2) -> Tuple[float, float]:
+        return ((p.x - self._min_x) * self._scale, (self._max_y - p.y) * self._scale)
+
+    def circle(self, center: Vec2, world_radius: float, stroke: str,
+               fill: str = "none", width: float = 1.0, dash: str = "") -> None:
+        cx, cy = self.project(center)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{world_radius * self._scale:.2f}" '
+            f'stroke="{stroke}" fill="{fill}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def dot(self, center: Vec2, color: str, radius_px: float = 4.0) -> None:
+        cx, cy = self.project(center)
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius_px}" fill="{color}"/>'
+        )
+
+    def line(self, a: Vec2, b: Vec2, stroke: str, width: float = 1.0, dash: str = "") -> None:
+        ax, ay = self.project(a)
+        bx, by = self.project(b)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{ax:.2f}" y1="{ay:.2f}" x2="{bx:.2f}" y2="{by:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Vec2], stroke: str, width: float = 1.0) -> None:
+        coords = " ".join(
+            f"{x:.2f},{y:.2f}" for x, y in (self.project(p) for p in points)
+        )
+        self.elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}" stroke-linejoin="round"/>'
+        )
+
+    def label(self, position: Vec2, text: str, color: str = "#333") -> None:
+        x, y = self.project(position)
+        self.elements.append(
+            f'<text x="{x + 6:.2f}" y="{y - 6:.2f}" font-size="12" '
+            f'font-family="monospace" fill="{color}">{text}</text>'
+        )
+
+    def document(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.size}" '
+            f'height="{self.size}" viewBox="0 0 {self.size} {self.size}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def svg_configuration(
+    positions: Sequence[Vec2],
+    granulars: Optional[Dict[int, Granular]] = None,
+    labels: Optional[Dict[int, str]] = None,
+    size: int = 640,
+    margin: float = 2.0,
+) -> str:
+    """Render a configuration — optionally with sliced granulars.
+
+    With granulars supplied, each disc is drawn with its labelled
+    diameters, reproducing the visual language of the paper's Figures
+    2 and 6.
+    """
+    if not positions:
+        raise ValueError("cannot render an empty configuration")
+    canvas = _Canvas(positions, size, margin)
+    if granulars:
+        for index, granular in granulars.items():
+            color = _PALETTE[index % len(_PALETTE)]
+            canvas.circle(granular.center, granular.radius, stroke=color, dash="4 3")
+            for d in range(granular.num_diameters):
+                direction = granular.diameter_direction(d)
+                canvas.line(
+                    granular.center - direction * granular.radius,
+                    granular.center + direction * granular.radius,
+                    stroke=color,
+                    width=0.5,
+                    dash="2 3",
+                )
+    for index, position in enumerate(positions):
+        color = _PALETTE[index % len(_PALETTE)]
+        canvas.dot(position, color)
+        text = labels.get(index, str(index)) if labels else str(index)
+        canvas.label(position, text)
+    return canvas.document()
+
+
+def svg_trace(
+    trace: Trace,
+    robots: Optional[Sequence[int]] = None,
+    size: int = 640,
+    margin: float = 1.0,
+) -> str:
+    """Render robot trajectories from a trace (Figure 1/5 style)."""
+    indices = list(robots) if robots is not None else list(range(trace.count))
+    all_points: List[Vec2] = []
+    for index in indices:
+        all_points.extend(trace.path_of(index))
+    if not all_points:
+        raise ValueError("cannot render an empty trace")
+    canvas = _Canvas(all_points, size, margin)
+    for index in indices:
+        color = _PALETTE[index % len(_PALETTE)]
+        path = trace.path_of(index)
+        canvas.polyline(path, stroke=color, width=1.2)
+        canvas.dot(path[0], color, radius_px=3.0)
+        canvas.dot(path[-1], color, radius_px=5.0)
+        canvas.label(path[-1], f"r{index}", color=color)
+    return canvas.document()
+
+
+def write_svg(document: str, path: str) -> str:
+    """Write an SVG document to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

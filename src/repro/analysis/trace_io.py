@@ -1,0 +1,95 @@
+"""Trace serialization — save and reload run histories.
+
+Traces are the raw material of every analysis; persisting them lets
+expensive runs (large swarms, long asynchronous executions) be recorded
+once and examined repeatedly.  Format: JSON-lines — one header line,
+then one line per instant — chosen for streamability and diff-ability.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import ReproError
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+
+__all__ = ["dump_trace", "load_trace", "trace_to_jsonl", "trace_from_jsonl"]
+
+_FORMAT = "repro-trace-v1"
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialise a trace to JSON-lines text."""
+    lines: List[str] = [
+        json.dumps(
+            {
+                "format": _FORMAT,
+                "count": trace.count,
+                "initial": [[p.x, p.y] for p in trace.initial_positions],
+            }
+        )
+    ]
+    for step in trace.steps:
+        lines.append(
+            json.dumps(
+                {
+                    "t": step.time,
+                    "active": sorted(step.active),
+                    "positions": [[p.x, p.y] for p in step.positions],
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> Trace:
+    """Parse a trace back from JSON-lines text.
+
+    Raises:
+        ReproError: on a wrong header, robot-count mismatch, or
+            non-contiguous instants.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ReproError("empty trace document")
+    header = json.loads(lines[0])
+    if header.get("format") != _FORMAT:
+        raise ReproError(f"unknown trace format {header.get('format')!r}")
+    count = header["count"]
+    initial = tuple(Vec2(x, y) for x, y in header["initial"])
+    if len(initial) != count:
+        raise ReproError("initial-position count does not match the header")
+
+    trace = Trace(initial_positions=initial)
+    for expected_time, line in enumerate(lines[1:]):
+        record = json.loads(line)
+        if record["t"] != expected_time:
+            raise ReproError(
+                f"non-contiguous instants: expected t={expected_time}, got {record['t']}"
+            )
+        positions = tuple(Vec2(x, y) for x, y in record["positions"])
+        if len(positions) != count:
+            raise ReproError(f"step t={record['t']} has {len(positions)} positions")
+        trace.steps.append(
+            TraceStep(
+                time=record["t"],
+                active=frozenset(record["active"]),
+                positions=positions,
+            )
+        )
+    return trace
+
+
+def dump_trace(trace: Trace, path: str) -> str:
+    """Write a trace to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(trace))
+    return path
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    with open(path, encoding="utf-8") as handle:
+        return trace_from_jsonl(handle.read())

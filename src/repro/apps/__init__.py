@@ -1,0 +1,44 @@
+"""Demonstration applications — "enabling distributed computation".
+
+The paper's point is that movement communication lets swarms run
+*classical message-passing distributed algorithms*.  These apps do
+exactly that, end to end, over the movement channels:
+
+* :mod:`~repro.apps.leader_election` — all-to-all ID announcement,
+  highest ID wins.
+* :mod:`~repro.apps.token_ring` — a token circulating around the ring
+  of robots.
+* :mod:`~repro.apps.echo` — request/reply (ping-pong) with round-trip
+  accounting.
+* :mod:`~repro.apps.chat` — free-form text conversation (the title's
+  "chatting robots").
+"""
+
+from repro.apps.harness import SwarmHarness
+from repro.apps.leader_election import ElectionResult, elect_leader
+from repro.apps.token_ring import TokenRingResult, run_token_ring
+from repro.apps.echo import EchoResult, ping
+from repro.apps.chat import ChatResult, run_chat
+from repro.apps.aggregation import (
+    AggregationResult,
+    converge_cast,
+    converge_cast_limited_visibility,
+)
+from repro.apps.gossip import GossipResult, spread_rumor
+
+__all__ = [
+    "SwarmHarness",
+    "ElectionResult",
+    "elect_leader",
+    "TokenRingResult",
+    "run_token_ring",
+    "EchoResult",
+    "ping",
+    "ChatResult",
+    "run_chat",
+    "AggregationResult",
+    "converge_cast",
+    "converge_cast_limited_visibility",
+    "GossipResult",
+    "spread_rumor",
+]

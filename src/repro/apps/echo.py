@@ -1,0 +1,101 @@
+"""Request/reply over movement messages.
+
+The smallest client/server interaction: a requester sends ``PING`` +
+payload, the responder answers ``PONG`` + the same payload.  Measures
+the full round-trip in simulated instants — the movement channel's
+analogue of network RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import Scheduler
+from repro.protocols.sync_granular import NamingMode, SyncGranularProtocol
+
+__all__ = ["EchoResult", "ping"]
+
+
+@dataclass(frozen=True)
+class EchoResult:
+    """Outcome of one echo exchange.
+
+    Attributes:
+        reply: the payload echoed back.
+        round_trip_steps: instants from the request being queued to the
+            reply completing.
+        request_delivered_at: instant the responder finished decoding
+            the request.
+    """
+
+    reply: bytes
+    round_trip_steps: int
+    request_delivered_at: int
+
+
+def ping(
+    requester: int = 0,
+    responder: int = 1,
+    payload: bytes = b"hello",
+    positions: Optional[Sequence[Vec2]] = None,
+    naming: NamingMode = "identified",
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 20_000,
+) -> EchoResult:
+    """Run one ping/pong exchange between two robots of a swarm.
+
+    Raises:
+        ProtocolError: on timeout or a corrupted echo (either would
+            falsify the protocol's delivery guarantees).
+    """
+    if positions is None:
+        positions = ring_positions(4, radius=8.0, jitter=0.04)
+    n = len(positions)
+    if requester == responder or not (0 <= requester < n) or not (0 <= responder < n):
+        raise ProtocolError(
+            f"invalid endpoints requester={requester} responder={responder} for n={n}"
+        )
+
+    harness = SwarmHarness(
+        positions,
+        protocol_factory=lambda: SyncGranularProtocol(naming=naming),
+        scheduler=scheduler,
+        identified=(naming == "identified"),
+    )
+    harness.channel(requester).send(responder, b"PING" + payload)
+
+    state = {"request_at": None}
+
+    def serve_and_check(h: SwarmHarness) -> bool:
+        if state["request_at"] is None:
+            for message in h.channel(responder).inbox:
+                if message.src == requester and message.payload.startswith(b"PING"):
+                    state["request_at"] = message.completed_at
+                    h.channel(responder).send(requester, b"PONG" + message.payload[4:])
+                    break
+        for message in h.channel(requester).inbox:
+            if message.src == responder and message.payload.startswith(b"PONG"):
+                return True
+        return False
+
+    if not harness.pump(serve_and_check, max_steps=max_steps):
+        raise ProtocolError(f"echo did not complete within {max_steps} steps")
+
+    reply = next(
+        m
+        for m in harness.channel(requester).inbox
+        if m.src == responder and m.payload.startswith(b"PONG")
+    )
+    echoed = reply.payload[4:]
+    if echoed != payload:
+        raise ProtocolError(f"echo corrupted: sent {payload!r}, got {echoed!r}")
+    assert state["request_at"] is not None
+    return EchoResult(
+        reply=echoed,
+        round_trip_steps=reply.completed_at,
+        request_delivered_at=state["request_at"],
+    )

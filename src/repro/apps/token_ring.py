@@ -1,0 +1,104 @@
+"""Token circulation over movement messages.
+
+A token (a short message carrying a hop counter) travels around the
+robots in tracking-index order: robot ``i`` forwards to
+``(i + 1) mod n``.  Mutual exclusion by token passing is a canonical
+message-passing algorithm; here the "network" is robots wiggling in
+the plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import Scheduler
+from repro.protocols.sync_granular import NamingMode, SyncGranularProtocol
+
+__all__ = ["TokenRingResult", "run_token_ring"]
+
+
+@dataclass(frozen=True)
+class TokenRingResult:
+    """Outcome of a token-ring run.
+
+    Attributes:
+        hops: the sequence of robots that held the token, in order.
+        laps: completed laps around the ring.
+        steps: simulated instants consumed.
+    """
+
+    hops: List[int]
+    laps: int
+    steps: int
+
+
+def run_token_ring(
+    positions: Optional[Sequence[Vec2]] = None,
+    laps: int = 2,
+    naming: NamingMode = "identified",
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 60_000,
+) -> TokenRingResult:
+    """Circulate a token ``laps`` times around the swarm.
+
+    The token starts at robot 0.  Each holder, upon receiving
+    ``TOK <h>``, forwards ``TOK <h+1>`` to its successor until the hop
+    counter reaches ``laps * n``.
+
+    Raises:
+        ProtocolError: when circulation stalls, or a robot receives a
+            token out of order (which would falsify FIFO delivery).
+    """
+    if laps < 1:
+        raise ProtocolError(f"laps must be >= 1, got {laps}")
+    if positions is None:
+        positions = ring_positions(5, radius=8.0, jitter=0.04)
+    n = len(positions)
+    total_hops = laps * n
+
+    harness = SwarmHarness(
+        positions,
+        protocol_factory=lambda: SyncGranularProtocol(naming=naming),
+        scheduler=scheduler,
+        identified=(naming == "identified"),
+    )
+
+    hops: List[int] = [0]
+    consumed = [0] * n  # messages already acted on, per robot
+
+    # Robot 0 injects the token.
+    harness.channel(0).send(1 % n, b"TOK 1")
+
+    def advance(h: SwarmHarness) -> bool:
+        progressed = True
+        while progressed and len(hops) < total_hops:
+            progressed = False
+            for i in range(n):
+                inbox = h.channel(i).inbox
+                while consumed[i] < len(inbox):
+                    message = inbox[consumed[i]]
+                    consumed[i] += 1
+                    text = message.text()
+                    if not text.startswith("TOK "):
+                        raise ProtocolError(f"unexpected token message {text!r}")
+                    hop = int(text[4:])
+                    if hop != len(hops):
+                        raise ProtocolError(
+                            f"token hop {hop} arrived out of order at robot {i} "
+                            f"(expected {len(hops)})"
+                        )
+                    hops.append(i)
+                    progressed = True
+                    if len(hops) < total_hops:
+                        h.channel(i).send((i + 1) % n, f"TOK {hop + 1}".encode("utf-8"))
+        return len(hops) >= total_hops
+
+    if not harness.pump(advance, max_steps=max_steps):
+        raise ProtocolError(
+            f"token stalled after {len(hops)}/{total_hops} hops in {max_steps} steps"
+        )
+    return TokenRingResult(hops=hops, laps=laps, steps=harness.simulator.time)

@@ -1,0 +1,25 @@
+"""Message-level channels over the movement protocols.
+
+* :class:`~repro.channels.transport.MovementChannel` — send/receive
+  whole messages (framed byte payloads) over any movement protocol.
+* :class:`~repro.channels.mailbox.OverhearingMonitor` — reassemble
+  *every* message in the system from a robot's overheard bits (the
+  paper's redundancy remark), plus relaying helpers.
+* :class:`~repro.channels.stack.DualChannelStack` — a simulated
+  wireless primary with the movement channel as backup: the paper's
+  fault-tolerance motivation ("our solution can serve as a
+  communication backup").
+"""
+
+from repro.channels.transport import Message, MovementChannel
+from repro.channels.mailbox import OverheardMessage, OverhearingMonitor
+from repro.channels.stack import DualChannelStack, StackMessage
+
+__all__ = [
+    "Message",
+    "MovementChannel",
+    "OverheardMessage",
+    "OverhearingMonitor",
+    "DualChannelStack",
+    "StackMessage",
+]

@@ -1,0 +1,99 @@
+"""Overhearing and relaying — the paper's redundancy remark.
+
+    "Note first that every robot observes the movements of all the
+    robots.  So, every robot is able to know all the messages sent in
+    the system.  This could provide fault-tolerance by redundancy, any
+    robot being able to send any message again to its addressee."
+
+:class:`OverhearingMonitor` reconstructs every (src, dst) message
+stream from a robot's ``overheard`` bit log; :meth:`relay` re-sends an
+overheard message to its addressee through the monitoring robot's own
+protocol — the "send any message again" capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.coding.bitstream import FrameDecoder, encode_message
+from repro.errors import ChannelError
+from repro.model.protocol import Protocol
+
+__all__ = ["OverheardMessage", "OverhearingMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverheardMessage:
+    """A message reconstructed from overheard movements.
+
+    Attributes:
+        src: the original sender.
+        dst: the original addressee.
+        payload: the message bytes.
+        completed_at: instant whose observation completed the frame.
+    """
+
+    src: int
+    dst: int
+    payload: bytes
+    completed_at: int
+
+
+class OverhearingMonitor:
+    """Reassembles every message in the system at one observer."""
+
+    def __init__(self, protocol: Protocol) -> None:
+        self._protocol = protocol
+        self._decoders: Dict[Tuple[int, int], FrameDecoder] = {}
+        self._consumed = 0
+        self._log: List[OverheardMessage] = []
+
+    @property
+    def log(self) -> List[OverheardMessage]:
+        """Every message overheard so far, in completion order."""
+        self.poll()
+        return list(self._log)
+
+    def poll(self) -> List[OverheardMessage]:
+        """Drain new overheard bits; return newly completed messages."""
+        events = self._protocol.overheard
+        fresh: List[OverheardMessage] = []
+        while self._consumed < len(events):
+            event = events[self._consumed]
+            self._consumed += 1
+            decoder = self._decoders.setdefault((event.src, event.dst), FrameDecoder())
+            payload = decoder.push(event.bit)
+            if payload is not None:
+                message = OverheardMessage(
+                    src=event.src,
+                    dst=event.dst,
+                    payload=payload,
+                    completed_at=event.time,
+                )
+                self._log.append(message)
+                fresh.append(message)
+        return fresh
+
+    def messages_between(self, src: int, dst: int) -> List[OverheardMessage]:
+        """The overheard stream from ``src`` to ``dst``."""
+        self.poll()
+        return [m for m in self._log if m.src == src and m.dst == dst]
+
+    def relay(self, message: OverheardMessage) -> int:
+        """Re-send an overheard message to its addressee.
+
+        The relaying robot transmits the payload through its own
+        protocol; the addressee receives it as a message from the
+        relayer (the movement medium cannot forge the original
+        sender).  Returns the number of bits queued.
+
+        Raises:
+            ChannelError: when the addressee is the relayer itself.
+        """
+        me = self._protocol.info.index
+        if message.dst == me:
+            raise ChannelError("cannot relay a message to oneself")
+        bits = encode_message(message.payload)
+        self._protocol.send_bits(message.dst, bits)
+        return len(bits)

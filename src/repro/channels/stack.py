@@ -1,0 +1,185 @@
+"""Wireless-primary / movement-backup channel stack.
+
+    "in the context of robots (explicitly) communicating by means of
+    communication (e.g., wireless), since our protocols allow robots to
+    explicitly communicate even if their communication devices are
+    faulty, in a very real sense, our solution can serve as a
+    communication backup" (Section 1).
+
+The :class:`DualChannelStack` sends over the simulated wireless medium
+when it can and falls back to the movement channel when it cannot:
+
+* a **detectable** wireless failure (own device crashed) triggers an
+  immediate movement-channel transmission;
+* **silent** losses (jamming, drops) are caught by an acknowledgement
+  timeout: data frames are ACKed over wireless, and any frame unacked
+  after ``ack_timeout`` instants is retransmitted over the movement
+  channel.
+
+Frames carry a small header (one id byte + one kind byte) so receivers
+can de-duplicate when both paths eventually deliver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.channels.transport import MovementChannel
+from repro.errors import ChannelDownError, ChannelError
+from repro.faults.wireless import SimulatedWireless
+
+__all__ = ["StackMessage", "DualChannelStack"]
+
+_KIND_DATA = 0
+_KIND_ACK = 1
+
+
+@dataclass(frozen=True, slots=True)
+class StackMessage:
+    """A de-duplicated application message delivered by the stack.
+
+    Attributes:
+        src: sender index.
+        payload: message bytes.
+        via: ``"wireless"`` or ``"movement"`` — which path delivered
+            the first copy.
+        delivered_at: instant of first delivery.
+    """
+
+    src: int
+    payload: bytes
+    via: str
+    delivered_at: int
+
+
+class DualChannelStack:
+    """One robot's fault-tolerant messaging endpoint.
+
+    Args:
+        index: the robot's tracking index.
+        wireless: the shared radio medium.
+        movement: the robot's movement channel (backup path).
+        ack_timeout: instants to wait for a wireless ACK before
+            retransmitting over the movement channel.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        wireless: SimulatedWireless,
+        movement: MovementChannel,
+        ack_timeout: int = 8,
+    ) -> None:
+        if ack_timeout < 1:
+            raise ChannelError(f"ack_timeout must be >= 1, got {ack_timeout}")
+        self._index = index
+        self._wireless = wireless
+        self._movement = movement
+        self._ack_timeout = ack_timeout
+        self._next_id = 0
+        # msg_id -> (dst, payload, sent_at)
+        self._awaiting_ack: Dict[int, Tuple[int, bytes, int]] = {}
+        # De-duplication: per sender, the recently seen message ids.
+        # Ids are one byte and wrap; keeping them forever would make a
+        # wrapped id collide with its ancestor and drop a fresh message,
+        # so the window is bounded (retransmissions of one message all
+        # land well within it).
+        self._seen: Dict[int, "deque[int]"] = {}
+        self._inbox: List[StackMessage] = []
+        self._fallbacks = 0
+        self._movement_cursor = 0  # prefix of movement.inbox already read
+
+    @property
+    def inbox(self) -> List[StackMessage]:
+        """Messages delivered to this robot (de-duplicated)."""
+        return list(self._inbox)
+
+    @property
+    def fallback_count(self) -> int:
+        """How many messages travelled over the movement backup."""
+        return self._fallbacks
+
+    @property
+    def unacked(self) -> int:
+        """Data frames still waiting for a wireless ACK."""
+        return len(self._awaiting_ack)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, payload: Union[str, bytes], time: int) -> str:
+        """Send a message; returns the path used (``"wireless"`` or
+        ``"movement"``)."""
+        data = payload.encode("utf-8") if isinstance(payload, str) else bytes(payload)
+        msg_id = self._next_id % 256
+        self._next_id += 1
+        try:
+            self._wireless.send(self._index, dst, self._envelope(msg_id, _KIND_DATA, data), time)
+        except ChannelDownError:
+            self._send_via_movement(dst, msg_id, data)
+            return "movement"
+        self._awaiting_ack[msg_id] = (dst, data, time)
+        return "wireless"
+
+    def _send_via_movement(self, dst: int, msg_id: int, data: bytes) -> None:
+        self._movement.send(dst, self._envelope(msg_id, _KIND_DATA, data))
+        self._fallbacks += 1
+
+    # ------------------------------------------------------------------
+    # Progress — call once per simulated instant
+    # ------------------------------------------------------------------
+    def tick(self, time: int) -> None:
+        """Receive from both paths, ACK data, retransmit timed-out frames."""
+        # Wireless deliveries.
+        for frame in self._wireless.receive(self._index):
+            msg_id, kind, data = self._open(frame.payload)
+            if kind == _KIND_ACK:
+                self._awaiting_ack.pop(msg_id, None)
+                continue
+            self._deliver(frame.src, msg_id, data, "wireless", time)
+            try:
+                self._wireless.send(
+                    self._index, frame.src, self._envelope(msg_id, _KIND_ACK, b""), time
+                )
+            except ChannelDownError:
+                pass  # the sender's timeout covers us
+        # Movement-channel deliveries.  Read through a private cursor
+        # over the channel inbox: other consumers (e.g. a harness that
+        # polls every step) must not be able to steal our frames.
+        inbox = self._movement.inbox
+        while self._movement_cursor < len(inbox):
+            message = inbox[self._movement_cursor]
+            self._movement_cursor += 1
+            msg_id, kind, data = self._open(message.payload)
+            if kind == _KIND_DATA:
+                self._deliver(message.src, msg_id, data, "movement", time)
+        # Timeouts: silent wireless losses fall back to movement.
+        for msg_id in list(self._awaiting_ack):
+            dst, data, sent_at = self._awaiting_ack[msg_id]
+            if time - sent_at >= self._ack_timeout:
+                del self._awaiting_ack[msg_id]
+                self._send_via_movement(dst, msg_id, data)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    _SEEN_WINDOW = 128  # ids remembered per sender (ids wrap at 256)
+
+    def _deliver(self, src: int, msg_id: int, data: bytes, via: str, time: int) -> None:
+        window = self._seen.setdefault(src, deque(maxlen=self._SEEN_WINDOW))
+        if msg_id in window:
+            return
+        window.append(msg_id)
+        self._inbox.append(StackMessage(src=src, payload=data, via=via, delivered_at=time))
+
+    @staticmethod
+    def _envelope(msg_id: int, kind: int, data: bytes) -> bytes:
+        return bytes((msg_id, kind)) + data
+
+    @staticmethod
+    def _open(blob: bytes) -> Tuple[int, int, bytes]:
+        if len(blob) < 2:
+            raise ChannelError(f"malformed stack frame of {len(blob)} bytes")
+        return blob[0], blob[1], blob[2:]

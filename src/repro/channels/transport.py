@@ -1,0 +1,127 @@
+"""Message transport over a movement protocol.
+
+A :class:`MovementChannel` turns the bit-level protocol surface into a
+message API: :meth:`MovementChannel.send` frames a payload
+(length-prefixed, see :mod:`repro.coding.bitstream`) and queues its
+bits; :meth:`MovementChannel.poll` drains newly decoded incoming bits
+into per-sender frame decoders and returns completed messages.
+
+One channel wraps one robot's protocol; poll it after simulator steps
+(any cadence — decoding state is persistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.coding.bitstream import FrameDecoder, encode_message
+from repro.errors import ChannelError
+from repro.model.protocol import Protocol
+
+__all__ = ["Message", "MovementChannel"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A delivered application message.
+
+    Attributes:
+        src: tracking index of the sender.
+        dst: tracking index of the receiver (always the channel owner
+            for :class:`MovementChannel` deliveries).
+        payload: the message bytes.
+        completed_at: the instant whose observation completed the
+            frame (the delivery time).
+    """
+
+    src: int
+    dst: int
+    payload: bytes
+    completed_at: int
+
+    def text(self) -> str:
+        """The payload decoded as UTF-8 (convenience for chat apps)."""
+        return self.payload.decode("utf-8")
+
+
+class MovementChannel:
+    """Framed message endpoint on top of one robot's protocol."""
+
+    def __init__(self, protocol: Protocol) -> None:
+        self._protocol = protocol
+        self._decoders: Dict[int, FrameDecoder] = {}
+        self._consumed = 0  # prefix of protocol.received already drained
+        self._inbox: List[Message] = []
+        self._sent = 0
+
+    @property
+    def protocol(self) -> Protocol:
+        """The underlying movement protocol."""
+        return self._protocol
+
+    @property
+    def inbox(self) -> List[Message]:
+        """All messages delivered so far (also grows on :meth:`poll`)."""
+        self.poll()
+        return list(self._inbox)
+
+    @property
+    def messages_sent(self) -> int:
+        """How many messages have been queued for transmission."""
+        return self._sent
+
+    def send(self, dst: int, message: Union[str, bytes]) -> int:
+        """Frame and queue a message for robot ``dst``.
+
+        Returns the number of bits queued.  The transmission itself is
+        carried out by the protocol as the simulation advances.
+        """
+        bits = encode_message(message)
+        self._protocol.send_bits(dst, bits)
+        self._sent += 1
+        return len(bits)
+
+    def poll(self) -> List[Message]:
+        """Drain newly received bits; return newly completed messages."""
+        events = self._protocol.received
+        fresh: List[Message] = []
+        while self._consumed < len(events):
+            event = events[self._consumed]
+            self._consumed += 1
+            decoder = self._decoders.setdefault(event.src, FrameDecoder())
+            payload = decoder.push(event.bit)
+            if payload is not None:
+                message = Message(
+                    src=event.src,
+                    dst=event.dst,
+                    payload=payload,
+                    completed_at=event.time,
+                )
+                self._inbox.append(message)
+                fresh.append(message)
+        return fresh
+
+    def pending_transmission(self) -> int:
+        """Bits queued but not yet moved out."""
+        return self._protocol.pending_bits
+
+    def idle(self) -> bool:
+        """True when nothing is queued and no partial frame is buffered."""
+        if self._protocol.pending_bits:
+            return False
+        return all(d.is_idle for d in self._decoders.values())
+
+    def expect_no_partial_frames(self) -> None:
+        """Assert stream hygiene: no half-received frame is pending.
+
+        Raises:
+            ChannelError: when a sender stopped mid-frame.
+        """
+        self.poll()
+        for src, decoder in self._decoders.items():
+            if not decoder.is_idle:
+                raise ChannelError(
+                    f"robot {src} left a partial frame of "
+                    f"{decoder.buffered_bits} bits"
+                )

@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro demo                 # quickstart in the terminal
+    python -m repro figures OUTDIR       # regenerate the paper's figures as SVG
+    python -m repro tradeoff [--n ...]   # print the §5 slice trade-off table
+    python -m repro animate              # terminal movie of an async exchange
+
+The CLI only orchestrates library calls; everything it does is
+available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional, Sequence
+
+from repro.analysis.complexity import slice_tradeoff_table
+from repro.analysis.render import render_configuration
+from repro.analysis.svg import svg_configuration, svg_trace, write_svg
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.naming.symmetry import figure3_configuration
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+__all__ = ["main"]
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    positions = ring_positions(6, radius=10.0, jitter=0.05)
+    print("The swarm:")
+    print(render_configuration(positions))
+    harness = SwarmHarness(
+        positions, protocol_factory=lambda: SyncGranularProtocol(), sigma=4.0
+    )
+    message = "hello, robot 3"
+    harness.channel(0).send(3, message)
+    delivered = harness.pump(lambda h: len(h.channel(3).inbox) >= 1, max_steps=2000)
+    if not delivered:  # pragma: no cover - deterministic success
+        print("delivery failed")
+        return 1
+    received = harness.channel(3).inbox[0]
+    print(f"\nrobot 0 -> robot 3 by movement signals: {received.text()!r}")
+    print(f"instants: {harness.simulator.time}")
+    return 0
+
+
+def _figure1(outdir: str) -> str:
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(8.0, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(),
+        identified=False,
+        sigma=8.0,
+    )
+    h.channel(0).send(1, "hi")
+    h.channel(1).send(0, "yo")
+    h.run(70)
+    return write_svg(svg_trace(h.simulator.trace), os.path.join(outdir, "fig1_sync_two.svg"))
+
+
+def _figure2(outdir: str) -> str:
+    h = SwarmHarness(
+        ring_positions(12, radius=10.0, jitter=0.06),
+        protocol_factory=lambda: SyncGranularProtocol(),
+        sigma=4.0,
+    )
+    protocol = h.simulator.protocol_of(0)
+    granulars = {j: protocol.granular_of(j) for j in range(12)}
+    positions = [r.position for r in h.robots]
+    return write_svg(
+        svg_configuration(positions, granulars=granulars),
+        os.path.join(outdir, "fig2_granulars.svg"),
+    )
+
+
+def _figure3(outdir: str) -> str:
+    points = figure3_configuration()
+    return write_svg(
+        svg_configuration(points), os.path.join(outdir, "fig3_symmetry.svg")
+    )
+
+
+def _figure5(outdir: str) -> str:
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+        protocol_factory=lambda: AsyncTwoProtocol(),
+        scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=23),
+        identified=False,
+        sigma=10.0,
+    )
+    h.simulator.protocol_of(0).send_bits(1, [0, 0, 1])
+    h.simulator.protocol_of(1).send_bits(0, [0])
+    h.run(350)
+    return write_svg(svg_trace(h.simulator.trace), os.path.join(outdir, "fig5_async_two.svg"))
+
+
+def _figure6(outdir: str) -> str:
+    h = SwarmHarness(
+        ring_positions(4, radius=10.0, jitter=0.07),
+        protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+        scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=4),
+        identified=False,
+        frame_regime="chirality",
+        sigma=4.0,
+    )
+    h.simulator.protocol_of(0).send_bits(2, [1, 0])
+    h.run(300)
+    return write_svg(svg_trace(h.simulator.trace), os.path.join(outdir, "fig6_async_n.svg"))
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    os.makedirs(args.outdir, exist_ok=True)
+    produced: List[str] = [
+        _figure1(args.outdir),
+        _figure2(args.outdir),
+        _figure3(args.outdir),
+        _figure5(args.outdir),
+        _figure6(args.outdir),
+    ]
+    for path in produced:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_animate(args: argparse.Namespace) -> int:
+    from repro.analysis.animate import play
+
+    h = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+        protocol_factory=lambda: AsyncTwoProtocol(bounded=True),
+        scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=args.seed),
+        identified=False,
+        sigma=10.0,
+    )
+    h.simulator.protocol_of(0).send_bits(1, [1, 0, 1])
+    h.simulator.protocol_of(1).send_bits(0, [0, 1])
+    h.run(args.steps)
+    frames = play(
+        h.simulator.trace,
+        delay=args.delay,
+        every=max(1, args.steps // 120),
+    )
+    print(f"\n{frames} frames; bits exchanged: "
+          f"{[e.bit for e in h.simulator.protocol_of(1).received]} / "
+          f"{[e.bit for e in h.simulator.protocol_of(0).received]}")
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    rows = slice_tradeoff_table(args.n, bases=args.k or ())
+    header = f"{'n':>6} {'k':>4} {'digits':>6} {'steps(2n)':>9} {'steps(2k+1)':>11} {'slowdown':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.n:>6} {row.k:>4} {row.digits:>6} {row.steps_full:>9} "
+            f"{row.steps_logk:>11} {row.slowdown:>8.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deaf, Dumb, and Chatting Robots — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="send one message across a small swarm")
+    demo.set_defaults(handler=_cmd_demo)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures as SVG")
+    figures.add_argument("outdir", help="output directory")
+    figures.set_defaults(handler=_cmd_figures)
+
+    animate = sub.add_parser(
+        "animate", help="play an asynchronous two-robot exchange in the terminal"
+    )
+    animate.add_argument("--steps", type=int, default=240, help="instants to simulate")
+    animate.add_argument("--delay", type=float, default=0.05, help="seconds per frame")
+    animate.add_argument("--seed", type=int, default=7, help="scheduler seed")
+    animate.set_defaults(handler=_cmd_animate)
+
+    tradeoff = sub.add_parser("tradeoff", help="print the §5 slice trade-off table")
+    tradeoff.add_argument(
+        "--n", type=int, nargs="+", default=[16, 64, 256, 1024], help="swarm sizes"
+    )
+    tradeoff.add_argument("--k", type=int, nargs="+", help="digit bases (default: log n)")
+    tradeoff.set_defaults(handler=_cmd_tradeoff)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Message coding layers.
+
+The movement protocols transport raw bits (or small symbol alphabets);
+this subpackage turns application messages into those bits and back:
+
+* :mod:`repro.coding.bitstream` — length-prefixed byte framing and
+  incremental frame decoding.
+* :mod:`repro.coding.symbols` — the Section 3.1 remark: slicing the
+  ``2*sigma`` travel span into ``B`` displacement levels so that one
+  excursion carries ``log2(B)`` bits.
+* :mod:`repro.coding.logk_addressing` — the Section 5 extension:
+  replacing the ``2n``-slice addressing by ``2k+1`` slices plus a
+  ``ceil(log_k n)``-digit address block.
+"""
+
+from repro.coding.bitstream import (
+    FrameDecoder,
+    bits_to_bytes,
+    bytes_to_bits,
+    decode_message,
+    encode_message,
+)
+from repro.coding.checksum import CheckedFrameDecoder, crc8, encode_checked
+from repro.coding.symbols import SymbolCoder
+from repro.coding.logk_addressing import (
+    address_digit_count,
+    address_digits,
+    digits_to_index,
+    slowdown_factor,
+    steps_per_message_full_slicing,
+    steps_per_message_logk,
+    theoretical_slowdown_logslices,
+)
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "FrameDecoder",
+    "CheckedFrameDecoder",
+    "crc8",
+    "encode_checked",
+    "SymbolCoder",
+    "address_digit_count",
+    "address_digits",
+    "digits_to_index",
+    "slowdown_factor",
+    "steps_per_message_full_slicing",
+    "steps_per_message_logk",
+    "theoretical_slowdown_logslices",
+]

@@ -1,0 +1,151 @@
+"""Bit-level message framing.
+
+The paper's protocols deliver an ordered stream of bits from a sender
+to a receiver; everything above that — where a message starts and ends,
+what the bits mean — is framing.  We use the simplest self-delimiting
+frame: a 16-bit big-endian byte count followed by the payload bytes,
+each transmitted most-significant-bit first.
+
+The :class:`FrameDecoder` consumes a bit stream incrementally and
+yields payloads as frames complete, which is exactly what a robot does
+while it watches another robot wiggle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import CodingError
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "encode_message",
+    "decode_message",
+    "FrameDecoder",
+]
+
+_LENGTH_BITS = 16
+MAX_PAYLOAD_BYTES = (1 << _LENGTH_BITS) - 1
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """Expand bytes into bits, most significant bit first."""
+    bits: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Iterable[int]) -> bytes:
+    """Pack a bit sequence (MSB first) into bytes.
+
+    Raises:
+        CodingError: when the bit count is not a multiple of 8 or a
+            value is not 0/1.
+    """
+    bit_list = list(bits)
+    if len(bit_list) % 8 != 0:
+        raise CodingError(f"bit count {len(bit_list)} is not a multiple of 8")
+    out = bytearray()
+    for i in range(0, len(bit_list), 8):
+        byte = 0
+        for bit in bit_list[i : i + 8]:
+            if bit not in (0, 1):
+                raise CodingError(f"invalid bit value {bit!r}")
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def _as_bytes(message: Union[str, bytes]) -> bytes:
+    return message.encode("utf-8") if isinstance(message, str) else bytes(message)
+
+
+def encode_message(message: Union[str, bytes]) -> List[int]:
+    """Frame a message as bits: 16-bit length prefix + payload.
+
+    Strings are encoded as UTF-8.
+
+    Raises:
+        CodingError: for payloads longer than 65535 bytes.
+    """
+    payload = _as_bytes(message)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise CodingError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    header = len(payload).to_bytes(2, "big")
+    return bytes_to_bits(header + payload)
+
+
+def decode_message(bits: Iterable[int]) -> bytes:
+    """Decode exactly one complete frame; rejects trailing bits.
+
+    Raises:
+        CodingError: on truncated or oversized input.
+    """
+    decoder = FrameDecoder()
+    frames: List[bytes] = []
+    for bit in bits:
+        frame = decoder.push(bit)
+        if frame is not None:
+            frames.append(frame)
+    if len(frames) != 1 or not decoder.is_idle:
+        raise CodingError(
+            f"expected exactly one complete frame, got {len(frames)} "
+            f"complete and {'a partial' if not decoder.is_idle else 'no'} remainder"
+        )
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a single bit stream.
+
+    Push bits one at a time; :meth:`push` returns the payload bytes
+    whenever a frame completes (and None otherwise).  Handles
+    back-to-back frames on the same stream.
+    """
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+        self._expected_payload: Optional[int] = None
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no partial frame is buffered."""
+        return not self._bits
+
+    @property
+    def buffered_bits(self) -> int:
+        """Number of bits of the in-progress frame."""
+        return len(self._bits)
+
+    def push(self, bit: int) -> Optional[bytes]:
+        """Consume one bit; return a completed payload or None."""
+        if bit not in (0, 1):
+            raise CodingError(f"invalid bit value {bit!r}")
+        self._bits.append(bit)
+
+        if self._expected_payload is None and len(self._bits) == _LENGTH_BITS:
+            length = int("".join(map(str, self._bits)), 2)
+            self._expected_payload = length
+
+        if self._expected_payload is not None:
+            total = _LENGTH_BITS + 8 * self._expected_payload
+            if len(self._bits) == total:
+                payload = bits_to_bytes(self._bits[_LENGTH_BITS:])
+                self._bits = []
+                self._expected_payload = None
+                return payload
+        return None
+
+    def push_all(self, bits: Iterable[int]) -> List[bytes]:
+        """Consume many bits; return all payloads completed by them."""
+        frames: List[bytes] = []
+        for bit in bits:
+            frame = self.push(bit)
+            if frame is not None:
+                frames.append(frame)
+        return frames

@@ -1,0 +1,135 @@
+"""Multi-symbol displacement coding (Section 3.1, closing remark).
+
+    "if each robot r knows the maximum distance sigma_r' that the other
+    robot r' can cover in one step, then the protocol can easily be
+    adapted to reduce the number of moves made by the robots to send
+    bytes.  In that case, the total distance 2*sigma_r' [...] can be
+    divided by the number of possible bytes sent by the robots.  Then,
+    r' moves on its right or on its left of a distance corresponding to
+    the byte sent."
+
+A :class:`SymbolCoder` with alphabet size ``B`` maps each symbol to one
+of ``B`` evenly spaced signed displacement levels spanning
+``(-span, +span)`` (negative = the sender's left, positive = its
+right), with no level at zero so that "no movement" still means
+silence.  One excursion then carries ``log2(B)`` bits instead of one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CodingError
+
+__all__ = ["SymbolCoder"]
+
+
+class SymbolCoder:
+    """Encode bit streams as displacement symbols and back.
+
+    Args:
+        alphabet_size: ``B`` — number of distinct displacement levels;
+            must be a power of two and at least 2 so that symbols pack
+            whole numbers of bits.
+        span: half-width of the displacement range; levels lie strictly
+            inside ``(-span, span)``.
+        guard_fraction: fraction of the inter-level gap tolerated when
+            decoding a noisy displacement (0.5 would make adjacent
+            levels ambiguous; default 0.4 leaves a dead zone).
+    """
+
+    def __init__(self, alphabet_size: int, span: float, guard_fraction: float = 0.4) -> None:
+        if alphabet_size < 2 or alphabet_size & (alphabet_size - 1) != 0:
+            raise CodingError(
+                f"alphabet_size must be a power of two >= 2, got {alphabet_size}"
+            )
+        if span <= 0.0:
+            raise CodingError(f"span must be positive, got {span}")
+        if not (0.0 < guard_fraction < 0.5):
+            raise CodingError(f"guard_fraction must be in (0, 0.5), got {guard_fraction}")
+        self.alphabet_size = alphabet_size
+        self.span = span
+        self.guard_fraction = guard_fraction
+        self._step = 2.0 * span / alphabet_size
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """How many bits one displacement level carries."""
+        return self.alphabet_size.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # Bit packing
+    # ------------------------------------------------------------------
+    def bits_to_symbols(self, bits: Sequence[int]) -> List[int]:
+        """Pack bits (MSB first) into symbols, zero-padding the tail."""
+        if any(b not in (0, 1) for b in bits):
+            raise CodingError("bits must be 0/1")
+        width = self.bits_per_symbol
+        padded = list(bits)
+        if len(padded) % width:
+            padded.extend([0] * (width - len(padded) % width))
+        symbols: List[int] = []
+        for i in range(0, len(padded), width):
+            value = 0
+            for bit in padded[i : i + width]:
+                value = (value << 1) | bit
+            symbols.append(value)
+        return symbols
+
+    def symbols_to_bits(self, symbols: Sequence[int]) -> List[int]:
+        """Unpack symbols back into bits (MSB first)."""
+        width = self.bits_per_symbol
+        bits: List[int] = []
+        for symbol in symbols:
+            self._check_symbol(symbol)
+            for shift in range(width - 1, -1, -1):
+                bits.append((symbol >> shift) & 1)
+        return bits
+
+    # ------------------------------------------------------------------
+    # Displacement mapping
+    # ------------------------------------------------------------------
+    def displacement(self, symbol: int) -> float:
+        """The signed displacement level of a symbol.
+
+        Levels are the centres of ``B`` equal bins over
+        ``[-span, span]``: ``-span + (symbol + 0.5) * 2*span/B``.
+        Symbol 0 is the leftmost (most negative) level.
+        """
+        self._check_symbol(symbol)
+        return -self.span + (symbol + 0.5) * self._step
+
+    def decode_displacement(self, offset: float) -> int:
+        """Map an observed displacement back to its symbol.
+
+        Raises:
+            CodingError: when the offset falls outside every level's
+                guard band (ambiguous or out of range).
+        """
+        index = round((offset + self.span) / self._step - 0.5)
+        if not (0 <= index < self.alphabet_size):
+            raise CodingError(
+                f"displacement {offset:.6g} outside the coder range ±{self.span:.6g}"
+            )
+        deviation = abs(offset - self.displacement(index))
+        if deviation > self.guard_fraction * self._step:
+            raise CodingError(
+                f"displacement {offset:.6g} is {deviation:.3g} away from the nearest "
+                f"level (guard {self.guard_fraction * self._step:.3g})"
+            )
+        return index
+
+    def moves_per_bits(self, bit_count: int) -> int:
+        """Number of excursions needed for ``bit_count`` bits.
+
+        The quantity the Section 3.1 remark promises to shrink by a
+        factor ``log2(B)`` relative to one-bit-per-excursion coding.
+        """
+        width = self.bits_per_symbol
+        return (bit_count + width - 1) // width
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not (0 <= symbol < self.alphabet_size):
+            raise CodingError(
+                f"symbol {symbol} out of range for alphabet of {self.alphabet_size}"
+            )

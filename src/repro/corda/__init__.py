@@ -1,0 +1,32 @@
+"""Partial synchrony — toward CORDA (Section 5, "Partial synchrony").
+
+    "It would be interesting to achieve solutions by relaxing synchrony
+    among the robots to achieve solutions into a fully asynchronous
+    model (e.g., CORDA)."
+
+In the CORDA model the Look, Compute and Move phases of an activation
+are decoupled: a robot may *move* based on a snapshot it *looked* at
+earlier.  :class:`~repro.corda.simulator.StaleLookSimulator`
+interpolates between SSM and CORDA by bounding that gap: an activation
+at instant ``t`` computes on the configuration of an instant in
+``[t - max_delay, t]``, with per-robot look times non-decreasing
+(``max_delay = 0`` is exactly SSM).
+
+What the experiments (``benchmarks/bench_a4_staleness.py``) find:
+
+* the paper's synchronous protocols **break immediately** — a look
+  sequence with lag bound ``d >= 1`` can *skip* a configuration, hence
+  miss a whole one-instant excursion or return, losing or duplicating
+  bits.  This is the concrete content of the paper's open problem;
+* **phase dilation repairs them**: holding every signal position for
+  ``d + 1`` instants (the ``dilation`` knob of
+  :class:`repro.protocols.sync_granular.SyncGranularProtocol`) makes
+  skipping impossible — a monotone look sequence with lag at most
+  ``d`` advances by at most ``d + 1`` per activation, so it must land
+  inside every ``d+1``-instant phase.  Delivery returns to 100% at a
+  ``(d+1)``-fold latency cost.
+"""
+
+from repro.corda.simulator import StaleLookSimulator
+
+__all__ = ["StaleLookSimulator"]

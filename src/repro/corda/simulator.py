@@ -1,0 +1,74 @@
+"""The SSM engine with stale Look phases (toward CORDA).
+
+Each activation's Look phase returns the configuration of a possibly
+earlier instant.  Per robot, the look time is non-decreasing (a robot
+never un-sees) and lags the present by at most ``max_delay`` instants;
+the actual lag of each activation is drawn uniformly.  ``max_delay=0``
+reduces exactly to the base SSM engine.
+
+A robot's *own* position is stale too — exactly CORDA's pathology: a
+robot that "stays where it is" moves to where it *was*.  Idle robots
+that have not moved recently are unaffected, so silence is preserved
+for truly idle robots; the interesting breakage is in decoding, where a
+robot's look sequence can *skip* configurations and therefore miss a
+whole excursion (the experiments in ``bench_a4_staleness.py`` chart
+this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.scheduler import Scheduler
+from repro.model.simulator import Simulator
+
+__all__ = ["StaleLookSimulator"]
+
+
+class StaleLookSimulator(Simulator):
+    """SSM with per-activation bounded-stale observations.
+
+    Args:
+        robots: the swarm.
+        max_delay: maximum Look staleness in instants (>= 0).
+        seed: RNG seed for the per-activation delays.
+        scheduler: activation policy.
+    """
+
+    def __init__(
+        self,
+        robots: Sequence[Robot],
+        max_delay: int,
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if max_delay < 0:
+            raise ModelError(f"max_delay must be >= 0, got {max_delay}")
+        self._max_delay = max_delay
+        self._rng = random.Random(seed)
+        self._look_times: List[int] = [0] * len(robots)
+        super().__init__(robots, scheduler)
+
+    @property
+    def max_delay(self) -> int:
+        """The staleness bound, in instants."""
+        return self._max_delay
+
+    def look_time_of(self, index: int) -> int:
+        """The instant whose configuration the robot last looked at."""
+        return self._look_times[index]
+
+    def _config_for_observation(self, index: int) -> Sequence[Vec2]:
+        if self._max_delay == 0:
+            return self._positions
+        now = self.time
+        lag = self._rng.randint(0, self._max_delay)
+        look = max(self._look_times[index], now - lag)
+        self._look_times[index] = look
+        if look >= now:
+            return self._positions
+        return self.trace.positions_at(look)

@@ -1,0 +1,144 @@
+"""Square and hexagonal lattices.
+
+A lattice gives the discrete world of Section 5 its shape: the set of
+positions robots can occupy and, derived from it, the handful of
+*realisable movement directions* — 8 for the square grid (4 axial + 4
+diagonal), 6 for the hexagonal pavement.  Each direction carries a
+*unit step length*: the distance to the nearest lattice point in that
+direction (``pitch`` axially, ``pitch * sqrt(2)`` diagonally on the
+grid).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+
+__all__ = ["Lattice", "SquareLattice", "HexLattice"]
+
+
+@dataclass(frozen=True)
+class Lattice(ABC):
+    """A point lattice in the plane.
+
+    Attributes:
+        pitch: the lattice constant (> 0): nearest-neighbour spacing.
+    """
+
+    pitch: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pitch <= 0.0:
+            raise GeometryError(f"lattice pitch must be positive, got {self.pitch}")
+
+    @abstractmethod
+    def snap(self, point: Vec2) -> Vec2:
+        """The lattice point nearest to ``point``."""
+
+    @abstractmethod
+    def directions(self) -> List[Vec2]:
+        """The realisable unit movement directions, CCW from +x."""
+
+    @abstractmethod
+    def unit_step(self, direction_index: int) -> float:
+        """Distance to the adjacent lattice point along a direction."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def is_lattice_point(self, point: Vec2, eps: float = 1e-9) -> bool:
+        """Whether ``point`` coincides with a lattice point."""
+        return self.snap(point).distance_to(point) <= eps * self.pitch
+
+    def step_from(self, point: Vec2, direction_index: int, multiples: int) -> Vec2:
+        """The lattice point ``multiples`` unit steps along a direction.
+
+        ``point`` must itself be a lattice point.
+        """
+        if not self.is_lattice_point(point):
+            raise GeometryError(f"{point!r} is not a lattice point")
+        if multiples < 0:
+            raise GeometryError(f"multiples must be >= 0, got {multiples}")
+        direction = self.directions()[direction_index]
+        return point + direction * (multiples * self.unit_step(direction_index))
+
+    def direction_count(self) -> int:
+        """How many directions a lattice robot can tell apart."""
+        return len(self.directions())
+
+
+class SquareLattice(Lattice):
+    """The integer grid scaled by ``pitch``: 8 realisable directions."""
+
+    def snap(self, point: Vec2) -> Vec2:
+        return Vec2(
+            round(point.x / self.pitch) * self.pitch,
+            round(point.y / self.pitch) * self.pitch,
+        )
+
+    def directions(self) -> List[Vec2]:
+        rt = math.sqrt(0.5)
+        return [
+            Vec2(1.0, 0.0),
+            Vec2(rt, rt),
+            Vec2(0.0, 1.0),
+            Vec2(-rt, rt),
+            Vec2(-1.0, 0.0),
+            Vec2(-rt, -rt),
+            Vec2(0.0, -1.0),
+            Vec2(rt, -rt),
+        ]
+
+    def unit_step(self, direction_index: int) -> float:
+        # Odd indices are the diagonals.
+        if direction_index % 2 == 1:
+            return self.pitch * math.sqrt(2.0)
+        return self.pitch
+
+
+class HexLattice(Lattice):
+    """The triangular lattice (hexagonal pavement): 6 directions.
+
+    Points are integer combinations of the basis ``(pitch, 0)`` and
+    ``(pitch/2, pitch*sqrt(3)/2)``; every point has six neighbours at
+    distance ``pitch``, 60 degrees apart.
+    """
+
+    def _basis(self) -> Tuple[Vec2, Vec2]:
+        return (
+            Vec2(self.pitch, 0.0),
+            Vec2(self.pitch / 2.0, self.pitch * math.sqrt(3.0) / 2.0),
+        )
+
+    def _to_lattice_coords(self, point: Vec2) -> Tuple[float, float]:
+        b = self.pitch * math.sqrt(3.0) / 2.0
+        v = point.y / b
+        u = (point.x - v * self.pitch / 2.0) / self.pitch
+        return u, v
+
+    def snap(self, point: Vec2) -> Vec2:
+        u, v = self._to_lattice_coords(point)
+        e1, e2 = self._basis()
+        best = None
+        best_distance = float("inf")
+        # Check the four surrounding lattice cells' corners.
+        for du in (math.floor(u), math.floor(u) + 1):
+            for dv in (math.floor(v), math.floor(v) + 1):
+                candidate = e1 * float(du) + e2 * float(dv)
+                distance = candidate.distance_to(point)
+                if distance < best_distance:
+                    best = candidate
+                    best_distance = distance
+        assert best is not None
+        return best
+
+    def directions(self) -> List[Vec2]:
+        return [Vec2.unit(math.pi * k / 3.0) for k in range(6)]
+
+    def unit_step(self, direction_index: int) -> float:
+        return self.pitch

@@ -1,0 +1,132 @@
+"""The Section 5 few-slice protocol on a lattice.
+
+On a grid or hexagonal pavement a robot can only move toward — and an
+observer only reliably distinguish — the lattice's few realisable
+directions (8 on the grid, 6 on the pavement).  The ``2n``-slice scheme
+is therefore unusable for any interesting swarm size, which is exactly
+the situation the paper's log_k addressing was designed for.
+
+:class:`LatticeLogKProtocol` adapts :class:`~repro.protocols.sync_logk.
+SyncLogKProtocol`:
+
+* the granular's diameters are the lattice's diameters (4 on the grid,
+  3 on the pavement), so every excursion direction is realisable;
+* diameter 0 carries payload bits, diameters ``1 .. k`` carry base-k
+  address digits, hence ``k <= lattice diameters - 1`` (k <= 3 on the
+  grid, k <= 2 on the pavement);
+* excursion lengths are whole unit steps, so every excursion lands
+  exactly on a lattice point and the environment's snapping never
+  perturbs a signal.
+
+Requires an identified or sense-of-direction naming (horizon lines of
+the SEC naming are not lattice-aligned) and identity-scale frames (the
+lattice is a shared world structure).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.discrete.lattice import Lattice
+from repro.errors import ProtocolError
+from repro.geometry.granular import Granular
+from repro.geometry.vec import Vec2
+from repro.model.protocol import BindingInfo
+from repro.protocols._naming_support import NamingMode
+from repro.protocols.sync_logk import SyncLogKProtocol
+
+__all__ = ["LatticeLogKProtocol"]
+
+_DIRECTION_MATCH_EPS = 1e-9
+
+
+class LatticeLogKProtocol(SyncLogKProtocol):
+    """Few-slice routing with lattice-realisable movements.
+
+    Args:
+        k: digit base; ``k + 1`` must not exceed the lattice's diameter
+            count.
+        lattice: the world lattice (must match the simulator's).
+        naming: ``"identified"`` or ``"sod"``.
+    """
+
+    def __init__(self, k: int, lattice: Lattice, naming: NamingMode = "identified") -> None:
+        diameters = lattice.direction_count() // 2
+        if k + 1 > diameters:
+            raise ProtocolError(
+                f"k={k} needs {k + 1} diameters but the lattice offers {diameters}"
+            )
+        if naming == "sec":
+            raise ProtocolError(
+                "SEC naming is not lattice-aligned; use 'identified' or 'sod'"
+            )
+        super().__init__(k=k, naming=naming, max_directions=lattice.direction_count())
+        self._lattice = lattice
+        self._direction_steps: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Binding: re-slice every granular on the lattice diameters
+    # ------------------------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        super()._on_bind(info)
+        lattice = self._lattice
+        for index, home in enumerate(self._homes):
+            if home is None or not lattice.is_lattice_point(home):
+                raise ProtocolError(
+                    f"robot {index}'s home {home!r} is not a lattice point; "
+                    "lattice protocols need identity frames and lattice starts"
+                )
+        diameters = lattice.direction_count() // 2
+        zero = self._lattice_zero_direction()
+        for j in range(info.count):
+            old = self._granulars[j]
+            self._granulars[j] = Granular(
+                center=old.center,
+                radius=old.radius,
+                num_diameters=diameters,
+                zero_direction=zero,
+                sweep=-1,
+            )
+        # Excursion length per diameter: as many unit steps as fit the
+        # budget, at least one — which must fit the granular.
+        me = self.info.index
+        budget = min(
+            0.45 * self._granulars[me].radius,
+            info.sigma,
+        )
+        self._direction_steps = []
+        for diameter in range(diameters):
+            unit = self._unit_step_for(self._granulars[me].diameter_direction(diameter))
+            multiples = max(1, int(budget / unit))
+            if multiples * unit > 0.9 * self._granulars[me].radius:
+                raise ProtocolError(
+                    f"lattice pitch {lattice.pitch} is too coarse for granular "
+                    f"radius {self._granulars[me].radius:.3g}; spread the robots out"
+                )
+            self._direction_steps.append(multiples)
+
+    def _lattice_zero_direction(self) -> Vec2:
+        """North if the lattice realises it, else the first direction."""
+        north = Vec2(0.0, 1.0)
+        for direction in self._lattice.directions():
+            if direction.distance_to(north) <= _DIRECTION_MATCH_EPS:
+                return north
+        return self._lattice.directions()[0]
+
+    def _unit_step_for(self, direction: Vec2) -> float:
+        for index, candidate in enumerate(self._lattice.directions()):
+            if candidate.distance_to(direction) <= _DIRECTION_MATCH_EPS:
+                return self._lattice.unit_step(index)
+        raise ProtocolError(  # pragma: no cover - construction guarantees alignment
+            f"granular diameter {direction!r} is not a lattice direction"
+        )
+
+    # ------------------------------------------------------------------
+    # Movement: land exactly on lattice points
+    # ------------------------------------------------------------------
+    def _excursion_target(self, diameter: int, positive: bool) -> Vec2:
+        me = self.info.index
+        granular = self._granulars[me]
+        direction = granular.diameter_direction(diameter, positive)
+        unit = self._unit_step_for(granular.diameter_direction(diameter))
+        return granular.center + direction * (self._direction_steps[diameter] * unit)

@@ -1,0 +1,57 @@
+"""The SSM engine on a lattice.
+
+Movement destinations are snapped to the nearest lattice point — the
+environment enforces the discrete world, whatever the protocols
+compute.  Initial positions must be lattice points.
+
+Note on ``sigma``: snapping happens after the continuous clamp, so a
+destination can exceed the bound by at most half a lattice cell; the
+lattice protocols request exact lattice points within ``sigma`` and
+never hit the slack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.discrete.lattice import Lattice
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.scheduler import Scheduler
+from repro.model.simulator import Simulator
+
+__all__ = ["LatticeSimulator"]
+
+
+class LatticeSimulator(Simulator):
+    """A swarm living on a lattice.
+
+    Args:
+        robots: the swarm; initial positions must be lattice points.
+        lattice: the world's lattice (square grid or hex pavement).
+        scheduler: activation policy.
+    """
+
+    def __init__(
+        self,
+        robots: Sequence[Robot],
+        lattice: Lattice,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        for i, robot in enumerate(robots):
+            if not lattice.is_lattice_point(robot.position):
+                raise ModelError(
+                    f"robot {i} starts at {robot.position!r}, "
+                    "which is not a lattice point"
+                )
+        self._lattice = lattice
+        super().__init__(robots, scheduler)
+
+    @property
+    def lattice(self) -> Lattice:
+        """The world's lattice."""
+        return self._lattice
+
+    def _constrain_destination(self, index: int, destination: Vec2) -> Vec2:
+        return self._lattice.snap(destination)

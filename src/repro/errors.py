@@ -1,0 +1,69 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "AmbiguousDirectionError",
+    "ModelError",
+    "SchedulerError",
+    "ProtocolError",
+    "DecodingError",
+    "NamingError",
+    "CodingError",
+    "ChannelError",
+    "ChannelDownError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all library-specific errors."""
+
+
+class GeometryError(ReproError):
+    """A geometric construction failed or was fed degenerate input."""
+
+
+class AmbiguousDirectionError(GeometryError):
+    """An observed displacement cannot be mapped to a unique slice.
+
+    Raised by :meth:`repro.geometry.granular.Granular.classify` when a
+    position is at the disc centre or falls between diameters.
+    """
+
+
+class ModelError(ReproError):
+    """The SSM simulation was configured or driven inconsistently."""
+
+
+class SchedulerError(ModelError):
+    """An activation scheduler produced an invalid activation set."""
+
+
+class ProtocolError(ReproError):
+    """A movement protocol reached an inconsistent state."""
+
+
+class DecodingError(ProtocolError):
+    """An observer could not decode another robot's movement."""
+
+
+class NamingError(ReproError):
+    """A naming scheme could not produce the required labelling."""
+
+
+class CodingError(ReproError):
+    """Message encoding or decoding failed."""
+
+
+class ChannelError(ReproError):
+    """A high-level communication channel failed."""
+
+
+class ChannelDownError(ChannelError):
+    """The (simulated) wireless device is unavailable."""

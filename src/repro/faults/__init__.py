@@ -1,0 +1,14 @@
+"""Fault models for the motivating scenarios of Section 1.
+
+The paper motivates movement communication with robots whose "wireless
+devices are faulty", that "evolve in zones with blocked wireless
+communication", or that cannot carry a radio at all.
+:class:`~repro.faults.wireless.SimulatedWireless` provides an
+injectable-fault radio medium so the
+:class:`~repro.channels.stack.DualChannelStack` failover path can be
+exercised end-to-end.
+"""
+
+from repro.faults.wireless import SimulatedWireless, WirelessFrame
+
+__all__ = ["SimulatedWireless", "WirelessFrame"]

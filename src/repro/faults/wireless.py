@@ -1,0 +1,150 @@
+"""A simulated wireless medium with injectable faults.
+
+Substitution note (see DESIGN.md): the paper has no wireless system —
+it only *motivates* movement communication by wireless failure.  This
+medium is the synthetic equivalent that lets the failover code path be
+exercised: instantaneous unicast frames between robot indices, with
+three failure modes drawn from the paper's scenarios:
+
+* **crash** — a robot's own device dies; its sends raise
+  :class:`~repro.errors.ChannelDownError` (a *detectable* local fault);
+* **jamming** — "zones with blocked wireless communication": frames
+  are silently lost in transit (the sender cannot tell);
+* **intermittent loss** — each frame is independently dropped with a
+  given probability (flaky hardware).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Union
+
+from repro.errors import ChannelDownError, ChannelError
+
+__all__ = ["WirelessFrame", "SimulatedWireless"]
+
+
+@dataclass(frozen=True, slots=True)
+class WirelessFrame:
+    """One frame on the simulated radio medium."""
+
+    src: int
+    dst: int
+    payload: bytes
+    sent_at: int
+
+
+class SimulatedWireless:
+    """A broadcast-domain radio shared by all robots.
+
+    Args:
+        count: number of robot endpoints (indices ``0 .. count-1``).
+        drop_probability: baseline probability that an in-transit frame
+            is silently lost.
+        seed: RNG seed for the loss process.
+    """
+
+    def __init__(self, count: int, drop_probability: float = 0.0, seed: int = 0) -> None:
+        if count < 1:
+            raise ChannelError(f"wireless medium needs >= 1 endpoints, got {count}")
+        if not (0.0 <= drop_probability < 1.0):
+            raise ChannelError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self._count = count
+        self._drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self._crashed: Set[int] = set()
+        self._jammed = False
+        self._queues: Dict[int, List[WirelessFrame]] = {i: [] for i in range(count)}
+        self._frames_sent = 0
+        self._frames_lost = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash_device(self, index: int) -> None:
+        """Kill a robot's radio; its sends fail detectably from now on."""
+        self._check_index(index)
+        self._crashed.add(index)
+
+    def restore_device(self, index: int) -> None:
+        """Repair a crashed radio."""
+        self._check_index(index)
+        self._crashed.discard(index)
+
+    def jam(self) -> None:
+        """Enter a jammed zone: every in-transit frame is lost silently."""
+        self._jammed = True
+
+    def unjam(self) -> None:
+        """Leave the jammed zone."""
+        self._jammed = False
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Adjust the intermittent loss rate."""
+        if not (0.0 <= probability < 1.0):
+            raise ChannelError(f"drop_probability must be in [0, 1), got {probability}")
+        self._drop_probability = probability
+
+    # ------------------------------------------------------------------
+    # Medium access
+    # ------------------------------------------------------------------
+    def is_up(self, index: int) -> bool:
+        """Whether a robot's own device is operational (crash-aware only:
+        jamming and intermittent loss are invisible to the sender)."""
+        self._check_index(index)
+        return index not in self._crashed
+
+    def send(self, src: int, dst: int, payload: Union[str, bytes], time: int) -> None:
+        """Transmit one frame.
+
+        Raises:
+            ChannelDownError: when the *sender's* device is crashed —
+                the only failure a sender can detect.  Jamming, loss
+                and a crashed receiver all fail silently.
+        """
+        self._check_index(src)
+        self._check_index(dst)
+        data = payload.encode("utf-8") if isinstance(payload, str) else bytes(payload)
+        if src in self._crashed:
+            raise ChannelDownError(f"wireless device of robot {src} is down")
+        self._frames_sent += 1
+        if self._jammed or dst in self._crashed:
+            self._frames_lost += 1
+            return
+        if self._drop_probability > 0.0 and self._rng.random() < self._drop_probability:
+            self._frames_lost += 1
+            return
+        self._queues[dst].append(WirelessFrame(src=src, dst=dst, payload=data, sent_at=time))
+
+    def receive(self, dst: int) -> List[WirelessFrame]:
+        """Drain the frames delivered to a robot.
+
+        A crashed receiver hears nothing (frames addressed to it were
+        already lost at send time).
+        """
+        self._check_index(dst)
+        if dst in self._crashed:
+            return []
+        frames = self._queues[dst]
+        self._queues[dst] = []
+        return frames
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def frames_sent(self) -> int:
+        """Total frames handed to the medium."""
+        return self._frames_sent
+
+    @property
+    def frames_lost(self) -> int:
+        """Frames silently lost (jamming, drops, dead receivers)."""
+        return self._frames_lost
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self._count):
+            raise ChannelError(f"unknown wireless endpoint {index}")

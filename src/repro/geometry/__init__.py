@@ -1,0 +1,64 @@
+"""Geometric substrate for the stigmergic-robot simulation.
+
+The paper's robots are points in the Euclidean plane; every protocol is
+ultimately a geometric construction (Voronoi cells, granular discs,
+smallest enclosing circles, horizon lines).  This subpackage implements
+all of those constructions from scratch.
+
+Public surface:
+
+* :class:`~repro.geometry.vec.Vec2` — immutable 2-D vector / point.
+* :mod:`~repro.geometry.predicates` — orientation and angle predicates.
+* :class:`~repro.geometry.frames.Frame` — local robot coordinate systems.
+* :class:`~repro.geometry.lines.Line` / :class:`~repro.geometry.lines.Segment`
+  / :class:`~repro.geometry.lines.HalfPlane`.
+* :class:`~repro.geometry.circle.Circle` and
+  :func:`~repro.geometry.sec.smallest_enclosing_circle`.
+* :func:`~repro.geometry.voronoi.voronoi_cell` /
+  :func:`~repro.geometry.voronoi.voronoi_diagram`.
+* :class:`~repro.geometry.granular.Granular` — the sliced communication
+  disc of Sections 3.2-3.4 and 4.2.
+"""
+
+from repro.geometry.vec import Vec2
+from repro.geometry.predicates import (
+    DEFAULT_EPS,
+    angle_ccw,
+    angle_cw,
+    angle_of,
+    almost_equal,
+    normalize_angle,
+    orientation,
+    side_of_line,
+)
+from repro.geometry.frames import Frame
+from repro.geometry.lines import HalfPlane, Line, Segment
+from repro.geometry.circle import Circle
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.convex import ConvexPolygon
+from repro.geometry.voronoi import VoronoiCell, voronoi_cell, voronoi_diagram
+from repro.geometry.granular import Granular, granular_radius
+
+__all__ = [
+    "Vec2",
+    "DEFAULT_EPS",
+    "angle_ccw",
+    "angle_cw",
+    "angle_of",
+    "almost_equal",
+    "normalize_angle",
+    "orientation",
+    "side_of_line",
+    "Frame",
+    "HalfPlane",
+    "Line",
+    "Segment",
+    "Circle",
+    "smallest_enclosing_circle",
+    "ConvexPolygon",
+    "VoronoiCell",
+    "voronoi_cell",
+    "voronoi_diagram",
+    "Granular",
+    "granular_radius",
+]

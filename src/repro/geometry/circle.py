@@ -1,0 +1,69 @@
+"""Circles and circumcircles.
+
+Support code for the smallest-enclosing-circle construction of
+Section 3.4 (the SEC that defines the horizon lines and the relative
+naming of anonymous robots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.vec import Vec2
+
+__all__ = ["Circle", "circle_from_two", "circle_from_three"]
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle given by centre and radius (``radius >= 0``)."""
+
+    center: Vec2
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError(f"radius must be >= 0, got {self.radius}")
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Closed containment: ``point`` inside or on the circle."""
+        return self.center.distance_to(point) <= self.radius + eps
+
+    def on_boundary(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Whether ``point`` lies on the circle (within ``eps``)."""
+        return abs(self.center.distance_to(point) - self.radius) <= eps
+
+    def strictly_contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Open containment: strictly inside the circle."""
+        return self.center.distance_to(point) < self.radius - eps
+
+    def scaled(self, factor: float) -> "Circle":
+        """Concentric circle with radius multiplied by ``factor >= 0``."""
+        return Circle(self.center, self.radius * factor)
+
+
+def circle_from_two(a: Vec2, b: Vec2) -> Circle:
+    """Smallest circle through two points: diameter ``ab``."""
+    center = a.lerp(b, 0.5)
+    return Circle(center, center.distance_to(a))
+
+
+def circle_from_three(a: Vec2, b: Vec2, c: Vec2, eps: float = DEFAULT_EPS) -> Optional[Circle]:
+    """Circumcircle of a (non-degenerate) triangle.
+
+    Returns None when the three points are (near-)collinear, in which
+    case no finite circumcircle exists.
+    """
+    ab = b - a
+    ac = c - a
+    d = 2.0 * ab.cross(ac)
+    if abs(d) <= eps:
+        return None
+    ab_sq = ab.norm_sq()
+    ac_sq = ac.norm_sq()
+    ux = (ac.y * ab_sq - ab.y * ac_sq) / d
+    uy = (ab.x * ac_sq - ac.x * ab_sq) / d
+    center = Vec2(a.x + ux, a.y + uy)
+    return Circle(center, center.distance_to(a))

@@ -1,0 +1,172 @@
+"""Convex polygons and half-plane clipping.
+
+Voronoi cells are convex; we represent each cell as a convex polygon
+obtained by clipping a large bounding box against bisector half-planes
+(Sutherland–Hodgman against one line at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.lines import HalfPlane, Line, Segment
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.vec import Vec2
+
+__all__ = ["ConvexPolygon"]
+
+
+@dataclass(frozen=True)
+class ConvexPolygon:
+    """A convex polygon given by its vertices in counter-clockwise order.
+
+    The polygon may be empty (no vertices) after over-aggressive
+    clipping; callers check :meth:`is_empty`.
+    """
+
+    vertices: Tuple[Vec2, ...]
+
+    @staticmethod
+    def from_points(points: Sequence[Vec2]) -> "ConvexPolygon":
+        """Build a polygon from CCW-ordered vertices (no validation)."""
+        return ConvexPolygon(tuple(points))
+
+    @staticmethod
+    def axis_aligned_box(lo: Vec2, hi: Vec2) -> "ConvexPolygon":
+        """The rectangle with opposite corners ``lo`` and ``hi``."""
+        if hi.x <= lo.x or hi.y <= lo.y:
+            raise ValueError(f"degenerate box: {lo!r}..{hi!r}")
+        return ConvexPolygon(
+            (
+                Vec2(lo.x, lo.y),
+                Vec2(hi.x, lo.y),
+                Vec2(hi.x, hi.y),
+                Vec2(lo.x, hi.y),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the polygon has no vertices left."""
+        return len(self.vertices) == 0
+
+    def area(self) -> float:
+        """Polygon area by the shoelace formula (>= 0 for CCW order)."""
+        verts = self.vertices
+        n = len(verts)
+        if n < 3:
+            return 0.0
+        total = 0.0
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            total += a.cross(b)
+        return 0.5 * total
+
+    def edges(self) -> List[Segment]:
+        """The boundary segments, one per consecutive vertex pair."""
+        verts = self.vertices
+        n = len(verts)
+        if n < 2:
+            return []
+        return [Segment(verts[i], verts[(i + 1) % n]) for i in range(n)]
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Closed containment test for a convex CCW polygon."""
+        verts = self.vertices
+        n = len(verts)
+        if n == 0:
+            return False
+        if n == 1:
+            return verts[0].distance_to(point) <= eps
+        if n == 2:
+            return Segment(verts[0], verts[1]).contains(point, eps)
+        for i in range(n):
+            edge = verts[(i + 1) % n] - verts[i]
+            if edge.cross(point - verts[i]) < -eps:
+                return False
+        return True
+
+    def distance_to_boundary(self, point: Vec2) -> float:
+        """Distance from an interior point to the nearest boundary edge.
+
+        This is the radius of the largest disc centred at ``point``
+        and enclosed in the polygon — exactly the paper's *granular*
+        when the polygon is a Voronoi cell and ``point`` its site.
+        """
+        edges = self.edges()
+        if not edges:
+            return 0.0
+        return min(edge.distance_to(point) for edge in edges)
+
+    def centroid(self) -> Optional[Vec2]:
+        """Area centroid, or None for degenerate polygons."""
+        verts = self.vertices
+        n = len(verts)
+        if n == 0:
+            return None
+        if n < 3:
+            total = Vec2.zero()
+            for v in verts:
+                total = total + v
+            return total / n
+        area2 = 0.0
+        cx = 0.0
+        cy = 0.0
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            w = a.cross(b)
+            area2 += w
+            cx += (a.x + b.x) * w
+            cy += (a.y + b.y) * w
+        if abs(area2) <= DEFAULT_EPS:
+            return None
+        return Vec2(cx / (3.0 * area2), cy / (3.0 * area2))
+
+    # ------------------------------------------------------------------
+    # Clipping
+    # ------------------------------------------------------------------
+    def clipped(self, half_plane: HalfPlane, eps: float = DEFAULT_EPS) -> "ConvexPolygon":
+        """Intersection of the polygon with a half-plane.
+
+        Sutherland–Hodgman against a single line; the result is convex
+        and CCW, possibly empty.
+        """
+        verts = self.vertices
+        if not verts:
+            return self
+        boundary: Line = half_plane.boundary
+        result: List[Vec2] = []
+        n = len(verts)
+        offsets = [boundary.signed_offset(v) for v in verts]
+        for i in range(n):
+            current = verts[i]
+            nxt = verts[(i + 1) % n]
+            off_current = offsets[i]
+            off_next = offsets[(i + 1) % n]
+            inside_current = off_current >= -eps
+            inside_next = off_next >= -eps
+            if inside_current:
+                result.append(current)
+            if inside_current != inside_next:
+                denom = off_current - off_next
+                if abs(denom) > eps:
+                    t = off_current / denom
+                    result.append(current.lerp(nxt, t))
+        deduped = _dedupe_ring(result, eps)
+        return ConvexPolygon(tuple(deduped))
+
+
+def _dedupe_ring(points: Sequence[Vec2], eps: float) -> List[Vec2]:
+    """Drop consecutive (cyclically) near-duplicate vertices."""
+    out: List[Vec2] = []
+    for p in points:
+        if not out or out[-1].distance_to(p) > eps:
+            out.append(p)
+    if len(out) >= 2 and out[0].distance_to(out[-1]) <= eps:
+        out.pop()
+    return out

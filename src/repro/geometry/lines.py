@@ -1,0 +1,150 @@
+"""Lines, segments and half-planes.
+
+These are the working tools of the protocol layer: the horizon line
+``H_r`` of the asynchronous protocols is a :class:`Line`; a Voronoi
+cell is an intersection of :class:`HalfPlane` instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.vec import Vec2
+
+__all__ = ["Line", "Segment", "HalfPlane"]
+
+
+@dataclass(frozen=True, slots=True)
+class Line:
+    """An infinite directed line ``origin + t * direction``.
+
+    ``direction`` is stored normalised so that parameters ``t`` are
+    world distances.
+    """
+
+    origin: Vec2
+    direction: Vec2
+
+    def __post_init__(self) -> None:
+        norm = self.direction.norm()
+        if norm == 0.0:
+            raise ValueError("line direction must be nonzero")
+        if not math.isclose(norm, 1.0, abs_tol=1e-12):
+            object.__setattr__(self, "direction", self.direction / norm)
+
+    @staticmethod
+    def through(a: Vec2, b: Vec2) -> "Line":
+        """The directed line from ``a`` toward ``b`` (``a != b``)."""
+        return Line(a, b - a)
+
+    def point_at(self, t: float) -> Vec2:
+        """The point at signed distance ``t`` from the origin."""
+        return self.origin + self.direction * t
+
+    def project_parameter(self, point: Vec2) -> float:
+        """Signed distance along the line of the foot of ``point``."""
+        return (point - self.origin).dot(self.direction)
+
+    def project(self, point: Vec2) -> Vec2:
+        """Orthogonal projection of ``point`` onto the line."""
+        return self.point_at(self.project_parameter(point))
+
+    def signed_offset(self, point: Vec2) -> float:
+        """Perpendicular signed distance of ``point`` from the line.
+
+        Positive on the left of the direction (CCW side).  The
+        asynchronous receivers decode East/West excursions from this
+        sign (relative to the mover's own North).
+        """
+        return self.direction.cross(point - self.origin)
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Whether ``point`` lies on the line (within ``eps``)."""
+        return abs(self.signed_offset(point)) <= eps
+
+    def intersect(self, other: "Line", eps: float = DEFAULT_EPS) -> Optional[Vec2]:
+        """Intersection point with another line, or None when parallel."""
+        denom = self.direction.cross(other.direction)
+        if abs(denom) <= eps:
+            return None
+        t = (other.origin - self.origin).cross(other.direction) / denom
+        return self.point_at(t)
+
+    @staticmethod
+    def perpendicular_bisector(a: Vec2, b: Vec2) -> "Line":
+        """The perpendicular bisector of segment ``ab`` (``a != b``).
+
+        Directed so that ``a`` is on its *left*; this convention makes
+        Voronoi half-plane construction uniform.
+        """
+        midpoint = a.lerp(b, 0.5)
+        return Line(midpoint, (b - a).perp_ccw())
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A closed segment between two endpoints."""
+
+    start: Vec2
+    end: Vec2
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def midpoint(self) -> Vec2:
+        """The segment midpoint."""
+        return self.start.lerp(self.end, 0.5)
+
+    def point_at(self, t: float) -> Vec2:
+        """Affine parameterisation: ``start`` at 0, ``end`` at 1."""
+        return self.start.lerp(self.end, t)
+
+    def closest_point_to(self, point: Vec2) -> Vec2:
+        """The point of the segment nearest to ``point``."""
+        delta = self.end - self.start
+        denom = delta.norm_sq()
+        if denom == 0.0:
+            return self.start
+        t = (point - self.start).dot(delta) / denom
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t)
+
+    def distance_to(self, point: Vec2) -> float:
+        """Distance from ``point`` to the segment."""
+        return point.distance_to(self.closest_point_to(point))
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Whether ``point`` lies on the segment (within ``eps``)."""
+        return self.distance_to(point) <= eps
+
+
+@dataclass(frozen=True, slots=True)
+class HalfPlane:
+    """The closed half-plane to the *left* of a directed boundary line.
+
+    A point ``p`` belongs to the half-plane iff
+    ``boundary.signed_offset(p) >= -eps``.
+    """
+
+    boundary: Line
+
+    @staticmethod
+    def closer_to(site: Vec2, other: Vec2) -> "HalfPlane":
+        """Points at least as close to ``site`` as to ``other``.
+
+        The building block of Voronoi cells: the cell of ``site`` is
+        the intersection of these half-planes over all other sites.
+        """
+        return HalfPlane(Line.perpendicular_bisector(site, other))
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Closed containment test with tolerance ``eps``."""
+        return self.boundary.signed_offset(point) >= -eps
+
+    def strictly_contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Open containment test (interior only)."""
+        return self.boundary.signed_offset(point) > eps

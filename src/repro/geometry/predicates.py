@@ -1,0 +1,132 @@
+"""Geometric predicates and angle utilities.
+
+All fuzzy comparisons in the library flow through this module so the
+tolerance policy lives in exactly one place.  The paper assumes exact
+real arithmetic; we use doubles with an epsilon of ``1e-9``, which is
+comfortably below every distance the simulations generate (positions
+are O(1)-O(100), granular radii are bounded below by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import IntEnum
+
+from repro.geometry.vec import Vec2
+
+__all__ = [
+    "DEFAULT_EPS",
+    "Orientation",
+    "almost_equal",
+    "almost_zero",
+    "orientation",
+    "side_of_line",
+    "normalize_angle",
+    "normalize_angle_positive",
+    "angle_of",
+    "angle_ccw",
+    "angle_cw",
+    "angle_between",
+]
+
+DEFAULT_EPS: float = 1e-9
+"""Default absolute tolerance for geometric comparisons."""
+
+TWO_PI: float = 2.0 * math.pi
+
+
+class Orientation(IntEnum):
+    """Result of the orientation predicate for an ordered point triple."""
+
+    CLOCKWISE = -1
+    COLLINEAR = 0
+    COUNTERCLOCKWISE = 1
+
+
+def almost_zero(value: float, eps: float = DEFAULT_EPS) -> bool:
+    """True when ``value`` is within ``eps`` of zero."""
+    return abs(value) <= eps
+
+
+def almost_equal(a: float, b: float, eps: float = DEFAULT_EPS) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def orientation(a: Vec2, b: Vec2, c: Vec2, eps: float = DEFAULT_EPS) -> Orientation:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns ``COUNTERCLOCKWISE`` when ``c`` lies to the left of the
+    directed line ``a -> b``, ``CLOCKWISE`` when to the right and
+    ``COLLINEAR`` when (within ``eps``) on the line.
+    """
+    cross = (b - a).cross(c - a)
+    if cross > eps:
+        return Orientation.COUNTERCLOCKWISE
+    if cross < -eps:
+        return Orientation.CLOCKWISE
+    return Orientation.COLLINEAR
+
+
+def side_of_line(point: Vec2, origin: Vec2, direction: Vec2, eps: float = DEFAULT_EPS) -> int:
+    """Which side of the directed line ``origin + t*direction`` a point is on.
+
+    Returns ``+1`` for the left side (counter-clockwise of the
+    direction), ``-1`` for the right side and ``0`` when on the line.
+    This is the primitive the receivers use to decode "moved on its
+    right / moved on its left" signals (Section 3.1).
+    """
+    cross = direction.cross(point - origin)
+    if cross > eps:
+        return 1
+    if cross < -eps:
+        return -1
+    return 0
+
+
+def normalize_angle(angle: float) -> float:
+    """Map an angle to ``(-pi, pi]``."""
+    wrapped = math.fmod(angle, TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += TWO_PI
+    return wrapped
+
+
+def normalize_angle_positive(angle: float) -> float:
+    """Map an angle to ``[0, 2*pi)``."""
+    wrapped = math.fmod(angle, TWO_PI)
+    if wrapped < 0.0:
+        wrapped += TWO_PI
+    # fmod of values extremely close to 2*pi can round back to 2*pi.
+    if wrapped >= TWO_PI:
+        wrapped -= TWO_PI
+    return wrapped
+
+
+def angle_of(point: Vec2, center: Vec2 = Vec2.zero()) -> float:
+    """Polar angle of ``point`` around ``center`` in ``(-pi, pi]``."""
+    return (point - center).angle()
+
+
+def angle_ccw(reference: Vec2, target: Vec2) -> float:
+    """Counter-clockwise sweep in ``[0, 2*pi)`` from ``reference`` to ``target``.
+
+    Both arguments are direction vectors (nonzero).
+    """
+    return normalize_angle_positive(target.angle() - reference.angle())
+
+
+def angle_cw(reference: Vec2, target: Vec2) -> float:
+    """Clockwise sweep in ``[0, 2*pi)`` from ``reference`` to ``target``.
+
+    The paper numbers slices and radii "in the clockwise direction";
+    because all robots share chirality they agree on this sweep.
+    """
+    return normalize_angle_positive(reference.angle() - target.angle())
+
+
+def angle_between(u: Vec2, v: Vec2) -> float:
+    """Unsigned angle between two direction vectors, in ``[0, pi]``."""
+    return abs(u.angle_to(v))

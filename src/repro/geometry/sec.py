@@ -1,0 +1,108 @@
+"""Smallest enclosing circle (SEC).
+
+Section 3.4 builds the relative naming of anonymous robots on the
+smallest circle enclosing all robot positions: "Note that SEC is unique
+and can be computed in linear time [Megiddo 83]."  We implement Welzl's
+randomised incremental algorithm, which also runs in expected linear
+time and is far simpler; the random order is derived deterministically
+from a seed so that every robot — and every rerun — computes the
+*identical* circle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.geometry.circle import Circle, circle_from_three, circle_from_two
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.vec import Vec2
+
+__all__ = ["smallest_enclosing_circle"]
+
+
+def smallest_enclosing_circle(
+    points: Iterable[Vec2],
+    eps: float = DEFAULT_EPS,
+    seed: int = 0x5EC,
+) -> Circle:
+    """The unique smallest circle enclosing all ``points``.
+
+    Args:
+        points: at least one point.
+        eps: boundary tolerance for containment checks.
+        seed: seed of the deterministic processing order.  The result
+            is the same circle for any seed (the SEC is unique); the
+            seed only affects running time.
+
+    Raises:
+        ValueError: on an empty input.
+    """
+    pts: List[Vec2] = list(points)
+    if not pts:
+        raise ValueError("smallest_enclosing_circle needs at least one point")
+    # Deduplicate: repeated sites would only slow the incremental scan.
+    pts = list(dict.fromkeys(pts))
+    if len(pts) == 1:
+        return Circle(pts[0], 0.0)
+
+    shuffled = pts[:]
+    random.Random(seed).shuffle(shuffled)
+
+    circle: Optional[Circle] = None
+    for i, p in enumerate(shuffled):
+        if circle is None or not circle.contains(p, eps):
+            circle = _sec_with_one_boundary(shuffled[: i + 1], p, eps)
+    assert circle is not None
+    return circle
+
+
+def _sec_with_one_boundary(points: Sequence[Vec2], p: Vec2, eps: float) -> Circle:
+    """Smallest circle enclosing ``points`` with ``p`` on its boundary."""
+    circle = Circle(p, 0.0)
+    for i, q in enumerate(points):
+        if q == p:
+            continue
+        if not circle.contains(q, eps):
+            if circle.radius == 0.0:
+                circle = circle_from_two(p, q)
+            else:
+                circle = _sec_with_two_boundary(points[: i + 1], p, q, eps)
+    return circle
+
+
+def _sec_with_two_boundary(points: Sequence[Vec2], p: Vec2, q: Vec2, eps: float) -> Circle:
+    """Smallest circle enclosing ``points`` with ``p`` and ``q`` on it."""
+    circle = circle_from_two(p, q)
+    left: Optional[Circle] = None
+    right: Optional[Circle] = None
+    pq = q - p
+
+    for r in points:
+        if r == p or r == q:
+            continue
+        if circle.contains(r, eps):
+            continue
+        cross = pq.cross(r - p)
+        candidate = circle_from_three(p, q, r, eps)
+        if candidate is None:
+            continue
+        if cross > 0.0 and (
+            left is None
+            or pq.cross(candidate.center - p) > pq.cross(left.center - p)
+        ):
+            left = candidate
+        elif cross < 0.0 and (
+            right is None
+            or pq.cross(candidate.center - p) < pq.cross(right.center - p)
+        ):
+            right = candidate
+
+    if left is None and right is None:
+        return circle
+    if left is None:
+        assert right is not None
+        return right
+    if right is None:
+        return left
+    return left if left.radius <= right.radius else right

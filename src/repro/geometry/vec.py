@@ -1,0 +1,175 @@
+"""Immutable 2-D vectors and points.
+
+``Vec2`` doubles as both a point in the plane and a displacement.  The
+paper assumes robots compute "with an infinite decimal precision"; we
+work with IEEE-754 doubles and keep all comparisons behind explicit
+epsilons (see :mod:`repro.geometry.predicates`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Vec2"]
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """An immutable vector (or point) in the Euclidean plane.
+
+    Supports the usual vector-space operations plus the 2-D specific
+    cross product and rotations.  Instances are hashable and usable as
+    dict keys, which the naming layers rely on.
+    """
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "Vec2":
+        """The origin / null displacement."""
+        return Vec2(0.0, 0.0)
+
+    @staticmethod
+    def unit(angle: float) -> "Vec2":
+        """Unit vector at ``angle`` radians counter-clockwise from +x."""
+        return Vec2(math.cos(angle), math.sin(angle))
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        """Vector of length ``radius`` at ``angle`` radians from +x."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+    # ------------------------------------------------------------------
+    # Vector-space operations
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    # ------------------------------------------------------------------
+    # Products and norms
+    # ------------------------------------------------------------------
+    def dot(self, other: "Vec2") -> float:
+        """Euclidean inner product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """The z-component of the 3-D cross product.
+
+        Positive when ``other`` lies counter-clockwise of ``self`` —
+        the primitive behind every chirality (handedness) decision in
+        the protocols.
+        """
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (exact for comparisons)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq_to(self, other: "Vec2") -> float:
+        """Squared distance — avoids the square root in comparisons."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    # ------------------------------------------------------------------
+    # Directions
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the null vector, which has no
+                direction; callers must guard (the protocols always do,
+                because two distinct robots never coincide).
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the null vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def perp_ccw(self) -> "Vec2":
+        """This vector rotated +90° (counter-clockwise)."""
+        return Vec2(-self.y, self.x)
+
+    def perp_cw(self) -> "Vec2":
+        """This vector rotated -90° (clockwise)."""
+        return Vec2(self.y, -self.x)
+
+    def rotated(self, angle: float) -> "Vec2":
+        """This vector rotated by ``angle`` radians counter-clockwise."""
+        c = math.cos(angle)
+        s = math.sin(angle)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def angle(self) -> float:
+        """Polar angle in ``(-pi, pi]`` measured CCW from +x."""
+        return math.atan2(self.y, self.x)
+
+    def angle_to(self, other: "Vec2") -> float:
+        """Signed angle from ``self`` to ``other`` in ``(-pi, pi]``.
+
+        Positive means ``other`` is counter-clockwise of ``self``.
+        """
+        return math.atan2(self.cross(other), self.dot(other))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def clamped_toward(self, target: "Vec2", max_distance: float) -> "Vec2":
+        """The point reached moving from ``self`` toward ``target``.
+
+        Travels the full way when the target is within
+        ``max_distance``; otherwise stops after exactly
+        ``max_distance``.  This is the SSM movement rule: "if the
+        destination point computed by r is farther than sigma_r, then r
+        moves toward a point of at most sigma_r".
+        """
+        if max_distance < 0:
+            raise ValueError(f"max_distance must be >= 0, got {max_distance}")
+        delta = target - self
+        dist = delta.norm()
+        if dist <= max_distance or dist == 0.0:
+            return target
+        return self + delta * (max_distance / dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vec2({self.x:.6g}, {self.y:.6g})"

@@ -1,0 +1,131 @@
+"""Voronoi diagrams by half-plane intersection.
+
+Definition 3.1 of the paper: the Voronoi cell of site ``p_i`` is the
+set of points strictly closer to ``p_i`` than to any other site.  Cells
+are convex; we compute each cell independently as the intersection of
+the bisector half-planes against all other sites, clipped to a generous
+bounding box (unbounded cells only matter far from the swarm, and the
+protocols never move a robot outside its *granular*, which is tiny by
+comparison).
+
+Complexity is O(n^2) per diagram — entirely adequate for swarm sizes
+(the paper's figures use n = 12) and much easier to verify than
+Fortune's sweep.  Tests cross-check against ``scipy.spatial.Voronoi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.geometry.convex import ConvexPolygon
+from repro.geometry.lines import HalfPlane
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.vec import Vec2
+
+__all__ = ["VoronoiCell", "voronoi_cell", "voronoi_diagram", "nearest_neighbor_distance"]
+
+_BOX_MARGIN_FACTOR = 4.0
+_MIN_BOX_HALF_WIDTH = 1.0
+
+
+@dataclass(frozen=True)
+class VoronoiCell:
+    """One cell of a Voronoi diagram.
+
+    Attributes:
+        site: the generating robot position.
+        polygon: the cell clipped to the diagram's bounding box,
+            as a CCW convex polygon.
+        inradius: radius of the largest disc centred at ``site`` and
+            enclosed in the *true* (unclipped) cell — i.e. half the
+            distance to the nearest other site, the paper's granular
+            radius.  For a single-site diagram this is the clipped
+            box's inradius.
+    """
+
+    site: Vec2
+    polygon: ConvexPolygon
+    inradius: float
+
+    def contains(self, point: Vec2, eps: float = DEFAULT_EPS) -> bool:
+        """Closed containment in the (clipped) cell polygon."""
+        return self.polygon.contains(point, eps)
+
+
+def _bounding_box(sites: Sequence[Vec2]) -> ConvexPolygon:
+    """A box enclosing all sites with a wide margin."""
+    min_x = min(s.x for s in sites)
+    max_x = max(s.x for s in sites)
+    min_y = min(s.y for s in sites)
+    max_y = max(s.y for s in sites)
+    # A symmetric half-width from the *overall* extent, so degenerate
+    # (e.g. collinear) configurations still get a roomy box.
+    extent = max(max_x - min_x, max_y - min_y)
+    half = max(extent * _BOX_MARGIN_FACTOR, _MIN_BOX_HALF_WIDTH)
+    cx = 0.5 * (min_x + max_x)
+    cy = 0.5 * (min_y + max_y)
+    return ConvexPolygon.axis_aligned_box(
+        Vec2(cx - half, cy - half), Vec2(cx + half, cy + half)
+    )
+
+
+def nearest_neighbor_distance(site: Vec2, others: Sequence[Vec2]) -> float:
+    """Distance from ``site`` to the closest of ``others``.
+
+    Raises:
+        ValueError: when ``others`` is empty.
+    """
+    if not others:
+        raise ValueError("nearest_neighbor_distance needs at least one other site")
+    return min(site.distance_to(o) for o in others)
+
+
+def voronoi_cell(
+    site: Vec2,
+    all_sites: Sequence[Vec2],
+    eps: float = DEFAULT_EPS,
+) -> VoronoiCell:
+    """The Voronoi cell of ``site`` within ``all_sites``.
+
+    ``site`` must be an element of ``all_sites``; duplicate sites are
+    rejected because coincident robots have empty cells (and the SSM
+    protocols assume distinct positions).
+    """
+    others = [s for s in all_sites if s != site]
+    if len(others) == len(all_sites):
+        raise ValueError("site must be one of all_sites")
+    for other in others:
+        if site.distance_to(other) <= eps:
+            raise ValueError(f"duplicate site at {other!r}: Voronoi cell would be empty")
+
+    polygon = _bounding_box(list(all_sites))
+    for other in others:
+        polygon = polygon.clipped(HalfPlane.closer_to(site, other), eps)
+        if polygon.is_empty():  # pragma: no cover - cannot happen for a valid site
+            break
+
+    if others:
+        inradius = nearest_neighbor_distance(site, others) / 2.0
+    else:
+        inradius = polygon.distance_to_boundary(site)
+    return VoronoiCell(site=site, polygon=polygon, inradius=inradius)
+
+
+def voronoi_diagram(
+    sites: Sequence[Vec2],
+    eps: float = DEFAULT_EPS,
+) -> Dict[Vec2, VoronoiCell]:
+    """Every site's Voronoi cell, keyed by site position.
+
+    Exactly the "first preprocessing step" of Section 3.2: each robot
+    computes the diagram of the observed configuration and thereafter
+    confines its movements to its own cell, which guarantees collision
+    avoidance.
+    """
+    site_list: List[Vec2] = list(sites)
+    if not site_list:
+        raise ValueError("voronoi_diagram needs at least one site")
+    if len(set(site_list)) != len(site_list):
+        raise ValueError("sites must be pairwise distinct")
+    return {site: voronoi_cell(site, site_list, eps) for site in site_list}

@@ -1,0 +1,118 @@
+"""Observations — the snapshots an active robot receives.
+
+When a robot is activated at instant ``t_j`` it observes the positions
+of all robots in the configuration ``P(t_j)``, expressed in its own
+coordinates.  Two modelling conventions deserve a note:
+
+**Stationary private frame.**  Positions are reported in the robot's
+*stationary* frame: the orientation, scale and handedness of its local
+frame, but anchored at its *initial* position rather than its current
+one.  A real SSM robot observes relative to its current position, but a
+non-oblivious robot can reconstruct the stationary view exactly by
+dead-reckoning the movements it has itself computed (it knows every
+destination it chose and its own ``sigma``).  Using the stationary view
+directly keeps every protocol implementation free of self-motion
+compensation boilerplate without granting any extra power.
+
+**Stable indices.**  Observed robots are listed in a fixed order, so an
+observer can correlate "the same robot" across successive snapshots.
+In the paper's protocols this correlation is always geometrically
+recoverable — each robot is confined to its own granular (synchronous
+and n-robot asynchronous protocols) or to its own half-line and
+excursion band (two-robot asynchronous protocol) — so stable indices
+are a simulation convenience, not an anonymity leak.  Anonymous
+protocols must not treat the index as an agreed name: the naming layers
+derive names from geometry only, and tests enforce that the derived
+names agree across observers while indices are never exchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.geometry.vec import Vec2
+
+__all__ = ["ObservedRobot", "Observation"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObservedRobot:
+    """One robot as seen by an observer.
+
+    Attributes:
+        index: stable per-run tracking index (see module docstring).
+        position: the robot's position in the observer's stationary
+            private frame.
+        observable_id: the robot's visible identifier in identified
+            systems; None when the system is anonymous.
+    """
+
+    index: int
+    position: Vec2
+    observable_id: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """An activation snapshot.
+
+    Under unlimited visibility (the paper's default) ``robots`` holds
+    every robot, ordered by index.  Under limited visibility (the
+    Section 5 extension, :mod:`repro.visibility`) it holds only the
+    robots the observer can see — always including the observer itself
+    — so lookups go through the tracking index, not tuple position.
+
+    Attributes:
+        time: the instant ``t_j`` at which the snapshot was taken.
+        self_index: the observer's own tracking index.
+        robots: the observed robots, ordered by index.
+    """
+
+    time: int
+    self_index: int
+    robots: Tuple[ObservedRobot, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of robots visible in this snapshot."""
+        return len(self.robots)
+
+    @property
+    def self_position(self) -> Vec2:
+        """The observer's own current position (stationary frame)."""
+        position = self.get(self.self_index)
+        if position is None:  # pragma: no cover - simulator always includes self
+            raise KeyError(f"observer {self.self_index} missing from its own snapshot")
+        return position
+
+    def get(self, index: int) -> Optional[Vec2]:
+        """Position of a robot, or None when it is not visible."""
+        for robot in self.robots:
+            if robot.index == index:
+                return robot.position
+        return None
+
+    def position_of(self, index: int) -> Vec2:
+        """Position of the robot with the given tracking index.
+
+        Raises:
+            KeyError: when the robot is outside the observer's
+                visibility range.
+        """
+        position = self.get(index)
+        if position is None:
+            raise KeyError(f"robot {index} is not visible in this snapshot")
+        return position
+
+    def visible_indices(self) -> Tuple[int, ...]:
+        """Tracking indices present in this snapshot, ascending."""
+        return tuple(r.index for r in self.robots)
+
+    def others(self) -> Sequence[ObservedRobot]:
+        """All observed robots except the observer itself."""
+        return [r for r in self.robots if r.index != self.self_index]
+
+    def positions(self) -> Tuple[Vec2, ...]:
+        """All visible positions in index order (observer included)."""
+        return tuple(r.position for r in self.robots)

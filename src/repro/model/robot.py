@@ -1,0 +1,50 @@
+"""Robot specifications.
+
+A :class:`Robot` bundles everything the simulator needs to know about
+one robot: where it starts, how it perceives the world (its local
+frame), how far it can travel in one activation (``sigma``), whether it
+carries an observable identifier, and which protocol instance serves as
+its non-oblivious memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry.frames import Frame
+from repro.geometry.vec import Vec2
+from repro.model.protocol import Protocol
+
+__all__ = ["Robot"]
+
+
+@dataclass
+class Robot:
+    """One robot of the swarm.
+
+    Attributes:
+        position: initial world position (the simulator owns the
+            evolving position; this field is never mutated).
+        protocol: the movement protocol instance — the robot's entire
+            behaviour and memory.  Each robot must have its *own*
+            instance.
+        frame: the robot's local coordinate system (rotation, unit
+            scale, handedness).  Defaults to the world frame.
+        sigma: maximum distance (world units) travelled in a single
+            activation; must be positive.  The paper allows this bound
+            to differ between robots.
+        observable_id: the visible identifier in *identified* systems,
+            or None in anonymous ones.  Observable means: it appears in
+            every other robot's observations.
+    """
+
+    position: Vec2
+    protocol: Protocol
+    frame: Frame = field(default_factory=Frame)
+    sigma: float = 0.25
+    observable_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")

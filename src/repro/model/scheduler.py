@@ -1,0 +1,171 @@
+"""Activation schedulers.
+
+Section 2: "The concurrent activation of robots is modeled by the
+interleaving model in which the robot activations are driven by a
+uniform fair scheduler. [...] In the former case [synchronous], every
+robot is active at each instant.  The latter [asynchronous] means that
+at least one robot is required to be active at each instant."
+
+The fair asynchronous scheduler here enforces a *quantified* fairness
+bound: every robot is activated at least once in every window of
+``fairness_bound`` consecutive instants.  The paper only needs
+eventual fairness; the quantitative bound makes latency measurable and
+termination provable in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.errors import SchedulerError
+
+__all__ = [
+    "Scheduler",
+    "SynchronousScheduler",
+    "FairAsynchronousScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+]
+
+
+class Scheduler(ABC):
+    """Chooses which robots are active at each instant."""
+
+    @abstractmethod
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        """The (nonempty) set of active robot indices at ``time``.
+
+        The simulator calls this with strictly increasing ``time``
+        starting from 0 and a constant ``count``.
+        """
+
+
+class SynchronousScheduler(Scheduler):
+    """Every robot is active at every instant (Section 3 setting)."""
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if count < 1:
+            raise SchedulerError("cannot schedule an empty swarm")
+        return frozenset(range(count))
+
+
+class FairAsynchronousScheduler(Scheduler):
+    """Random nonempty activation sets with a hard fairness window.
+
+    At each instant every robot is independently active with
+    probability ``activation_probability``; the set is then patched to
+    guarantee (a) it is nonempty and (b) no robot stays inactive for
+    ``fairness_bound`` or more consecutive instants.
+
+    With ``activation_probability=1.0`` this degenerates to the
+    synchronous scheduler; with a small probability and a large bound
+    it approaches the adversarial end of the SSM spectrum.
+
+    Args:
+        fairness_bound: ``k >= 1`` — every robot is active at least
+            once in any window of ``k`` instants.
+        activation_probability: per-robot independent activation
+            probability in ``(0, 1]``.
+        seed: RNG seed; runs are deterministic given the seed.
+        activate_all_first: when True, instant 0 activates everyone —
+            the Section 4.2 assumption "all the robots are awake in
+            t0".
+    """
+
+    def __init__(
+        self,
+        fairness_bound: int = 4,
+        activation_probability: float = 0.5,
+        seed: int = 0,
+        activate_all_first: bool = True,
+    ) -> None:
+        if fairness_bound < 1:
+            raise SchedulerError(f"fairness_bound must be >= 1, got {fairness_bound}")
+        if not (0.0 < activation_probability <= 1.0):
+            raise SchedulerError(
+                f"activation_probability must be in (0, 1], got {activation_probability}"
+            )
+        self.fairness_bound = fairness_bound
+        self.activation_probability = activation_probability
+        self.activate_all_first = activate_all_first
+        self._rng = random.Random(seed)
+        self._last_active: Optional[List[int]] = None
+        self._expected_time = 0
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if count < 1:
+            raise SchedulerError("cannot schedule an empty swarm")
+        if time != self._expected_time:
+            raise SchedulerError(
+                f"scheduler driven out of order: expected t={self._expected_time}, got t={time}"
+            )
+        self._expected_time += 1
+
+        if self._last_active is None:
+            self._last_active = [-1] * count
+        elif len(self._last_active) != count:
+            raise SchedulerError("robot count changed mid-run")
+
+        if time == 0 and self.activate_all_first:
+            active = set(range(count))
+        else:
+            active = {
+                i
+                for i in range(count)
+                if self._rng.random() < self.activation_probability
+            }
+            # Fairness patch: anyone inactive for the whole trailing
+            # window must run now.
+            for i in range(count):
+                if time - self._last_active[i] >= self.fairness_bound:
+                    active.add(i)
+            if not active:
+                active.add(self._rng.randrange(count))
+
+        for i in active:
+            self._last_active[i] = time
+        return frozenset(active)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Exactly one robot active per instant, cyclically.
+
+    The slowest fair schedule: a useful worst case for latency
+    measurements (fairness bound equals the swarm size).
+    """
+
+    def __init__(self, activate_all_first: bool = False) -> None:
+        self.activate_all_first = activate_all_first
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if count < 1:
+            raise SchedulerError("cannot schedule an empty swarm")
+        if time == 0 and self.activate_all_first:
+            return frozenset(range(count))
+        offset = time - 1 if self.activate_all_first else time
+        return frozenset({offset % count})
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays an explicit activation script (for tests).
+
+    Args:
+        script: one activation set per instant; the run must not be
+            longer than the script.
+    """
+
+    def __init__(self, script: Sequence[Sequence[int]]) -> None:
+        self._script = [frozenset(step) for step in script]
+        for t, step in enumerate(self._script):
+            if not step:
+                raise SchedulerError(f"scripted activation set at t={t} is empty")
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if time >= len(self._script):
+            raise SchedulerError(f"script exhausted at t={time}")
+        step = self._script[time]
+        if any(not (0 <= i < count) for i in step):
+            raise SchedulerError(f"script at t={time} names an unknown robot: {sorted(step)}")
+        return step

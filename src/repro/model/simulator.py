@@ -1,0 +1,271 @@
+"""The SSM simulation engine.
+
+Implements the computation step of Section 2 exactly:
+
+    "At each time instant ``t_j``, each robot ``r_i`` is either active
+    or inactive.  The former means that, during the computation step
+    ``(t_j, t_{j+1})``, using a given algorithm, ``r_i`` computes in
+    its local coordinate system a position ``p_i(t_{j+1})`` depending
+    only on the system configuration at ``t_j``, and moves towards
+    ``p_i(t_{j+1})`` [...].  In every single activation, the distance
+    traveled by any robot ``r`` is bounded by ``sigma_r``."
+
+All active robots of an instant observe the *same* configuration
+``P(t_j)`` and move simultaneously; inactive robots stay put.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError, SchedulerError
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation, ObservedRobot
+from repro.model.protocol import BindingInfo
+from repro.model.robot import Robot
+from repro.model.scheduler import Scheduler, SynchronousScheduler
+from repro.model.trace import Trace, TraceStep
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Drives a swarm of robots under a scheduler.
+
+    Args:
+        robots: the swarm; at least one robot, pairwise-distinct
+            initial positions, and pairwise-distinct protocol
+            instances.
+        scheduler: activation policy; defaults to fully synchronous.
+
+    The constructor *binds* every protocol: each robot learns its
+    tracking index, the swarm size, its movement bound in local units,
+    the initial configuration ``P(t_0)`` expressed in its stationary
+    private frame, and (in identified systems) the observable IDs.
+    """
+
+    def __init__(self, robots: Sequence[Robot], scheduler: Optional[Scheduler] = None) -> None:
+        if not robots:
+            raise ModelError("a simulation needs at least one robot")
+        protocols = [r.protocol for r in robots]
+        if len({id(p) for p in protocols}) != len(protocols):
+            raise ModelError("every robot needs its own protocol instance")
+        positions = [r.position for r in robots]
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                if positions[i] == positions[j]:
+                    raise ModelError(
+                        f"robots {i} and {j} share the initial position {positions[i]!r}"
+                    )
+        ids = [r.observable_id for r in robots]
+        self._identified = all(v is not None for v in ids)
+        if not self._identified and any(v is not None for v in ids):
+            raise ModelError(
+                "either every robot has an observable_id (identified system) "
+                "or none does (anonymous system)"
+            )
+        if self._identified and len(set(ids)) != len(ids):
+            raise ModelError("observable ids must be pairwise distinct")
+
+        self._robots = list(robots)
+        self._scheduler = scheduler if scheduler is not None else SynchronousScheduler()
+        self._positions: List[Vec2] = positions[:]
+        self._anchors: Tuple[Vec2, ...] = tuple(positions)
+        self._time = 0
+        self._trace = Trace(initial_positions=tuple(positions))
+
+        observable_ids = tuple(ids) if self._identified else None
+        world_visibility = self._world_visibility_radius()
+        for index, robot in enumerate(self._robots):
+            visible = self._visible_from(index)
+            initial_local = tuple(
+                robot.frame.to_local(p, self._anchors[index]) if i in visible else None
+                for i, p in enumerate(positions)
+            )
+            robot.protocol.bind(
+                BindingInfo(
+                    index=index,
+                    count=len(self._robots),
+                    sigma=robot.sigma / robot.frame.scale,
+                    initial_positions=initial_local,
+                    observable_ids=observable_ids,
+                    visibility_radius=(
+                        world_visibility / robot.frame.scale
+                        if world_visibility is not None
+                        else None
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> int:
+        """The current instant ``t_j``."""
+        return self._time
+
+    @property
+    def count(self) -> int:
+        """Number of robots."""
+        return len(self._robots)
+
+    @property
+    def robots(self) -> Tuple[Robot, ...]:
+        """The robot specifications (read-only view)."""
+        return tuple(self._robots)
+
+    @property
+    def positions(self) -> Tuple[Vec2, ...]:
+        """Current world positions ``P(t_j)``."""
+        return tuple(self._positions)
+
+    @property
+    def trace(self) -> Trace:
+        """The recorded history so far."""
+        return self._trace
+
+    def protocol_of(self, index: int):
+        """The protocol instance of robot ``index``."""
+        return self._robots[index].protocol
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> TraceStep:
+        """Advance one instant: activate, observe, compute, move."""
+        active = self._scheduler.activations(self._time, self.count)
+        if not active:
+            raise SchedulerError(f"empty activation set at t={self._time}")
+        if any(not (0 <= i < self.count) for i in active):
+            raise SchedulerError(f"activation set {sorted(active)} out of range")
+
+        # All active robots observe the same configuration P(t_j)...
+        new_positions: Dict[int, Vec2] = {}
+        for index in sorted(active):
+            robot = self._robots[index]
+            observation = self._observe(index)
+            local_target = robot.protocol.on_activate(observation)
+            world_target = robot.frame.to_world(local_target, self._anchors[index])
+            clamped = self._positions[index].clamped_toward(world_target, robot.sigma)
+            new_positions[index] = self._constrain_destination(index, clamped)
+
+        # ...and move simultaneously.
+        for index, position in new_positions.items():
+            self._positions[index] = position
+
+        step = TraceStep(
+            time=self._time,
+            active=frozenset(active),
+            positions=tuple(self._positions),
+        )
+        self._trace.steps.append(step)
+        self._time += 1
+        return step
+
+    def run(self, steps: int) -> Trace:
+        """Advance a fixed number of instants; returns the trace."""
+        if steps < 0:
+            raise ModelError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self._trace
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_steps: int,
+    ) -> bool:
+        """Step until ``predicate(self)`` holds or ``max_steps`` elapse.
+
+        Returns True when the predicate was satisfied.  The predicate
+        is also checked before the first step.
+        """
+        if max_steps < 0:
+            raise ModelError(f"max_steps must be >= 0, got {max_steps}")
+        for _ in range(max_steps):
+            if predicate(self):
+                return True
+            self.step()
+        return predicate(self)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def displace(self, index: int, position: Vec2) -> None:
+        """Teleport a robot out-of-band — a *transient fault*.
+
+        This is a testing / fault-injection API, not part of the model:
+        it corrupts the configuration the way the self-stabilization
+        discussion of Section 5 envisages (arbitrary transient state
+        perturbation).  Protocol-internal state (homes, granulars) is
+        deliberately left stale; recovering from that is exactly what
+        :mod:`repro.stabilization` exists for.
+        """
+        if not (0 <= index < self.count):
+            raise ModelError(f"unknown robot {index}")
+        for i, existing in enumerate(self._positions):
+            if i != index and existing == position:
+                raise ModelError(f"displacement collides with robot {i}")
+        self._positions[index] = position
+
+    # ------------------------------------------------------------------
+    # Internals / extension hooks
+    # ------------------------------------------------------------------
+    def _constrain_destination(self, index: int, destination: Vec2) -> Vec2:
+        """Environment-level movement constraint hook.
+
+        The base model is the continuous plane (identity).  The
+        Section 5 discrete worlds (:mod:`repro.discrete`) override this
+        to snap destinations onto a lattice.
+        """
+        return destination
+
+    def _world_visibility_radius(self) -> Optional[float]:
+        """Visibility range in world units; None means unlimited.
+
+        The base simulator implements the paper's default model (every
+        robot sees every robot); :class:`repro.visibility.simulator.
+        VisibilitySimulator` overrides this.
+        """
+        return None
+
+    def _visible_from(self, index: int) -> frozenset:
+        """Indices visible to ``index`` (always includes itself).
+
+        Evaluated on the anchor configuration ``P(t_0)``: protocol
+        movements stay within granular-scale bands, so the visibility
+        graph is treated as static for a run.
+        """
+        radius = self._world_visibility_radius()
+        if radius is None:
+            return frozenset(range(self.count))
+        me = self._anchors[index]
+        return frozenset(
+            i for i in range(self.count) if me.distance_to(self._anchors[i]) <= radius
+        )
+
+    def _config_for_observation(self, index: int) -> Sequence[Vec2]:
+        """The configuration an activation's Look phase returns.
+
+        The SSM default is the instantaneous ``P(t_j)``; the CORDA-style
+        :class:`repro.corda.simulator.StaleLookSimulator` overrides this
+        with a (boundedly) stale configuration.
+        """
+        return self._positions
+
+    def _observe(self, index: int) -> Observation:
+        robot = self._robots[index]
+        anchor = self._anchors[index]
+        visible = self._visible_from(index)
+        config = self._config_for_observation(index)
+        observed = tuple(
+            ObservedRobot(
+                index=i,
+                position=robot.frame.to_local(config[i], anchor),
+                observable_id=self._robots[i].observable_id if self._identified else None,
+            )
+            for i in range(self.count)
+            if i in visible
+        )
+        return Observation(time=self._time, self_index=index, robots=observed)

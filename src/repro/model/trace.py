@@ -1,0 +1,114 @@
+"""Execution traces.
+
+The simulator records the full history of a run: who was active when,
+and where everyone was after each step.  Analysis code (metrics,
+collision audits, figure regeneration) and many tests consume traces
+instead of peeking into live simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.geometry.vec import Vec2
+
+__all__ = ["TraceStep", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """The outcome of one instant.
+
+    Attributes:
+        time: the instant ``t_j``.
+        active: indices of the robots activated at ``t_j``.
+        positions: world positions of all robots at ``t_{j+1}`` (after
+            the movements of the step).
+    """
+
+    time: int
+    active: FrozenSet[int]
+    positions: Tuple[Vec2, ...]
+
+
+@dataclass
+class Trace:
+    """A complete run history.
+
+    Attributes:
+        initial_positions: the configuration ``P(t_0)``.
+        steps: one :class:`TraceStep` per simulated instant.
+    """
+
+    initial_positions: Tuple[Vec2, ...]
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    @property
+    def count(self) -> int:
+        """Number of robots."""
+        return len(self.initial_positions)
+
+    def positions_at(self, time: int) -> Tuple[Vec2, ...]:
+        """The configuration ``P(t)``; ``time`` from 0 to ``len(steps)``."""
+        if time == 0:
+            return self.initial_positions
+        return self.steps[time - 1].positions
+
+    def path_of(self, index: int) -> List[Vec2]:
+        """The full position sequence of one robot (length steps+1)."""
+        return [self.initial_positions[index]] + [s.positions[index] for s in self.steps]
+
+    def distance_travelled(self, index: int) -> float:
+        """Total world distance covered by one robot."""
+        path = self.path_of(index)
+        return sum(a.distance_to(b) for a, b in zip(path, path[1:]))
+
+    def activation_count(self, index: int) -> int:
+        """How many instants the robot was active."""
+        return sum(1 for s in self.steps if index in s.active)
+
+    def min_pairwise_distance(self) -> float:
+        """The smallest inter-robot distance over the whole run.
+
+        The collision-avoidance audits assert this never falls to zero
+        (Section 3.2's Voronoi-confinement guarantee).
+        """
+        best = float("inf")
+        for time in range(len(self.steps) + 1):
+            positions = self.positions_at(time)
+            for i in range(len(positions)):
+                for j in range(i + 1, len(positions)):
+                    best = min(best, positions[i].distance_to(positions[j]))
+        return best
+
+    def movements_of(self, index: int) -> List[Tuple[int, Vec2, Vec2]]:
+        """Every actual movement of a robot as ``(time, before, after)``.
+
+        Only steps where the position changed are reported; the
+        "silence" audits check that idle robots produce none.
+        """
+        moves: List[Tuple[int, Vec2, Vec2]] = []
+        previous = self.initial_positions[index]
+        for step in self.steps:
+            current = step.positions[index]
+            if current != previous:
+                moves.append((step.time, previous, current))
+            previous = current
+        return moves
+
+
+def bounding_box(points: Sequence[Vec2]) -> Tuple[Vec2, Vec2]:
+    """Axis-aligned bounding box of a point set as ``(lo, hi)``."""
+    if not points:
+        raise ValueError("bounding_box of an empty point set")
+    return (
+        Vec2(min(p.x for p in points), min(p.y for p in points)),
+        Vec2(max(p.x for p in points), max(p.y for p in points)),
+    )

@@ -1,0 +1,40 @@
+"""Naming and addressing schemes.
+
+One-to-one communication needs the sender to *address* a particular
+receiver (the paper's Routing/Naming requirements).  Three regimes:
+
+* identified systems — observable IDs give names for free
+  (:mod:`repro.naming.identified`, Section 3.2);
+* anonymous robots with sense of direction — a common total order from
+  shared axes (:mod:`repro.naming.sod`, Section 3.3);
+* anonymous robots with chirality only — no *common* naming exists in
+  general (:mod:`repro.naming.symmetry`, Figure 3), but every robot can
+  compute a *relative* naming from the smallest enclosing circle that
+  all observers can reproduce (:mod:`repro.naming.sec_naming`,
+  Section 3.4).
+"""
+
+from repro.naming.identified import identified_labels
+from repro.naming.sod import sod_labels
+from repro.naming.sec_naming import horizon_direction, relative_labels
+from repro.naming.symmetry import (
+    common_naming_is_impossible,
+    figure3_configuration,
+    local_view,
+    rotational_symmetry_order,
+    symmetric_view_pairs,
+    symmetry_orbits,
+)
+
+__all__ = [
+    "identified_labels",
+    "sod_labels",
+    "relative_labels",
+    "horizon_direction",
+    "rotational_symmetry_order",
+    "symmetry_orbits",
+    "symmetric_view_pairs",
+    "local_view",
+    "common_naming_is_impossible",
+    "figure3_configuration",
+]

@@ -1,0 +1,34 @@
+"""Naming in identified systems (Section 3.2).
+
+When every robot carries a visible identifier, the diameter labels of
+the granular scheme are simply the identifiers.  The paper labels
+diameters ``0 .. n-1``; to accept arbitrary (distinct) integer IDs we
+map each ID to its rank in sorted order, which every observer computes
+identically from the observable IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import NamingError
+
+__all__ = ["identified_labels"]
+
+
+def identified_labels(observable_ids: Sequence[int]) -> Dict[int, int]:
+    """Map tracking index -> diameter label from observable IDs.
+
+    The label of a robot is the rank of its observable ID among all
+    IDs (so IDs ``0..n-1`` label themselves, and arbitrary distinct
+    IDs still yield the dense labels the granular scheme needs).
+
+    Raises:
+        NamingError: when IDs are missing or not pairwise distinct.
+    """
+    if not observable_ids:
+        raise NamingError("identified naming needs at least one observable id")
+    if len(set(observable_ids)) != len(observable_ids):
+        raise NamingError(f"observable ids are not pairwise distinct: {list(observable_ids)}")
+    by_id = sorted(range(len(observable_ids)), key=lambda i: observable_ids[i])
+    return {index: rank for rank, index in enumerate(by_id)}

@@ -1,0 +1,155 @@
+"""Relative naming from the smallest enclosing circle (Section 3.4).
+
+With chirality but no sense of direction, no *common* naming exists in
+general (see :mod:`repro.naming.symmetry`).  The paper's workaround is
+a naming that is *relative to each robot* yet computable *by every
+observer*:
+
+1. all robots compute the (unique) smallest enclosing circle ``SEC``
+   of ``P(t_0)`` with centre ``O``;
+2. the horizon line ``H_r`` of robot ``r`` passes through ``r`` and
+   ``O``;
+3. the robots are numbered following the radii of ``SEC`` in the
+   clockwise direction starting from ``H_r``; robots on the same
+   radius are numbered "in the growing order starting from O".
+
+Because the construction is a deterministic function of the
+configuration and the subject robot, *any* robot can recompute *any*
+other robot's labelling, which is what lets receivers resolve to whom
+a movement-bit is addressed.
+
+Conventions (documented choices where the paper is silent):
+
+* "clockwise" is evaluated in the observer's local coordinates; shared
+  chirality makes the sweep agree across observers.
+* The subject's own radius has sweep angle 0, so the labels of robots
+  on it start at 0 ("r is not necessarily labeled by 0 if some robots
+  are located between itself and O on its radius").
+* A robot located exactly at ``O`` lies on every radius; we place it
+  first on the subject's own radius (sweep 0, distance 0), which every
+  observer resolves identically.
+* A *subject* located exactly at ``O`` has no horizon line; the
+  construction fails with :class:`~repro.errors.NamingError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import NamingError
+from repro.geometry.predicates import normalize_angle_positive
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+
+__all__ = ["relative_labels", "horizon_direction"]
+
+_ANGLE_TIE_EPS = 1e-9
+_TWO_PI = 2.0 * math.pi
+
+
+def horizon_direction(positions: Sequence[Vec2], subject: int) -> Vec2:
+    """Outward unit direction of the subject's horizon line ``H_r``.
+
+    Points from the SEC centre ``O`` through the subject; this is the
+    subject's private "North" used to orient its granular (the paper:
+    "the Northern being given by the direction of Hr").
+
+    Raises:
+        NamingError: when the subject sits exactly at ``O``.
+    """
+    center = smallest_enclosing_circle(positions).center
+    offset = positions[subject] - center
+    if offset.norm() <= _ANGLE_TIE_EPS:
+        raise NamingError(
+            f"robot {subject} is at the SEC centre: horizon line undefined"
+        )
+    return offset.normalized()
+
+
+def relative_labels(
+    positions: Sequence[Vec2],
+    subject: int,
+    sweep: int = -1,
+) -> Dict[int, int]:
+    """The Section 3.4 labelling of all robots relative to ``subject``.
+
+    Args:
+        positions: the configuration (any observer's local view; shared
+            chirality makes the result observer-independent).
+        subject: tracking index of the robot the naming is relative to.
+        sweep: ``-1`` for the standard clockwise sweep in right-handed
+            local coordinates (the default every robot derives from the
+            shared chirality); ``+1`` flips it.
+
+    Returns:
+        A dict mapping tracking index -> label in ``0..n-1``.
+
+    Raises:
+        NamingError: when the subject is at the SEC centre, or two
+            distinct radii are too close to order reliably.
+    """
+    n = len(positions)
+    if n == 0:
+        raise NamingError("relative naming needs at least one robot")
+    if not (0 <= subject < n):
+        raise NamingError(f"subject index {subject} out of range for {n} robots")
+    if sweep not in (1, -1):
+        raise NamingError(f"sweep must be +1 or -1, got {sweep}")
+
+    center = smallest_enclosing_circle(positions).center
+    reference = positions[subject] - center
+    if reference.norm() <= _ANGLE_TIE_EPS:
+        raise NamingError(
+            f"subject robot {subject} is at the SEC centre: horizon line undefined"
+        )
+    ref_angle = reference.angle()
+
+    entries: List[Tuple[float, float, int]] = []
+    for index, position in enumerate(positions):
+        radial = position - center
+        distance = radial.norm()
+        if distance <= _ANGLE_TIE_EPS:
+            # Robot at O: on every radius; convention places it on the
+            # subject's radius (sweep angle 0) at distance 0.
+            entries.append((0.0, 0.0, index))
+            continue
+        # CW sweep (sweep=-1) from reference to target is
+        # ref_angle - target_angle normalised to [0, 2*pi).
+        swept = normalize_angle_positive(sweep * (radial.angle() - ref_angle))
+        entries.append((swept, distance, index))
+
+    # Snap angles within a tolerance of 0 or 2*pi onto the reference
+    # radius, and detect unorderable near-ties between distinct radii.
+    snapped: List[Tuple[float, float, int]] = []
+    for swept, distance, index in entries:
+        if swept <= _ANGLE_TIE_EPS or _TWO_PI - swept <= _ANGLE_TIE_EPS:
+            swept = 0.0
+        snapped.append((swept, distance, index))
+    snapped.sort(key=lambda e: (e[0], e[1], e[2]))
+
+    labels: Dict[int, int] = {}
+    for rank, (_, __, index) in enumerate(_merge_radius_groups(snapped)):
+        labels[index] = rank
+    return labels
+
+
+def _merge_radius_groups(
+    entries: List[Tuple[float, float, int]],
+) -> List[Tuple[float, float, int]]:
+    """Re-sort runs of near-equal angles by distance from the centre.
+
+    After the primary sort, entries whose sweep angles differ by less
+    than the tolerance belong to the same radius and must be ordered
+    purely by distance ("in the growing order starting from O").
+    """
+    out: List[Tuple[float, float, int]] = []
+    i = 0
+    while i < len(entries):
+        j = i + 1
+        while j < len(entries) and entries[j][0] - entries[i][0] <= _ANGLE_TIE_EPS:
+            j += 1
+        group = sorted(entries[i:j], key=lambda e: (e[1], e[2]))
+        out.extend(group)
+        i = j
+    return out

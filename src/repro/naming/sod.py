@@ -1,0 +1,60 @@
+"""Naming for anonymous robots with sense of direction (Section 3.3).
+
+Following Flocchini et al. [12], robots that agree on their y axes
+(and, by chirality, on their x axes) can agree on a total order even
+without observable IDs: "Each robot r labels every observed robot with
+its local x-y coordinate [...].  Even if the robots do not agree on
+their metric system, by sharing the same x- and y-axes, they agree on
+the same order."
+
+The key invariance: each robot's view differs from the world by a
+translation and a *uniform positive scale* (rotation is fixed by the
+shared axes), both of which preserve the per-axis order of
+coordinates, hence the lexicographic order of points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import NamingError
+from repro.geometry.vec import Vec2
+
+__all__ = ["sod_labels"]
+
+
+def sod_labels(positions: Sequence[Vec2], eps_factor: float = 1e-9) -> Dict[int, int]:
+    """Map tracking index -> label from the shared-axes lexicographic order.
+
+    Points are ordered by x, with ties (within a tolerance relative to
+    the configuration extent) broken by y.  Exact coordinate ties on
+    both axes are impossible for distinct robots.
+
+    Args:
+        positions: the configuration in the observer's local frame.
+        eps_factor: relative tie tolerance.  Configurations with
+            distinct-but-closer-than-tolerance x coordinates are
+            rejected rather than silently mis-ordered, because
+            different observers could then disagree.
+
+    Raises:
+        NamingError: on empty input or ambiguous near-ties.
+    """
+    if not positions:
+        raise NamingError("sod naming needs at least one robot")
+    extent = max(
+        max(p.x for p in positions) - min(p.x for p in positions),
+        max(p.y for p in positions) - min(p.y for p in positions),
+        1.0,
+    )
+    eps = eps_factor * extent
+
+    order = sorted(range(len(positions)), key=lambda i: (positions[i].x, positions[i].y))
+    for a, b in zip(order, order[1:]):
+        dx = abs(positions[a].x - positions[b].x)
+        if 0.0 < dx <= eps:
+            raise NamingError(
+                f"ambiguous x-coordinate near-tie between robots {a} and {b} "
+                f"(delta {dx:.3e} <= tolerance {eps:.3e})"
+            )
+    return {index: rank for rank, index in enumerate(order)}

@@ -1,0 +1,180 @@
+"""Symmetric configurations and the Figure 3 obstruction.
+
+Figure 3 of the paper shows six robots "scattered in the plane in such
+a way that for every robot, there is another robot having the same
+view", concluding that "they are not able to agree on a common
+direction nor a common naming" even with chirality.
+
+The obstruction is rotational symmetry: if a rotation by ``2*pi/k``
+(``k >= 2``) about the configuration's centre maps the robot set onto
+itself, then robots in the same orbit can have local frames that are
+rotated copies of one another, making their entire world views
+identical.  A deterministic naming rule — a function of the local view
+— must then give orbit-mates the same self-label, which is absurd.
+
+This module detects the symmetry order of a configuration, produces
+the witness frame assignments that realise identical views, and
+generates the Figure 3 instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geometry.frames import Frame
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+
+__all__ = [
+    "rotational_symmetry_order",
+    "symmetric_view_pairs",
+    "figure3_configuration",
+]
+
+_EPS = 1e-9
+
+
+def _symmetry_center(positions: Sequence[Vec2]) -> Vec2:
+    """The only candidate fixed point: the SEC centre.
+
+    Any isometry mapping the configuration to itself maps its unique
+    smallest enclosing circle to itself, hence fixes the centre.
+    """
+    return smallest_enclosing_circle(positions).center
+
+
+def _maps_to_self(positions: Sequence[Vec2], center: Vec2, angle: float) -> bool:
+    """Whether rotating all points by ``angle`` about ``center`` permutes them."""
+    rotated = [center + (p - center).rotated(angle) for p in positions]
+    unmatched = list(positions)
+    for q in rotated:
+        for i, p in enumerate(unmatched):
+            if p.distance_to(q) <= _EPS:
+                del unmatched[i]
+                break
+        else:
+            return False
+    return True
+
+
+def rotational_symmetry_order(positions: Sequence[Vec2]) -> int:
+    """The largest ``k`` such that rotation by ``2*pi/k`` is a symmetry.
+
+    Returns 1 for asymmetric configurations.  A robot located exactly
+    at the centre is its own orbit and does not constrain ``k``, so
+    candidates are divisors of the number of off-centre robots.
+    """
+    if not positions:
+        raise ValueError("symmetry of an empty configuration is undefined")
+    center = _symmetry_center(positions)
+    off_center = sum(1 for p in positions if p.distance_to(center) > _EPS)
+    if off_center == 0:
+        return 1
+    for k in range(off_center, 1, -1):
+        if off_center % k == 0 and _maps_to_self(positions, center, 2.0 * math.pi / k):
+            return k
+    return 1
+
+
+def symmetry_orbits(positions: Sequence[Vec2]) -> List[List[int]]:
+    """Partition robot indices into orbits of the maximal rotation.
+
+    Robots in the same orbit are mutually indistinguishable: there are
+    frame assignments under which their views coincide.
+    """
+    k = rotational_symmetry_order(positions)
+    center = _symmetry_center(positions)
+    if k == 1:
+        return [[i] for i in range(len(positions))]
+    angle = 2.0 * math.pi / k
+    assigned = [False] * len(positions)
+    orbits: List[List[int]] = []
+    for i, p in enumerate(positions):
+        if assigned[i]:
+            continue
+        orbit = [i]
+        assigned[i] = True
+        current = p
+        for _ in range(k - 1):
+            current = center + (current - center).rotated(angle)
+            for j, q in enumerate(positions):
+                if not assigned[j] and q.distance_to(current) <= _EPS:
+                    orbit.append(j)
+                    assigned[j] = True
+                    break
+        orbits.append(sorted(orbit))
+    return orbits
+
+
+def symmetric_view_pairs(
+    positions: Sequence[Vec2],
+) -> List[Tuple[int, int, Frame, Frame]]:
+    """Witnesses of indistinguishability for a symmetric configuration.
+
+    For each orbit pair ``(i, j)`` under the maximal rotation, returns
+    local frames ``(frame_i, frame_j)`` — same handedness, same scale,
+    rotations differing by the symmetry angle — under which robot
+    ``i``'s view of the configuration is point-for-point identical to
+    robot ``j``'s.  An empty list means the configuration is
+    asymmetric.
+    """
+    k = rotational_symmetry_order(positions)
+    if k < 2:
+        return []
+    angle = 2.0 * math.pi / k
+    pairs: List[Tuple[int, int, Frame, Frame]] = []
+    for orbit in symmetry_orbits(positions):
+        if len(orbit) < 2:
+            continue
+        base = orbit[0]
+        for step, other in enumerate(orbit[1:], start=1):
+            pairs.append(
+                (
+                    base,
+                    other,
+                    Frame(rotation=0.0, scale=1.0, handedness=1),
+                    Frame(rotation=step * angle, scale=1.0, handedness=1),
+                )
+            )
+    return pairs
+
+
+def local_view(
+    positions: Sequence[Vec2], subject: int, frame: Frame
+) -> Tuple[Vec2, ...]:
+    """A robot's entire world knowledge: all positions in its frame.
+
+    Returned in a canonical (sorted) order, because an anonymous robot
+    receives an unordered set of points.
+    """
+    origin = positions[subject]
+    view = [frame.to_local(p, origin) for p in positions]
+    rounded = sorted(view, key=lambda v: (round(v.x, 9), round(v.y, 9)))
+    return tuple(rounded)
+
+
+def figure3_configuration() -> List[Vec2]:
+    """A six-robot configuration with the Figure 3 symmetry.
+
+    Three antipodal pairs around the origin (2-fold rotational
+    symmetry): for every robot there is another robot whose view can be
+    made identical, so no deterministic common naming exists even with
+    chirality.
+    """
+    half = [
+        Vec2.from_polar(1.0, math.radians(10.0)),
+        Vec2.from_polar(1.0, math.radians(60.0)),
+        Vec2.from_polar(1.0, math.radians(140.0)),
+    ]
+    return half + [-p for p in half]
+
+
+def common_naming_is_impossible(positions: Sequence[Vec2]) -> bool:
+    """Decide the Figure 3 obstruction for a configuration.
+
+    True when some rotation of order >= 2 maps the configuration to
+    itself — the formal content of "they are not able to agree on a
+    common naming".
+    """
+    return rotational_symmetry_order(positions) >= 2

@@ -1,0 +1,18 @@
+"""Sensor noise — the Section 5 round-off discussion, continuous form.
+
+    "robots could be prone to make computation errors due to round
+    off, and, therefore, face a situation where robots are not able to
+    identify all of possible 2n directions"
+
+Where :mod:`repro.discrete` models the *discrete* version of this
+(finitely many recognisable directions), this subpackage models the
+*continuous* one: every observed position is perturbed by zero-mean
+Gaussian noise.  The decoding guard bands (slice-angle tolerance in the
+granular classifier, the dead zones of the symbol coder) determine how
+much noise each protocol tolerates; the A5 experiment maps the
+delivery-rate cliff as noise grows relative to the excursion length.
+"""
+
+from repro.noise.simulator import NoisyObservationSimulator
+
+__all__ = ["NoisyObservationSimulator"]

@@ -1,0 +1,76 @@
+"""The SSM engine with noisy position sensing.
+
+Every observed position (of *other* robots — a robot is assumed to
+know its own position from odometry) is perturbed by independent
+zero-mean Gaussian noise of a configurable standard deviation, freshly
+drawn per observation.  Movements themselves are exact: this models
+imprecise *sensing*, not imprecise actuation.
+
+Decoders see perturbed excursions; whether they survive depends on
+their guard bands.  A robot observed "off home" by less than its
+decoder's threshold stays classified as idle, and an excursion whose
+perceived direction drifts past the slice tolerance raises
+``AmbiguousDirectionError`` — both failure modes are exercised by
+``benchmarks/bench_a5_noise.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.scheduler import Scheduler
+from repro.model.simulator import Simulator
+
+__all__ = ["NoisyObservationSimulator"]
+
+
+class NoisyObservationSimulator(Simulator):
+    """SSM with Gaussian position-sensing noise.
+
+    Args:
+        robots: the swarm.
+        noise_std: standard deviation of the per-axis position error
+            (world units); 0 reduces to the base engine.
+        seed: RNG seed; runs are reproducible.
+        scheduler: activation policy.
+    """
+
+    def __init__(
+        self,
+        robots: Sequence[Robot],
+        noise_std: float,
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if noise_std < 0.0:
+            raise ModelError(f"noise_std must be >= 0, got {noise_std}")
+        self._noise_std = noise_std
+        self._noise_rng = random.Random(seed)
+        super().__init__(robots, scheduler)
+
+    @property
+    def noise_std(self) -> float:
+        """The sensing-noise standard deviation (world units)."""
+        return self._noise_std
+
+    def _config_for_observation(self, index: int) -> Sequence[Vec2]:
+        # The observer's own position is spared: odometry is exact.
+        base = super()._config_for_observation(index)
+        if self._noise_std == 0.0:
+            return base
+        noisy: List[Vec2] = []
+        for i, position in enumerate(base):
+            if i == index:
+                noisy.append(position)
+            else:
+                noisy.append(
+                    Vec2(
+                        position.x + self._noise_rng.gauss(0.0, self._noise_std),
+                        position.y + self._noise_rng.gauss(0.0, self._noise_std),
+                    )
+                )
+        return noisy

@@ -1,0 +1,52 @@
+"""The six movement protocols of the paper, plus extensions.
+
+Synchronous (Section 3):
+
+* :class:`~repro.protocols.sync_two.SyncTwoProtocol` — §3.1, two
+  robots, side-step coding (with the multi-symbol extension).
+* :class:`~repro.protocols.sync_granular.SyncGranularProtocol` —
+  §3.2/§3.3/§3.4, ``n >= 2`` robots routed through sliced granulars,
+  with pluggable naming (identified IDs, sense-of-direction order, or
+  SEC relative naming).
+* :class:`~repro.protocols.sync_logk.SyncLogKProtocol` — the §5
+  bounded-resolution variant with ``k+1`` diameters and base-``k``
+  address blocks.
+
+Asynchronous (Section 4):
+
+* :class:`~repro.protocols.async_two.AsyncTwoProtocol` — §4.1, two
+  robots with implicit acknowledgements (Lemma 4.1).
+* :class:`~repro.protocols.async_n.AsyncNProtocol` — §4.2, any number
+  of robots with the extra idle slice ``kappa``.
+
+Extensions (Section 5 remarks):
+
+* :class:`~repro.protocols.flocking.FlockingProtocol` — chat while the
+  swarm flocks; observers subtract the agreed drift.
+* :mod:`~repro.protocols.broadcast` — one-to-many / one-to-all helpers.
+"""
+
+from repro.protocols.acks import ChangeWatcher
+from repro.protocols.sync_two import SyncTwoProtocol
+from repro.protocols.sync_granular import (
+    NamingMode,
+    SyncGranularProtocol,
+)
+from repro.protocols.sync_logk import SyncLogKProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.flocking import FlockingProtocol
+from repro.protocols.broadcast import send_to_all, send_to_many
+
+__all__ = [
+    "ChangeWatcher",
+    "SyncTwoProtocol",
+    "SyncGranularProtocol",
+    "SyncLogKProtocol",
+    "NamingMode",
+    "AsyncTwoProtocol",
+    "AsyncNProtocol",
+    "FlockingProtocol",
+    "send_to_all",
+    "send_to_many",
+]

@@ -1,0 +1,66 @@
+"""Shared label/orientation preprocessing for granular protocols.
+
+The synchronous granular scheme (§3.2-3.4), its bounded-resolution
+variant (§5) and the asynchronous n-robot protocol (§4.2) all need the
+same two ingredients per robot ``s``:
+
+* the diameter-label map ``labels_s`` (tracking index -> label) that
+  ``s`` uses when addressing, and
+* the direction ``s`` aligns diameter 0 on.
+
+Both depend only on the naming mode and ``P(t_0)``, so every observer
+reproduces every sender's values — the property the decoding side of
+all three protocols rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.naming.identified import identified_labels
+from repro.naming.sec_naming import horizon_direction, relative_labels
+from repro.naming.sod import sod_labels
+
+__all__ = ["NamingMode", "build_addressing"]
+
+NamingMode = Literal["identified", "sod", "sec"]
+
+
+def build_addressing(
+    naming: NamingMode,
+    positions: Sequence[Vec2],
+    observable_ids: Optional[Sequence[int]],
+) -> Tuple[Dict[int, Dict[int, int]], List[Vec2]]:
+    """Per-sender label maps and diameter-0 directions.
+
+    Returns:
+        ``(labels, zero_directions)`` where ``labels[s]`` maps tracking
+        index -> diameter label as used by sender ``s`` and
+        ``zero_directions[s]`` is the unit vector ``s`` aligns its
+        diameter 0 on (the common North for ``identified``/``sod``,
+        the outward horizon direction for ``sec``).
+
+    Raises:
+        ProtocolError: when the naming mode's capability requirement is
+            not met (e.g. ``identified`` without observable IDs).
+    """
+    n = len(positions)
+    north = Vec2(0.0, 1.0)
+    if naming == "identified":
+        if observable_ids is None:
+            raise ProtocolError(
+                "naming='identified' requires an identified system "
+                "(every robot needs an observable_id)"
+            )
+        common = identified_labels(observable_ids)
+        return {s: dict(common) for s in range(n)}, [north] * n
+    if naming == "sod":
+        common = sod_labels(positions)
+        return {s: dict(common) for s in range(n)}, [north] * n
+    if naming == "sec":
+        labels = {s: relative_labels(positions, s) for s in range(n)}
+        zeros = [horizon_direction(positions, s) for s in range(n)]
+        return labels, zeros
+    raise ProtocolError(f"unknown naming mode {naming!r}")

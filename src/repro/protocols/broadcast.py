@@ -1,0 +1,53 @@
+"""One-to-many and one-to-all communication (Section 1 / Section 5).
+
+    "Note that our protocols — either synchronous or asynchronous —
+    can be easily adapted to implement efficiently one-to-many or
+    one-to-all explicit communication."
+
+Two adaptations are provided:
+
+* *Addressed fan-out* (:func:`send_to_many`, :func:`send_to_all`) —
+  queue the same bits for every recipient; each copy travels as an
+  ordinary one-to-one transmission, so delivery lands in each
+  recipient's ``received`` log.
+
+* *Overhearing* — since "every robot is able to know all the messages
+  sent in the system", a single one-to-one transmission already
+  reaches every observer via its ``overheard`` log; the channel layer
+  (:class:`repro.channels.mailbox.OverhearingMonitor`) reassembles
+  messages from it.  This is the paper's *efficient* one-to-all: one
+  transmission, ``n - 1`` receivers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ProtocolError
+from repro.model.protocol import Protocol
+
+__all__ = ["send_to_many", "send_to_all"]
+
+
+def send_to_many(protocol: Protocol, dsts: Iterable[int], bits: Sequence[int]) -> int:
+    """Queue ``bits`` for every destination in ``dsts``.
+
+    Returns the number of copies queued.  Destinations must be
+    distinct, valid, and not the sender itself.
+    """
+    targets = list(dsts)
+    if len(set(targets)) != len(targets):
+        raise ProtocolError(f"duplicate destinations in {targets}")
+    for dst in targets:
+        protocol.send_bits(dst, bits)
+    return len(targets)
+
+
+def send_to_all(protocol: Protocol, bits: Sequence[int]) -> int:
+    """Queue ``bits`` for every robot except the sender.
+
+    Returns the number of copies queued (``n - 1``).
+    """
+    info = protocol.info
+    others = [i for i in range(info.count) if i != info.index]
+    return send_to_many(protocol, others, bits)

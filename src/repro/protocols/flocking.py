@@ -1,0 +1,146 @@
+"""Chatting while flocking (Section 5, concluding remark).
+
+    "Note that the robots may decide to flock in a certain direction,
+    subtracting the agreed upon global flocking movement in order to
+    preserve the relative movements used for communication."
+
+:class:`FlockingProtocol` wraps any synchronous movement protocol.  At
+every instant the whole swarm translates by an agreed drift vector; the
+wrapper presents each inner protocol with a *de-drifted* view of the
+world (positions minus ``drift * t``) and adds the accumulated drift
+back to the inner protocol's destination.  Communication is therefore
+bit-for-bit identical to the static run while the swarm travels.
+
+Agreement without common units: the drift is specified as a direction
+in the shared axes (this wrapper requires sense of direction) and a
+speed given as a *fraction of the SEC diameter* of ``P(t_0)`` per
+instant — a unit-free geometric quantity every robot evaluates to the
+same world length.
+
+Synchronous only: inactive robots cannot drift, so under an
+asynchronous scheduler the swarm would tear apart; the paper's remark
+is likewise made in the synchronous context.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ProtocolError
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation, ObservedRobot
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+
+__all__ = ["FlockingProtocol"]
+
+
+class FlockingProtocol(Protocol):
+    """Wrap a synchronous protocol with an agreed global drift.
+
+    Args:
+        inner: the communication protocol to run inside the flock; the
+            wrapper owns it (do not bind or drive it directly).
+        direction: flocking direction in the shared axes (nonzero).
+        speed_fraction: drift per instant as a fraction of the SEC
+            diameter of the initial configuration; must leave the
+            inner protocol enough of the movement budget ``sigma``.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        direction: Vec2 = Vec2(0.0, 1.0),
+        speed_fraction: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if direction.norm() == 0.0:
+            raise ProtocolError("flocking direction must be nonzero")
+        if speed_fraction <= 0.0:
+            raise ProtocolError(f"speed_fraction must be > 0, got {speed_fraction}")
+        self._inner = inner
+        self._direction = direction.normalized()
+        self._speed_fraction = speed_fraction
+        self._drift = Vec2.zero()
+
+    @property
+    def inner(self) -> Protocol:
+        """The wrapped protocol (for inspecting its logs directly)."""
+        return self._inner
+
+    @property
+    def drift_per_instant(self) -> Vec2:
+        """The agreed drift vector, in this robot's local units."""
+        return self._drift
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        sec = smallest_enclosing_circle(info.initial_positions)
+        drift_length = self._speed_fraction * 2.0 * sec.radius
+        if drift_length >= info.sigma:
+            raise ProtocolError(
+                f"drift {drift_length:.6g} per instant exceeds sigma "
+                f"{info.sigma:.6g}; lower speed_fraction"
+            )
+        self._drift = self._direction * drift_length
+        self._inner.bind(
+            BindingInfo(
+                index=info.index,
+                count=info.count,
+                sigma=info.sigma - drift_length,
+                initial_positions=info.initial_positions,
+                observable_ids=info.observable_ids,
+            )
+        )
+
+    def on_activate(self, observation: Observation) -> Vec2:
+        """De-drift the view, run the inner protocol, re-add the drift."""
+        info = self._require_info()
+        if observation.self_index != info.index:
+            raise ProtocolError("observation delivered to the wrong robot")
+        self._activations += 1
+        shift = self._drift * float(observation.time)
+        shifted = Observation(
+            time=observation.time,
+            self_index=observation.self_index,
+            robots=tuple(
+                ObservedRobot(
+                    index=r.index,
+                    position=r.position - shift,
+                    observable_id=r.observable_id,
+                )
+                for r in observation.robots
+            ),
+        )
+        inner_target = self._inner.on_activate(shifted)
+        return inner_target + self._drift * float(observation.time + 1)
+
+    # ------------------------------------------------------------------
+    # Delegation — the wrapper is transparent to applications
+    # ------------------------------------------------------------------
+    def send_bit(self, dst: int, bit: int) -> None:
+        self._inner.send_bit(dst, bit)
+
+    def send_bits(self, dst: int, bits) -> None:
+        self._inner.send_bits(dst, bits)
+
+    @property
+    def pending_bits(self) -> int:
+        return self._inner.pending_bits
+
+    @property
+    def received(self):
+        return self._inner.received
+
+    @property
+    def overheard(self):
+        return self._inner.overheard
+
+    # The base-class hooks are bypassed by the on_activate override.
+    def _decode(self, observation: Observation) -> List[BitEvent]:  # pragma: no cover
+        raise ProtocolError("FlockingProtocol delegates decoding to its inner protocol")
+
+    def _compute(self, observation: Observation) -> Vec2:  # pragma: no cover
+        raise ProtocolError("FlockingProtocol delegates movement to its inner protocol")

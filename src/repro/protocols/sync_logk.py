@@ -1,0 +1,238 @@
+"""Bounded-resolution routing: few slices + address blocks (Section 5).
+
+When robots cannot tell ``2n`` slice directions apart (round-off,
+discrete grids), the paper proposes keeping only ``k + 1`` labelled
+diameters:
+
+* diameter 0 is the single *transmission* diameter — a bit travels on
+  it exactly as in the two-robot protocol (positive half = 0, negative
+  half = 1);
+* diameters ``1 .. k`` carry the base-``k`` digits of the addressee's
+  label, "transmitting the index of the robot to whom the message is
+  intended following the message itself".
+
+A sender therefore emits a run of payload bits on diameter 0 and then
+a block of exactly ``ceil(log_k n)`` digit excursions naming the
+addressee.  Receivers buffer payload bits per sender and attribute the
+whole run when the address block completes, so the scheme is
+self-delimiting without any framing knowledge.  The price is the
+paper's headline trade-off: ``ceil(log_k n)`` extra excursions per
+run — ``O(log n / log log n)`` slowdown for ``O(log n)`` slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.coding.logk_addressing import (
+    address_digit_count,
+    address_digits,
+    digits_to_index,
+)
+from repro.errors import DecodingError, ProtocolError
+from repro.geometry.granular import Granular, granular_radius
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+from repro.protocols._naming_support import NamingMode, build_addressing
+
+__all__ = ["SyncLogKProtocol"]
+
+_OFF_HOME_EPS_FACTOR = 1e-6
+
+
+class _ReceiverState:
+    """Per-sender decoding state: buffered payload bits and digits."""
+
+    def __init__(self) -> None:
+        self.bits: List[int] = []
+        self.digits: List[int] = []
+
+
+class SyncLogKProtocol(Protocol):
+    """The Section 5 few-slice synchronous protocol.
+
+    Args:
+        k: digit base = number of index diameters; ``2 <= k``.  The
+            granular has ``k + 1`` diameters regardless of the swarm
+            size.
+        naming: label regime, as in
+            :class:`~repro.protocols.sync_granular.SyncGranularProtocol`.
+        excursion_fraction: excursion length as a fraction of the
+            granular radius.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        naming: NamingMode = "identified",
+        excursion_fraction: float = 0.45,
+        max_directions: int | None = None,
+    ) -> None:
+        super().__init__()
+        if k < 2:
+            raise ProtocolError(f"digit base k must be >= 2, got {k}")
+        if not (0.0 < excursion_fraction < 1.0):
+            raise ProtocolError(
+                f"excursion_fraction must be in (0, 1), got {excursion_fraction}"
+            )
+        if max_directions is not None and 2 * (k + 1) > max_directions:
+            raise ProtocolError(
+                f"cannot distinguish {2 * (k + 1)} slice directions with a "
+                f"resolution of {max_directions}; lower k"
+            )
+        self._k = k
+        self._naming: NamingMode = naming
+        self._excursion_fraction = excursion_fraction
+        self._homes: List[Vec2] = []
+        self._granulars: Dict[int, Granular] = {}
+        self._labels: Dict[int, Dict[int, int]] = {}
+        self._inverse: Dict[int, Dict[int, int]] = {}
+        self._step_out = 0.0
+        self._digit_count = 0
+        self._outbound = True
+        self._peer_was_home: Dict[int, bool] = {}
+        self._receiver: Dict[int, _ReceiverState] = {}
+        # Sender-side run bookkeeping.
+        self._run_dst: Optional[int] = None
+        self._pending_digits: List[int] = []
+
+    @property
+    def k(self) -> int:
+        """The digit base (number of index diameters)."""
+        return self._k
+
+    @property
+    def digits_per_address(self) -> int:
+        """``ceil(log_k n)`` for the bound swarm."""
+        return self._digit_count
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        n = info.count
+        if n < 2:
+            raise ProtocolError("routing needs at least 2 robots")
+        positions = list(info.initial_positions)
+        self._homes = positions
+        self._digit_count = address_digit_count(n, self._k)
+        self._labels, zero_directions = build_addressing(
+            self._naming, positions, info.observable_ids
+        )
+        self._inverse = {
+            s: {label: index for index, label in mapping.items()}
+            for s, mapping in self._labels.items()
+        }
+        for j in range(n):
+            others = [p for i, p in enumerate(positions) if i != j]
+            self._granulars[j] = Granular(
+                center=positions[j],
+                radius=granular_radius(positions[j], others),
+                num_diameters=self._k + 1,
+                zero_direction=zero_directions[j],
+                sweep=-1,
+            )
+        self._step_out = min(
+            self._excursion_fraction * self._granulars[info.index].radius,
+            info.sigma,
+        )
+        self._peer_was_home = {j: True for j in range(n) if j != info.index}
+        self._receiver = {j: _ReceiverState() for j in self._peer_was_home}
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        events: List[BitEvent] = []
+        me = self.info.index
+        for j in range(self.info.count):
+            if j == me:
+                continue
+            granular = self._granulars[j]
+            position = observation.position_of(j)
+            if position.distance_to(granular.center) <= (
+                _OFF_HOME_EPS_FACTOR * granular.radius
+            ):
+                self._peer_was_home[j] = True
+                continue
+            if self._peer_was_home[j]:
+                events.extend(self._ingest_excursion(j, position, observation.time))
+            self._peer_was_home[j] = False
+        return events
+
+    def _ingest_excursion(self, sender: int, position: Vec2, time: int) -> List[BitEvent]:
+        diameter, positive = self._granulars[sender].classify(position)
+        state = self._receiver[sender]
+        if diameter == 0:
+            if state.digits:
+                raise DecodingError(
+                    f"robot {sender} sent a payload bit inside an address block"
+                )
+            state.bits.append(0 if positive else 1)
+            return []
+        if not positive:
+            raise DecodingError(
+                f"robot {sender} used the reserved negative half of index "
+                f"diameter {diameter}"
+            )
+        state.digits.append(diameter - 1)
+        if len(state.digits) < self._digit_count:
+            return []
+        label = digits_to_index(state.digits, self.info.count, self._k)
+        dst = self._inverse[sender].get(label)
+        if dst is None:
+            raise DecodingError(
+                f"address block of robot {sender} names unused label {label}"
+            )
+        events = [
+            BitEvent(time=time, src=sender, dst=dst, bit=bit) for bit in state.bits
+        ]
+        state.bits = []
+        state.digits = []
+        return events
+
+    # ------------------------------------------------------------------
+    # Movement rule
+    # ------------------------------------------------------------------
+    def _compute(self, observation: Observation) -> Vec2:
+        me = self.info.index
+        if not self._outbound:
+            self._outbound = True
+            return self._homes[me]
+        excursion = self._next_excursion()
+        if excursion is None:
+            return observation.self_position  # silent
+        diameter, positive = excursion
+        self._outbound = False
+        return self._excursion_target(diameter, positive)
+
+    def _excursion_target(self, diameter: int, positive: bool) -> Vec2:
+        """Where one excursion lands; lattice variants override this."""
+        return self._granulars[self.info.index].target_point(
+            diameter, positive, self._step_out
+        )
+
+    def _next_excursion(self) -> Optional[Tuple[int, bool]]:
+        """The next excursion to perform: payload bit or address digit."""
+        if self._pending_digits:
+            return (self._pending_digits.pop(0) + 1, True)
+        head = self._peek_outgoing()
+        if head is None:
+            if self._run_dst is not None:
+                self._open_address_block()
+                return (self._pending_digits.pop(0) + 1, True)
+            return None
+        dst, bit = head
+        if self._run_dst is not None and dst != self._run_dst:
+            self._open_address_block()
+            return (self._pending_digits.pop(0) + 1, True)
+        self._run_dst = dst
+        self._next_outgoing()
+        return (0, bit == 0)
+
+    def _open_address_block(self) -> None:
+        assert self._run_dst is not None
+        label = self._labels[self.info.index][self._run_dst]
+        self._pending_digits = address_digits(label, self.info.count, self._k)
+        self._run_dst = None

@@ -1,0 +1,168 @@
+"""Two synchronous robots: coding by side-steps (Section 3.1, Figure 1).
+
+    "Each even step is used by each robot to send a bit in {0, 1}.  To
+    send '0' ('1', respectively) to the other robot r', a robot r moves
+    on its right (left, resp.) with respect to the direction given by
+    r'.  [...] each odd step is used by the robots to come back to its
+    first position."
+
+The protocol is *silent*: a robot with nothing to send does not move.
+Decoding only needs the side of the home-to-home line the sender
+stepped to, a sign that shared chirality makes identical for both
+robots (and scale-free, so private unit measures do not matter).
+
+The closing remark of Section 3.1 — dividing the travel span into
+``B`` displacement levels so one excursion carries ``log2(B)`` bits —
+is implemented via ``alphabet_size``; with the default ``B = 2`` the
+protocol is exactly the figure's, bit 0 stepping right and bit 1
+stepping left.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coding.symbols import SymbolCoder
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+
+__all__ = ["SyncTwoProtocol"]
+
+_ON_LINE_EPS_FACTOR = 1e-9
+
+
+class SyncTwoProtocol(Protocol):
+    """The Section 3.1 protocol for a synchronous pair of robots.
+
+    Args:
+        alphabet_size: number of displacement levels ``B`` (power of
+            two).  ``B = 2`` is the paper's base protocol; larger
+            alphabets implement the "send bytes" remark.
+        span_fraction: the displacement band half-width as a fraction
+            of the distance between the two robots' home positions.
+            Both robots derive the band from the same geometric
+            quantity, so their private unit measures cancel.  Must
+            leave the per-step bound ``sigma`` sufficient, which is
+            validated at bind time.
+    """
+
+    def __init__(self, alphabet_size: int = 2, span_fraction: float = 0.25) -> None:
+        super().__init__()
+        if not (0.0 < span_fraction <= 0.4):
+            raise ProtocolError(
+                f"span_fraction must be in (0, 0.4] to keep the robots apart, "
+                f"got {span_fraction}"
+            )
+        self._span_fraction = span_fraction
+        self._alphabet_size = alphabet_size
+        self._coder: Optional[SymbolCoder] = None
+        self._home: Vec2 = Vec2.zero()
+        self._peer_home: Vec2 = Vec2.zero()
+        self._peer_index: int = -1
+        self._facing: Vec2 = Vec2.zero()  # home -> peer home, unit
+        self._right: Vec2 = Vec2.zero()  # the sender's right of _facing
+        self._home_distance: float = 0.0
+        self._outbound: bool = False  # internal phase: about to step out?
+        self._peer_was_home: bool = True
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        if info.count != 2:
+            raise ProtocolError(
+                f"SyncTwoProtocol is specified for exactly 2 robots, got {info.count}"
+            )
+        self._peer_index = 1 - info.index
+        self._home = info.initial_positions[info.index]
+        self._peer_home = info.initial_positions[self._peer_index]
+        self._home_distance = self._home.distance_to(self._peer_home)
+        if self._home_distance <= 0.0:
+            raise ProtocolError("the two robots coincide")
+        self._facing = (self._peer_home - self._home).normalized()
+        # "Right" under the shared chirality: -90 degrees from the
+        # facing direction, evaluated in the robot's local coordinates.
+        self._right = self._facing.perp_cw()
+        self._coder = SymbolCoder(self._alphabet_size, span=self._span_fraction)
+        max_needed = self._span_fraction * self._home_distance
+        if max_needed > info.sigma:
+            raise ProtocolError(
+                f"sigma={info.sigma:.6g} (local units) cannot cover the "
+                f"maximum excursion {max_needed:.6g}; reduce span_fraction "
+                f"or move the robots closer"
+            )
+        self._outbound = True
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        assert self._coder is not None
+        events: List[BitEvent] = []
+        peer_pos = observation.position_of(self._peer_index)
+        offset = peer_pos - self._peer_home
+        eps = _ON_LINE_EPS_FACTOR * self._home_distance
+        if offset.norm() <= eps:
+            self._peer_was_home = True
+            return events
+        if self._peer_was_home:
+            # The peer's right, computed by us: the peer faces us, so
+            # its facing is -_facing and its right is -_facing rotated
+            # -90 degrees; shared chirality makes this the same
+            # direction the peer used.
+            peer_right = (-self._facing).perp_cw()
+            fraction = peer_right.dot(offset) / self._home_distance
+            # Positive displacement = the peer's right.  The coder's
+            # level ladder runs left to right as symbols decrease (so
+            # that with B=2 symbol/bit 0 is a right-step, per Fig. 1).
+            symbol = self._coder.decode_displacement(-fraction)
+            for bit in self._coder.symbols_to_bits([symbol]):
+                events.append(
+                    BitEvent(
+                        time=observation.time,
+                        src=self._peer_index,
+                        dst=self.info.index,
+                        bit=bit,
+                    )
+                )
+        self._peer_was_home = False
+        return events
+
+    # ------------------------------------------------------------------
+    # Movement rule
+    # ------------------------------------------------------------------
+    def _compute(self, observation: Observation) -> Vec2:
+        assert self._coder is not None
+        if not self._outbound:
+            # Odd step: come back to the first position.
+            self._outbound = True
+            return self._home
+        queued = self._collect_symbol()
+        if queued is None:
+            # Silent: nothing to transmit, do not move.
+            return observation.self_position
+        self._outbound = False
+        displacement = -self._coder.displacement(queued) * self._home_distance
+        return self._home + self._right * displacement
+
+    def _collect_symbol(self) -> Optional[int]:
+        """Pop up to ``bits_per_symbol`` queued bits into one symbol.
+
+        Partial symbols are zero-padded, exactly like the symbol coder
+        does for whole messages; with ``B = 2`` this is a plain pop.
+        """
+        assert self._coder is not None
+        first = self._next_outgoing()
+        if first is None:
+            return None
+        bits = [first[1]]
+        while len(bits) < self._coder.bits_per_symbol:
+            more = self._peek_outgoing()
+            if more is None or more[0] != first[0]:
+                break
+            bits.append(self._next_outgoing()[1])
+        symbols = self._coder.bits_to_symbols(bits)
+        assert len(symbols) == 1
+        return symbols[0]

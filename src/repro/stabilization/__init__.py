@@ -1,0 +1,22 @@
+"""Self-stabilizing communication (Section 5, "Stabilization").
+
+    "It seems that, in our case, stabilization can be achieved in the
+    synchronous case by carefully adapting the protocols proposed in
+    Section 3; say by assuming a global clock [...] returning to the
+    initial location and (re)computing the preprocessing phase every
+    round timestamp."
+
+:class:`~repro.stabilization.epoch.EpochGranularProtocol` implements
+that sketch: synchronous time is divided into fixed-length *epochs*; at
+every epoch boundary each robot re-runs the Section 3 preprocessing
+(Voronoi, granulars, naming) from the configuration it currently
+observes, so any transient corruption — arbitrary displacement of
+robots, garbled protocol state — is washed out at the next boundary.
+Traffic in the corrupted epoch may be lost or garbled; every message
+submitted after the last fault is delivered.  Tests inject faults with
+:meth:`repro.model.simulator.Simulator.displace`.
+"""
+
+from repro.stabilization.epoch import EpochGranularProtocol
+
+__all__ = ["EpochGranularProtocol"]

@@ -1,0 +1,163 @@
+"""Epoch-based self-stabilizing granular communication.
+
+The synchronous granular protocol (Section 3.2-3.4) computes its
+preprocessing — Voronoi cells, granular discs, naming — exactly once,
+at ``t_0``.  A transient fault that moves a robot (or corrupts a
+protocol's memory) therefore poisons the run forever: the victim keeps
+transmitting from a home nobody agrees on.
+
+Following the paper's stabilization sketch, :class:`EpochGranular
+Protocol` re-runs the whole preprocessing every ``epoch_length``
+instants, using the *currently observed* configuration as the new
+``P(t_0)``.  The global clock the sketch assumes is the synchronous
+instant counter (all robots see the same ``observation.time``), so all
+robots switch epochs simultaneously.
+
+Guarantees (and honest non-guarantees):
+
+* bits handed to the in-epoch engine are transmitted within that
+  epoch (the wrapper feeds at most ``epoch_length // 2`` bits each
+  epoch — one excursion+return pair per bit);
+* after the last transient fault, every subsequently submitted bit is
+  delivered correctly — *self-stabilization of the channel*;
+* bits in flight during a faulty epoch may be lost or garbled; the
+  wrapper does not pretend otherwise (no acknowledgements exist in the
+  synchronous model, and none are needed for stabilization).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError, ReproError
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+from repro.protocols.sync_granular import NamingMode, SyncGranularProtocol
+
+__all__ = ["EpochGranularProtocol"]
+
+
+class EpochGranularProtocol(Protocol):
+    """Self-stabilizing wrapper around the granular protocol.
+
+    Args:
+        epoch_length: instants per epoch; must be at least 4 (one
+            preprocessing instant plus at least one bit).
+        naming: naming mode of the inner protocol.
+        excursion_fraction: forwarded to the inner protocol.
+    """
+
+    def __init__(
+        self,
+        epoch_length: int = 32,
+        naming: NamingMode = "identified",
+        excursion_fraction: float = 0.45,
+    ) -> None:
+        super().__init__()
+        if epoch_length < 4:
+            raise ProtocolError(f"epoch_length must be >= 4, got {epoch_length}")
+        self._epoch_length = epoch_length
+        self._naming: NamingMode = naming
+        self._excursion_fraction = excursion_fraction
+        self._inner: Optional[SyncGranularProtocol] = None
+        self._epoch = -1
+        self._archived_received: List[BitEvent] = []
+        self._archived_overheard: List[BitEvent] = []
+        self._decode_failures = 0
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number (-1 before the first activation)."""
+        return self._epoch
+
+    @property
+    def decode_failures(self) -> int:
+        """Activations where decoding broke down (symptom of a fault)."""
+        return self._decode_failures
+
+    @property
+    def epoch_capacity(self) -> int:
+        """Bits transmittable per epoch."""
+        return (self._epoch_length - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_activate(self, observation: Observation) -> Vec2:
+        info = self._require_info()
+        if observation.self_index != info.index:
+            raise ProtocolError("observation delivered to the wrong robot")
+        self._activations += 1
+
+        epoch = observation.time // self._epoch_length
+        if epoch != self._epoch:
+            self._start_epoch(epoch, observation)
+            # The boundary instant is spent on preprocessing: return to
+            # the (new) home — which is the current position, so the
+            # robot stays put for this instant.
+            return observation.self_position
+
+        assert self._inner is not None
+        try:
+            return self._inner.on_activate(observation)
+        except ReproError:
+            # A transient fault corrupted what we observe (e.g. a robot
+            # was displaced mid-excursion and no longer classifies).
+            # Swallow, stay put; the next epoch boundary heals us.
+            self._decode_failures += 1
+            return observation.self_position
+
+    def _start_epoch(self, epoch: int, observation: Observation) -> None:
+        info = self._require_info()
+        self._epoch = epoch
+        if self._inner is not None:
+            self._archived_received.extend(self._inner.received)
+            self._archived_overheard.extend(self._inner.overheard)
+
+        # Re-run the Section 3 preprocessing from the *current*
+        # configuration: the observed positions become the new P(t0).
+        positions: Tuple[Vec2, ...] = observation.positions()
+        if len(positions) != info.count:
+            raise ProtocolError(
+                "epoch preprocessing needs full visibility of the swarm"
+            )
+        inner = SyncGranularProtocol(
+            naming=self._naming, excursion_fraction=self._excursion_fraction
+        )
+        inner.bind(
+            BindingInfo(
+                index=info.index,
+                count=info.count,
+                sigma=info.sigma,
+                initial_positions=positions,
+                observable_ids=info.observable_ids,
+            )
+        )
+        # Hand the new engine this epoch's bit budget.
+        for _ in range(self.epoch_capacity):
+            queued = self._next_outgoing()
+            if queued is None:
+                break
+            inner.send_bit(*queued)
+        self._inner = inner
+
+    # ------------------------------------------------------------------
+    # Logs: archived epochs + the live engine
+    # ------------------------------------------------------------------
+    @property
+    def received(self) -> Tuple[BitEvent, ...]:
+        live = self._inner.received if self._inner is not None else ()
+        return tuple(self._archived_received) + tuple(live)
+
+    @property
+    def overheard(self) -> Tuple[BitEvent, ...]:
+        live = self._inner.overheard if self._inner is not None else ()
+        return tuple(self._archived_overheard) + tuple(live)
+
+    # The base-class hooks are bypassed by the on_activate override.
+    def _decode(self, observation: Observation) -> List[BitEvent]:  # pragma: no cover
+        raise ProtocolError("EpochGranularProtocol delegates decoding to its engine")
+
+    def _compute(self, observation: Observation) -> Vec2:  # pragma: no cover
+        raise ProtocolError("EpochGranularProtocol delegates movement to its engine")

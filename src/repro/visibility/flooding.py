@@ -1,0 +1,160 @@
+"""End-to-end delivery over a visibility graph by constrained flooding.
+
+Each robot only talks to robots it can see; a message for a distant
+robot is wrapped in a small routed envelope and flooded: every robot
+that receives an envelope it has not seen before either delivers it
+(if it is the final destination) or re-sends it to all its visible
+neighbours.  Duplicate suppression is by (origin, sequence) pair and a
+hop-count TTL bounds worst-case traffic.
+
+Envelope layout (before the payload):
+
+    byte 0  origin index
+    byte 1  final destination index
+    byte 2  sequence number (per origin, mod 256)
+    byte 3  TTL (remaining hops)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple, Union
+
+from repro.channels.transport import MovementChannel
+from repro.errors import ChannelError
+from repro.visibility.protocol import LocalGranularProtocol
+
+__all__ = ["RoutedMessage", "FloodRouter"]
+
+_HEADER = 4
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedMessage:
+    """A message delivered end-to-end by the flooding router.
+
+    Attributes:
+        origin: the robot that first sent the message.
+        payload: the message bytes.
+        delivered_at: instant of first delivery at the destination.
+        hops_remaining: the TTL left when it arrived (initial TTL minus
+            hops taken).
+    """
+
+    origin: int
+    payload: bytes
+    delivered_at: int
+    hops_remaining: int
+
+
+class FloodRouter:
+    """One robot's routing layer over its movement channel.
+
+    Args:
+        channel: the robot's movement channel; its protocol must be a
+            :class:`LocalGranularProtocol` (the router asks it who is
+            visible).
+        ttl: initial hop budget; must be at least the graph diameter
+            for guaranteed delivery.  Defaults to 16.
+    """
+
+    def __init__(self, channel: MovementChannel, ttl: int = 16) -> None:
+        protocol = channel.protocol
+        if not isinstance(protocol, LocalGranularProtocol):
+            raise ChannelError("FloodRouter requires a LocalGranularProtocol channel")
+        if not (1 <= ttl <= 255):
+            raise ChannelError(f"ttl must be in [1, 255], got {ttl}")
+        self._channel = channel
+        self._protocol = protocol
+        self._ttl = ttl
+        self._sequence = 0
+        self._seen: Set[Tuple[int, int]] = set()
+        self._inbox: List[RoutedMessage] = []
+        self._forwarded = 0
+
+    @property
+    def index(self) -> int:
+        """The router's robot index."""
+        return self._protocol.info.index
+
+    @property
+    def inbox(self) -> List[RoutedMessage]:
+        """Messages delivered to this robot, de-duplicated."""
+        return list(self._inbox)
+
+    @property
+    def forwarded(self) -> int:
+        """How many envelopes this robot relayed onward."""
+        return self._forwarded
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, payload: Union[str, bytes]) -> int:
+        """Route a message to ``dst``; returns copies transmitted now.
+
+        A visible destination gets one direct copy; otherwise the
+        envelope is flooded to every visible neighbour.
+        """
+        data = payload.encode("utf-8") if isinstance(payload, str) else bytes(payload)
+        if dst == self.index:
+            raise ChannelError("cannot route a message to oneself")
+        sequence = self._sequence % 256
+        self._sequence += 1
+        self._seen.add((self.index, sequence))
+        envelope = bytes((self.index, dst, sequence, self._ttl)) + data
+        return self._transmit(envelope, dst, exclude=None)
+
+    # ------------------------------------------------------------------
+    # Progress — call after simulator steps
+    # ------------------------------------------------------------------
+    def pump(self, now: int) -> List[RoutedMessage]:
+        """Process arrivals: deliver, forward, suppress duplicates."""
+        fresh: List[RoutedMessage] = []
+        for message in self._channel.poll():
+            if len(message.payload) < _HEADER:
+                raise ChannelError(
+                    f"malformed routed envelope of {len(message.payload)} bytes"
+                )
+            origin, dst, sequence, ttl = message.payload[:_HEADER]
+            data = message.payload[_HEADER:]
+            key = (origin, sequence)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            if dst == self.index:
+                routed = RoutedMessage(
+                    origin=origin,
+                    payload=data,
+                    delivered_at=now,
+                    hops_remaining=ttl,
+                )
+                self._inbox.append(routed)
+                fresh.append(routed)
+                continue
+            if ttl <= 1:
+                continue  # hop budget exhausted
+            envelope = bytes((origin, dst, sequence, ttl - 1)) + data
+            self._forwarded += self._transmit(envelope, dst, exclude=message.src)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _transmit(self, envelope: bytes, dst: int, exclude) -> int:
+        if self._protocol.can_see(dst):
+            self._channel.send(dst, envelope)
+            return 1
+        copies = 0
+        for neighbor in self._protocol.visible_peers():
+            if neighbor == exclude:
+                continue
+            self._channel.send(neighbor, envelope)
+            copies += 1
+        return copies
+
+
+def pump_routers(routers: Sequence[FloodRouter], now: int) -> None:
+    """Convenience: pump every router once (after a simulator step)."""
+    for router in routers:
+        router.pump(now)

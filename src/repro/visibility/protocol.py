@@ -1,0 +1,166 @@
+"""A granular protocol that needs only local information.
+
+The Section 3.2 scheme quietly uses global knowledge twice: the
+Voronoi preprocessing reads all positions, and decoding reads every
+robot's movement.  Under limited visibility both are replaced by local
+equivalents:
+
+* **granular radius** — half of ``min(visibility radius, distance to
+  the nearest *visible* robot)``.  If the true nearest neighbour is
+  invisible it is farther than the visibility radius, so this bound is
+  never larger than half the true nearest-neighbour distance: the
+  granulars of *all* robots, visible or not, stay disjoint and the
+  collision guarantee survives.
+* **decoding** — only visible robots are watched; their homes are the
+  positions observed at ``t_0`` (invisible robots cannot be decoded,
+  which is exactly why end-to-end delivery needs the flooding router).
+
+Assumptions: an identified system whose observable IDs are the fleet
+indices ``0 .. n-1`` (a static mission roster), and sense of direction;
+diameters are labelled by ID exactly as in Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ProtocolError
+from repro.geometry.granular import Granular
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BindingInfo, BitEvent, Protocol
+
+__all__ = ["LocalGranularProtocol"]
+
+_OFF_HOME_EPS_FACTOR = 1e-7
+
+
+class LocalGranularProtocol(Protocol):
+    """Granular routing for identified robots with limited visibility.
+
+    Args:
+        excursion_fraction: excursion length as a fraction of the
+            (locally derived) granular radius.
+    """
+
+    def __init__(self, excursion_fraction: float = 0.45) -> None:
+        super().__init__()
+        if not (0.0 < excursion_fraction < 1.0):
+            raise ProtocolError(
+                f"excursion_fraction must be in (0, 1), got {excursion_fraction}"
+            )
+        self._excursion_fraction = excursion_fraction
+        self._north = Vec2(0.0, 1.0)
+        self._homes: Dict[int, Vec2] = {}  # visible robots only
+        self._granulars: Dict[int, Granular] = {}
+        self._step_out = 0.0
+        self._outbound = True
+        self._peer_was_home: Dict[int, bool] = {}
+        self._visibility = 0.0
+
+    # ------------------------------------------------------------------
+    # Binding / local preprocessing
+    # ------------------------------------------------------------------
+    def _on_bind(self, info: BindingInfo) -> None:
+        if info.count < 2:
+            raise ProtocolError("routing needs at least 2 robots")
+        if info.observable_ids is None:
+            raise ProtocolError("LocalGranularProtocol requires an identified system")
+        if any(observable != i for i, observable in enumerate(info.observable_ids)):
+            raise ProtocolError(
+                "LocalGranularProtocol assumes the static-roster convention "
+                "observable_id == index"
+            )
+        if info.visibility_radius is None:
+            raise ProtocolError(
+                "LocalGranularProtocol expects a visibility-limited system; "
+                "use SyncGranularProtocol under unlimited visibility"
+            )
+        self._visibility = info.visibility_radius
+
+        for i, position in enumerate(info.initial_positions):
+            if position is not None:
+                self._homes[i] = position
+        me = info.index
+        if me not in self._homes:  # pragma: no cover - self always visible
+            raise ProtocolError("observer missing from its own P(t0) knowledge")
+
+        visible_others = [p for i, p in self._homes.items() if i != me]
+        if visible_others:
+            nearest = min(self._homes[me].distance_to(p) for p in visible_others)
+        else:
+            nearest = self._visibility
+        my_radius = 0.5 * min(self._visibility, nearest)
+
+        for i, home in self._homes.items():
+            self._granulars[i] = Granular(
+                center=home,
+                radius=my_radius if i == me else self._visibility,
+                num_diameters=info.count,
+                zero_direction=self._north,
+                sweep=-1,
+            )
+        self._step_out = min(self._excursion_fraction * my_radius, info.sigma)
+        self._peer_was_home = {i: True for i in self._homes if i != me}
+
+    # ------------------------------------------------------------------
+    # Visibility queries (used by the router)
+    # ------------------------------------------------------------------
+    def visible_peers(self) -> List[int]:
+        """The robots this one can see (hence address directly)."""
+        return sorted(i for i in self._homes if i != self.info.index)
+
+    def can_see(self, index: int) -> bool:
+        """Whether a robot is within this robot's visibility range."""
+        return index in self._homes
+
+    # ------------------------------------------------------------------
+    # Decoding — visible robots only
+    # ------------------------------------------------------------------
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        events: List[BitEvent] = []
+        me = self.info.index
+        threshold = _OFF_HOME_EPS_FACTOR * self._visibility
+        for j in self._peer_was_home:
+            position = observation.get(j)
+            if position is None:  # pragma: no cover - static visibility
+                continue
+            offset = position.distance_to(self._homes[j])
+            if offset <= threshold:
+                self._peer_was_home[j] = True
+                continue
+            if self._peer_was_home[j]:
+                label, positive = self._granulars[j].classify(position)
+                events.append(
+                    BitEvent(
+                        time=observation.time,
+                        src=j,
+                        dst=label,
+                        bit=0 if positive else 1,
+                    )
+                )
+            self._peer_was_home[j] = False
+        return events
+
+    # ------------------------------------------------------------------
+    # Movement rule
+    # ------------------------------------------------------------------
+    def _compute(self, observation: Observation) -> Vec2:
+        me = self.info.index
+        if not self._outbound:
+            self._outbound = True
+            return self._homes[me]
+        queued = self._peek_outgoing()
+        if queued is None:
+            return observation.self_position  # silent
+        dst, bit = queued
+        if not self.can_see(dst):
+            raise ProtocolError(
+                f"robot {me} cannot address invisible robot {dst} directly; "
+                "route through the FloodRouter"
+            )
+        self._next_outgoing()
+        self._outbound = False
+        return self._granulars[me].target_point(
+            dst, positive=(bit == 0), distance=self._step_out
+        )

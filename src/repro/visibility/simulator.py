@@ -1,0 +1,48 @@
+"""The SSM engine with a visibility radius.
+
+Identical to :class:`repro.model.simulator.Simulator` except that every
+observation — and the ``P(t_0)`` knowledge handed out at binding — is
+restricted to robots within the visibility radius of the observer.
+
+The visibility relation is evaluated on the initial configuration: all
+granular-protocol movements stay within bands much smaller than any
+sensible radius, so treating the graph as static over a run loses
+nothing and keeps "who can decode whom" well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ModelError
+from repro.model.robot import Robot
+from repro.model.scheduler import Scheduler
+from repro.model.simulator import Simulator
+
+__all__ = ["VisibilitySimulator"]
+
+
+class VisibilitySimulator(Simulator):
+    """A swarm where robots only see within ``visibility_radius``.
+
+    Args:
+        robots: the swarm (as for the base simulator).
+        visibility_radius: world-units range; must be positive.
+        scheduler: activation policy.
+    """
+
+    def __init__(
+        self,
+        robots: Sequence[Robot],
+        visibility_radius: float,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if visibility_radius <= 0.0:
+            raise ModelError(
+                f"visibility_radius must be positive, got {visibility_radius}"
+            )
+        self._visibility_radius = visibility_radius
+        super().__init__(robots, scheduler)
+
+    def _world_visibility_radius(self) -> Optional[float]:
+        return self._visibility_radius

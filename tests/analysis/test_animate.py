@@ -1,0 +1,71 @@
+"""Tests for trace animation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.animate import animate_frames, play
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+
+
+def build_trace(steps: int = 4) -> Trace:
+    trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+    for t in range(steps):
+        trace.steps.append(
+            TraceStep(
+                time=t,
+                active=frozenset({0}),
+                positions=(Vec2(0, float(t + 1)), Vec2(10, 0)),
+            )
+        )
+    return trace
+
+
+class TestAnimateFrames:
+    def test_frame_count(self):
+        frames = animate_frames(build_trace(4))
+        assert len(frames) == 5  # t=0..4
+
+    def test_every_parameter(self):
+        frames = animate_frames(build_trace(4), every=2)
+        assert len(frames) == 3  # t=0, 2, 4
+        with pytest.raises(ValueError):
+            animate_frames(build_trace(2), every=0)
+
+    def test_captions_and_glyphs(self):
+        frames = animate_frames(build_trace(3))
+        assert frames[0].startswith("t=0/3")
+        assert frames[-1].startswith("t=3/3")
+        for frame in frames:
+            assert "0" in frame
+            assert "1" in frame
+
+    def test_trails_accumulate(self):
+        frames = animate_frames(build_trace(4), trails=True)
+        assert "." not in frames[0]
+        assert "." in frames[-1]
+
+    def test_no_trails(self):
+        frames = animate_frames(build_trace(4), trails=False)
+        assert all("." not in frame for frame in frames)
+
+    def test_fixed_viewport(self):
+        """All frames share dimensions (no jitter)."""
+        frames = animate_frames(build_trace(4), width=40, height=12)
+        for frame in frames:
+            lines = frame.split("\n")
+            assert len(lines) == 13  # caption + grid
+            assert all(len(line) <= 40 for line in lines[1:])
+
+
+class TestPlay:
+    def test_captured_playback(self):
+        buffer = io.StringIO()
+        count = play(build_trace(3), stream=buffer)
+        assert count == 4
+        text = buffer.getvalue()
+        assert "t=0/3" in text and "t=3/3" in text
+        assert "\x1b[" not in text  # no ANSI control when captured

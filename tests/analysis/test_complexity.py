@@ -1,0 +1,52 @@
+"""Tests for the slice trade-off table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    SliceTradeoffRow,
+    log_slice_choice,
+    slice_tradeoff_table,
+)
+
+
+class TestLogSliceChoice:
+    def test_grows_logarithmically(self):
+        assert log_slice_choice(4) == 2
+        assert log_slice_choice(256) == 8
+        assert log_slice_choice(1024) == 10
+
+    def test_floor_of_two(self):
+        assert log_slice_choice(2) == 2
+
+
+class TestTable:
+    def test_rows_per_size_and_base(self):
+        rows = slice_tradeoff_table([16, 64], bases=[2, 4])
+        assert len(rows) == 4
+        assert {(r.n, r.k) for r in rows} == {(16, 2), (16, 4), (64, 2), (64, 4)}
+
+    def test_default_bases_use_log_choice(self):
+        rows = slice_tradeoff_table([256])
+        assert len(rows) == 1
+        assert rows[0].k == 8
+
+    def test_slowdown_consistency(self):
+        for row in slice_tradeoff_table([16, 256, 4096], bases=[2, 8]):
+            assert row.steps_logk == row.steps_full + 2 * row.digits
+            assert row.slowdown == pytest.approx(row.steps_logk / row.steps_full)
+
+    def test_shape_matches_paper_claim(self):
+        """Slowdown grows with n (fixed k) and the k = O(log n) column
+        stays within a constant factor of log n / log log n."""
+        fixed_k = [r.slowdown for r in slice_tradeoff_table([16, 256, 4096], bases=[2])]
+        assert fixed_k == sorted(fixed_k)
+        for row in slice_tradeoff_table([64, 1024, 4096]):
+            assert 0.3 < row.slowdown / row.reference < 5.0
+
+    def test_longer_payloads_amortise_addressing(self):
+        one_bit = slice_tradeoff_table([256], bases=[4], payload_bits=1)[0]
+        long_msg = slice_tradeoff_table([256], bases=[4], payload_bits=128)[0]
+        assert long_msg.slowdown < one_bit.slowdown
+        assert long_msg.slowdown < 1.1  # addressing nearly free for long frames

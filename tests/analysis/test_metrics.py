@@ -1,0 +1,81 @@
+"""Tests for run metrics and audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    bit_latencies,
+    collision_audit,
+    silence_audit,
+    transmission_stats,
+)
+from repro.geometry.vec import Vec2
+from repro.model.protocol import BitEvent
+from repro.model.trace import Trace, TraceStep
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+from tests.conftest import make_harness
+
+
+def small_trace() -> Trace:
+    trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+    trace.steps.append(
+        TraceStep(time=0, active=frozenset({0, 1}), positions=(Vec2(1, 0), Vec2(10, 0)))
+    )
+    trace.steps.append(
+        TraceStep(time=1, active=frozenset({0}), positions=(Vec2(0, 0), Vec2(10, 0)))
+    )
+    return trace
+
+
+class TestTransmissionStats:
+    def test_aggregates(self):
+        events = [BitEvent(time=1, src=0, dst=1, bit=1)]
+        stats = transmission_stats(small_trace(), events)
+        assert stats.bits_delivered == 1
+        assert stats.steps == 2
+        assert stats.steps_per_bit == 2.0
+        assert stats.total_distance == pytest.approx(2.0)
+        assert stats.distance_per_bit == pytest.approx(2.0)
+        assert stats.activations == 3
+
+    def test_no_bits_gives_inf(self):
+        stats = transmission_stats(small_trace(), [])
+        assert stats.steps_per_bit == float("inf")
+
+    def test_live_run(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        h.simulator.protocol_of(0).send_bits(1, [1, 0, 1, 0])
+        h.run(8)
+        stats = transmission_stats(
+            h.simulator.trace, h.simulator.protocol_of(1).received
+        )
+        assert stats.bits_delivered == 4
+        assert stats.steps_per_bit == pytest.approx(2.0)
+
+
+class TestBitLatencies:
+    def test_matches_streams_fifo(self):
+        submissions = [(0, 0, 1), (0, 0, 1), (2, 1, 0)]
+        delivered = [
+            BitEvent(time=3, src=0, dst=1, bit=1),
+            BitEvent(time=5, src=0, dst=1, bit=0),
+            BitEvent(time=6, src=1, dst=0, bit=1),
+        ]
+        assert bit_latencies(submissions, delivered) == [3, 5, 4]
+
+    def test_undelivered_bits_skipped(self):
+        submissions = [(0, 0, 1), (1, 0, 1)]
+        delivered = [BitEvent(time=4, src=0, dst=1, bit=1)]
+        assert bit_latencies(submissions, delivered) == [4]
+
+
+class TestAudits:
+    def test_silence_audit_flags_movers(self):
+        trace = small_trace()
+        assert silence_audit(trace, [0]) == [0]
+        assert silence_audit(trace, [1]) == []
+
+    def test_collision_audit(self):
+        assert collision_audit(small_trace()) == pytest.approx(9.0)

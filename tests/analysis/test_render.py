@@ -1,0 +1,55 @@
+"""Tests for ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.render import render_configuration, render_paths
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+
+
+class TestRenderConfiguration:
+    def test_empty(self):
+        assert "empty" in render_configuration([])
+
+    def test_all_points_drawn(self):
+        pts = [Vec2(0, 0), Vec2(10, 0), Vec2(5, 8)]
+        scene = render_configuration(pts)
+        for glyph in "012":
+            assert glyph in scene
+
+    def test_custom_labels(self):
+        scene = render_configuration([Vec2(0, 0), Vec2(5, 5)], labels={0: "A", 1: "B"})
+        assert "A" in scene and "B" in scene
+
+    def test_dimensions(self):
+        scene = render_configuration([Vec2(0, 0), Vec2(10, 10)], width=30, height=10)
+        lines = scene.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) <= 30 for line in lines)
+
+    def test_single_point_does_not_crash(self):
+        assert "0" in render_configuration([Vec2(3, 3)])
+
+
+class TestRenderPaths:
+    def test_trace_rendering(self):
+        trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+        trace.steps.append(
+            TraceStep(time=0, active=frozenset({0}), positions=(Vec2(0, 3), Vec2(10, 0)))
+        )
+        trace.steps.append(
+            TraceStep(time=1, active=frozenset({0}), positions=(Vec2(0, 6), Vec2(10, 0)))
+        )
+        scene = render_paths(trace)
+        assert "o" in scene  # start marker
+        assert "0" in scene  # final position of robot 0
+        assert "." in scene  # waypoints
+
+    def test_robot_subset(self):
+        trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+        trace.steps.append(
+            TraceStep(time=0, active=frozenset({1}), positions=(Vec2(0, 0), Vec2(10, 5)))
+        )
+        scene = render_paths(trace, robots=[1])
+        assert "1" in scene
+        assert "0" not in scene.replace("o", "")  # robot 0 not drawn

@@ -1,0 +1,64 @@
+"""Tests for the SVG renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.svg import svg_configuration, svg_trace, write_svg
+from repro.geometry.granular import Granular
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+
+
+def small_trace() -> Trace:
+    trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+    trace.steps.append(
+        TraceStep(time=0, active=frozenset({0}), positions=(Vec2(0, 2), Vec2(10, 0)))
+    )
+    return trace
+
+
+class TestSvgConfiguration:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_configuration([])
+
+    def test_valid_document(self):
+        doc = svg_configuration([Vec2(0, 0), Vec2(5, 5)])
+        assert doc.startswith("<svg ")
+        assert doc.rstrip().endswith("</svg>")
+        assert doc.count("<circle") >= 2  # one dot per robot
+        assert "<text" in doc
+
+    def test_granulars_drawn(self):
+        granular = Granular(
+            center=Vec2(0, 0), radius=2.0, num_diameters=4, zero_direction=Vec2(0, 1)
+        )
+        doc = svg_configuration([Vec2(0, 0), Vec2(10, 0)], granulars={0: granular})
+        # Disc outline + 4 diameters + 2 dots.
+        assert doc.count("<line") == 4
+        assert "stroke-dasharray" in doc
+
+    def test_custom_labels(self):
+        doc = svg_configuration([Vec2(0, 0)], labels={0: "kappa"})
+        assert ">kappa<" in doc
+
+
+class TestSvgTrace:
+    def test_valid_document(self):
+        doc = svg_trace(small_trace())
+        assert "<polyline" in doc
+        assert ">r0<" in doc and ">r1<" in doc
+
+    def test_robot_subset(self):
+        doc = svg_trace(small_trace(), robots=[0])
+        assert ">r0<" in doc
+        assert ">r1<" not in doc
+
+
+class TestWriteSvg:
+    def test_roundtrip(self, tmp_path):
+        doc = svg_configuration([Vec2(0, 0), Vec2(3, 4)])
+        path = write_svg(doc, str(tmp_path / "scene.svg"))
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == doc

@@ -1,0 +1,87 @@
+"""Tests for trace serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace_io import (
+    dump_trace,
+    load_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.errors import ReproError
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+
+def small_trace() -> Trace:
+    trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+    trace.steps.append(
+        TraceStep(time=0, active=frozenset({0}), positions=(Vec2(1.5, -0.25), Vec2(10, 0)))
+    )
+    trace.steps.append(
+        TraceStep(time=1, active=frozenset({0, 1}), positions=(Vec2(0, 0), Vec2(9, 1)))
+    )
+    return trace
+
+
+class TestRoundtrip:
+    def test_text_roundtrip(self):
+        original = small_trace()
+        restored = trace_from_jsonl(trace_to_jsonl(original))
+        assert restored.initial_positions == original.initial_positions
+        assert len(restored) == len(original)
+        for a, b in zip(restored.steps, original.steps):
+            assert a == b
+
+    def test_file_roundtrip(self, tmp_path):
+        original = small_trace()
+        path = dump_trace(original, str(tmp_path / "run.jsonl"))
+        restored = load_trace(path)
+        assert restored.steps == original.steps
+
+    def test_real_run_roundtrip(self):
+        h = SwarmHarness(
+            ring_positions(4, radius=10.0, jitter=0.06),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(2, [1, 0, 1])
+        h.run(10)
+        original = h.simulator.trace
+        restored = trace_from_jsonl(trace_to_jsonl(original))
+        assert restored.min_pairwise_distance() == pytest.approx(
+            original.min_pairwise_distance()
+        )
+        assert restored.distance_travelled(0) == pytest.approx(
+            original.distance_travelled(0)
+        )
+
+    def test_empty_trace(self):
+        trace = Trace(initial_positions=(Vec2(0, 0),))
+        restored = trace_from_jsonl(trace_to_jsonl(trace))
+        assert restored.steps == []
+        assert restored.count == 1
+
+
+class TestValidation:
+    def test_empty_document(self):
+        with pytest.raises(ReproError):
+            trace_from_jsonl("")
+
+    def test_wrong_format(self):
+        with pytest.raises(ReproError):
+            trace_from_jsonl('{"format": "something-else", "count": 1, "initial": [[0,0]]}')
+
+    def test_count_mismatch(self):
+        with pytest.raises(ReproError):
+            trace_from_jsonl('{"format": "repro-trace-v1", "count": 2, "initial": [[0,0]]}')
+
+    def test_non_contiguous_times(self):
+        text = trace_to_jsonl(small_trace())
+        lines = text.splitlines()
+        with pytest.raises(ReproError):
+            trace_from_jsonl("\n".join([lines[0], lines[2]]))

@@ -1,0 +1,66 @@
+"""Tests for the convergecast application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.aggregation import converge_cast, converge_cast_limited_visibility
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+
+
+class TestFullVisibility:
+    def test_sum(self):
+        result = converge_cast([10, 20, 30, 40], sink=0, operation="sum")
+        assert result.aggregate == 100
+        assert result.readings == {0: 10, 1: 20, 2: 30, 3: 40}
+        assert result.messages == 3
+
+    def test_max_and_min(self):
+        assert converge_cast([5, -3, 9], operation="max").aggregate == 9
+        assert converge_cast([5, -3, 9], operation="min").aggregate == -3
+
+    def test_negative_values_roundtrip(self):
+        result = converge_cast([-1000, 2000, -3000], operation="sum")
+        assert result.aggregate == -2000
+
+    def test_nonzero_sink(self):
+        result = converge_cast([1, 2, 3, 4], sink=2, operation="sum")
+        assert result.aggregate == 10
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            converge_cast([1, 2], operation="median")
+        with pytest.raises(ProtocolError):
+            converge_cast([1, 2], sink=5)
+        with pytest.raises(ProtocolError):
+            converge_cast([1, 2, 3], max_steps=2)
+
+
+class TestLimitedVisibility:
+    def test_relay_convergecast_line(self):
+        """Reports hop to the sink across a line where nobody sees it
+        directly except its neighbour."""
+        readings = [7, 11, 13, 17, 19]
+        result = converge_cast_limited_visibility(
+            readings, visibility_radius=12.0, sink=0, operation="sum"
+        )
+        assert result.aggregate == sum(readings)
+        assert result.readings == dict(enumerate(readings))
+
+    def test_sink_in_the_middle(self):
+        readings = [1, 2, 3, 4, 5]
+        result = converge_cast_limited_visibility(
+            readings, visibility_radius=12.0, sink=2, operation="max"
+        )
+        assert result.aggregate == 5
+
+    def test_disconnected_graph_times_out(self):
+        positions = [Vec2(0, 0), Vec2(10, 0), Vec2(500, 0)]
+        with pytest.raises(ProtocolError):
+            converge_cast_limited_visibility(
+                [1, 2, 3],
+                visibility_radius=12.0,
+                positions=positions,
+                max_steps=2000,
+            )

@@ -1,0 +1,98 @@
+"""Tests for the demonstration applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.chat import run_chat
+from repro.apps.echo import ping
+from repro.apps.harness import ring_positions
+from repro.apps.leader_election import elect_leader
+from repro.apps.token_ring import run_token_ring
+from repro.errors import ProtocolError
+from repro.model.scheduler import RoundRobinScheduler
+
+
+class TestLeaderElection:
+    def test_default_election(self):
+        result = elect_leader()
+        assert result.leader == 5  # max value = max index by default
+        assert set(result.decided_by.values()) == {5}
+        assert result.messages == 6 * 5
+
+    def test_custom_values(self):
+        result = elect_leader(values=[3, 99, 7, 1, 2, 4])
+        assert result.leader == 1
+
+    def test_value_count_checked(self):
+        with pytest.raises(ProtocolError):
+            elect_leader(values=[1, 2])
+
+    def test_anonymous_sec_election(self):
+        """Election still works for anonymous robots: values are data,
+        addressing is the SEC relative naming."""
+        result = elect_leader(
+            positions=ring_positions(5, radius=10.0, jitter=0.08),
+            values=[10, 40, 30, 20, 5],
+            naming="sec",
+        )
+        assert result.leader == 1
+
+    def test_timeout_raises(self):
+        with pytest.raises(ProtocolError):
+            elect_leader(max_steps=3)
+
+
+class TestTokenRing:
+    def test_two_laps(self):
+        result = run_token_ring(laps=2)
+        n = 5
+        assert result.laps == 2
+        assert len(result.hops) == 2 * n
+        assert result.hops == [i % n for i in range(2 * n)]
+
+    def test_single_lap_small_ring(self):
+        result = run_token_ring(positions=ring_positions(3, jitter=0.05), laps=1)
+        assert result.hops == [0, 1, 2]
+
+    def test_laps_validated(self):
+        with pytest.raises(ProtocolError):
+            run_token_ring(laps=0)
+
+
+class TestEcho:
+    def test_roundtrip(self):
+        result = ping(payload=b"marco")
+        assert result.reply == b"marco"
+        assert result.round_trip_steps > result.request_delivered_at
+
+    def test_endpoint_validation(self):
+        with pytest.raises(ProtocolError):
+            ping(requester=1, responder=1)
+
+    def test_rtt_scales_with_payload(self):
+        short = ping(payload=b"x")
+        long = ping(payload=b"x" * 20)
+        assert long.round_trip_steps > short.round_trip_steps
+
+
+class TestChat:
+    def test_sync_conversation(self):
+        script = [(0, "hello"), (1, "hi there"), (0, "bye")]
+        result = run_chat(script)
+        texts = [(speaker, text) for speaker, text, _ in result.transcript]
+        assert sorted(texts) == sorted(script)
+
+    def test_async_conversation(self):
+        result = run_chat([(0, "ok"), (1, "ko")], asynchronous=True, seed=2)
+        texts = {(speaker, text) for speaker, text, _ in result.transcript}
+        assert texts == {(0, "ok"), (1, "ko")}
+        assert result.distance_travelled > 0.0
+
+    def test_speaker_validated(self):
+        with pytest.raises(ProtocolError):
+            run_chat([(2, "nope")])
+
+    def test_unicode_lines(self):
+        result = run_chat([(0, "héllo 🤖")])
+        assert result.transcript[0][1] == "héllo 🤖"

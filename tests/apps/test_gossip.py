@@ -1,0 +1,48 @@
+"""Tests for rumor spreading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.gossip import spread_rumor
+from repro.errors import ProtocolError
+
+
+class TestModes:
+    def test_overheard_single_transmission(self):
+        result = spread_rumor("the nest has moved", count=6, mode="overheard")
+        assert result.informed == 6
+        assert result.transmissions == 1
+
+    def test_addressed_fanout(self):
+        result = spread_rumor("the nest has moved", count=6, mode="addressed")
+        assert result.informed == 6
+        assert result.transmissions == 5
+
+    def test_overhearing_is_n_minus_one_times_cheaper(self):
+        """The paper's efficient one-to-all, quantified in movements."""
+        count = 6
+        overheard = spread_rumor("gossip!", count=count, mode="overheard")
+        addressed = spread_rumor("gossip!", count=count, mode="addressed")
+        assert addressed.source_moves == pytest.approx(
+            (count - 1) * overheard.source_moves, abs=2
+        )
+        assert addressed.steps >= overheard.steps
+
+    def test_nonzero_source(self):
+        result = spread_rumor("hi", count=4, source=2, mode="overheard")
+        assert result.informed == 4
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ProtocolError):
+            spread_rumor("x", mode="broadcast-storm")
+
+    def test_source_range(self):
+        with pytest.raises(ProtocolError):
+            spread_rumor("x", count=3, source=7)
+
+    def test_timeout(self):
+        with pytest.raises(ProtocolError):
+            spread_rumor("a long rumor that cannot fit", count=4, max_steps=3)

@@ -1,0 +1,79 @@
+"""Unit tests for the SwarmHarness convenience layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.errors import ModelError
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+
+class TestRingPositions:
+    def test_count_and_radius(self):
+        pts = ring_positions(7, radius=5.0)
+        assert len(pts) == 7
+        for p in pts:
+            assert p.norm() == pytest.approx(5.0)
+
+    def test_jitter_breaks_symmetry(self):
+        from repro.naming.symmetry import rotational_symmetry_order
+
+        symmetric = ring_positions(6, jitter=0.0)
+        jittered = ring_positions(6, jitter=0.07)
+        assert rotational_symmetry_order(symmetric) == 6
+        assert rotational_symmetry_order(jittered) == 1
+
+    def test_count_validated(self):
+        with pytest.raises(ModelError):
+            ring_positions(0)
+
+
+class TestHarness:
+    def test_wiring(self):
+        h = SwarmHarness(
+            ring_positions(4, jitter=0.05),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        assert h.count == 4
+        assert len(h.channels) == 4
+        assert len(h.monitors) == 4
+        assert h.channel(2) is h.channels[2]
+        # Each robot got its own protocol instance.
+        assert len({id(r.protocol) for r in h.robots}) == 4
+
+    def test_identified_flag(self):
+        anonymous = SwarmHarness(
+            ring_positions(3, jitter=0.05),
+            protocol_factory=lambda: SyncGranularProtocol(naming="sod"),
+            identified=False,
+        )
+        assert all(r.observable_id is None for r in anonymous.robots)
+
+    def test_pump_checks_before_stepping(self):
+        h = SwarmHarness(
+            ring_positions(3, jitter=0.05),
+            protocol_factory=lambda: SyncGranularProtocol(),
+        )
+        assert h.pump(lambda _: True, max_steps=100)
+        assert h.simulator.time == 0
+
+    def test_pump_returns_false_on_budget_exhaustion(self):
+        h = SwarmHarness(
+            ring_positions(3, jitter=0.05),
+            protocol_factory=lambda: SyncGranularProtocol(),
+        )
+        assert not h.pump(lambda _: False, max_steps=5)
+        assert h.simulator.time == 5
+
+    def test_run_polls_channels(self):
+        h = SwarmHarness(
+            ring_positions(3, jitter=0.05),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        h.channel(0).send(1, b"x")
+        h.run(60)
+        # Inbox populated without any explicit poll by the caller.
+        assert len(h.channels[1]._inbox) == 1  # noqa: SLF001 - asserting the poll

@@ -1,0 +1,62 @@
+"""Tests for overhearing and relaying (the redundancy remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.mailbox import OverhearingMonitor
+from repro.errors import ChannelError
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+from tests.conftest import make_harness
+
+
+class TestOverhearing:
+    def test_third_party_reconstructs_message(self):
+        h = make_harness(5, lambda: SyncGranularProtocol())
+        monitor = OverhearingMonitor(h.simulator.protocol_of(4))
+        h.channel(0).send(2, "secret-ish")
+        assert h.pump(lambda hh: len(hh.channel(2).inbox) >= 1, max_steps=3000)
+        log = monitor.log
+        assert len(log) == 1
+        assert log[0].payload == b"secret-ish"
+        assert (log[0].src, log[0].dst) == (0, 2)
+
+    def test_messages_between_filter(self):
+        h = make_harness(5, lambda: SyncGranularProtocol())
+        monitor = OverhearingMonitor(h.simulator.protocol_of(4))
+        h.channel(0).send(2, "a")
+        h.channel(1).send(3, "b")
+        assert h.pump(
+            lambda hh: len(hh.channel(2).inbox) >= 1 and len(hh.channel(3).inbox) >= 1,
+            max_steps=3000,
+        )
+        assert [m.payload for m in monitor.messages_between(0, 2)] == [b"a"]
+        assert [m.payload for m in monitor.messages_between(1, 3)] == [b"b"]
+        assert monitor.messages_between(0, 3) == []
+
+
+class TestRelay:
+    def test_relay_reaches_addressee(self):
+        """The fault-tolerance scenario: the original transmission is
+        overheard by robot 4, which re-sends it to the addressee."""
+        h = make_harness(5, lambda: SyncGranularProtocol())
+        monitor = OverhearingMonitor(h.simulator.protocol_of(4))
+        h.channel(0).send(2, "please relay")
+        assert h.pump(lambda hh: len(monitor.log) >= 1, max_steps=3000)
+
+        overheard = monitor.log[0]
+        monitor.relay(overheard)
+        assert h.pump(lambda hh: len(hh.channel(2).inbox) >= 2, max_steps=3000)
+        inbox = h.channel(2).inbox
+        assert inbox[0].payload == inbox[1].payload == b"please relay"
+        # The relayed copy arrives from the relayer, not the origin.
+        assert {m.src for m in inbox} == {0, 4}
+
+    def test_relay_to_self_rejected(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        monitor = OverhearingMonitor(h.simulator.protocol_of(3))
+        h.channel(0).send(3, "mine")
+        assert h.pump(lambda hh: len(monitor.log) >= 1, max_steps=3000)
+        with pytest.raises(ChannelError):
+            monitor.relay(monitor.log[0])

@@ -1,0 +1,77 @@
+"""Edge cases for the dual-channel stack and its framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.stack import DualChannelStack
+from repro.errors import ChannelError
+from repro.faults.wireless import SimulatedWireless
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+from tests.conftest import make_harness
+
+
+def stack_setup(count: int = 3, drop: float = 0.0, seed: int = 0, ack_timeout: int = 3):
+    h = make_harness(count, lambda: SyncGranularProtocol())
+    wireless = SimulatedWireless(count, drop_probability=drop, seed=seed)
+    stacks = [
+        DualChannelStack(i, wireless, h.channel(i), ack_timeout=ack_timeout)
+        for i in range(count)
+    ]
+    return h, wireless, stacks
+
+
+def pump(h, stacks, steps: int) -> None:
+    for _ in range(steps):
+        h.run(1)
+        for s in stacks:
+            s.tick(h.simulator.time)
+
+
+class TestFraming:
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(ChannelError):
+            DualChannelStack._open(b"x")
+
+    def test_envelope_roundtrip(self):
+        blob = DualChannelStack._envelope(42, 1, b"payload")
+        assert DualChannelStack._open(blob) == (42, 1, b"payload")
+
+    def test_empty_payload_roundtrip(self):
+        blob = DualChannelStack._envelope(0, 0, b"")
+        assert DualChannelStack._open(blob) == (0, 0, b"")
+
+
+class TestBookkeeping:
+    def test_stale_ack_ignored(self):
+        """An ACK for an unknown (already resolved) id is a no-op."""
+        h, wireless, stacks = stack_setup()
+        # Hand-craft an ACK frame for a message never sent.
+        wireless.send(1, 0, DualChannelStack._envelope(99, 1, b""), time=0)
+        stacks[0].tick(1)  # must not raise
+        assert stacks[0].unacked == 0
+
+    def test_message_id_wraparound(self):
+        """More than 256 messages: ids wrap, de-dup keys stay correct
+        because old ids have long been resolved."""
+        h, wireless, stacks = stack_setup()
+        for i in range(300):
+            stacks[0].send(1, bytes([i % 251]), time=h.simulator.time)
+            pump(h, stacks, 1)
+        pump(h, stacks, 5)
+        assert len(stacks[1].inbox) == 300
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=0.6), st.integers(min_value=0, max_value=1000))
+    def test_exactly_once_under_random_loss(self, drop, seed):
+        h, wireless, stacks = stack_setup(drop=drop, seed=seed)
+        payloads = [f"m{i}".encode() for i in range(4)]
+        for payload in payloads:
+            stacks[0].send(1, payload, time=h.simulator.time)
+            pump(h, stacks, 25)
+        pump(h, stacks, 1500)
+        got = sorted(m.payload for m in stacks[1].inbox)
+        assert got == sorted(payloads)

@@ -1,0 +1,76 @@
+"""Tests for the movement-channel message transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.transport import MovementChannel
+from repro.errors import ChannelError, CodingError
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+from tests.conftest import make_harness
+
+
+class TestSendReceive:
+    def test_roundtrip_text_and_bytes(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        h.channel(0).send(2, "text message")
+        h.channel(1).send(2, b"\x00\x01\xff")
+        assert h.pump(lambda hh: len(hh.channel(2).inbox) >= 2, max_steps=3000)
+        inbox = h.channel(2).inbox
+        payloads = {m.payload for m in inbox}
+        assert payloads == {b"text message", b"\x00\x01\xff"}
+        sources = {m.src for m in inbox}
+        assert sources == {0, 1}
+
+    def test_send_returns_bit_count(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        bits = h.channel(0).send(1, b"ab")
+        assert bits == 16 + 16  # header + 2 bytes
+
+    def test_oversized_rejected(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        with pytest.raises(CodingError):
+            h.channel(0).send(1, b"x" * 70_000)
+
+    def test_poll_returns_only_fresh(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        h.channel(0).send(1, "one")
+        assert h.pump(lambda hh: len(hh.channel(1).inbox) >= 1, max_steps=2000)
+        assert h.channel(1).poll() == []  # already drained by pump
+
+    def test_message_order_preserved_per_sender(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        for i in range(3):
+            h.channel(0).send(1, f"msg {i}")
+        assert h.pump(lambda hh: len(hh.channel(1).inbox) >= 3, max_steps=4000)
+        texts = [m.text() for m in h.channel(1).inbox if m.src == 0]
+        assert texts == ["msg 0", "msg 1", "msg 2"]
+
+    def test_counters_and_idle(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        channel = h.channel(0)
+        assert channel.idle()
+        channel.send(1, "x")
+        assert channel.messages_sent == 1
+        assert not channel.idle()
+        assert channel.pending_transmission() > 0
+        h.run(50)
+        assert channel.idle()
+
+    def test_partial_frame_detection(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        # Queue raw bits that do not complete a frame.
+        h.simulator.protocol_of(0).send_bits(1, [0, 0, 0, 1])
+        h.run(10)
+        with pytest.raises(ChannelError):
+            h.channel(1).expect_no_partial_frames()
+
+    def test_completed_at_timestamps_monotone(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        h.channel(0).send(1, "a")
+        h.channel(0).send(1, "b")
+        assert h.pump(lambda hh: len(hh.channel(1).inbox) >= 2, max_steps=4000)
+        times = [m.completed_at for m in h.channel(1).inbox]
+        assert times == sorted(times)
+        assert times[0] < times[1]

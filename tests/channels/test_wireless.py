@@ -1,0 +1,115 @@
+"""Tests for the simulated wireless medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelDownError, ChannelError
+from repro.faults.wireless import SimulatedWireless
+
+
+class TestValidation:
+    def test_count_checked(self):
+        with pytest.raises(ChannelError):
+            SimulatedWireless(0)
+
+    def test_drop_probability_checked(self):
+        with pytest.raises(ChannelError):
+            SimulatedWireless(2, drop_probability=1.0)
+        w = SimulatedWireless(2)
+        with pytest.raises(ChannelError):
+            w.set_drop_probability(-0.1)
+
+    def test_unknown_endpoints(self):
+        w = SimulatedWireless(2)
+        with pytest.raises(ChannelError):
+            w.send(0, 5, b"x", time=0)
+        with pytest.raises(ChannelError):
+            w.receive(9)
+
+
+class TestHealthyMedium:
+    def test_unicast_delivery(self):
+        w = SimulatedWireless(3)
+        w.send(0, 2, b"frame", time=4)
+        frames = w.receive(2)
+        assert len(frames) == 1
+        assert frames[0].src == 0
+        assert frames[0].payload == b"frame"
+        assert frames[0].sent_at == 4
+        assert w.receive(2) == []  # drained
+        assert w.receive(1) == []  # not the addressee
+
+    def test_string_payloads_encoded(self):
+        w = SimulatedWireless(2)
+        w.send(0, 1, "héllo", time=0)
+        assert w.receive(1)[0].payload == "héllo".encode("utf-8")
+
+    def test_accounting(self):
+        w = SimulatedWireless(2)
+        w.send(0, 1, b"a", time=0)
+        assert w.frames_sent == 1
+        assert w.frames_lost == 0
+
+
+class TestCrash:
+    def test_crashed_sender_raises(self):
+        w = SimulatedWireless(2)
+        w.crash_device(0)
+        assert not w.is_up(0)
+        with pytest.raises(ChannelDownError):
+            w.send(0, 1, b"x", time=0)
+
+    def test_crashed_receiver_loses_silently(self):
+        w = SimulatedWireless(2)
+        w.crash_device(1)
+        w.send(0, 1, b"x", time=0)  # no error: the sender cannot know
+        assert w.frames_lost == 1
+        assert w.receive(1) == []
+
+    def test_restore(self):
+        w = SimulatedWireless(2)
+        w.crash_device(0)
+        w.restore_device(0)
+        w.send(0, 1, b"x", time=0)
+        assert len(w.receive(1)) == 1
+
+
+class TestJamming:
+    def test_jam_drops_silently(self):
+        w = SimulatedWireless(2)
+        w.jam()
+        w.send(0, 1, b"x", time=0)
+        assert w.receive(1) == []
+        assert w.frames_lost == 1
+
+    def test_unjam_restores(self):
+        w = SimulatedWireless(2)
+        w.jam()
+        w.unjam()
+        w.send(0, 1, b"x", time=0)
+        assert len(w.receive(1)) == 1
+
+
+class TestIntermittentLoss:
+    def test_loss_rate_roughly_honoured(self):
+        w = SimulatedWireless(2, drop_probability=0.5, seed=42)
+        for i in range(400):
+            w.send(0, 1, b"x", time=i)
+        delivered = len(w.receive(1))
+        assert 120 < delivered < 280  # ~200 expected
+
+    def test_zero_probability_lossless(self):
+        w = SimulatedWireless(2, drop_probability=0.0)
+        for i in range(50):
+            w.send(0, 1, b"x", time=i)
+        assert len(w.receive(1)) == 50
+
+    def test_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            w = SimulatedWireless(2, drop_probability=0.3, seed=7)
+            for i in range(100):
+                w.send(0, 1, bytes([i]), time=i)
+            outcomes.append([f.payload for f in w.receive(1)])
+        assert outcomes[0] == outcomes[1]

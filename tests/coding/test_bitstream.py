@@ -1,0 +1,115 @@
+"""Tests for bit packing and message framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.bitstream import (
+    FrameDecoder,
+    bits_to_bytes,
+    bytes_to_bits,
+    decode_message,
+    encode_message,
+)
+from repro.errors import CodingError
+
+
+class TestBitPacking:
+    def test_byte_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+        assert bytes_to_bits(b"\xff") == [1] * 8
+
+    def test_empty(self):
+        assert bytes_to_bits(b"") == []
+        assert bits_to_bytes([]) == b""
+
+    def test_partial_byte_rejected(self):
+        with pytest.raises(CodingError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(CodingError):
+            bits_to_bytes([2] * 8)
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        bits = encode_message(b"\xab")
+        assert len(bits) == 16 + 8
+        # Length prefix says 1.
+        assert bits[:16] == [0] * 15 + [1]
+
+    def test_string_is_utf8(self):
+        bits = encode_message("é")
+        assert decode_message(bits) == "é".encode("utf-8")
+
+    def test_empty_message(self):
+        bits = encode_message(b"")
+        assert len(bits) == 16
+        assert decode_message(bits) == b""
+
+    def test_oversized_rejected(self):
+        with pytest.raises(CodingError):
+            encode_message(b"x" * 70_000)
+
+    def test_truncated_rejected(self):
+        bits = encode_message(b"hello")
+        with pytest.raises(CodingError):
+            decode_message(bits[:-1])
+
+    def test_trailing_bits_rejected(self):
+        bits = encode_message(b"hello") + [0]
+        with pytest.raises(CodingError):
+            decode_message(bits)
+
+    @given(st.binary(max_size=300))
+    def test_roundtrip(self, payload):
+        assert decode_message(encode_message(payload)) == payload
+
+    @given(st.text(max_size=100))
+    def test_text_roundtrip(self, text):
+        assert decode_message(encode_message(text)).decode("utf-8") == text
+
+
+class TestFrameDecoder:
+    def test_incremental_delivery(self):
+        decoder = FrameDecoder()
+        bits = encode_message(b"ab")
+        results = [decoder.push(b) for b in bits]
+        assert all(r is None for r in results[:-1])
+        assert results[-1] == b"ab"
+        assert decoder.is_idle
+
+    def test_back_to_back_frames(self):
+        decoder = FrameDecoder()
+        stream = encode_message(b"one") + encode_message(b"two") + encode_message(b"")
+        frames = decoder.push_all(stream)
+        assert frames == [b"one", b"two", b""]
+        assert decoder.is_idle
+
+    def test_partial_state_visible(self):
+        decoder = FrameDecoder()
+        bits = encode_message(b"xy")
+        decoder.push_all(bits[:20])
+        assert not decoder.is_idle
+        assert decoder.buffered_bits == 20
+
+    def test_invalid_bit(self):
+        with pytest.raises(CodingError):
+            FrameDecoder().push(7)
+
+    @given(st.lists(st.binary(max_size=40), min_size=1, max_size=10))
+    def test_stream_roundtrip(self, payloads):
+        stream = []
+        for p in payloads:
+            stream.extend(encode_message(p))
+        decoder = FrameDecoder()
+        assert decoder.push_all(stream) == payloads
+        assert decoder.is_idle

@@ -1,0 +1,109 @@
+"""Tests for the Section 5 few-slice addressing codec and step models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.logk_addressing import (
+    address_digit_count,
+    address_digits,
+    digits_to_index,
+    slowdown_factor,
+    steps_per_message_full_slicing,
+    steps_per_message_logk,
+    theoretical_slowdown_logslices,
+)
+from repro.errors import CodingError
+
+
+class TestDigitCount:
+    def test_known_values(self):
+        assert address_digit_count(2, 2) == 1
+        assert address_digit_count(4, 2) == 2
+        assert address_digit_count(5, 2) == 3
+        assert address_digit_count(1000, 10) == 3
+        assert address_digit_count(1001, 10) == 4
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            address_digit_count(1, 2)
+        with pytest.raises(CodingError):
+            address_digit_count(4, 1)
+
+    @given(st.integers(min_value=2, max_value=100_000), st.integers(min_value=2, max_value=64))
+    def test_matches_logarithm(self, n, k):
+        digits = address_digit_count(n, k)
+        assert k**digits >= n
+        assert digits == 1 or k ** (digits - 1) < n
+
+
+class TestDigitsRoundtrip:
+    def test_known_encoding(self):
+        assert address_digits(6, 8, 2) == [1, 1, 0]
+        assert address_digits(0, 8, 2) == [0, 0, 0]
+
+    def test_fixed_width(self):
+        for index in range(10):
+            assert len(address_digits(index, 10, 3)) == address_digit_count(10, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodingError):
+            address_digits(10, 10, 2)
+
+    def test_decode_validation(self):
+        with pytest.raises(CodingError):
+            digits_to_index([1], 10, 2)  # wrong width
+        with pytest.raises(CodingError):
+            digits_to_index([2, 0, 0, 0], 10, 2)  # digit out of base
+        with pytest.raises(CodingError):
+            digits_to_index([1, 1, 1, 1], 10, 2)  # 15 >= n
+
+    @given(st.integers(min_value=2, max_value=4096), st.integers(min_value=2, max_value=16), st.data())
+    def test_roundtrip(self, n, k, data):
+        index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert digits_to_index(address_digits(index, n, k), n, k) == index
+
+
+class TestStepModels:
+    def test_full_slicing(self):
+        assert steps_per_message_full_slicing(1) == 2
+        assert steps_per_message_full_slicing(8) == 16
+        with pytest.raises(CodingError):
+            steps_per_message_full_slicing(-1)
+
+    def test_logk_adds_address_block(self):
+        # n=16, k=2 -> 4 digits -> 8 extra instants.
+        assert steps_per_message_logk(1, 16, 2) == 2 + 8
+
+    def test_slowdown_monotone_in_n(self):
+        """The trade-off shape: fixing k, more robots cost more."""
+        values = [slowdown_factor(1, n, 2) for n in (4, 16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_slowdown_monotone_decreasing_in_k(self):
+        values = [slowdown_factor(1, 1024, k) for k in (2, 4, 8, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_slowdown_undefined_for_empty(self):
+        with pytest.raises(CodingError):
+            slowdown_factor(0, 8, 2)
+
+    def test_theoretical_reference(self):
+        assert theoretical_slowdown_logslices(16) == pytest.approx(
+            math.log(16) / math.log(math.log(16))
+        )
+        with pytest.raises(CodingError):
+            theoretical_slowdown_logslices(3)
+
+    def test_paper_asymptotic_shape(self):
+        """With k = O(log n), the measured slowdown for 1-bit messages
+        tracks log n / log log n within a constant factor."""
+        for n in (64, 256, 1024, 4096):
+            k = max(2, round(math.log2(n)))
+            measured = slowdown_factor(1, n, k)
+            reference = theoretical_slowdown_logslices(n)
+            assert 0.3 < measured / reference < 5.0

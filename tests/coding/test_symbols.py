@@ -1,0 +1,117 @@
+"""Tests for multi-symbol displacement coding (Section 3.1 remark)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.symbols import SymbolCoder
+from repro.errors import CodingError
+
+alphabets = st.sampled_from([2, 4, 8, 16, 64, 256])
+
+
+class TestValidation:
+    def test_alphabet_must_be_power_of_two(self):
+        for bad in (0, 1, 3, 6, 100):
+            with pytest.raises(CodingError):
+                SymbolCoder(bad, span=1.0)
+
+    def test_span_positive(self):
+        with pytest.raises(CodingError):
+            SymbolCoder(2, span=0.0)
+
+    def test_guard_range(self):
+        with pytest.raises(CodingError):
+            SymbolCoder(2, span=1.0, guard_fraction=0.5)
+
+
+class TestBitsPerSymbol:
+    def test_values(self):
+        assert SymbolCoder(2, 1.0).bits_per_symbol == 1
+        assert SymbolCoder(16, 1.0).bits_per_symbol == 4
+        assert SymbolCoder(256, 1.0).bits_per_symbol == 8
+
+
+class TestPacking:
+    def test_pack_unpack(self):
+        coder = SymbolCoder(4, 1.0)
+        assert coder.bits_to_symbols([1, 0, 0, 1]) == [0b10, 0b01]
+        assert coder.symbols_to_bits([0b10, 0b01]) == [1, 0, 0, 1]
+
+    def test_padding(self):
+        coder = SymbolCoder(4, 1.0)
+        # Odd bit count pads with zeros.
+        assert coder.bits_to_symbols([1]) == [0b10]
+
+    def test_invalid_bits(self):
+        with pytest.raises(CodingError):
+            SymbolCoder(2, 1.0).bits_to_symbols([3])
+
+    def test_invalid_symbol(self):
+        with pytest.raises(CodingError):
+            SymbolCoder(2, 1.0).symbols_to_bits([5])
+
+    @given(alphabets, st.lists(st.integers(min_value=0, max_value=1), max_size=64))
+    def test_roundtrip_padded(self, alphabet, bits):
+        coder = SymbolCoder(alphabet, 1.0)
+        symbols = coder.bits_to_symbols(bits)
+        recovered = coder.symbols_to_bits(symbols)
+        assert recovered[: len(bits)] == bits
+        assert all(b == 0 for b in recovered[len(bits):])
+
+
+class TestDisplacements:
+    def test_levels_symmetric_and_nonzero(self):
+        coder = SymbolCoder(4, span=1.0)
+        levels = [coder.displacement(s) for s in range(4)]
+        assert levels == pytest.approx([-0.75, -0.25, 0.25, 0.75])
+        assert all(level != 0.0 for level in levels)
+
+    def test_levels_inside_span(self):
+        coder = SymbolCoder(256, span=2.0)
+        for s in (0, 17, 128, 255):
+            assert abs(coder.displacement(s)) < 2.0
+
+    @given(alphabets, st.integers(min_value=0, max_value=255))
+    def test_decode_roundtrip(self, alphabet, symbol):
+        symbol %= alphabet
+        coder = SymbolCoder(alphabet, span=1.5)
+        assert coder.decode_displacement(coder.displacement(symbol)) == symbol
+
+    @given(
+        alphabets,
+        st.integers(min_value=0, max_value=255),
+        st.floats(min_value=-0.39, max_value=0.39),
+    )
+    def test_decode_tolerates_noise_within_guard(self, alphabet, symbol, noise_frac):
+        symbol %= alphabet
+        coder = SymbolCoder(alphabet, span=1.5)
+        step = 2 * 1.5 / alphabet
+        noisy = coder.displacement(symbol) + noise_frac * step
+        assert coder.decode_displacement(noisy) == symbol
+
+    def test_decode_rejects_out_of_range(self):
+        coder = SymbolCoder(4, span=1.0)
+        with pytest.raises(CodingError):
+            coder.decode_displacement(2.0)
+
+    def test_decode_rejects_dead_zone(self):
+        coder = SymbolCoder(2, span=1.0)
+        # Exactly between the two levels (-0.5 and +0.5) is ambiguous.
+        with pytest.raises(CodingError):
+            coder.decode_displacement(0.0)
+
+
+class TestMovesPerBits:
+    def test_reduction_factor(self):
+        """The Section 3.1 claim: B levels divide the move count by
+        log2(B)."""
+        bits = 240
+        assert SymbolCoder(2, 1.0).moves_per_bits(bits) == 240
+        assert SymbolCoder(16, 1.0).moves_per_bits(bits) == 60
+        assert SymbolCoder(256, 1.0).moves_per_bits(bits) == 30
+
+    def test_rounding_up(self):
+        assert SymbolCoder(16, 1.0).moves_per_bits(5) == 2

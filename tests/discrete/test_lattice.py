@@ -1,0 +1,112 @@
+"""Tests for square and hexagonal lattices."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discrete.lattice import HexLattice, SquareLattice
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.builds(Vec2, coords, coords)
+
+
+class TestValidation:
+    def test_pitch_positive(self):
+        for cls in (SquareLattice, HexLattice):
+            with pytest.raises(GeometryError):
+                cls(pitch=0.0)
+
+
+class TestSquareLattice:
+    def test_snap_rounds(self):
+        lat = SquareLattice(pitch=1.0)
+        assert lat.snap(Vec2(0.4, 0.6)) == Vec2(0.0, 1.0)
+        assert lat.snap(Vec2(-1.4, 2.5001)) == Vec2(-1.0, 3.0)
+
+    def test_snap_respects_pitch(self):
+        lat = SquareLattice(pitch=2.5)
+        assert lat.snap(Vec2(3.7, 0.0)) == Vec2(2.5, 0.0)
+
+    def test_eight_directions(self):
+        lat = SquareLattice()
+        dirs = lat.directions()
+        assert len(dirs) == 8
+        for d in dirs:
+            assert d.norm() == pytest.approx(1.0)
+
+    def test_unit_steps(self):
+        lat = SquareLattice(pitch=2.0)
+        assert lat.unit_step(0) == 2.0  # axial
+        assert lat.unit_step(1) == pytest.approx(2.0 * math.sqrt(2.0))  # diagonal
+
+    def test_step_from_lands_on_lattice(self):
+        lat = SquareLattice(pitch=1.0)
+        for d in range(8):
+            target = lat.step_from(Vec2(2.0, 3.0), d, 3)
+            assert lat.is_lattice_point(target)
+
+    def test_step_from_validates(self):
+        lat = SquareLattice()
+        with pytest.raises(GeometryError):
+            lat.step_from(Vec2(0.5, 0.0), 0, 1)
+        with pytest.raises(GeometryError):
+            lat.step_from(Vec2(0.0, 0.0), 0, -1)
+
+    @settings(deadline=None)
+    @given(points)
+    def test_snap_idempotent_and_close(self, p):
+        lat = SquareLattice(pitch=1.0)
+        snapped = lat.snap(p)
+        assert lat.snap(snapped) == snapped
+        # Nearest grid point is within half a cell diagonal.
+        assert snapped.distance_to(p) <= math.sqrt(0.5) + 1e-9
+
+
+class TestHexLattice:
+    def test_six_directions_unit(self):
+        lat = HexLattice()
+        dirs = lat.directions()
+        assert len(dirs) == 6
+        for d in dirs:
+            assert d.norm() == pytest.approx(1.0)
+        assert lat.unit_step(3) == lat.pitch
+
+    def test_neighbors_at_pitch(self):
+        lat = HexLattice(pitch=1.0)
+        origin = Vec2(0.0, 0.0)
+        for d in range(6):
+            neighbor = lat.step_from(origin, d, 1)
+            assert neighbor.distance_to(origin) == pytest.approx(1.0)
+            assert lat.is_lattice_point(neighbor)
+
+    def test_snap_prefers_nearest(self):
+        lat = HexLattice(pitch=1.0)
+        # Near the origin.
+        assert lat.snap(Vec2(0.1, 0.1)) == Vec2(0.0, 0.0)
+
+    @settings(deadline=None)
+    @given(points)
+    def test_snap_nearest_property(self, p):
+        """The snapped point is at most one lattice spacing away and no
+        lattice neighbour of it is strictly closer to p."""
+        lat = HexLattice(pitch=1.0)
+        snapped = lat.snap(p)
+        assert lat.is_lattice_point(snapped)
+        d0 = snapped.distance_to(p)
+        assert d0 <= 1.0  # within the covering radius (~0.577)
+        for d in range(6):
+            neighbor = lat.step_from(snapped, d, 1)
+            assert neighbor.distance_to(p) >= d0 - 1e-9
+
+    @settings(deadline=None)
+    @given(points)
+    def test_snap_idempotent(self, p):
+        lat = HexLattice(pitch=1.0)
+        snapped = lat.snap(p)
+        assert lat.snap(snapped).distance_to(snapped) <= 1e-9

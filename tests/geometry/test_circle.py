@@ -1,0 +1,67 @@
+"""Tests for circles and circumcircles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle, circle_from_three, circle_from_two
+from repro.geometry.vec import Vec2
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.builds(Vec2, coords, coords)
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Vec2.zero(), -1.0)
+
+    def test_containment(self):
+        c = Circle(Vec2(0, 0), 2.0)
+        assert c.contains(Vec2(1, 1))
+        assert c.contains(Vec2(2, 0))  # boundary
+        assert not c.contains(Vec2(2.1, 0))
+
+    def test_strict_and_boundary(self):
+        c = Circle(Vec2(0, 0), 2.0)
+        assert c.strictly_contains(Vec2(0.5, 0))
+        assert not c.strictly_contains(Vec2(2, 0))
+        assert c.on_boundary(Vec2(0, 2))
+        assert not c.on_boundary(Vec2(0, 1))
+
+    def test_scaled(self):
+        c = Circle(Vec2(1, 1), 2.0).scaled(0.5)
+        assert c.radius == 1.0
+        assert c.center == Vec2(1, 1)
+
+
+class TestCircleFromTwo:
+    @given(points, points)
+    def test_both_points_on_boundary(self, a, b):
+        assume(a.distance_to(b) > 1e-6)
+        c = circle_from_two(a, b)
+        assert c.on_boundary(a, eps=1e-6)
+        assert c.on_boundary(b, eps=1e-6)
+        assert c.radius == pytest.approx(a.distance_to(b) / 2.0, rel=1e-9)
+
+
+class TestCircleFromThree:
+    def test_right_triangle(self):
+        c = circle_from_three(Vec2(0, 0), Vec2(2, 0), Vec2(0, 2))
+        assert c is not None
+        assert c.center == Vec2(1, 1)
+
+    def test_collinear_returns_none(self):
+        assert circle_from_three(Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)) is None
+
+    @given(points, points, points)
+    def test_all_on_boundary(self, a, b, c):
+        # Require a non-degenerate triangle with decent area.
+        area2 = abs((b - a).cross(c - a))
+        assume(area2 > 1.0)
+        circ = circle_from_three(a, b, c)
+        assert circ is not None
+        for p in (a, b, c):
+            assert circ.on_boundary(p, eps=1e-5 * max(1.0, circ.radius))

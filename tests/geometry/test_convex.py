@@ -1,0 +1,100 @@
+"""Tests for convex polygons and half-plane clipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.convex import ConvexPolygon
+from repro.geometry.lines import HalfPlane, Line
+from repro.geometry.vec import Vec2
+
+
+def unit_square() -> ConvexPolygon:
+    return ConvexPolygon.axis_aligned_box(Vec2(0, 0), Vec2(1, 1))
+
+
+class TestConstruction:
+    def test_box_vertices_ccw(self):
+        box = unit_square()
+        assert box.area() == pytest.approx(1.0)
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon.axis_aligned_box(Vec2(0, 0), Vec2(0, 1))
+
+
+class TestQueries:
+    def test_contains_interior_boundary_exterior(self):
+        box = unit_square()
+        assert box.contains(Vec2(0.5, 0.5))
+        assert box.contains(Vec2(0.0, 0.5))
+        assert not box.contains(Vec2(1.5, 0.5))
+
+    def test_empty_polygon(self):
+        empty = ConvexPolygon(())
+        assert empty.is_empty()
+        assert empty.area() == 0.0
+        assert not empty.contains(Vec2(0, 0))
+        assert empty.edges() == []
+
+    def test_distance_to_boundary_center(self):
+        box = unit_square()
+        assert box.distance_to_boundary(Vec2(0.5, 0.5)) == pytest.approx(0.5)
+
+    def test_distance_to_boundary_off_center(self):
+        box = unit_square()
+        assert box.distance_to_boundary(Vec2(0.25, 0.5)) == pytest.approx(0.25)
+
+    def test_centroid_square(self):
+        assert unit_square().centroid() == Vec2(0.5, 0.5)
+
+    def test_edges_count(self):
+        assert len(unit_square().edges()) == 4
+
+
+class TestClipping:
+    def test_clip_in_half(self):
+        box = unit_square()
+        # Keep x <= 0.5: boundary through (0.5, 0) pointing +y keeps left.
+        hp = HalfPlane(Line(Vec2(0.5, 0.0), Vec2(0.0, 1.0)))
+        clipped = box.clipped(hp)
+        assert clipped.area() == pytest.approx(0.5)
+        assert clipped.contains(Vec2(0.25, 0.5))
+        assert not clipped.contains(Vec2(0.75, 0.5))
+
+    def test_clip_away_everything(self):
+        box = unit_square()
+        hp = HalfPlane(Line(Vec2(-1.0, 0.0), Vec2(0.0, 1.0)))  # keeps x <= -1
+        clipped = box.clipped(hp)
+        assert clipped.is_empty() or clipped.area() == pytest.approx(0.0, abs=1e-9)
+
+    def test_clip_no_effect(self):
+        box = unit_square()
+        hp = HalfPlane(Line(Vec2(10.0, 0.0), Vec2(0.0, 1.0)))  # keeps x <= 10
+        clipped = box.clipped(hp)
+        assert clipped.area() == pytest.approx(1.0)
+
+    def test_repeated_clips_produce_triangle(self):
+        box = unit_square()
+        # Keep below the diagonal: x + y <= 1 is the left of the
+        # direction from (1,0) to (0,1).
+        diag = HalfPlane(Line(Vec2(0.0, 1.0), Vec2(-1.0, 1.0)))
+        clipped = box.clipped(diag)
+        assert clipped.area() == pytest.approx(0.5)
+        assert clipped.contains(Vec2(0.25, 0.25))
+        assert not clipped.contains(Vec2(0.75, 0.75))
+
+    def test_clip_chain_stays_convex_and_shrinks(self):
+        poly = ConvexPolygon.axis_aligned_box(Vec2(-5, -5), Vec2(5, 5))
+        areas = [poly.area()]
+        import math
+
+        for k in range(8):
+            angle = 2.0 * math.pi * k / 8.0
+            # Keep the side containing the origin.
+            origin = Vec2.from_polar(3.0, angle)
+            direction = Vec2.unit(angle + math.pi / 2.0)
+            poly = poly.clipped(HalfPlane(Line(origin, direction)))
+            areas.append(poly.area())
+        assert all(a >= b - 1e-9 for a, b in zip(areas, areas[1:]))
+        assert poly.contains(Vec2(0, 0))

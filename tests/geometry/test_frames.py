@@ -1,0 +1,137 @@
+"""Tests for local coordinate frames."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.frames import Frame, make_frames
+from repro.geometry.vec import Vec2
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.builds(Vec2, coords, coords)
+frames = st.builds(
+    Frame,
+    rotation=st.floats(min_value=-10.0, max_value=10.0),
+    scale=st.floats(min_value=0.01, max_value=100.0),
+    handedness=st.sampled_from([1, -1]),
+)
+
+
+class TestValidation:
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(scale=0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(scale=-1.0)
+
+    def test_bad_handedness_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(handedness=0)
+
+
+class TestTransforms:
+    def test_identity_frame_is_identity(self):
+        f = Frame()
+        p = Vec2(3.0, -2.0)
+        origin = Vec2(1.0, 1.0)
+        assert f.to_local(p, origin) == p - origin
+        assert f.to_world(p, origin) == p + origin
+
+    @given(frames, points, points)
+    def test_roundtrip(self, frame, point, origin):
+        local = frame.to_local(point, origin)
+        back = frame.to_world(local, origin)
+        assert back.x == pytest.approx(point.x, rel=1e-6, abs=1e-6)
+        assert back.y == pytest.approx(point.y, rel=1e-6, abs=1e-6)
+
+    @given(frames, points, points, points)
+    def test_distances_scale_uniformly(self, frame, a, b, origin):
+        la = frame.to_local(a, origin)
+        lb = frame.to_local(b, origin)
+        assert la.distance_to(lb) * frame.scale == pytest.approx(
+            a.distance_to(b), rel=1e-6, abs=1e-6
+        )
+
+    def test_rotation_quarter_turn(self):
+        f = Frame(rotation=math.pi / 2.0)
+        # World +y is the local +x axis.
+        local = f.to_local(Vec2(0.0, 1.0), Vec2.zero())
+        assert local.x == pytest.approx(1.0)
+        assert local.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_left_handed_flips_y(self):
+        f = Frame(handedness=-1)
+        local = f.to_local(Vec2(0.0, 1.0), Vec2.zero())
+        assert local.y == pytest.approx(-1.0)
+
+    @given(frames, points)
+    def test_direction_roundtrip(self, frame, v):
+        there = frame.direction_to_local(v)
+        back = frame.direction_to_world(there)
+        assert back.x == pytest.approx(v.x, rel=1e-6, abs=1e-6)
+        assert back.y == pytest.approx(v.y, rel=1e-6, abs=1e-6)
+
+    @given(frames, points)
+    def test_direction_preserves_length(self, v_frame, v):
+        assert v_frame.direction_to_local(v).norm() == pytest.approx(
+            v.norm(), rel=1e-9, abs=1e-9
+        )
+
+
+class TestChirality:
+    @given(frames, points, points)
+    def test_cross_sign_flips_with_handedness(self, frame, u, v):
+        """Same-handedness frames preserve orientation; opposite flip it."""
+        cross_world = u.cross(v)
+        lu = frame.direction_to_local(u)
+        lv = frame.direction_to_local(v)
+        cross_local = lu.cross(lv)
+        if abs(cross_world) > 1e-6:
+            assert math.copysign(1.0, cross_local) == frame.handedness * math.copysign(
+                1.0, cross_world
+            )
+
+
+class TestMakeFrames:
+    def test_identical_regime(self):
+        fs = make_frames(5, "identical")
+        assert all(f == Frame() for f in fs)
+
+    def test_sense_of_direction_shares_axes(self):
+        fs = make_frames(8, "sense_of_direction", seed=3)
+        assert all(f.rotation == 0.0 and f.handedness == 1 for f in fs)
+        scales = {f.scale for f in fs}
+        assert len(scales) > 1  # private unit measures
+
+    def test_chirality_shares_handedness_only(self):
+        fs = make_frames(8, "chirality", seed=3)
+        assert all(f.handedness == 1 for f in fs)
+        assert len({round(f.rotation, 6) for f in fs}) > 1
+
+    def test_adversarial_mixes_handedness(self):
+        fs = make_frames(32, "adversarial", seed=3)
+        assert {f.handedness for f in fs} == {1, -1}
+
+    def test_determinism(self):
+        assert make_frames(6, "chirality", seed=9) == make_frames(6, "chirality", seed=9)
+
+    def test_capability_queries(self):
+        a, b = make_frames(2, "sense_of_direction", seed=1)
+        assert a.shares_handedness_with(b)
+        assert a.shares_y_direction_with(b)
+        c = Frame(rotation=1.0)
+        assert not c.shares_y_direction_with(a)
+
+    def test_bad_regime_count(self):
+        with pytest.raises(ValueError):
+            make_frames(-1, "identical")
+
+    def test_bad_scale_range(self):
+        with pytest.raises(ValueError):
+            make_frames(2, "identical", scale_range=(0.0, 1.0))

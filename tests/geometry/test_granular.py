@@ -1,0 +1,161 @@
+"""Tests for sliced granular discs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AmbiguousDirectionError
+from repro.geometry.granular import Granular, granular_radius
+from repro.geometry.vec import Vec2
+
+
+def make(num_diameters: int = 4, sweep: int = -1, zero=Vec2(0.0, 1.0)) -> Granular:
+    return Granular(
+        center=Vec2(0.0, 0.0),
+        radius=2.0,
+        num_diameters=num_diameters,
+        zero_direction=zero,
+        sweep=sweep,
+    )
+
+
+class TestValidation:
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            Granular(Vec2.zero(), 0.0, 4, Vec2(0, 1))
+
+    def test_diameters_positive(self):
+        with pytest.raises(ValueError):
+            Granular(Vec2.zero(), 1.0, 0, Vec2(0, 1))
+
+    def test_zero_direction_nonzero(self):
+        with pytest.raises(ValueError):
+            Granular(Vec2.zero(), 1.0, 4, Vec2(0, 0))
+
+    def test_sweep_validated(self):
+        with pytest.raises(ValueError):
+            Granular(Vec2.zero(), 1.0, 4, Vec2(0, 1), sweep=2)
+
+    def test_direction_normalised(self):
+        g = Granular(Vec2.zero(), 1.0, 4, Vec2(0, 5))
+        assert g.zero_direction.norm() == pytest.approx(1.0)
+
+    def test_label_range_checked(self):
+        g = make(4)
+        with pytest.raises(ValueError):
+            g.diameter_direction(4)
+        with pytest.raises(ValueError):
+            g.diameter_direction(-1)
+
+
+class TestGranularRadius:
+    def test_half_nearest_neighbor(self):
+        site = Vec2(0, 0)
+        others = [Vec2(4, 0), Vec2(0, 6), Vec2(-10, 0)]
+        assert granular_radius(site, others) == 2.0
+
+
+class TestGeometry:
+    def test_slice_angle(self):
+        assert make(4).slice_angle == pytest.approx(math.pi / 4.0)
+
+    def test_diameter_zero_is_zero_direction(self):
+        g = make(4)
+        assert g.diameter_direction(0) == Vec2(0.0, 1.0)
+        assert g.diameter_direction(0, positive=False) == Vec2(0.0, -1.0)
+
+    def test_clockwise_labelling(self):
+        """With sweep=-1, diameter 1 of a 4-diameter disc points NE-ish
+        (rotated clockwise from North)."""
+        g = make(4)
+        d1 = g.diameter_direction(1)
+        assert d1.x > 0 and d1.y > 0  # between North and East
+
+    def test_counterclockwise_sweep(self):
+        g = make(4, sweep=1)
+        d1 = g.diameter_direction(1)
+        assert d1.x < 0 and d1.y > 0  # between North and West
+
+    def test_quarter_diameter_points_east(self):
+        g = make(4)
+        d2 = g.diameter_direction(2)
+        # Two slices of pi/4 clockwise from North = East.
+        assert d2.x == pytest.approx(1.0)
+        assert d2.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_target_point_inside_disc(self):
+        g = make(4)
+        p = g.target_point(1, True, 1.0)
+        assert g.contains(p)
+        assert p.distance_to(g.center) == pytest.approx(1.0)
+
+    def test_target_point_distance_validated(self):
+        g = make(4)
+        with pytest.raises(ValueError):
+            g.target_point(0, True, 2.0)  # on the border
+        with pytest.raises(ValueError):
+            g.target_point(0, True, 0.0)
+
+
+class TestClassify:
+    def test_roundtrip_all_labels_and_sides(self):
+        g = make(6)
+        for label in range(6):
+            for positive in (True, False):
+                p = g.target_point(label, positive, 1.3)
+                assert g.classify(p) == (label, positive)
+
+    def test_center_is_ambiguous(self):
+        g = make(4)
+        with pytest.raises(AmbiguousDirectionError):
+            g.classify(g.center)
+
+    def test_between_diameters_is_ambiguous(self):
+        g = make(4)
+        # Halfway between diameter 0 and diameter 1 (pi/8 off).
+        direction = Vec2(0.0, 1.0).rotated(-math.pi / 8.0)
+        with pytest.raises(AmbiguousDirectionError):
+            g.classify(g.center + direction * 1.0)
+
+    def test_small_deviation_tolerated(self):
+        g = make(6)
+        direction = g.diameter_direction(2).rotated(g.slice_angle / 10.0)
+        label, positive = g.classify(g.center + direction * 1.0)
+        assert (label, positive) == (2, True)
+
+    @settings(deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=15),
+        st.booleans(),
+        st.floats(min_value=0.05, max_value=1.9),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    def test_roundtrip_property(self, m, label, positive, dist, zero_angle):
+        label = label % m
+        g = Granular(
+            center=Vec2(3.0, -4.0),
+            radius=2.0,
+            num_diameters=m,
+            zero_direction=Vec2.unit(zero_angle),
+        )
+        p = g.target_point(label, positive, dist)
+        assert g.classify(p) == (label, positive)
+
+    def test_classification_independent_of_observer_rotation(self):
+        """Rotating the whole scene (granular + point) preserves labels:
+        the chirality-sharing argument for observer-side decoding."""
+        g = make(8)
+        p = g.target_point(3, False, 1.0)
+        for angle in (0.3, 1.2, 2.9):
+            g_rot = Granular(
+                center=g.center.rotated(angle),
+                radius=g.radius,
+                num_diameters=8,
+                zero_direction=g.zero_direction.rotated(angle),
+            )
+            assert g_rot.classify(p.rotated(angle)) == (3, False)

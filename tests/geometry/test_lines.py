@@ -1,0 +1,120 @@
+"""Tests for lines, segments and half-planes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.lines import HalfPlane, Line, Segment
+from repro.geometry.vec import Vec2
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.builds(Vec2, coords, coords)
+
+
+class TestLine:
+    def test_direction_normalised(self):
+        line = Line(Vec2(0, 0), Vec2(3, 4))
+        assert line.direction.norm() == pytest.approx(1.0)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Line(Vec2(0, 0), Vec2(0, 0))
+
+    def test_through(self):
+        line = Line.through(Vec2(1, 1), Vec2(4, 5))
+        assert line.contains(Vec2(1, 1))
+        assert line.contains(Vec2(4, 5))
+        assert line.contains(Vec2(2.5, 3.0))
+
+    def test_projection(self):
+        line = Line(Vec2(0, 0), Vec2(1, 0))
+        assert line.project(Vec2(3, 7)) == Vec2(3, 0)
+        assert line.project_parameter(Vec2(3, 7)) == 3.0
+
+    def test_signed_offset_sides(self):
+        line = Line(Vec2(0, 0), Vec2(1, 0))
+        assert line.signed_offset(Vec2(0, 2)) > 0  # left
+        assert line.signed_offset(Vec2(0, -2)) < 0  # right
+
+    def test_intersection(self):
+        a = Line(Vec2(0, 0), Vec2(1, 0))
+        b = Line(Vec2(2, -1), Vec2(0, 1))
+        assert a.intersect(b) == Vec2(2, 0)
+
+    def test_parallel_no_intersection(self):
+        a = Line(Vec2(0, 0), Vec2(1, 0))
+        b = Line(Vec2(0, 1), Vec2(1, 0))
+        assert a.intersect(b) is None
+
+    @given(points, points)
+    def test_perpendicular_bisector_equidistant(self, a, b):
+        assume(a.distance_to(b) > 1e-6)
+        bis = Line.perpendicular_bisector(a, b)
+        for t in (-5.0, 0.0, 3.0):
+            p = bis.point_at(t)
+            assert p.distance_to(a) == pytest.approx(p.distance_to(b), rel=1e-6, abs=1e-6)
+
+    @given(points, points)
+    def test_bisector_leaves_a_on_left(self, a, b):
+        assume(a.distance_to(b) > 1e-6)
+        bis = Line.perpendicular_bisector(a, b)
+        assert bis.signed_offset(a) > 0
+        assert bis.signed_offset(b) < 0
+
+
+class TestSegment:
+    def test_length_midpoint(self):
+        seg = Segment(Vec2(0, 0), Vec2(6, 8))
+        assert seg.length() == 10.0
+        assert seg.midpoint() == Vec2(3, 4)
+
+    def test_closest_point_interior(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.closest_point_to(Vec2(4, 3)) == Vec2(4, 0)
+
+    def test_closest_point_clamps_to_ends(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.closest_point_to(Vec2(-5, 1)) == Vec2(0, 0)
+        assert seg.closest_point_to(Vec2(15, 1)) == Vec2(10, 0)
+
+    def test_degenerate_segment(self):
+        seg = Segment(Vec2(1, 1), Vec2(1, 1))
+        assert seg.closest_point_to(Vec2(5, 5)) == Vec2(1, 1)
+        assert seg.length() == 0.0
+
+    def test_distance_and_contains(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.distance_to(Vec2(5, 2)) == 2.0
+        assert seg.contains(Vec2(5, 0))
+        assert not seg.contains(Vec2(5, 0.1))
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_interior_points_contained(self, a, b, t):
+        seg = Segment(a, b)
+        assert seg.contains(seg.point_at(t), eps=1e-6 * max(1.0, seg.length()))
+
+
+class TestHalfPlane:
+    def test_closer_to(self):
+        hp = HalfPlane.closer_to(Vec2(0, 0), Vec2(10, 0))
+        assert hp.contains(Vec2(0, 0))
+        assert hp.contains(Vec2(5, 0))  # boundary (closed)
+        assert not hp.contains(Vec2(6, 0))
+
+    def test_strict_containment(self):
+        hp = HalfPlane.closer_to(Vec2(0, 0), Vec2(10, 0))
+        assert hp.strictly_contains(Vec2(1, 0))
+        assert not hp.strictly_contains(Vec2(5, 0))
+
+    @given(points, points, points)
+    def test_closer_to_matches_distances(self, site, other, q):
+        assume(site.distance_to(other) > 1e-6)
+        hp = HalfPlane.closer_to(site, other)
+        d_site = q.distance_to(site)
+        d_other = q.distance_to(other)
+        if d_site + 1e-6 < d_other:
+            assert hp.contains(q)
+        elif d_other + 1e-6 < d_site:
+            assert not hp.contains(q, eps=1e-9)

@@ -1,0 +1,122 @@
+"""Tests for orientation predicates and angle utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (
+    Orientation,
+    almost_equal,
+    almost_zero,
+    angle_between,
+    angle_ccw,
+    angle_cw,
+    normalize_angle,
+    normalize_angle_positive,
+    orientation,
+    side_of_line,
+)
+from repro.geometry.vec import Vec2
+
+angles = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestAlmost:
+    def test_almost_zero(self):
+        assert almost_zero(0.0)
+        assert almost_zero(1e-12)
+        assert not almost_zero(1e-6)
+
+    def test_almost_equal(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+        assert not almost_equal(1.0, 1.001)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert (
+            orientation(Vec2(0, 0), Vec2(1, 0), Vec2(1, 1))
+            == Orientation.COUNTERCLOCKWISE
+        )
+
+    def test_clockwise(self):
+        assert orientation(Vec2(0, 0), Vec2(1, 0), Vec2(1, -1)) == Orientation.CLOCKWISE
+
+    def test_collinear(self):
+        assert orientation(Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)) == Orientation.COLLINEAR
+
+    @given(
+        st.builds(Vec2, angles, angles),
+        st.builds(Vec2, angles, angles),
+        st.builds(Vec2, angles, angles),
+    )
+    def test_swap_flips_orientation(self, a, b, c):
+        first = orientation(a, b, c)
+        swapped = orientation(a, c, b)
+        if first != Orientation.COLLINEAR and swapped != Orientation.COLLINEAR:
+            assert first == -swapped
+
+
+class TestSideOfLine:
+    def test_left_is_positive(self):
+        # Line pointing +x; point above (left of direction).
+        assert side_of_line(Vec2(0, 1), Vec2(0, 0), Vec2(1, 0)) == 1
+
+    def test_right_is_negative(self):
+        assert side_of_line(Vec2(0, -1), Vec2(0, 0), Vec2(1, 0)) == -1
+
+    def test_on_line_is_zero(self):
+        assert side_of_line(Vec2(5, 0), Vec2(0, 0), Vec2(1, 0)) == 0
+
+
+class TestNormalization:
+    @given(angles)
+    def test_normalize_range(self, a):
+        n = normalize_angle(a)
+        assert -math.pi < n <= math.pi
+
+    @given(angles)
+    def test_normalize_positive_range(self, a):
+        n = normalize_angle_positive(a)
+        assert 0.0 <= n < 2.0 * math.pi
+
+    @given(angles)
+    def test_normalizations_agree_mod_two_pi(self, a):
+        diff = normalize_angle(a) - normalize_angle_positive(a)
+        assert math.isclose(diff % (2.0 * math.pi), 0.0, abs_tol=1e-9) or math.isclose(
+            diff % (2.0 * math.pi), 2.0 * math.pi, abs_tol=1e-9
+        )
+
+    def test_pi_maps_to_pi(self):
+        assert normalize_angle(math.pi) == pytest.approx(math.pi)
+        assert normalize_angle(-math.pi) == pytest.approx(math.pi)
+
+
+class TestSweeps:
+    def test_ccw_quarter(self):
+        assert angle_ccw(Vec2(1, 0), Vec2(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_cw_quarter(self):
+        assert angle_cw(Vec2(1, 0), Vec2(0, -1)) == pytest.approx(math.pi / 2)
+
+    def test_cw_plus_ccw_is_full_turn(self):
+        u = Vec2(1, 0)
+        v = Vec2(1, 2).normalized()
+        total = angle_cw(u, v) + angle_ccw(u, v)
+        assert total == pytest.approx(2.0 * math.pi)
+
+    @given(angles, angles)
+    def test_sweeps_nonnegative(self, a, b):
+        u = Vec2.unit(a)
+        v = Vec2.unit(b)
+        assert 0.0 <= angle_cw(u, v) < 2.0 * math.pi
+        assert 0.0 <= angle_ccw(u, v) < 2.0 * math.pi
+
+    def test_angle_between_unsigned(self):
+        assert angle_between(Vec2(1, 0), Vec2(0, 1)) == pytest.approx(math.pi / 2)
+        assert angle_between(Vec2(1, 0), Vec2(0, -1)) == pytest.approx(math.pi / 2)
+        assert angle_between(Vec2(1, 0), Vec2(-1, 0)) == pytest.approx(math.pi)

@@ -1,0 +1,114 @@
+"""Tests for the smallest enclosing circle (the Section 3.4 backbone)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.builds(Vec2, coords, coords)
+point_sets = st.lists(points, min_size=1, max_size=40)
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_circle([])
+
+    def test_single_point(self):
+        c = smallest_enclosing_circle([Vec2(3, 4)])
+        assert c.center == Vec2(3, 4)
+        assert c.radius == 0.0
+
+    def test_two_points_diameter(self):
+        c = smallest_enclosing_circle([Vec2(0, 0), Vec2(4, 0)])
+        assert c.center == Vec2(2, 0)
+        assert c.radius == pytest.approx(2.0)
+
+    def test_duplicates_collapse(self):
+        c = smallest_enclosing_circle([Vec2(1, 1)] * 5 + [Vec2(3, 1)] * 5)
+        assert c.radius == pytest.approx(1.0)
+
+    def test_equilateral_triangle(self):
+        pts = [Vec2.from_polar(1.0, 2.0 * math.pi * k / 3.0) for k in range(3)]
+        c = smallest_enclosing_circle(pts)
+        assert c.radius == pytest.approx(1.0)
+        assert c.center.norm() == pytest.approx(0.0, abs=1e-9)
+
+    def test_obtuse_triangle_uses_two_points(self):
+        # For an obtuse triangle the SEC is the longest side's circle.
+        pts = [Vec2(0, 0), Vec2(10, 0), Vec2(5, 0.1)]
+        c = smallest_enclosing_circle(pts)
+        assert c.radius == pytest.approx(5.0, rel=1e-3)
+
+    def test_interior_points_are_free(self):
+        square = [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2), Vec2(0, 2)]
+        with_interior = square + [Vec2(1, 1), Vec2(0.5, 1.5)]
+        a = smallest_enclosing_circle(square)
+        b = smallest_enclosing_circle(with_interior)
+        assert a.radius == pytest.approx(b.radius)
+        assert a.center.distance_to(b.center) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(point_sets)
+    def test_encloses_all(self, pts):
+        c = smallest_enclosing_circle(pts)
+        for p in pts:
+            assert c.contains(p, eps=1e-6 * max(1.0, c.radius))
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_sets)
+    def test_minimality_vs_brute_force_pairs_and_triples(self, pts):
+        """The SEC radius is at most any 2/3-point candidate enclosing all."""
+        from itertools import combinations
+
+        from repro.geometry.circle import circle_from_three, circle_from_two
+
+        c = smallest_enclosing_circle(pts)
+        unique = list(dict.fromkeys(pts))
+        eps = 1e-6 * max(1.0, c.radius)
+        candidates = []
+        for a, b in combinations(unique, 2):
+            candidates.append(circle_from_two(a, b))
+        for a, b, c3 in combinations(unique, 3):
+            circ = circle_from_three(a, b, c3)
+            if circ is not None:
+                candidates.append(circ)
+        enclosing = [
+            cand
+            for cand in candidates
+            if all(cand.contains(p, eps=1e-6 * max(1.0, cand.radius)) for p in unique)
+        ]
+        if enclosing:
+            best = min(cand.radius for cand in enclosing)
+            assert c.radius <= best + eps
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_sets, st.integers(min_value=0, max_value=2**16))
+    def test_seed_independence(self, pts, seed):
+        """The SEC is unique: any processing order finds the same circle."""
+        a = smallest_enclosing_circle(pts, seed=0)
+        b = smallest_enclosing_circle(pts, seed=seed)
+        scale = max(1.0, a.radius)
+        assert a.radius == pytest.approx(b.radius, abs=1e-6 * scale)
+        assert a.center.distance_to(b.center) <= 1e-6 * scale
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_sets)
+    def test_determined_by_boundary_points(self, pts):
+        """At least 2 points lie on the SEC boundary (unless trivial)."""
+        unique = list(dict.fromkeys(pts))
+        if len(unique) < 2:
+            return
+        c = smallest_enclosing_circle(pts)
+        eps = 1e-5 * max(1.0, c.radius)
+        on_boundary = sum(1 for p in unique if c.on_boundary(p, eps=eps))
+        assert on_boundary >= 2

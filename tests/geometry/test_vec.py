@@ -1,0 +1,165 @@
+"""Unit and property tests for Vec2."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import Vec2
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+vectors = st.builds(Vec2, finite, finite)
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = Vec2(1.0, 2.0)
+        b = Vec2(-3.0, 0.5)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication_commutes(self):
+        v = Vec2(2.0, -4.0)
+        assert 3.0 * v == v * 3.0 == Vec2(6.0, -12.0)
+
+    def test_division(self):
+        assert Vec2(2.0, 4.0) / 2.0 == Vec2(1.0, 2.0)
+
+    def test_negation(self):
+        assert -Vec2(1.0, -2.0) == Vec2(-1.0, 2.0)
+
+    def test_iteration_unpacks(self):
+        x, y = Vec2(3.0, 7.0)
+        assert (x, y) == (3.0, 7.0)
+
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors)
+    def test_zero_is_identity(self, v):
+        assert v + Vec2.zero() == v
+
+
+class TestProducts:
+    def test_dot_orthogonal(self):
+        assert Vec2(1.0, 0.0).dot(Vec2(0.0, 5.0)) == 0.0
+
+    def test_cross_sign_convention(self):
+        # +x cross +y is positive: CCW orientation.
+        assert Vec2(1.0, 0.0).cross(Vec2(0.0, 1.0)) == 1.0
+        assert Vec2(0.0, 1.0).cross(Vec2(1.0, 0.0)) == -1.0
+
+    @given(vectors, vectors)
+    def test_cross_antisymmetry(self, a, b):
+        assert a.cross(b) == pytest.approx(-b.cross(a), abs=1e-3)
+
+    @given(vectors)
+    def test_norm_sq_matches_norm(self, v):
+        assert v.norm_sq() == pytest.approx(v.norm() ** 2, rel=1e-9, abs=1e-12)
+
+    def test_distance_symmetric(self):
+        a = Vec2(0.0, 0.0)
+        b = Vec2(3.0, 4.0)
+        assert a.distance_to(b) == b.distance_to(a) == 5.0
+
+    def test_distance_sq(self):
+        assert Vec2(0.0, 0.0).distance_sq_to(Vec2(3.0, 4.0)) == 25.0
+
+
+class TestDirections:
+    def test_normalized_unit_length(self):
+        v = Vec2(3.0, 4.0).normalized()
+        assert v.norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2.zero().normalized()
+
+    def test_perp_ccw_rotates_plus_90(self):
+        assert Vec2(1.0, 0.0).perp_ccw() == Vec2(0.0, 1.0)
+
+    def test_perp_cw_rotates_minus_90(self):
+        assert Vec2(1.0, 0.0).perp_cw() == Vec2(0.0, -1.0)
+
+    @given(vectors)
+    def test_perps_are_orthogonal(self, v):
+        assert v.dot(v.perp_ccw()) == pytest.approx(0.0, abs=1e-3)
+        assert v.dot(v.perp_cw()) == pytest.approx(0.0, abs=1e-3)
+
+    def test_rotated_quarter_turn(self):
+        r = Vec2(1.0, 0.0).rotated(math.pi / 2.0)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    @given(vectors, st.floats(min_value=-10, max_value=10))
+    def test_rotation_preserves_norm(self, v, angle):
+        assert v.rotated(angle).norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-9)
+
+    def test_angle_of_axes(self):
+        assert Vec2(1.0, 0.0).angle() == 0.0
+        assert Vec2(0.0, 1.0).angle() == pytest.approx(math.pi / 2.0)
+
+    def test_angle_to_signed(self):
+        assert Vec2(1.0, 0.0).angle_to(Vec2(0.0, 1.0)) == pytest.approx(math.pi / 2.0)
+        assert Vec2(1.0, 0.0).angle_to(Vec2(0.0, -1.0)) == pytest.approx(-math.pi / 2.0)
+
+    def test_unit_and_from_polar(self):
+        u = Vec2.unit(math.pi / 4.0)
+        assert u.norm() == pytest.approx(1.0)
+        p = Vec2.from_polar(2.0, math.pi / 2.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(2.0)
+
+
+class TestClampedToward:
+    def test_reaches_close_target(self):
+        start = Vec2(0.0, 0.0)
+        assert start.clamped_toward(Vec2(1.0, 0.0), 2.0) == Vec2(1.0, 0.0)
+
+    def test_clamps_far_target(self):
+        start = Vec2(0.0, 0.0)
+        result = start.clamped_toward(Vec2(10.0, 0.0), 2.0)
+        assert result == Vec2(2.0, 0.0)
+
+    def test_zero_budget_stays(self):
+        start = Vec2(1.0, 1.0)
+        assert start.clamped_toward(Vec2(5.0, 5.0), 0.0) == start
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Vec2.zero().clamped_toward(Vec2(1.0, 0.0), -1.0)
+
+    @given(vectors, vectors, st.floats(min_value=0.0, max_value=1e6))
+    def test_never_exceeds_budget(self, start, target, budget):
+        moved = start.clamped_toward(target, budget)
+        travelled = start.distance_to(moved)
+        assert travelled <= budget + 1e-6 * max(1.0, budget)
+
+    @given(vectors, vectors)
+    def test_lands_on_segment(self, start, target):
+        moved = start.clamped_toward(target, 1.0)
+        # The landing point is on the segment start..target.
+        seg_len = start.distance_to(target)
+        assert start.distance_to(moved) + moved.distance_to(target) == pytest.approx(
+            seg_len, rel=1e-6, abs=1e-6
+        )
+
+
+class TestMisc:
+    def test_lerp_endpoints(self):
+        a = Vec2(0.0, 0.0)
+        b = Vec2(2.0, 4.0)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(1.0, 2.0)
+
+    def test_hashable(self):
+        assert len({Vec2(1.0, 2.0), Vec2(1.0, 2.0), Vec2(2.0, 1.0)}) == 2
+
+    def test_immutability(self):
+        v = Vec2(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            v.x = 3.0  # type: ignore[misc]

@@ -1,0 +1,170 @@
+"""Tests for Voronoi cells, cross-checked against scipy and Definition 3.1."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.vec import Vec2
+from repro.geometry.voronoi import (
+    nearest_neighbor_distance,
+    voronoi_cell,
+    voronoi_diagram,
+)
+
+
+def grid_sites() -> list:
+    return [Vec2(float(x), float(y)) for x in range(3) for y in range(3)]
+
+
+def random_sites(count: int, seed: int, spread: float = 10.0) -> list:
+    rng = random.Random(seed)
+    sites = []
+    while len(sites) < count:
+        p = Vec2(rng.uniform(-spread, spread), rng.uniform(-spread, spread))
+        if all(p.distance_to(q) > 0.5 for q in sites):
+            sites.append(p)
+    return sites
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            voronoi_diagram([])
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(ValueError):
+            voronoi_diagram([Vec2(0, 0), Vec2(0, 0)])
+
+    def test_site_must_belong(self):
+        with pytest.raises(ValueError):
+            voronoi_cell(Vec2(9, 9), [Vec2(0, 0), Vec2(1, 1)])
+
+    def test_near_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            voronoi_cell(Vec2(0, 0), [Vec2(0, 0), Vec2(1e-12, 0)])
+
+    def test_nearest_neighbor_needs_others(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_distance(Vec2(0, 0), [])
+
+
+class TestDefinition:
+    """Definition 3.1: q is in the cell of p_i iff closer to p_i."""
+
+    def test_two_sites_split_plane(self):
+        sites = [Vec2(0, 0), Vec2(10, 0)]
+        cell = voronoi_cell(sites[0], sites)
+        assert cell.contains(Vec2(4.9, 3.0))
+        assert not cell.contains(Vec2(5.1, 3.0))
+
+    def test_definition_on_random_probes(self):
+        sites = random_sites(8, seed=42)
+        diagram = voronoi_diagram(sites)
+        rng = random.Random(7)
+        for _ in range(300):
+            q = Vec2(rng.uniform(-9, 9), rng.uniform(-9, 9))
+            distances = [(q.distance_to(s), i) for i, s in enumerate(sites)]
+            distances.sort()
+            best_d, best_i = distances[0]
+            second_d = distances[1][0]
+            if second_d - best_d < 1e-6:
+                continue  # near a boundary: ownership undefined
+            for i, site in enumerate(sites):
+                inside = diagram[site].contains(q)
+                assert inside == (i == best_i), (
+                    f"probe {q} should belong to site {best_i} only"
+                )
+
+    def test_site_inside_own_cell(self):
+        sites = random_sites(10, seed=3)
+        diagram = voronoi_diagram(sites)
+        for site, cell in diagram.items():
+            assert cell.contains(site)
+
+    def test_grid_center_cell_is_unit_square(self):
+        diagram = voronoi_diagram(grid_sites())
+        center_cell = diagram[Vec2(1.0, 1.0)]
+        assert center_cell.polygon.area() == pytest.approx(1.0)
+
+    def test_inradius_is_half_nearest_neighbor(self):
+        sites = random_sites(9, seed=11)
+        diagram = voronoi_diagram(sites)
+        for site, cell in diagram.items():
+            others = [s for s in sites if s != site]
+            expected = nearest_neighbor_distance(site, others) / 2.0
+            assert cell.inradius == pytest.approx(expected)
+            # The clipped polygon respects the inradius too.
+            assert cell.polygon.distance_to_boundary(site) >= expected - 1e-9
+
+    def test_single_site_cell_is_bounding_box(self):
+        cell = voronoi_cell(Vec2(0, 0), [Vec2(0, 0)])
+        assert cell.contains(Vec2(0.5, 0.5))
+        assert cell.inradius > 0.0
+
+
+class TestScipyCrossCheck:
+    def test_cell_areas_match_scipy(self):
+        scipy_spatial = pytest.importorskip("scipy.spatial")
+        import numpy as np
+
+        sites = random_sites(12, seed=5)
+        diagram = voronoi_diagram(sites)
+
+        # Bound the scipy diagram with a far box of mirror sites so all
+        # inner cells are finite, then compare areas.
+        pts = np.array([(s.x, s.y) for s in sites])
+        mirror = []
+        for far in ((400, 0), (-400, 0), (0, 400), (0, -400)):
+            mirror.append(far)
+        all_pts = np.vstack([pts, np.array(mirror, dtype=float)])
+        vor = scipy_spatial.Voronoi(all_pts)
+
+        # Only interior cells are comparable: boundary cells are
+        # truncated differently (our bounding box vs the mirror sites).
+        hull_limit = 25.0
+        for i, site in enumerate(sites):
+            region_index = vor.point_region[i]
+            region = vor.regions[region_index]
+            if -1 in region or not region:
+                continue
+            if any(abs(vor.vertices[v][0]) > hull_limit or abs(vor.vertices[v][1]) > hull_limit for v in region):
+                continue
+            polygon = [Vec2(*vor.vertices[v]) for v in region]
+            # Shoelace (scipy region order may be CW or CCW).
+            area = 0.0
+            for a, b in zip(polygon, polygon[1:] + polygon[:1]):
+                area += a.cross(b)
+            scipy_area = abs(area) / 2.0
+            ours = diagram[site].polygon.area()
+            assert ours == pytest.approx(scipy_area, rel=1e-6), f"site {i}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+def test_cells_tile_the_bounding_box(count, seed):
+    """The cells partition the clipping box: their areas sum to it."""
+    sites = random_sites(count, seed=seed)
+    diagram = voronoi_diagram(sites)
+    total = sum(cell.polygon.area() for cell in diagram.values())
+    # Reconstruct the box the implementation used.
+    from repro.geometry.voronoi import _bounding_box
+
+    box_area = _bounding_box(sites).area()
+    assert total == pytest.approx(box_area, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=1000))
+def test_cells_are_disjoint_property(count, seed):
+    """Interior probes never belong to two cells."""
+    sites = random_sites(count, seed=seed)
+    diagram = voronoi_diagram(sites)
+    rng = random.Random(seed + 1)
+    for _ in range(30):
+        q = Vec2(rng.uniform(-9, 9), rng.uniform(-9, 9))
+        owners = [s for s, cell in diagram.items() if cell.polygon.contains(q, eps=-1e-9)]
+        assert len(owners) <= 1

@@ -1,0 +1,125 @@
+"""Robustness on degenerate configurations.
+
+The paper's figures use comfortable general-position layouts; real
+deployments will not.  These tests drive the full stack through the
+nasty special cases: collinear swarms, robots on shared SEC radii,
+two-robot "swarms" in the n-robot protocols, extreme aspect ratios,
+and tiny/huge coordinate scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.harness import SwarmHarness
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.geometry.voronoi import voronoi_diagram
+from repro.naming.sec_naming import relative_labels
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+
+def collinear(count: int, spacing: float = 10.0):
+    return [Vec2(spacing * i, 0.0) for i in range(count)]
+
+
+class TestCollinearSwarms:
+    def test_voronoi_on_a_line(self):
+        diagram = voronoi_diagram(collinear(5))
+        for site, cell in diagram.items():
+            assert cell.contains(site)
+            assert cell.inradius == pytest.approx(5.0)
+
+    def test_sec_of_a_line_is_the_diameter_circle(self):
+        pts = collinear(5)
+        sec = smallest_enclosing_circle(pts)
+        assert sec.radius == pytest.approx(20.0)
+        assert sec.center.distance_to(Vec2(20.0, 0.0)) < 1e-9
+
+    def test_identified_routing_on_a_line(self):
+        h = SwarmHarness(
+            collinear(5),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(4, [1, 0, 1])
+        h.run(8)
+        assert [e.bit for e in h.simulator.protocol_of(4).received] == [1, 0, 1]
+
+    def test_sec_naming_on_a_line(self):
+        """Several robots share the two SEC radii; ordering falls back
+        to distance-from-centre (Figure 4's tie rule) everywhere."""
+        pts = collinear(5)
+        for subject in (0, 1, 3, 4):  # robot 2 is the SEC centre
+            labels = relative_labels(pts, subject)
+            assert sorted(labels.values()) == list(range(5))
+
+    def test_sec_routing_on_a_line(self):
+        """End-to-end chirality-only routing on a collinear swarm,
+        avoiding the exact-centre robot as a participant count issue
+        by using an even count."""
+        pts = collinear(4)
+        h = SwarmHarness(
+            pts,
+            protocol_factory=lambda: SyncGranularProtocol(naming="sec"),
+            identified=False,
+            frame_regime="chirality",
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(3, [0, 1])
+        h.run(6)
+        assert [e.bit for e in h.simulator.protocol_of(3).received] == [0, 1]
+
+
+class TestScales:
+    @pytest.mark.parametrize("scale", [1e-3, 1.0, 1e4])
+    def test_pair_protocol_across_coordinate_scales(self, scale):
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0 * scale, 0.0)],
+            protocol_factory=lambda: SyncTwoProtocol(),
+            identified=False,
+            sigma=10.0 * scale,
+        )
+        h.simulator.protocol_of(0).send_bits(1, [1, 0, 1])
+        h.run(8)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == [1, 0, 1]
+
+    @pytest.mark.parametrize("scale", [1e-3, 1e4])
+    def test_granular_protocol_across_coordinate_scales(self, scale):
+        pts = [p * scale for p in collinear(4)]
+        h = SwarmHarness(
+            pts,
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0 * scale,
+        )
+        h.simulator.protocol_of(1).send_bits(3, [1, 1, 0])
+        h.run(8)
+        assert [e.bit for e in h.simulator.protocol_of(3).received] == [1, 1, 0]
+
+
+class TestExtremeAspect:
+    def test_tight_pair_far_spectator(self):
+        """Two close robots next to a distant one: granulars differ by
+        orders of magnitude, decoding still resolves."""
+        pts = [Vec2(0.0, 0.0), Vec2(2.0, 0.0), Vec2(300.0, 5.0)]
+        h = SwarmHarness(
+            pts, protocol_factory=lambda: SyncGranularProtocol(), sigma=4.0
+        )
+        h.simulator.protocol_of(0).send_bits(1, [1])
+        h.simulator.protocol_of(2).send_bits(0, [0])
+        h.run(6)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == [1]
+        assert [e.bit for e in h.simulator.protocol_of(0).received if e.src == 2] == [0]
+
+    def test_two_robot_swarm_in_n_robot_protocol(self):
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(1, [1, 0])
+        h.simulator.protocol_of(1).send_bits(0, [0, 1])
+        h.run(6)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == [1, 0]
+        assert [e.bit for e in h.simulator.protocol_of(0).received] == [0, 1]

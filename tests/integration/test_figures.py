@@ -1,0 +1,225 @@
+"""Integration tests: the six paper figures as executable scenarios.
+
+Each test reproduces the situation one of the paper's figures depicts
+and asserts the behaviour the figure illustrates.  The benchmark suite
+re-runs the same scenarios with printed output (see benchmarks/).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.coding.bitstream import encode_message
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.naming.sec_naming import relative_labels
+from repro.naming.symmetry import (
+    common_naming_is_impossible,
+    figure3_configuration,
+    local_view,
+    symmetric_view_pairs,
+)
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+
+class TestFigure1:
+    """Two synchronous robots coding bits by side-steps."""
+
+    def test_figure1_scenario(self):
+        h = SwarmHarness(
+            [Vec2(0, 0), Vec2(8, 0)],
+            protocol_factory=lambda: SyncTwoProtocol(),
+            identified=False,
+            sigma=8.0,
+        )
+        # Both chat simultaneously, as in the figure.
+        h.channel(0).send(1, "hello")
+        h.channel(1).send(0, "world")
+        assert h.pump(
+            lambda hh: len(hh.channel(0).inbox) >= 1 and len(hh.channel(1).inbox) >= 1,
+            max_steps=2000,
+        )
+        assert h.channel(1).inbox[0].text() == "hello"
+        assert h.channel(0).inbox[0].text() == "world"
+        # The figure's geometry: all excursions perpendicular to the
+        # robot-robot axis, returns in between.
+        for t, before, after in h.simulator.trace.movements_of(0):
+            assert abs(before.x - after.x) < 1e-9
+
+
+class TestFigure2:
+    """12 identified robots; robot 9 sends '0' and '1' to robot 3."""
+
+    def test_figure2_scenario(self):
+        h = SwarmHarness(
+            ring_positions(12, radius=10.0, jitter=0.06),
+            protocol_factory=lambda: SyncGranularProtocol(naming="identified"),
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(9).send_bits(3, [0, 1])
+        h.run(6)
+        received = h.simulator.protocol_of(3).received
+        assert [(e.src, e.bit) for e in received] == [(9, 0), (9, 1)]
+        # Everyone else decoded the traffic but received nothing.
+        for other in range(12):
+            if other in (3, 9):
+                continue
+            assert h.simulator.protocol_of(other).received == ()
+            assert len(h.simulator.protocol_of(other).overheard) == 2
+        # Collision avoidance (the Voronoi preprocessing's purpose).
+        assert h.simulator.trace.min_pairwise_distance() > 0.0
+
+
+class TestFigure3:
+    """The symmetric configuration that defeats common naming."""
+
+    def test_figure3_scenario(self):
+        pts = figure3_configuration()
+        assert common_naming_is_impossible(pts)
+        pairs = symmetric_view_pairs(pts)
+        assert len(pairs) == 3  # three indistinguishable pairs
+        for i, j, frame_i, frame_j in pairs:
+            view_i = local_view(pts, i, frame_i)
+            view_j = local_view(pts, j, frame_j)
+            assert all(a.distance_to(b) < 1e-9 for a, b in zip(view_i, view_j))
+        # Relative naming still yields a working protocol on the same
+        # configuration (scaled up to give granulars room).
+        scaled = [p * 10.0 for p in pts]
+        h = SwarmHarness(
+            scaled,
+            protocol_factory=lambda: SyncGranularProtocol(naming="sec"),
+            identified=False,
+            frame_regime="chirality",
+            sigma=3.0,
+        )
+        h.simulator.protocol_of(0).send_bits(3, [1, 0])
+        h.run(6)
+        assert [e.bit for e in h.simulator.protocol_of(3).received] == [1, 0]
+
+
+class TestFigure4:
+    """Relative naming from SEC + horizon line, with radius ties."""
+
+    def test_figure4_scenario(self):
+        # A 12-robot configuration including two robots on the same
+        # radius (like the figure's label-0/1 pair).
+        pts = ring_positions(10, radius=10.0, jitter=0.06)
+        direction = pts[0].normalized()
+        pts = pts + [direction * 4.0, direction * 7.0]
+        labels = relative_labels(pts, 0)
+        assert sorted(labels.values()) == list(range(12))
+        # Radius-mates ordered from the centre outward.
+        assert labels[10] < labels[11] < labels[0]
+        # Every robot reconstructs robot 0's labelling identically
+        # from its own (rotated/scaled) view.
+        from repro.geometry.frames import make_frames
+
+        for frame in make_frames(5, "chirality", seed=3):
+            view = [frame.to_local(p, Vec2(1.0, -2.0)) for p in pts]
+            assert relative_labels(view, 0) == labels
+
+
+class TestFigure5:
+    """Async pair: r sends '001...', r' sends '0...'."""
+
+    def test_figure5_scenario(self):
+        h = SwarmHarness(
+            [Vec2(0, 0), Vec2(10, 0)],
+            protocol_factory=lambda: AsyncTwoProtocol(),
+            scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=23),
+            identified=False,
+            sigma=10.0,
+        )
+        h.simulator.protocol_of(0).send_bits(1, [0, 0, 1])
+        h.simulator.protocol_of(1).send_bits(0, [0])
+
+        def done(hh):
+            return (
+                len(hh.simulator.protocol_of(1).received) >= 3
+                and len(hh.simulator.protocol_of(0).received) >= 1
+            )
+
+        assert h.pump(done, max_steps=30_000)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == [0, 0, 1]
+        assert [e.bit for e in h.simulator.protocol_of(0).received] == [0]
+        # The figure's geometry: all positions of both robots stay on
+        # H (the x-axis) or on perpendicular excursions from it; the
+        # along-H drift is away from the peer.
+        for i, sign in ((0, -1.0), (1, 1.0)):
+            for t, before, after in h.simulator.trace.movements_of(i):
+                dx = after.x - before.x
+                dy = after.y - before.y
+                assert abs(dx) < 1e-9 or abs(dy) < 1e-9  # axis-aligned legs
+        assert h.simulator.positions[0].x < 0.0  # drifted West (away)
+        assert h.simulator.positions[1].x > 10.0  # drifted East (away)
+
+
+class TestFigure6:
+    """Async n robots with the n+1-sliced granular and kappa."""
+
+    @pytest.mark.parametrize("count", [3, 6])
+    def test_figure6_scenario(self, count):
+        h = SwarmHarness(
+            ring_positions(count, radius=10.0, jitter=0.07),
+            protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+            scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=count),
+            identified=False,
+            frame_regime="chirality",
+            sigma=4.0,
+        )
+        h.simulator.protocol_of(0).send_bits(count - 1, [1, 0])
+
+        def done(hh):
+            return len(hh.simulator.protocol_of(count - 1).received) >= 2
+
+        assert h.pump(done, max_steps=150_000)
+        assert [e.bit for e in h.simulator.protocol_of(count - 1).received] == [1, 0]
+        # kappa oscillation means idle robots DO move (the protocol is
+        # not silent — the Section 5 open problem).
+        assert len(h.simulator.trace.movements_of(1)) > 0
+
+
+class TestEndToEndMessageMatrix:
+    """A broader soak: framed messages across protocols and schedulers."""
+
+    def test_sync_matrix(self):
+        h = SwarmHarness(
+            ring_positions(6, radius=10.0, jitter=0.07),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        expected = {}
+        for src in range(6):
+            dst = (src + 2) % 6
+            text = f"from {src} to {dst}"
+            h.channel(src).send(dst, text)
+            expected[dst] = text
+
+        def done(hh):
+            return all(len(hh.channel(d).inbox) >= 1 for d in expected)
+
+        assert h.pump(done, max_steps=5000)
+        for dst, text in expected.items():
+            assert h.channel(dst).inbox[0].text() == text
+
+    def test_async_two_long_message(self):
+        h = SwarmHarness(
+            [Vec2(0, 0), Vec2(10, 0)],
+            protocol_factory=lambda: AsyncTwoProtocol(bounded=True),
+            scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=1),
+            identified=False,
+            sigma=10.0,
+        )
+        payload = "stigmergy!"
+        h.channel(0).send(1, payload)
+        bits = len(encode_message(payload))
+        assert h.pump(
+            lambda hh: len(hh.channel(1).inbox) >= 1, max_steps=400 * bits
+        )
+        assert h.channel(1).inbox[0].text() == payload

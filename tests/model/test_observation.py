@@ -1,0 +1,45 @@
+"""Tests for observation snapshots."""
+
+from __future__ import annotations
+
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation, ObservedRobot
+
+
+def make_observation() -> Observation:
+    robots = tuple(
+        ObservedRobot(index=i, position=Vec2(float(i), 0.0), observable_id=10 + i)
+        for i in range(4)
+    )
+    return Observation(time=7, self_index=2, robots=robots)
+
+
+class TestObservation:
+    def test_count(self):
+        assert make_observation().count == 4
+
+    def test_self_position(self):
+        assert make_observation().self_position == Vec2(2.0, 0.0)
+
+    def test_position_of(self):
+        obs = make_observation()
+        assert obs.position_of(0) == Vec2(0.0, 0.0)
+        assert obs.position_of(3) == Vec2(3.0, 0.0)
+
+    def test_others_excludes_self(self):
+        obs = make_observation()
+        others = obs.others()
+        assert [r.index for r in others] == [0, 1, 3]
+
+    def test_positions_tuple(self):
+        obs = make_observation()
+        assert obs.positions() == (
+            Vec2(0.0, 0.0),
+            Vec2(1.0, 0.0),
+            Vec2(2.0, 0.0),
+            Vec2(3.0, 0.0),
+        )
+
+    def test_observable_ids_visible(self):
+        obs = make_observation()
+        assert [r.observable_id for r in obs.robots] == [10, 11, 12, 13]

@@ -1,0 +1,142 @@
+"""Tests for activation schedulers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerError
+from repro.model.scheduler import (
+    FairAsynchronousScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SynchronousScheduler,
+)
+
+
+class TestSynchronous:
+    def test_everyone_always_active(self):
+        sched = SynchronousScheduler()
+        for t in range(5):
+            assert sched.activations(t, 4) == frozenset(range(4))
+
+    def test_empty_swarm_rejected(self):
+        with pytest.raises(SchedulerError):
+            SynchronousScheduler().activations(0, 0)
+
+
+class TestFairAsynchronous:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            FairAsynchronousScheduler(fairness_bound=0)
+        with pytest.raises(SchedulerError):
+            FairAsynchronousScheduler(activation_probability=0.0)
+        with pytest.raises(SchedulerError):
+            FairAsynchronousScheduler(activation_probability=1.5)
+
+    def test_activate_all_first(self):
+        sched = FairAsynchronousScheduler(seed=1, activate_all_first=True)
+        assert sched.activations(0, 5) == frozenset(range(5))
+
+    def test_no_activate_all_first(self):
+        sched = FairAsynchronousScheduler(
+            seed=1, activate_all_first=False, activation_probability=0.01
+        )
+        first = sched.activations(0, 50)
+        assert len(first) >= 1
+
+    def test_nonempty_always(self):
+        sched = FairAsynchronousScheduler(
+            fairness_bound=1000, activation_probability=0.01, seed=3
+        )
+        for t in range(200):
+            assert len(sched.activations(t, 6)) >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fairness_bound_holds(self, bound, count, seed):
+        """Every robot runs at least once in every window of `bound`."""
+        sched = FairAsynchronousScheduler(
+            fairness_bound=bound,
+            activation_probability=0.2,
+            seed=seed,
+            activate_all_first=False,
+        )
+        last = [-1] * count
+        for t in range(300):
+            active = sched.activations(t, count)
+            for i in range(count):
+                if i in active:
+                    last[i] = t
+                else:
+                    assert t - last[i] < bound + 1, f"robot {i} starved at t={t}"
+
+    def test_out_of_order_driving_rejected(self):
+        sched = FairAsynchronousScheduler(seed=0)
+        sched.activations(0, 3)
+        with pytest.raises(SchedulerError):
+            sched.activations(5, 3)
+
+    def test_count_change_rejected(self):
+        sched = FairAsynchronousScheduler(seed=0)
+        sched.activations(0, 3)
+        with pytest.raises(SchedulerError):
+            sched.activations(1, 4)
+
+    def test_determinism(self):
+        a = FairAsynchronousScheduler(seed=7)
+        b = FairAsynchronousScheduler(seed=7)
+        for t in range(50):
+            assert a.activations(t, 5) == b.activations(t, 5)
+
+    def test_probability_one_is_synchronous(self):
+        sched = FairAsynchronousScheduler(activation_probability=1.0, seed=0)
+        for t in range(10):
+            assert sched.activations(t, 4) == frozenset(range(4))
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        sched = RoundRobinScheduler()
+        seen = [sched.activations(t, 3) for t in range(6)]
+        assert seen == [
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        ]
+
+    def test_activate_all_first(self):
+        sched = RoundRobinScheduler(activate_all_first=True)
+        assert sched.activations(0, 3) == frozenset({0, 1, 2})
+        assert sched.activations(1, 3) == frozenset({0})
+
+
+class TestScripted:
+    def test_replays(self):
+        sched = ScriptedScheduler([[0], [1, 2], [0, 1, 2]])
+        assert sched.activations(0, 3) == frozenset({0})
+        assert sched.activations(1, 3) == frozenset({1, 2})
+        assert sched.activations(2, 3) == frozenset({0, 1, 2})
+
+    def test_exhaustion(self):
+        sched = ScriptedScheduler([[0]])
+        sched.activations(0, 1)
+        with pytest.raises(SchedulerError):
+            sched.activations(1, 1)
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(SchedulerError):
+            ScriptedScheduler([[0], []])
+
+    def test_unknown_robot_rejected(self):
+        sched = ScriptedScheduler([[5]])
+        with pytest.raises(SchedulerError):
+            sched.activations(0, 3)

@@ -1,0 +1,244 @@
+"""Tests for the SSM simulation engine."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.errors import ModelError, ProtocolError
+from repro.geometry.frames import Frame
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BitEvent, Protocol
+from repro.model.robot import Robot
+from repro.model.scheduler import RoundRobinScheduler, ScriptedScheduler
+from repro.model.simulator import Simulator
+
+
+class GoTo(Protocol):
+    """Test protocol: always head for a fixed local target."""
+
+    def __init__(self, target: Vec2) -> None:
+        super().__init__()
+        self.target = target
+        self.observed: List[Observation] = []
+
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        self.observed.append(observation)
+        return []
+
+    def _compute(self, observation: Observation) -> Vec2:
+        return self.target
+
+
+class Still(Protocol):
+    """Test protocol: never move."""
+
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        return []
+
+    def _compute(self, observation: Observation) -> Vec2:
+        return observation.self_position
+
+
+class TestConstruction:
+    def test_needs_robots(self):
+        with pytest.raises(ModelError):
+            Simulator([])
+
+    def test_shared_protocol_instance_rejected(self):
+        shared = Still()
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=shared),
+            Robot(position=Vec2(1, 0), protocol=shared),
+        ]
+        with pytest.raises(ModelError):
+            Simulator(robots)
+
+    def test_coincident_positions_rejected(self):
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=Still()),
+            Robot(position=Vec2(0, 0), protocol=Still()),
+        ]
+        with pytest.raises(ModelError):
+            Simulator(robots)
+
+    def test_mixed_identification_rejected(self):
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=Still(), observable_id=1),
+            Robot(position=Vec2(1, 0), protocol=Still()),
+        ]
+        with pytest.raises(ModelError):
+            Simulator(robots)
+
+    def test_duplicate_ids_rejected(self):
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=Still(), observable_id=1),
+            Robot(position=Vec2(1, 0), protocol=Still(), observable_id=1),
+        ]
+        with pytest.raises(ModelError):
+            Simulator(robots)
+
+    def test_rebinding_protocol_rejected(self):
+        p = Still()
+        Simulator([Robot(position=Vec2(0, 0), protocol=p)])
+        with pytest.raises(ProtocolError):
+            Simulator([Robot(position=Vec2(0, 0), protocol=p)])
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Robot(position=Vec2(0, 0), protocol=Still(), sigma=0.0)
+
+
+class TestBinding:
+    def test_binding_info_contents(self):
+        p0, p1 = Still(), Still()
+        Simulator(
+            [
+                Robot(position=Vec2(0, 0), protocol=p0, sigma=1.0, observable_id=7),
+                Robot(position=Vec2(4, 0), protocol=p1, sigma=2.0, observable_id=3),
+            ]
+        )
+        info = p0.info
+        assert info.index == 0
+        assert info.count == 2
+        assert info.sigma == 1.0
+        assert info.observable_ids == (7, 3)
+        assert info.initial_positions[0] == Vec2(0, 0)
+        assert info.initial_positions[1] == Vec2(4, 0)
+
+    def test_initial_positions_in_local_frame(self):
+        p0 = Still()
+        frame = Frame(rotation=0.0, scale=2.0)
+        Simulator(
+            [
+                Robot(position=Vec2(0, 0), protocol=p0, frame=frame, sigma=1.0),
+                Robot(position=Vec2(4, 0), protocol=Still(), sigma=1.0),
+            ]
+        )
+        # Scale 2 halves distances; sigma is converted too.
+        assert p0.info.initial_positions[1] == Vec2(2, 0)
+        assert p0.info.sigma == 0.5
+
+    def test_anonymous_has_no_ids(self):
+        p0 = Still()
+        Simulator(
+            [
+                Robot(position=Vec2(0, 0), protocol=p0),
+                Robot(position=Vec2(1, 0), protocol=Still()),
+            ]
+        )
+        assert p0.info.observable_ids is None
+
+
+class TestStepping:
+    def test_sigma_clamps_movement(self):
+        p = GoTo(Vec2(10.0, 0.0))
+        sim = Simulator([Robot(position=Vec2(0, 0), protocol=p, sigma=1.0)])
+        sim.step()
+        assert sim.positions[0] == Vec2(1.0, 0.0)
+        sim.step()
+        assert sim.positions[0] == Vec2(2.0, 0.0)
+
+    def test_reaches_close_target_exactly(self):
+        p = GoTo(Vec2(0.5, 0.0))
+        sim = Simulator([Robot(position=Vec2(0, 0), protocol=p, sigma=1.0)])
+        sim.step()
+        assert sim.positions[0] == Vec2(0.5, 0.0)
+
+    def test_inactive_robots_do_not_move(self):
+        sched = ScriptedScheduler([[0], [1]])
+        # Targets are in each robot's stationary local frame (anchored
+        # at its initial position): both head toward world (5, 0).
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=GoTo(Vec2(5, 0)), sigma=1.0),
+            Robot(position=Vec2(10, 0), protocol=GoTo(Vec2(-5, 0)), sigma=1.0),
+        ]
+        sim = Simulator(robots, sched)
+        sim.step()
+        assert sim.positions == (Vec2(1, 0), Vec2(10, 0))
+        sim.step()
+        assert sim.positions == (Vec2(1, 0), Vec2(9, 0))
+
+    def test_all_actives_observe_same_configuration(self):
+        """SSM simultaneity: both active robots see P(t), not each
+        other's new positions."""
+        a = GoTo(Vec2(1, 0))  # world (1, 0)
+        b = GoTo(Vec2(1, 0))  # anchored at (10, 0): world (11, 0)
+        sim = Simulator(
+            [
+                Robot(position=Vec2(0, 0), protocol=a, sigma=5.0),
+                Robot(position=Vec2(10, 0), protocol=b, sigma=5.0),
+            ]
+        )
+        sim.step()
+        # Each observed the other at its time-0 position, expressed in
+        # its own stationary frame (b's anchor is (10, 0)).
+        assert a.observed[0].position_of(1) == Vec2(10, 0)
+        assert b.observed[0].position_of(0) == Vec2(-10, 0)
+        sim.step()
+        assert a.observed[1].position_of(1) == Vec2(11, 0)
+        assert b.observed[1].position_of(0) == Vec2(-9, 0)
+
+    def test_local_frame_target_conversion(self):
+        """A target in rotated local coordinates lands correctly in world."""
+        import math
+
+        p = GoTo(Vec2(1.0, 0.0))  # local +x
+        frame = Frame(rotation=math.pi / 2.0)  # local +x is world +y
+        sim = Simulator([Robot(position=Vec2(0, 0), protocol=p, frame=frame, sigma=5.0)])
+        sim.step()
+        assert sim.positions[0].x == pytest.approx(0.0, abs=1e-12)
+        assert sim.positions[0].y == pytest.approx(1.0)
+
+    def test_observation_in_stationary_frame(self):
+        """Observations stay anchored at the initial position."""
+        p = GoTo(Vec2(1.0, 0.0))
+        other = Still()
+        sim = Simulator(
+            [
+                Robot(position=Vec2(0, 0), protocol=p, sigma=5.0),
+                Robot(position=Vec2(10, 0), protocol=other, sigma=5.0),
+            ]
+        )
+        sim.step()
+        sim.step()
+        # After moving to (1,0), the robot still sees the other at
+        # (10,0) in its stationary frame, and itself at (1,0).
+        last = p.observed[-1]
+        assert last.position_of(1) == Vec2(10, 0)
+        assert last.self_position == Vec2(1, 0)
+
+    def test_run_and_run_until(self):
+        p = GoTo(Vec2(10, 0))
+        sim = Simulator([Robot(position=Vec2(0, 0), protocol=p, sigma=1.0)])
+        sim.run(3)
+        assert sim.time == 3
+        reached = sim.run_until(lambda s: s.positions[0].x >= 5.0, max_steps=100)
+        assert reached
+        assert sim.positions[0].x == pytest.approx(5.0)
+
+    def test_run_until_can_fail(self):
+        p = Still()
+        sim = Simulator([Robot(position=Vec2(0, 0), protocol=p)])
+        assert not sim.run_until(lambda s: False, max_steps=5)
+        assert sim.time == 5
+
+    def test_trace_records_history(self):
+        sched = RoundRobinScheduler()
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=GoTo(Vec2(3, 0)), sigma=1.0),
+            Robot(position=Vec2(10, 0), protocol=Still(), sigma=1.0),
+        ]
+        sim = Simulator(robots, sched)
+        sim.run(4)
+        trace = sim.trace
+        assert len(trace) == 4
+        assert trace.positions_at(0) == (Vec2(0, 0), Vec2(10, 0))
+        assert trace.steps[0].active == frozenset({0})
+        assert trace.path_of(0)[-1] == sim.positions[0]
+        assert trace.activation_count(0) == 2
+        assert trace.activation_count(1) == 2
+        assert trace.distance_travelled(1) == 0.0
+        assert trace.movements_of(1) == []

@@ -1,0 +1,72 @@
+"""Tests for trace bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep, bounding_box
+
+
+def build_trace() -> Trace:
+    trace = Trace(initial_positions=(Vec2(0, 0), Vec2(10, 0)))
+    trace.steps.append(
+        TraceStep(time=0, active=frozenset({0}), positions=(Vec2(1, 0), Vec2(10, 0)))
+    )
+    trace.steps.append(
+        TraceStep(time=1, active=frozenset({0, 1}), positions=(Vec2(1, 1), Vec2(9, 0)))
+    )
+    return trace
+
+
+class TestTrace:
+    def test_len_iter_count(self):
+        trace = build_trace()
+        assert len(trace) == 2
+        assert trace.count == 2
+        assert [s.time for s in trace] == [0, 1]
+
+    def test_positions_at(self):
+        trace = build_trace()
+        assert trace.positions_at(0) == (Vec2(0, 0), Vec2(10, 0))
+        assert trace.positions_at(1) == (Vec2(1, 0), Vec2(10, 0))
+        assert trace.positions_at(2) == (Vec2(1, 1), Vec2(9, 0))
+
+    def test_path_and_distance(self):
+        trace = build_trace()
+        assert trace.path_of(0) == [Vec2(0, 0), Vec2(1, 0), Vec2(1, 1)]
+        assert trace.distance_travelled(0) == pytest.approx(2.0)
+        assert trace.distance_travelled(1) == pytest.approx(1.0)
+
+    def test_activation_count(self):
+        trace = build_trace()
+        assert trace.activation_count(0) == 2
+        assert trace.activation_count(1) == 1
+
+    def test_min_pairwise_distance(self):
+        trace = build_trace()
+        # Closest approach: (1,1) vs (9,0) -> sqrt(64+1); but earlier
+        # (1,0) vs (10,0) = 9; initial = 10; min is sqrt(65) ~ 8.06.
+        assert trace.min_pairwise_distance() == pytest.approx((64 + 1) ** 0.5)
+
+    def test_movements_of(self):
+        trace = build_trace()
+        moves0 = trace.movements_of(0)
+        assert [(t, a, b) for t, a, b in moves0] == [
+            (0, Vec2(0, 0), Vec2(1, 0)),
+            (1, Vec2(1, 0), Vec2(1, 1)),
+        ]
+        moves1 = trace.movements_of(1)
+        assert len(moves1) == 1
+        assert moves1[0][0] == 1
+
+
+class TestBoundingBox:
+    def test_box(self):
+        lo, hi = bounding_box([Vec2(1, 5), Vec2(-2, 3), Vec2(0, 9)])
+        assert lo == Vec2(-2, 3)
+        assert hi == Vec2(1, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

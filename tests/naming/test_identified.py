@@ -1,0 +1,32 @@
+"""Tests for identified naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NamingError
+from repro.naming.identified import identified_labels
+
+
+class TestIdentifiedLabels:
+    def test_dense_ids_label_themselves(self):
+        assert identified_labels([0, 1, 2]) == {0: 0, 1: 1, 2: 2}
+
+    def test_arbitrary_ids_ranked(self):
+        # indices 0,1,2 have ids 42, 7, 100 -> ranks 1, 0, 2.
+        assert identified_labels([42, 7, 100]) == {0: 1, 1: 0, 2: 2}
+
+    def test_negative_ids_allowed(self):
+        assert identified_labels([-5, 3]) == {0: 0, 1: 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(NamingError):
+            identified_labels([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(NamingError):
+            identified_labels([1, 1])
+
+    def test_labels_are_dense_permutation(self):
+        labels = identified_labels([9, 3, 17, 11, 2])
+        assert sorted(labels.values()) == list(range(5))

@@ -1,0 +1,132 @@
+"""Tests for the SEC relative naming of Section 3.4 / Figure 4."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NamingError
+from repro.geometry.frames import Frame
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.naming.sec_naming import horizon_direction, relative_labels
+
+
+def ring(count: int, seed: int = 0) -> list:
+    rng = random.Random(seed)
+    pts = []
+    for i in range(count):
+        angle = 2.0 * math.pi * i / count + rng.uniform(0.0, 0.3)
+        radius = rng.uniform(4.0, 10.0)
+        pts.append(Vec2.from_polar(radius, angle))
+    return pts
+
+
+class TestHorizon:
+    def test_outward_direction(self):
+        pts = [Vec2(-5, 0), Vec2(5, 0), Vec2(0, 3)]
+        center = smallest_enclosing_circle(pts).center
+        d = horizon_direction(pts, 1)
+        expected = (pts[1] - center).normalized()
+        assert d.x == pytest.approx(expected.x)
+        assert d.y == pytest.approx(expected.y)
+
+    def test_subject_at_center_rejected(self):
+        pts = [Vec2(-5, 0), Vec2(5, 0), Vec2(0, 0)]
+        with pytest.raises(NamingError):
+            horizon_direction(pts, 2)
+
+
+class TestRelativeLabels:
+    def test_validation(self):
+        with pytest.raises(NamingError):
+            relative_labels([], 0)
+        with pytest.raises(NamingError):
+            relative_labels([Vec2(0, 0)], 5)
+        with pytest.raises(NamingError):
+            relative_labels([Vec2(1, 0), Vec2(-1, 0)], 0, sweep=0)
+
+    def test_subject_first_on_own_radius(self):
+        """The subject's radius sweeps angle 0, so its labels come first."""
+        pts = ring(8, seed=2)
+        labels = relative_labels(pts, 3)
+        assert labels[3] == 0  # alone on its radius
+
+    def test_labels_dense(self):
+        pts = ring(9, seed=4)
+        for subject in range(9):
+            labels = relative_labels(pts, subject)
+            assert sorted(labels.values()) == list(range(9))
+
+    def test_clockwise_ordering(self):
+        """Three robots at known angles around an explicit SEC."""
+        # SEC fixed by two antipodal points on a circle of radius 10.
+        pts = [
+            Vec2(10, 0),  # subject, angle 0
+            Vec2(-10, 0),  # angle pi
+            Vec2.from_polar(10.0, -math.pi / 2.0),  # angle -pi/2 = clockwise 90 deg
+            Vec2.from_polar(6.0, math.pi / 2.0),  # CCW 90 deg = clockwise 270 deg
+        ]
+        labels = relative_labels(pts, 0, sweep=-1)
+        # Clockwise from subject's radius: subject (0), then the robot
+        # at -90 (cw 90), then the one at 180 (cw 180), then +90 (cw 270).
+        assert labels == {0: 0, 2: 1, 1: 2, 3: 3}
+
+    def test_same_radius_ordered_from_center(self):
+        """Figure 4: robots on one radius are numbered from O outward."""
+        pts = [
+            Vec2(10, 0),
+            Vec2(-10, 0),
+            Vec2(4, 0),  # same radius as subject, nearer O
+            Vec2(7, 0),  # same radius, middle
+        ]
+        labels = relative_labels(pts, 0)
+        # Subject's radius first, ordered by distance from O:
+        # (4,0) -> 0, (7,0) -> 1, subject (10,0) -> 2, then (-10,0) -> 3.
+        assert labels == {2: 0, 3: 1, 0: 2, 1: 3}
+
+    def test_robot_at_center_convention(self):
+        pts = [Vec2(10, 0), Vec2(-10, 0), Vec2(0, 0), Vec2(0, -10)]
+        labels = relative_labels(pts, 0)
+        # The robot at O is first on the subject's radius.
+        assert labels[2] == 0
+        assert labels[0] == 1
+
+    def test_every_observer_computes_identical_labelling(self):
+        """The decoding property: labels relative to a sender are a
+        pure function of the configuration, and rotating/scaling an
+        observer's view (same handedness) leaves them unchanged."""
+        pts = ring(10, seed=6)
+        for sender in (0, 4, 7):
+            reference = relative_labels(pts, sender)
+            for rotation, scale in ((0.7, 2.0), (3.0, 0.3), (5.5, 1.0)):
+                frame = Frame(rotation=rotation, scale=scale, handedness=1)
+                view = [frame.to_local(p, Vec2(3.0, -2.0)) for p in pts]
+                assert relative_labels(view, sender) == reference
+
+    def test_handedness_flip_changes_labelling(self):
+        """Without chirality the sweep direction flips — the naming
+        genuinely needs the shared handedness."""
+        pts = ring(7, seed=8)
+        reference = relative_labels(pts, 2)
+        mirrored = [Vec2(p.x, -p.y) for p in pts]
+        flipped = relative_labels(mirrored, 2)
+        assert flipped != reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=5000))
+    def test_observer_invariance_property(self, count, seed):
+        pts = ring(count, seed=seed)
+        sender = seed % count
+        reference = relative_labels(pts, sender)
+        rng = random.Random(seed + 1)
+        frame = Frame(
+            rotation=rng.uniform(0, 2 * math.pi), scale=rng.uniform(0.1, 5.0), handedness=1
+        )
+        origin = Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5))
+        view = [frame.to_local(p, origin) for p in pts]
+        assert relative_labels(view, sender) == reference

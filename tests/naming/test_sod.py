@@ -1,0 +1,77 @@
+"""Tests for sense-of-direction naming and its observer invariance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NamingError
+from repro.geometry.frames import Frame
+from repro.geometry.vec import Vec2
+from repro.naming.sod import sod_labels
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+def distinct_points(seed: int, count: int):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-50, 50), rng.uniform(-50, 50))
+        if all(abs(p.x - q.x) > 1e-3 or abs(p.y - q.y) > 1e-3 for q in pts):
+            pts.append(p)
+    return pts
+
+
+class TestBasics:
+    def test_orders_by_x_then_y(self):
+        pts = [Vec2(2, 0), Vec2(0, 5), Vec2(0, 1)]
+        labels = sod_labels(pts)
+        # (0,1) < (0,5) < (2,0)
+        assert labels == {2: 0, 1: 1, 0: 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(NamingError):
+            sod_labels([])
+
+    def test_near_tie_rejected(self):
+        pts = [Vec2(0.0, 0.0), Vec2(1e-12, 5.0)]
+        with pytest.raises(NamingError):
+            sod_labels(pts)
+
+    def test_exact_x_tie_falls_to_y(self):
+        pts = [Vec2(1.0, 5.0), Vec2(1.0, 2.0)]
+        assert sod_labels(pts) == {1: 0, 0: 1}
+
+    def test_labels_are_dense(self):
+        pts = distinct_points(1, 7)
+        labels = sod_labels(pts)
+        assert sorted(labels.values()) == list(range(7))
+
+
+class TestObserverInvariance:
+    """The Section 3.3 claim: sharing axes (not origins or unit
+    measures) suffices for a common order."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.05, max_value=20.0),
+        st.builds(Vec2, coords, coords),
+    )
+    def test_invariant_under_scale_and_translation(self, seed, scale, origin):
+        pts = distinct_points(seed, 6)
+        frame = Frame(rotation=0.0, scale=scale, handedness=1)
+        local = [frame.to_local(p, origin) for p in pts]
+        assert sod_labels(pts) == sod_labels(local)
+
+    def test_not_invariant_under_rotation(self):
+        """Without shared axes the order genuinely differs — the reason
+        Section 3.4 needs a different mechanism."""
+        pts = [Vec2(0.0, 0.0), Vec2(1.0, 2.0), Vec2(2.0, -1.0)]
+        frame = Frame(rotation=2.0, scale=1.0, handedness=1)
+        local = [frame.to_local(p, Vec2.zero()) for p in pts]
+        assert sod_labels(pts) != sod_labels(local)

@@ -1,0 +1,99 @@
+"""Tests for symmetry detection — the Figure 3 obstruction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.naming.sec_naming import relative_labels
+from repro.naming.symmetry import (
+    common_naming_is_impossible,
+    figure3_configuration,
+    local_view,
+    rotational_symmetry_order,
+    symmetric_view_pairs,
+    symmetry_orbits,
+)
+
+
+def regular_polygon(count: int, radius: float = 5.0) -> list:
+    return [Vec2.from_polar(radius, 2.0 * math.pi * k / count) for k in range(count)]
+
+
+class TestSymmetryOrder:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rotational_symmetry_order([])
+
+    def test_single_point(self):
+        assert rotational_symmetry_order([Vec2(1, 1)]) == 1
+
+    def test_regular_polygon(self):
+        for n in (3, 4, 6):
+            assert rotational_symmetry_order(regular_polygon(n)) == n
+
+    def test_asymmetric(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(3, 1), Vec2(-2, 4)]
+        assert rotational_symmetry_order(pts) == 1
+
+    def test_antipodal_pairs_are_2fold(self):
+        pts = figure3_configuration()
+        assert rotational_symmetry_order(pts) == 2
+
+    def test_center_robot_does_not_break_symmetry(self):
+        pts = regular_polygon(4) + [Vec2(0, 0)]
+        assert rotational_symmetry_order(pts) == 4
+
+
+class TestOrbits:
+    def test_square_is_one_orbit(self):
+        orbits = symmetry_orbits(regular_polygon(4))
+        assert len(orbits) == 1
+        assert sorted(orbits[0]) == [0, 1, 2, 3]
+
+    def test_figure3_is_three_orbits_of_two(self):
+        orbits = symmetry_orbits(figure3_configuration())
+        assert len(orbits) == 3
+        assert all(len(o) == 2 for o in orbits)
+
+    def test_asymmetric_gives_singletons(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(3, 1)]
+        orbits = symmetry_orbits(pts)
+        assert orbits == [[0], [1], [2]]
+
+
+class TestFigure3:
+    """The paper's Figure 3 claim, made executable."""
+
+    def test_configuration_shape(self):
+        pts = figure3_configuration()
+        assert len(pts) == 6
+        assert common_naming_is_impossible(pts)
+
+    def test_orbit_mates_have_identical_views(self):
+        """For each symmetric pair there exist frames (same handedness!)
+        under which the two robots' entire world views coincide — so no
+        deterministic rule can name them apart."""
+        pts = figure3_configuration()
+        pairs = symmetric_view_pairs(pts)
+        assert pairs, "figure 3 configuration must be symmetric"
+        for i, j, frame_i, frame_j in pairs:
+            view_i = local_view(pts, i, frame_i)
+            view_j = local_view(pts, j, frame_j)
+            assert len(view_i) == len(view_j)
+            for a, b in zip(view_i, view_j):
+                assert a.distance_to(b) < 1e-9
+
+    def test_relative_naming_still_works(self):
+        """Section 3.4's point: the *relative* naming sidesteps the
+        obstruction — it never needed to be common."""
+        pts = figure3_configuration()
+        for subject in range(6):
+            labels = relative_labels(pts, subject)
+            assert sorted(labels.values()) == list(range(6))
+
+    def test_symmetric_view_pairs_empty_for_asymmetric(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(3, 1)]
+        assert symmetric_view_pairs(pts) == []

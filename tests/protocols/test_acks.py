@@ -1,0 +1,98 @@
+"""Tests for the change watcher (Lemma 4.1 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation, ObservedRobot
+from repro.protocols.acks import ChangeWatcher
+
+
+def obs(self_index: int, *positions: Vec2, time: int = 0) -> Observation:
+    robots = tuple(
+        ObservedRobot(index=i, position=p) for i, p in enumerate(positions)
+    )
+    return Observation(time=time, self_index=self_index, robots=robots)
+
+
+class TestValidation:
+    def test_bad_count(self):
+        with pytest.raises(ProtocolError):
+            ChangeWatcher(0, 0)
+
+    def test_bad_self(self):
+        with pytest.raises(ProtocolError):
+            ChangeWatcher(3, 3)
+
+    def test_unknown_peer_queries(self):
+        w = ChangeWatcher(3, 0)
+        with pytest.raises(ProtocolError):
+            w.changes_of(0)  # self is not a peer
+        with pytest.raises(ProtocolError):
+            w.last_seen(5)
+        with pytest.raises(ProtocolError):
+            w.reset([0])
+
+    def test_wrong_observation(self):
+        w = ChangeWatcher(2, 0)
+        with pytest.raises(ProtocolError):
+            w.observe(obs(1, Vec2(0, 0), Vec2(1, 0)))
+
+
+class TestCounting:
+    def test_first_observation_counts_nothing(self):
+        w = ChangeWatcher(2, 0)
+        changed = w.observe(obs(0, Vec2(0, 0), Vec2(5, 0)))
+        assert changed == []
+        assert w.changes_of(1) == 0
+
+    def test_changes_accumulate(self):
+        w = ChangeWatcher(2, 0)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 0)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 1)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 1)))  # no change
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 2)))
+        assert w.changes_of(1) == 2
+        assert w.changed_at_least(1, 2)
+        assert not w.changed_at_least(1, 3)
+
+    def test_exact_comparison(self):
+        """Any bit-level position difference counts (infinite precision)."""
+        w = ChangeWatcher(2, 0)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 0)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5 + 1e-15, 0)))
+        assert w.changes_of(1) == 1
+
+    def test_self_not_watched(self):
+        w = ChangeWatcher(3, 1)
+        assert w.peers == [0, 2]
+
+    def test_reset_keeps_last_seen(self):
+        """The paper counts changes between consecutive sightings; a
+        reset must not erase the baseline."""
+        w = ChangeWatcher(2, 0)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 0)))
+        w.reset()
+        # The peer moved while our counter was being reset.
+        w.observe(obs(0, Vec2(0, 0), Vec2(6, 0)))
+        assert w.changes_of(1) == 1
+        assert w.last_seen(1) == Vec2(6, 0)
+
+    def test_partial_reset(self):
+        w = ChangeWatcher(3, 0)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 0), Vec2(9, 0)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 1), Vec2(9, 1)))
+        w.reset([1])
+        assert w.changes_of(1) == 0
+        assert w.changes_of(2) == 1
+
+    def test_all_changed_at_least(self):
+        w = ChangeWatcher(3, 0)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 0), Vec2(9, 0)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 1), Vec2(9, 0)))
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 2), Vec2(9, 1)))
+        assert not w.all_changed_at_least(2)
+        w.observe(obs(0, Vec2(0, 0), Vec2(5, 2), Vec2(9, 2)))
+        assert w.all_changed_at_least(2)

@@ -1,0 +1,60 @@
+"""Tests for one-to-many / one-to-all communication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.mailbox import OverhearingMonitor
+from repro.coding.bitstream import encode_message
+from repro.errors import ProtocolError
+from repro.protocols.broadcast import send_to_all, send_to_many
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+from tests.conftest import make_harness
+
+
+class TestSendToMany:
+    def test_each_recipient_receives(self):
+        h = make_harness(5, lambda: SyncGranularProtocol())
+        queued = send_to_many(h.simulator.protocol_of(0), [1, 3], [1, 0])
+        assert queued == 2
+        h.run(2 * 4 + 2)
+        for dst in (1, 3):
+            assert [e.bit for e in h.simulator.protocol_of(dst).received] == [1, 0]
+        assert h.simulator.protocol_of(2).received == ()
+
+    def test_duplicates_rejected(self):
+        h = make_harness(4, lambda: SyncGranularProtocol())
+        with pytest.raises(ProtocolError):
+            send_to_many(h.simulator.protocol_of(0), [1, 1], [0])
+
+
+class TestSendToAll:
+    def test_covers_everyone_but_sender(self):
+        h = make_harness(5, lambda: SyncGranularProtocol())
+        queued = send_to_all(h.simulator.protocol_of(2), [1])
+        assert queued == 4
+        h.run(2 * 4 + 2)
+        for dst in (0, 1, 3, 4):
+            assert [e.bit for e in h.simulator.protocol_of(dst).received] == [1]
+
+
+class TestOverhearingBroadcast:
+    def test_one_transmission_reaches_all_observers(self):
+        """The efficient one-to-all: a single addressed message is
+        reconstructed by every robot from its overheard log."""
+        h = make_harness(6, lambda: SyncGranularProtocol())
+        monitors = [OverhearingMonitor(h.simulator.protocol_of(i)) for i in range(6)]
+        payload = b"broadcast by eavesdropping"
+        bits = encode_message(payload)
+        h.channel(0).send(1, payload)
+        h.run(2 * len(bits) + 2)
+        for observer in range(1, 6):
+            log = monitors[observer].log
+            assert len(log) == 1
+            assert log[0].payload == payload
+            assert (log[0].src, log[0].dst) == (0, 1)
+        # One transmission: robot 0 moved 2 * bits times, nobody else.
+        assert len(h.simulator.trace.movements_of(0)) == 2 * len(bits)
+        for other in range(1, 6):
+            assert h.simulator.trace.movements_of(other) == []

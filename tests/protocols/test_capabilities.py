@@ -1,0 +1,150 @@
+"""Negative tests: each protocol genuinely needs its stated capabilities.
+
+The paper's whole research program is mapping capabilities (IDs, sense
+of direction, chirality) to solvable tasks.  These tests check the
+map's *lower* edges: run each protocol in a regime weaker than it
+assumes and watch communication break.  Breakage may surface as wrong
+bits, decoding errors, or delivery timeouts — any of those falsifies
+correct explicit communication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry.frames import Frame
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.simulator import Simulator
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+
+def run_and_collect(robots, bits, src, dst, steps):
+    sim = Simulator(robots)
+    robots[src].protocol.send_bits(dst, bits)
+    try:
+        sim.run(steps)
+    except ReproError:
+        return None  # decoding broke down: capability violation surfaced
+    return [e.bit for e in robots[dst].protocol.received]
+
+
+class TestSyncTwoNeedsChirality:
+    def test_opposite_handedness_flips_bits(self):
+        """Without shared chirality, 'right' and 'left' disagree: every
+        bit arrives inverted."""
+        robots = [
+            Robot(position=Vec2(0, 0), protocol=SyncTwoProtocol(), frame=Frame(), sigma=10.0),
+            Robot(
+                position=Vec2(10, 0),
+                protocol=SyncTwoProtocol(),
+                frame=Frame(handedness=-1),
+                sigma=10.0,
+            ),
+        ]
+        bits = [1, 0, 0, 1]
+        got = run_and_collect(robots, bits, src=0, dst=1, steps=10)
+        assert got == [1 - b for b in bits]
+
+    def test_shared_left_handedness_is_fine(self):
+        """Chirality is *shared* handedness, not right-handedness."""
+        robots = [
+            Robot(
+                position=Vec2(0, 0),
+                protocol=SyncTwoProtocol(),
+                frame=Frame(handedness=-1),
+                sigma=10.0,
+            ),
+            Robot(
+                position=Vec2(10, 0),
+                protocol=SyncTwoProtocol(),
+                frame=Frame(handedness=-1, rotation=2.0, scale=3.0),
+                sigma=10.0,
+            ),
+        ]
+        bits = [1, 0, 0, 1]
+        assert run_and_collect(robots, bits, src=0, dst=1, steps=10) == bits
+
+
+def granular_swarm(frames, naming, ids=True):
+    positions = [Vec2(0, 0), Vec2(10, 0), Vec2(4, 9), Vec2(-5, 7)]
+    return [
+        Robot(
+            position=p,
+            protocol=SyncGranularProtocol(naming=naming),
+            frame=f,
+            sigma=5.0,
+            observable_id=i if ids else None,
+        )
+        for i, (p, f) in enumerate(zip(positions, frames))
+    ]
+
+
+class TestGranularNeedsSenseOfDirection:
+    def test_rotated_frames_break_identified_routing(self):
+        """The §3.2 scheme aligns diameter 0 on a common North; rotated
+        frames mis-route or garble."""
+        frames = [Frame(), Frame(rotation=1.4), Frame(rotation=3.0), Frame(rotation=5.1)]
+        robots = granular_swarm(frames, naming="identified")
+        bits = [1, 0, 1]
+        got = run_and_collect(robots, bits, src=0, dst=2, steps=10)
+        # Correct delivery would be `bits`; anything else (wrong bits,
+        # missing bits, or a decoding error -> None) shows the break.
+        assert got != bits
+
+    def test_shared_rotation_nonzero_also_breaks(self):
+        """Even a *common* rotation breaks §3.2 if it is not the North
+        the observers assume... unless it is shared exactly, in which
+        case it IS a sense of direction.  Sanity check: shared rotated
+        frames still work (North is whatever the shared +y is)."""
+        frames = [Frame(rotation=1.0)] * 4
+        robots = granular_swarm(frames, naming="identified")
+        bits = [1, 0, 1]
+        assert run_and_collect(robots, bits, src=0, dst=2, steps=10) == bits
+
+
+class TestNamingModesMustMatch:
+    def test_mixed_naming_modes_garble(self):
+        """A swarm must agree on the naming convention: a sender using
+        sense-of-direction labels is mis-decoded by a receiver that
+        reconstructs SEC relative labels."""
+        positions = [Vec2(0, 0), Vec2(10, 0), Vec2(4, 9), Vec2(-5, 7)]
+        protocols = [
+            SyncGranularProtocol(naming="sod"),
+            SyncGranularProtocol(naming="sec"),
+            SyncGranularProtocol(naming="sod"),
+            SyncGranularProtocol(naming="sod"),
+        ]
+        robots = [
+            Robot(position=p, protocol=protocols[i], frame=Frame(), sigma=5.0)
+            for i, p in enumerate(positions)
+        ]
+        bits = [1, 0, 1]
+        # Robot 1 decodes robot 0's sod-labelled excursions with its
+        # sec labelling: the bits mis-route or the decode errors out.
+        got = run_and_collect(robots, bits, src=0, dst=1, steps=10)
+        assert got != bits
+
+
+class TestSecNamingNeedsChirality:
+    def test_mixed_handedness_breaks_sec_routing(self):
+        frames = [Frame(), Frame(rotation=1.4), Frame(rotation=3.0, handedness=-1), Frame(rotation=5.1)]
+        robots = granular_swarm(frames, naming="sec", ids=False)
+        bits = [1, 0, 1]
+        got = run_and_collect(robots, bits, src=0, dst=2, steps=10)
+        # Robot 2 is left-handed: it reconstructs the sender's naming
+        # with the wrong sweep, so it decodes wrongly (or not at all).
+        assert got != bits
+
+    def test_chirality_only_is_enough(self):
+        frames = [
+            Frame(rotation=0.3, scale=2.0),
+            Frame(rotation=1.4, scale=0.5),
+            Frame(rotation=3.0, scale=1.1),
+            Frame(rotation=5.1, scale=4.0),
+        ]
+        robots = granular_swarm(frames, naming="sec", ids=False)
+        bits = [1, 0, 1]
+        assert run_and_collect(robots, bits, src=0, dst=2, steps=10) == bits

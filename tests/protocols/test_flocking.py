@@ -1,0 +1,119 @@
+"""Tests for the flocking overlay (Section 5 remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.protocols.flocking import FlockingProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+from tests.conftest import make_harness
+
+
+def flock_harness(count: int = 5, speed: float = 0.02, direction=Vec2(0.0, 1.0)):
+    return make_harness(
+        count,
+        lambda: FlockingProtocol(
+            SyncGranularProtocol(), direction=direction, speed_fraction=speed
+        ),
+        sigma=6.0,
+    )
+
+
+class TestValidation:
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ProtocolError):
+            FlockingProtocol(SyncGranularProtocol(), direction=Vec2(0, 0))
+
+    def test_speed_positive(self):
+        with pytest.raises(ProtocolError):
+            FlockingProtocol(SyncGranularProtocol(), speed_fraction=0.0)
+
+    def test_drift_must_fit_in_sigma(self):
+        with pytest.raises(ProtocolError):
+            make_harness(
+                4,
+                lambda: FlockingProtocol(SyncGranularProtocol(), speed_fraction=5.0),
+                sigma=1.0,
+            )
+
+
+class TestFlockingCommunication:
+    def test_messages_survive_the_drift(self):
+        h = flock_harness()
+        h.channel(0).send(3, "while flying")
+        assert h.pump(lambda hh: len(hh.channel(3).inbox) >= 1, max_steps=1000)
+        assert h.channel(3).inbox[0].text() == "while flying"
+
+    def test_swarm_actually_travels(self):
+        h = flock_harness(speed=0.05)
+        h.run(100)
+        trace = h.simulator.trace
+        for i in range(h.count):
+            moved = trace.initial_positions[i].distance_to(h.simulator.positions[i])
+            assert moved > 10.0, f"robot {i} did not flock"
+
+    def test_formation_preserved(self):
+        """The drift is common: relative geometry is unchanged whenever
+        no one is mid-excursion (idle steps)."""
+        h = flock_harness()
+        h.run(50)  # all idle: pure flocking
+        initial = h.simulator.trace.initial_positions
+        final = h.simulator.positions
+        for i in range(h.count):
+            for j in range(i + 1, h.count):
+                assert initial[i].distance_to(initial[j]) == pytest.approx(
+                    final[i].distance_to(final[j]), rel=1e-9
+                )
+
+    def test_direction_of_travel(self):
+        h = flock_harness(direction=Vec2(1.0, 0.0), speed=0.03)
+        h.run(60)
+        delta = h.simulator.positions[0] - h.simulator.trace.initial_positions[0]
+        assert delta.x > 0.0
+        assert abs(delta.y) < 1e-6 * abs(delta.x)
+
+    def test_bits_identical_to_static_run(self):
+        """De-drifted decoding is bit-for-bit what the static swarm
+        produces."""
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        static = make_harness(5, lambda: SyncGranularProtocol(), sigma=6.0)
+        static.simulator.protocol_of(0).send_bits(2, bits)
+        static.run(2 * len(bits) + 2)
+        static_events = [
+            (e.src, e.dst, e.bit) for e in static.simulator.protocol_of(2).received
+        ]
+
+        flying = flock_harness()
+        flying.simulator.protocol_of(0).send_bits(2, bits)
+        flying.run(2 * len(bits) + 2)
+        flying_events = [
+            (e.src, e.dst, e.bit) for e in flying.simulator.protocol_of(2).received
+        ]
+        assert flying_events == static_events == [(0, 2, b) for b in bits]
+
+    def test_wraps_pair_protocol_too(self):
+        from repro.apps.harness import SwarmHarness
+
+        h = SwarmHarness(
+            [Vec2(0, 0), Vec2(10, 0)],
+            protocol_factory=lambda: FlockingProtocol(
+                SyncTwoProtocol(), speed_fraction=0.01
+            ),
+            identified=False,
+            sigma=12.0,
+        )
+        h.channel(0).send(1, "airborne")
+        assert h.pump(lambda hh: len(hh.channel(1).inbox) >= 1, max_steps=500)
+        assert h.channel(1).inbox[0].text() == "airborne"
+
+    def test_transparent_delegation(self):
+        h = flock_harness()
+        wrapper = h.simulator.protocol_of(0)
+        assert isinstance(wrapper, FlockingProtocol)
+        wrapper.send_bit(1, 1)
+        assert wrapper.pending_bits == 1
+        assert wrapper.inner.pending_bits == 1

@@ -1,0 +1,189 @@
+"""Property-based tests on protocol-level invariants.
+
+Hypothesis drives random configurations, payloads and fair schedules
+through the protocols and checks the paper's guarantees wholesale:
+Emission + Receipt (everything queued is delivered, exactly once, in
+order), silence, granular confinement, and observer consensus.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.harness import SwarmHarness
+from repro.geometry.granular import granular_radius
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+
+bits_strategy = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=12)
+
+
+def scattered(count: int, seed: int):
+    rng = random.Random(seed)
+    points = []
+    while len(points) < count:
+        p = Vec2(rng.uniform(-25, 25), rng.uniform(-25, 25))
+        if all(p.distance_to(q) > 3.0 for q in points):
+            points.append(p)
+    return points
+
+
+class TestSyncGranularProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+        bits_strategy,
+    )
+    def test_emission_and_receipt_exactly_once_in_order(self, count, seed, bits):
+        src = seed % count
+        dst = (seed + 1) % count
+        if src == dst:
+            dst = (dst + 1) % count
+        h = SwarmHarness(
+            scattered(count, seed),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=5.0,
+        )
+        h.simulator.protocol_of(src).send_bits(dst, bits)
+        h.run(2 * len(bits) + 2)
+        received = h.simulator.protocol_of(dst).received
+        assert [e.bit for e in received] == bits  # exactly once, in order
+        assert all(e.src == src for e in received)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_granular_confinement(self, count, seed):
+        """No robot ever leaves the disc of radius half-NN-distance
+        around its home — the collision-avoidance invariant."""
+        positions = scattered(count, seed)
+        h = SwarmHarness(
+            positions, protocol_factory=lambda: SyncGranularProtocol(), sigma=5.0
+        )
+        rng = random.Random(seed)
+        for _ in range(count):
+            i = rng.randrange(count)
+            j = rng.randrange(count)
+            if i != j:
+                h.simulator.protocol_of(i).send_bits(j, [rng.randint(0, 1)] * 3)
+        h.run(30)
+        radii = [
+            granular_radius(positions[i], [p for k, p in enumerate(positions) if k != i])
+            for i in range(count)
+        ]
+        trace = h.simulator.trace
+        for t in range(len(trace) + 1):
+            for i, p in enumerate(trace.positions_at(t)):
+                assert p.distance_to(positions[i]) <= radii[i] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_observer_consensus(self, count, seed):
+        """All observers decode the identical event stream (src, dst,
+        bit, time) — the redundancy property as a consensus check."""
+        h = SwarmHarness(
+            scattered(count, seed),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=5.0,
+        )
+        src = seed % count
+        dst = (src + 1) % count
+        h.simulator.protocol_of(src).send_bits(dst, [1, 0, 1])
+        h.run(10)
+        streams = set()
+        for observer in range(count):
+            if observer == src:
+                continue
+            events = tuple(
+                (e.src, e.dst, e.bit) for e in h.simulator.protocol_of(observer).overheard
+            )
+            streams.add(events)
+        assert len(streams) == 1
+        assert streams.pop() == ((src, dst, 1), (src, dst, 0), (src, dst, 1))
+
+
+class TestAsyncNProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=5),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_receipt_exactly_once(self, count, bits, seed):
+        from repro.apps.harness import ring_positions
+        from repro.protocols.async_n import AsyncNProtocol
+
+        h = SwarmHarness(
+            ring_positions(count, radius=10.0, jitter=0.07),
+            protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+            scheduler=FairAsynchronousScheduler(fairness_bound=3, seed=seed),
+            identified=False,
+            frame_regime="chirality",
+            sigma=4.0,
+        )
+        dst = (seed % (count - 1)) + 1
+        h.simulator.protocol_of(0).send_bits(dst, bits)
+        delivered = h.pump(
+            lambda hh: len(hh.simulator.protocol_of(dst).received) >= len(bits),
+            max_steps=200_000,
+        )
+        assert delivered, "Receipt violated"
+        got = [e.bit for e in h.simulator.protocol_of(dst).received]
+        assert got == bits
+
+
+class TestAsyncTwoProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        bits_strategy,
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=6),
+        st.booleans(),
+    )
+    def test_receipt_exactly_once_under_fair_schedules(self, bits, seed, bound, bounded):
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+            protocol_factory=lambda: AsyncTwoProtocol(bounded=bounded),
+            scheduler=FairAsynchronousScheduler(fairness_bound=bound, seed=seed),
+            identified=False,
+            sigma=10.0,
+        )
+        h.simulator.protocol_of(0).send_bits(1, bits)
+        delivered = h.pump(
+            lambda hh: len(hh.simulator.protocol_of(1).received) >= len(bits),
+            max_steps=40_000,
+        )
+        assert delivered, "Receipt violated: bits never arrived"
+        got = [e.bit for e in h.simulator.protocol_of(1).received]
+        assert got == bits  # no loss, no duplication, no reordering
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_horizon_line_invariant(self, seed):
+        """Both robots stay on H except during perpendicular
+        excursions, and every movement is axis-aligned w.r.t. H."""
+        h = SwarmHarness(
+            [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+            protocol_factory=lambda: AsyncTwoProtocol(),
+            scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=seed),
+            identified=False,
+            sigma=10.0,
+        )
+        h.simulator.protocol_of(0).send_bits(1, [1, 0])
+        h.run(400)
+        for index in (0, 1):
+            for t, before, after in h.simulator.trace.movements_of(index):
+                dx = abs(after.x - before.x)
+                dy = abs(after.y - before.y)
+                assert dx < 1e-9 or dy < 1e-9

@@ -1,0 +1,181 @@
+"""Tests for the two-robot synchronous protocol (Section 3.1, Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import silence_audit
+from repro.coding.bitstream import encode_message
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.simulator import Simulator
+from repro.protocols.sync_two import SyncTwoProtocol
+
+from tests.conftest import make_harness
+from repro.apps.harness import SwarmHarness
+
+
+def pair_harness(alphabet_size: int = 2, distance: float = 10.0, **kwargs) -> SwarmHarness:
+    return SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(distance, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(alphabet_size=alphabet_size),
+        identified=False,
+        sigma=kwargs.pop("sigma", distance),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_needs_exactly_two(self):
+        with pytest.raises(ProtocolError):
+            SwarmHarness(
+                [Vec2(0, 0), Vec2(5, 0), Vec2(0, 5)],
+                protocol_factory=lambda: SyncTwoProtocol(),
+                identified=False,
+            )
+
+    def test_span_fraction_range(self):
+        with pytest.raises(ProtocolError):
+            SyncTwoProtocol(span_fraction=0.0)
+        with pytest.raises(ProtocolError):
+            SyncTwoProtocol(span_fraction=0.6)
+
+    def test_sigma_must_cover_span(self):
+        with pytest.raises(ProtocolError):
+            SwarmHarness(
+                [Vec2(0, 0), Vec2(100, 0)],
+                protocol_factory=lambda: SyncTwoProtocol(),
+                identified=False,
+                sigma=0.1,
+            )
+
+
+class TestBitExchange:
+    def test_single_bits(self):
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bit(1, 0)
+        h.simulator.protocol_of(0).send_bit(1, 1)
+        h.run(6)
+        received = h.simulator.protocol_of(1).received
+        assert [e.bit for e in received] == [0, 1]
+        assert [e.src for e in received] == [0, 0]
+
+    def test_simultaneous_duplex(self):
+        """Both robots send at the same time (Figure 1 shows both
+        moving): each decodes the other."""
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bits(1, [1, 0, 1, 1])
+        h.simulator.protocol_of(1).send_bits(0, [0, 0, 1, 0])
+        h.run(10)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == [1, 0, 1, 1]
+        assert [e.bit for e in h.simulator.protocol_of(0).received] == [0, 0, 1, 0]
+
+    def test_bit_zero_steps_right(self):
+        """Figure 1's coding: '0' is a step on the sender's right
+        w.r.t. the direction of the peer."""
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bit(1, 0)
+        h.simulator.step()
+        pos = h.simulator.positions[0]
+        # Robot 0 faces +x (toward the peer); its right is -y.
+        assert pos.y < 0.0
+        assert pos.x == pytest.approx(0.0, abs=1e-9)
+
+    def test_bit_one_steps_left(self):
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bit(1, 1)
+        h.simulator.step()
+        assert h.simulator.positions[0].y > 0.0
+
+    def test_returns_home_after_each_bit(self):
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bit(1, 1)
+        h.simulator.step()
+        h.simulator.step()
+        assert h.simulator.positions[0] == Vec2(0.0, 0.0)
+
+    def test_two_steps_per_bit(self):
+        h = pair_harness()
+        bits = encode_message(b"ab")
+        h.simulator.protocol_of(0).send_bits(1, bits)
+        needed = 2 * len(bits)
+        h.run(needed)
+        assert len(h.simulator.protocol_of(1).received) == len(bits)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=24))
+    def test_arbitrary_bitstring_roundtrip(self, bits):
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bits(1, bits)
+        h.run(2 * len(bits) + 2)
+        assert [e.bit for e in h.simulator.protocol_of(1).received] == bits
+
+
+class TestSilence:
+    def test_idle_robots_never_move(self):
+        h = pair_harness()
+        h.run(20)
+        assert silence_audit(h.simulator.trace, [0, 1]) == []
+
+    def test_silent_after_transmission(self):
+        h = pair_harness()
+        h.simulator.protocol_of(0).send_bit(1, 0)
+        h.run(30)
+        moves = h.simulator.trace.movements_of(0)
+        # Exactly two movements: out and back.
+        assert len(moves) == 2
+
+
+class TestSymbolCoding:
+    """The Section 3.1 'send bytes' remark."""
+
+    @pytest.mark.parametrize("alphabet", [4, 16, 256])
+    def test_roundtrip(self, alphabet):
+        h = pair_harness(alphabet_size=alphabet)
+        bits = encode_message(b"symbols!")
+        h.simulator.protocol_of(0).send_bits(1, bits)
+        h.run(2 * len(bits))  # far more than needed
+        received = [e.bit for e in h.simulator.protocol_of(1).received]
+        assert received[: len(bits)] == bits
+
+    def test_move_count_shrinks_by_log_b(self):
+        """One excursion carries log2(B) bits."""
+        bits = encode_message(b"0123456789abcdef")  # 144 bits
+        moves = {}
+        for alphabet in (2, 16, 256):
+            h = pair_harness(alphabet_size=alphabet)
+            h.simulator.protocol_of(0).send_bits(1, bits)
+            h.run(2 * len(bits) + 4)
+            moves[alphabet] = len(h.simulator.trace.movements_of(0))
+        assert moves[2] == pytest.approx(2 * len(bits), abs=2)
+        assert moves[16] == pytest.approx(moves[2] / 4, abs=2)
+        assert moves[256] == pytest.approx(moves[2] / 8, abs=2)
+
+
+class TestScaleInvariance:
+    def test_private_unit_measures_do_not_matter(self):
+        """Decoding is sign/ratio based, so wildly different frame
+        scales are fine (deaf robots have no common metre)."""
+        from repro.geometry.frames import Frame
+
+        robots = [
+            Robot(
+                position=Vec2(0, 0),
+                protocol=SyncTwoProtocol(),
+                frame=Frame(scale=0.05),
+                sigma=10.0,
+            ),
+            Robot(
+                position=Vec2(10, 0),
+                protocol=SyncTwoProtocol(),
+                frame=Frame(scale=13.0),
+                sigma=10.0,
+            ),
+        ]
+        sim = Simulator(robots)
+        robots[0].protocol.send_bits(1, [1, 0, 0, 1])
+        sim.run(10)
+        assert [e.bit for e in robots[1].protocol.received] == [1, 0, 0, 1]

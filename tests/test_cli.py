@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestDemo:
+    def test_runs_and_succeeds(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "hello, robot 3" in out
+        assert "instants" in out
+
+
+class TestFigures:
+    def test_generates_all_svgs(self, tmp_path, capsys):
+        outdir = str(tmp_path / "figs")
+        assert main(["figures", outdir]) == 0
+        files = sorted(os.listdir(outdir))
+        assert files == [
+            "fig1_sync_two.svg",
+            "fig2_granulars.svg",
+            "fig3_symmetry.svg",
+            "fig5_async_two.svg",
+            "fig6_async_n.svg",
+        ]
+        for name in files:
+            with open(os.path.join(outdir, name), encoding="utf-8") as handle:
+                content = handle.read()
+            assert content.startswith("<svg ")
+            assert content.rstrip().endswith("</svg>")
+
+
+class TestAnimate:
+    def test_plays_and_reports_bits(self, capsys):
+        assert main(["animate", "--steps", "120", "--delay", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "frames" in out
+        assert "bits exchanged" in out
+
+
+class TestTradeoff:
+    def test_default_table(self, capsys):
+        assert main(["tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "1024" in out
+
+    def test_custom_sizes_and_bases(self, capsys):
+        assert main(["tradeoff", "--n", "16", "64", "--k", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        # 2 sizes x 2 bases = 4 data rows.
+        data_rows = [
+            line for line in out.splitlines() if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        assert len(data_rows) == 4

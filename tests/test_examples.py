@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing an adopting user executes; this keeps
+them from rotting as the library evolves.  Each runs as a subprocess
+exactly as documented (``python examples/<name>.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(p.name for p in (REPO_ROOT / "examples").glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "robot 3 received",
+    "surveillance_backup.py": "rerouted over movement signals",
+    "anonymous_election.py": "Elected leader",
+    "async_chat.py": "Transcript",
+    "flocking_convoy.py": "Messages delivered while the convoy was moving",
+    "relay_network.py": "hops taken",
+    "custom_protocol.py": "unanimous and correct",
+    "stabilization_demo.py": "converged",
+    "tour.py": "Tour complete",
+}
+
+
+class TestExampleInventory:
+    def test_every_example_has_an_expectation(self):
+        assert set(EXAMPLES) == set(EXPECTED_MARKERS), (
+            "keep EXPECTED_MARKERS in sync with examples/"
+        )
+
+    def test_at_least_three_examples_exist(self):
+        """The deliverable floor: a quickstart plus two scenarios."""
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, f"examples/{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[name] in result.stdout

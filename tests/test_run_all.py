@@ -1,0 +1,36 @@
+"""Smoke test for the experiment driver.
+
+``python benchmarks/run_all.py`` regenerates every experiment table
+(the EXPERIMENTS.md source); this test keeps the whole driver green —
+an experiment module that starts crashing is caught here even if its
+pytest-benchmark wrapper is skipped.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestRunAll:
+    def test_every_experiment_table_regenerates(self):
+        result = subprocess.run(
+            [sys.executable, "benchmarks/run_all.py"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        ok_lines = [line for line in result.stdout.splitlines() if ": ok in" in line]
+        # One success line per experiment module registered in MODULES.
+        source = (REPO_ROOT / "benchmarks" / "run_all.py").read_text()
+        modules_block = source.split("MODULES = [", 1)[1].split("]", 1)[0]
+        registered = [line for line in modules_block.splitlines() if "bench_" in line]
+        assert len(ok_lines) == len(registered), (
+            f"{len(ok_lines)} experiments succeeded, {len(registered)} registered"
+        )
+        assert "FAILED" not in result.stderr

@@ -1,0 +1,65 @@
+"""Tests for visibility graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.visibility.graph import (
+    shortest_route,
+    visibility_graph,
+    visibility_is_connected,
+    visibility_neighbors,
+)
+
+
+def line(count: int, spacing: float = 10.0):
+    return [Vec2(spacing * i, 0.0) for i in range(count)]
+
+
+class TestGraph:
+    def test_radius_validated(self):
+        with pytest.raises(ModelError):
+            visibility_graph(line(3), 0.0)
+
+    def test_line_topology(self):
+        graph = visibility_graph(line(4), 12.0)
+        assert set(graph.edges) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_full_visibility(self):
+        graph = visibility_graph(line(4), 100.0)
+        assert graph.number_of_edges() == 6
+
+    def test_neighbors(self):
+        neighbors = visibility_neighbors(line(4), 12.0)
+        assert neighbors == {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+
+    def test_boundary_inclusive(self):
+        graph = visibility_graph([Vec2(0, 0), Vec2(10, 0)], 10.0)
+        assert graph.has_edge(0, 1)
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        assert visibility_is_connected(line(5), 12.0)
+
+    def test_disconnected(self):
+        pts = line(3) + [Vec2(1000.0, 0.0)]
+        assert not visibility_is_connected(pts, 12.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            visibility_is_connected([], 5.0)
+
+
+class TestRoutes:
+    def test_shortest_route_line(self):
+        assert shortest_route(line(5), 12.0, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_direct_when_visible(self):
+        assert shortest_route(line(3), 100.0, 0, 2) == [0, 2]
+
+    def test_no_route(self):
+        pts = line(2) + [Vec2(1000.0, 0.0)]
+        assert shortest_route(pts, 12.0, 0, 2) is None
