@@ -1,15 +1,38 @@
-"""Print every experiment's regenerated tables (the EXPERIMENTS.md source).
+"""The experiment driver: regenerate every table, in parallel, with JSON.
 
 Usage::
 
-    python benchmarks/run_all.py
+    python benchmarks/run_all.py                 # all tables, parallel
+    python benchmarks/run_all.py --jobs 4        # bounded worker pool
+    python benchmarks/run_all.py --sequential    # old single-process mode
+    python benchmarks/run_all.py --json BENCH_results.json
+    python -m benchmarks.run_all --quick --json BENCH_results.json
+
+The default mode fans the experiment modules out over a process pool
+(each module is independent: it builds its own swarms and prints a
+table), buffers their stdout, and replays the outputs in registration
+order so the document is reproducible byte-for-byte regardless of
+completion order.
+
+``--quick`` is the CI smoke target: it skips the full table matrix and
+runs only the perf probes — the cached-vs-uncached throughput A/B at
+n=64, a geometry-cache effectiveness probe, and the sync-granular
+2-steps-per-bit invariant — then writes the machine-readable results
+JSON.  A nonzero exit means an invariant or transparency check failed.
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+import io
+import json
+import multiprocessing
+import os
 import pathlib
 import sys
 import time
+from typing import Dict, List, Optional
 
 # Allow `python benchmarks/run_all.py` from the repo root.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
@@ -63,17 +86,217 @@ MODULES = [
 ]
 
 
-def main() -> int:
-    failures = 0
-    for module in MODULES:
-        started = time.perf_counter()
-        try:
+# ----------------------------------------------------------------------
+# Worker: run one experiment module with buffered stdout
+# ----------------------------------------------------------------------
+def _run_module(name: str) -> Dict:
+    import importlib
+
+    module = importlib.import_module(name)
+    buffer = io.StringIO()
+    started = time.perf_counter()
+    try:
+        with contextlib.redirect_stdout(buffer):
             module.main()
-            elapsed = time.perf_counter() - started
-            print(f"[{module.__name__}: ok in {elapsed:.1f}s]")
-        except Exception as exc:  # pragma: no cover - reporting path
+        return {
+            "name": name,
+            "ok": True,
+            "elapsed_s": time.perf_counter() - started,
+            "output": buffer.getvalue(),
+        }
+    except Exception as exc:  # pragma: no cover - reporting path
+        return {
+            "name": name,
+            "ok": False,
+            "elapsed_s": time.perf_counter() - started,
+            "output": buffer.getvalue(),
+            "error": repr(exc),
+        }
+
+
+def run_matrix(jobs: Optional[int], sequential: bool) -> List[Dict]:
+    names = [m.__name__ for m in MODULES]
+    if sequential or len(names) == 1:
+        return [_run_module(name) for name in names]
+    worker_count = jobs or min(len(names), os.cpu_count() or 2)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return [_run_module(name) for name in names]
+    with context.Pool(processes=worker_count) as pool:
+        return pool.map(_run_module, names)
+
+
+# ----------------------------------------------------------------------
+# Perf probes (the BENCH_results.json payload)
+# ----------------------------------------------------------------------
+def throughput_probe(n: int = 64, steps: int = 40) -> Dict:
+    """Cached-vs-uncached A/B of the synchronous granular hot path.
+
+    Semantic transparency is asserted, not assumed: the run fails if
+    the two traces or the delivered bit streams differ in any way.
+    """
+    from repro.apps.harness import SwarmHarness, ring_positions
+    from repro.protocols.sync_granular import SyncGranularProtocol
+
+    def run(caching: bool):
+        harness = SwarmHarness(
+            ring_positions(n, radius=10.0, jitter=0.06),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+            caching=caching,
+        )
+        harness.simulator.protocol_of(0).send_bits(n // 2, [1, 0] * 8)
+        started = time.perf_counter()
+        harness.run(steps)
+        return harness, time.perf_counter() - started
+
+    uncached, uncached_s = run(caching=False)
+    cached, cached_s = run(caching=True)
+    trace_identical = (
+        uncached.simulator.trace.initial_positions
+        == cached.simulator.trace.initial_positions
+        and uncached.simulator.trace.steps == cached.simulator.trace.steps
+    )
+    bits_identical = [
+        (e.src, e.dst, e.bit) for e in uncached.simulator.protocol_of(n // 2).received
+    ] == [(e.src, e.dst, e.bit) for e in cached.simulator.protocol_of(n // 2).received]
+    return {
+        "n": n,
+        "steps": steps,
+        "uncached_s": uncached_s,
+        "cached_s": cached_s,
+        "speedup": uncached_s / cached_s if cached_s > 0 else float("inf"),
+        "uncached_steps_per_sec": steps / uncached_s,
+        "cached_steps_per_sec": steps / cached_s,
+        "trace_identical": trace_identical,
+        "bits_identical": bits_identical,
+        "stats": cached.simulator.stats.as_dict(),
+    }
+
+
+def geometry_cache_probe(n: int = 32, repeats: int = 200) -> Dict:
+    """Hit rate of the epoch geometry cache on a static configuration."""
+    from repro.apps.harness import ring_positions
+    from repro.model.robot import Robot
+    from repro.model.simulator import Simulator
+    from repro.protocols.sync_granular import SyncGranularProtocol
+
+    robots = [
+        Robot(position=p, protocol=SyncGranularProtocol(), sigma=4.0, observable_id=i)
+        for i, p in enumerate(ring_positions(n, radius=10.0, jitter=0.06))
+    ]
+    sim = Simulator(robots)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        sim.geometry.sec()
+        sim.geometry.voronoi()
+        sim.geometry.hull()
+    elapsed = time.perf_counter() - started
+    stats = sim.stats.as_dict()
+    return {
+        "n": n,
+        "repeats": repeats,
+        "elapsed_s": elapsed,
+        "cache_hits": stats["cache_hits"],
+        "cache_misses": stats["cache_misses"],
+        "hit_rate": stats["hit_rate"],
+    }
+
+
+def sync_invariant_holds() -> bool:
+    """The paper's sync-granular cost: exactly 2 instants per bit."""
+    from benchmarks.bench_p1_scaling import sync_steps_per_bit
+
+    return all(sync_steps_per_bit(n) == 2.0 for n in (4, 8))
+
+
+def collect_probes() -> Dict:
+    return {
+        "sync_throughput_n64": throughput_probe(n=64, steps=40),
+        "geometry_cache": geometry_cache_probe(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: perf probes + invariants only, no table matrix",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results (BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the table matrix (default: cpu count)",
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run the table matrix in-process, one module at a time",
+    )
+    args = parser.parse_args(argv)
+
+    results: Dict = {
+        "generated_by": "benchmarks/run_all.py",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+    }
+
+    failures = 0
+    if not args.quick:
+        matrix = run_matrix(args.jobs, args.sequential)
+        for entry in matrix:
+            sys.stdout.write(entry["output"])
+            if entry["ok"]:
+                print(f"[{entry['name']}: ok in {entry['elapsed_s']:.1f}s]")
+            else:  # pragma: no cover - reporting path
+                failures += 1
+                print(
+                    f"[{entry['name']}: FAILED — {entry['error']}]",
+                    file=sys.stderr,
+                )
+        results["benchmarks"] = [
+            {k: entry[k] for k in ("name", "ok", "elapsed_s")} for entry in matrix
+        ]
+
+    probes = collect_probes()
+    invariants = {
+        "sync_granular_two_steps_per_bit": sync_invariant_holds(),
+        "caching_trace_identical": bool(probes["sync_throughput_n64"]["trace_identical"]),
+        "caching_bits_identical": bool(probes["sync_throughput_n64"]["bits_identical"]),
+    }
+    results["probes"] = probes
+    results["invariants"] = invariants
+
+    throughput = probes["sync_throughput_n64"]
+    print(
+        f"[probe sync_throughput n={throughput['n']}: "
+        f"uncached {throughput['uncached_s']:.3f}s, "
+        f"cached {throughput['cached_s']:.3f}s, "
+        f"speedup {throughput['speedup']:.2f}x, "
+        f"reuse {throughput['stats']['observation_reuse_rate']:.1%}]"
+    )
+    for name, ok in invariants.items():
+        print(f"[invariant {name}: {'ok' if ok else 'VIOLATED'}]")
+        if not ok:
             failures += 1
-            print(f"[{module.__name__}: FAILED — {exc!r}]", file=sys.stderr)
+
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {path}]")
+
     return 1 if failures else 0
 
 

@@ -11,9 +11,39 @@ Every ``bench_*.py`` module is both
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, List, Sequence
 
-__all__ = ["print_table", "fmt"]
+from repro.geometry.vec import Vec2
+from repro.perf.spatial import SpatialHashGrid
+
+__all__ = ["print_table", "fmt", "scatter"]
+
+
+def scatter(
+    count: int,
+    seed: int = 0,
+    min_distance: float = 2.0,
+    extent: float = 60.0,
+) -> List[Vec2]:
+    """``count`` uniform random points, pairwise farther than ``min_distance``.
+
+    Rejection sampling with a spatial-hash grid for the separation
+    check: O(n) expected instead of the old all-pairs O(n²) scan, which
+    made large-n point sets impractically slow to set up.  The RNG
+    draws and accept/reject decisions are identical to the brute-force
+    version, so any (count, seed) pair yields the same points it always
+    did.
+    """
+    rng = random.Random(seed)
+    grid = SpatialHashGrid(cell_size=min_distance)
+    pts: List[Vec2] = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-extent, extent), rng.uniform(-extent, extent))
+        if not grid.has_neighbor_within(p, min_distance):
+            pts.append(p)
+            grid.insert(p)
+    return pts
 
 
 def fmt(value) -> str:

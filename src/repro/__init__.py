@@ -67,7 +67,9 @@ from repro.model import (
     Simulator,
     SynchronousScheduler,
     Trace,
+    TracePolicy,
 )
+from repro.perf import CachedGeometry, PerfStats, SpatialHashGrid
 from repro.naming import (
     common_naming_is_impossible,
     figure3_configuration,
@@ -163,6 +165,10 @@ __all__ = [
     "BitEvent",
     "Simulator",
     "Trace",
+    "TracePolicy",
+    "CachedGeometry",
+    "PerfStats",
+    "SpatialHashGrid",
     "SynchronousScheduler",
     "FairAsynchronousScheduler",
     "RoundRobinScheduler",

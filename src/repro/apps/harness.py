@@ -21,6 +21,7 @@ from repro.model.protocol import Protocol
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
 from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
 
 __all__ = ["SwarmHarness", "ring_positions"]
 
@@ -54,6 +55,9 @@ class SwarmHarness:
         sigma: per-activation movement bound (world units), same for
             all robots by default.
         frame_seed: seed for the frame generator.
+        caching: forwarded to the simulator (hot-path caches; results
+            are identical either way).
+        trace_policy: forwarded to the simulator (trace memory bound).
     """
 
     def __init__(
@@ -65,6 +69,8 @@ class SwarmHarness:
         frame_regime: FrameRegime = "sense_of_direction",
         sigma: float = 2.0,
         frame_seed: int = 0,
+        caching: bool = True,
+        trace_policy: Optional["TracePolicy"] = None,
     ) -> None:
         frames: List[Frame] = make_frames(len(positions), frame_regime, seed=frame_seed)
         self.robots = [
@@ -77,7 +83,9 @@ class SwarmHarness:
             )
             for i, p in enumerate(positions)
         ]
-        self.simulator = Simulator(self.robots, scheduler)
+        self.simulator = Simulator(
+            self.robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
         self.channels = [
             MovementChannel(robot.protocol) for robot in self.robots
         ]

@@ -25,6 +25,7 @@ from repro.geometry.vec import Vec2
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
 from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
 
 __all__ = ["StaleLookSimulator"]
 
@@ -37,6 +38,10 @@ class StaleLookSimulator(Simulator):
         max_delay: maximum Look staleness in instants (>= 0).
         seed: RNG seed for the per-activation delays.
         scheduler: activation policy.
+        caching: forwarded to the base engine (hot-path caches).
+        trace_policy: forwarded to the base engine.  Stale looks read
+            configurations up to ``max_delay`` instants back, so the
+            policy must retain at least that much history.
     """
 
     def __init__(
@@ -45,13 +50,27 @@ class StaleLookSimulator(Simulator):
         max_delay: int,
         seed: int = 0,
         scheduler: Optional[Scheduler] = None,
+        *,
+        caching: bool = True,
+        trace_policy: Optional[TracePolicy] = None,
     ) -> None:
         if max_delay < 0:
             raise ModelError(f"max_delay must be >= 0, got {max_delay}")
+        if trace_policy is not None and max_delay > 0:
+            if trace_policy.stride > 1 or (
+                trace_policy.capacity is not None
+                and trace_policy.capacity < max_delay
+            ):
+                raise ModelError(
+                    "stale looks need the last max_delay configurations: "
+                    f"policy {trace_policy!r} cannot serve max_delay={max_delay}"
+                )
         self._max_delay = max_delay
         self._rng = random.Random(seed)
         self._look_times: List[int] = [0] * len(robots)
-        super().__init__(robots, scheduler)
+        super().__init__(
+            robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
 
     @property
     def max_delay(self) -> int:

@@ -20,6 +20,7 @@ from repro.geometry.vec import Vec2
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
 from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
 
 __all__ = ["LatticeSimulator"]
 
@@ -31,6 +32,8 @@ class LatticeSimulator(Simulator):
         robots: the swarm; initial positions must be lattice points.
         lattice: the world's lattice (square grid or hex pavement).
         scheduler: activation policy.
+        caching: forwarded to the base engine (hot-path caches).
+        trace_policy: forwarded to the base engine (trace bounding).
     """
 
     def __init__(
@@ -38,6 +41,9 @@ class LatticeSimulator(Simulator):
         robots: Sequence[Robot],
         lattice: Lattice,
         scheduler: Optional[Scheduler] = None,
+        *,
+        caching: bool = True,
+        trace_policy: Optional[TracePolicy] = None,
     ) -> None:
         for i, robot in enumerate(robots):
             if not lattice.is_lattice_point(robot.position):
@@ -46,7 +52,9 @@ class LatticeSimulator(Simulator):
                     "which is not a lattice point"
                 )
         self._lattice = lattice
-        super().__init__(robots, scheduler)
+        super().__init__(
+            robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
 
     @property
     def lattice(self) -> Lattice:

@@ -35,7 +35,7 @@ from repro.geometry.frames import Frame
 from repro.geometry.lines import HalfPlane, Line, Segment
 from repro.geometry.circle import Circle
 from repro.geometry.sec import smallest_enclosing_circle
-from repro.geometry.convex import ConvexPolygon
+from repro.geometry.convex import ConvexPolygon, convex_hull
 from repro.geometry.voronoi import VoronoiCell, voronoi_cell, voronoi_diagram
 from repro.geometry.granular import Granular, granular_radius
 
@@ -56,6 +56,7 @@ __all__ = [
     "Circle",
     "smallest_enclosing_circle",
     "ConvexPolygon",
+    "convex_hull",
     "VoronoiCell",
     "voronoi_cell",
     "voronoi_diagram",

@@ -14,7 +14,7 @@ from repro.geometry.lines import HalfPlane, Line, Segment
 from repro.geometry.predicates import DEFAULT_EPS
 from repro.geometry.vec import Vec2
 
-__all__ = ["ConvexPolygon"]
+__all__ = ["ConvexPolygon", "convex_hull"]
 
 
 @dataclass(frozen=True)
@@ -159,6 +159,43 @@ class ConvexPolygon:
                     result.append(current.lerp(nxt, t))
         deduped = _dedupe_ring(result, eps)
         return ConvexPolygon(tuple(deduped))
+
+
+def convex_hull(points: Sequence[Vec2]) -> ConvexPolygon:
+    """The convex hull of a point set as a CCW :class:`ConvexPolygon`.
+
+    Andrew's monotone chain, O(n log n).  Collinear boundary points are
+    dropped (the hull keeps extreme vertices only); degenerate inputs
+    (a single point, all-collinear sets) yield polygons with fewer than
+    three vertices, which the polygon queries handle.
+
+    Raises:
+        ValueError: on an empty input.
+    """
+    pts = sorted(set(points), key=lambda p: (p.x, p.y))
+    if not pts:
+        raise ValueError("convex_hull of an empty point set")
+    if len(pts) <= 2:
+        return ConvexPolygon(tuple(pts))
+
+    def half(chain_points: Sequence[Vec2]) -> List[Vec2]:
+        chain: List[Vec2] = []
+        for p in chain_points:
+            while (
+                len(chain) >= 2
+                and (chain[-1] - chain[-2]).cross(p - chain[-2]) <= 0.0
+            ):
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        # All points collinear: keep the two extremes.
+        return ConvexPolygon((pts[0], pts[-1]))
+    return ConvexPolygon(tuple(hull))
 
 
 def _dedupe_ring(points: Sequence[Vec2], eps: float) -> List[Vec2]:

@@ -30,7 +30,7 @@ from repro.model.scheduler import (
     SynchronousScheduler,
 )
 from repro.model.simulator import Simulator
-from repro.model.trace import Trace, TraceStep
+from repro.model.trace import Trace, TracePolicy, TraceStep
 
 __all__ = [
     "Robot",
@@ -45,5 +45,6 @@ __all__ = [
     "ScriptedScheduler",
     "Simulator",
     "Trace",
+    "TracePolicy",
     "TraceStep",
 ]

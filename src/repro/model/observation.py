@@ -28,8 +28,8 @@ names agree across observers while indices are never exchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.geometry.vec import Vec2
 
@@ -72,6 +72,13 @@ class Observation:
     time: int
     self_index: int
     robots: Tuple[ObservedRobot, ...]
+    # Lazily built index -> position map; decoders look every robot up
+    # on every activation, so the O(n) scan per lookup was the hottest
+    # loop in the whole engine.  compare=False keeps equality and hash
+    # semantics identical to the original three-field dataclass.
+    _by_index: Optional[Dict[int, Vec2]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def count(self) -> int:
@@ -87,11 +94,12 @@ class Observation:
         return position
 
     def get(self, index: int) -> Optional[Vec2]:
-        """Position of a robot, or None when it is not visible."""
-        for robot in self.robots:
-            if robot.index == index:
-                return robot.position
-        return None
+        """Position of a robot, or None when it is not visible (O(1))."""
+        lookup = self._by_index
+        if lookup is None:
+            lookup = {robot.index: robot.position for robot in self.robots}
+            object.__setattr__(self, "_by_index", lookup)
+        return lookup.get(index)
 
     def position_of(self, index: int) -> Vec2:
         """Position of the robot with the given tracking index.

@@ -12,6 +12,28 @@ Implements the computation step of Section 2 exactly:
 
 All active robots of an instant observe the *same* configuration
 ``P(t_j)`` and move simultaneously; inactive robots stay put.
+
+Hot-path layout
+---------------
+
+The engine tracks a **configuration epoch**: a counter bumped only when
+some position actually changes (a protocol movement or a
+:meth:`Simulator.displace` fault).  Everything derived from the
+configuration is cached against that epoch:
+
+* per-robot visibility sets are computed once at construction (they
+  depend only on the immutable anchors);
+* each robot's last observation is kept and reused — wholesale when
+  the epoch did not advance, per-entry for robots whose position epoch
+  predates the cached build (silent robots under asynchronous
+  schedules are the common case);
+* derived geometry (SEC, Voronoi, hull, relative naming) is served by
+  a :class:`~repro.perf.cache.CachedGeometry` facade via
+  :attr:`Simulator.geometry`.
+
+Caching is semantically transparent — ``caching=False`` runs the
+original always-rebuild pipeline and produces bit-identical traces —
+and observable through :attr:`Simulator.stats`.
 """
 
 from __future__ import annotations
@@ -24,9 +46,33 @@ from repro.model.observation import Observation, ObservedRobot
 from repro.model.protocol import BindingInfo
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler, SynchronousScheduler
-from repro.model.trace import Trace, TraceStep
+from repro.model.trace import Trace, TracePolicy, TraceStep
+from repro.perf.cache import CachedGeometry
+from repro.perf.counters import PerfStats
 
 __all__ = ["Simulator"]
+
+
+class _ObservationCacheEntry:
+    """One robot's last built observation, with reuse metadata."""
+
+    __slots__ = ("epoch", "live", "config_ref", "world", "observed", "index_map")
+
+    def __init__(
+        self,
+        epoch: int,
+        live: bool,
+        config_ref: Optional[Sequence[Vec2]],
+        world: Tuple[Vec2, ...],
+        observed: Tuple[ObservedRobot, ...],
+        index_map: Dict[int, Vec2],
+    ) -> None:
+        self.epoch = epoch
+        self.live = live
+        self.config_ref = config_ref
+        self.world = world
+        self.observed = observed
+        self.index_map = index_map
 
 
 class Simulator:
@@ -37,6 +83,11 @@ class Simulator:
             initial positions, and pairwise-distinct protocol
             instances.
         scheduler: activation policy; defaults to fully synchronous.
+        caching: enable the epoch-based hot-path caches (default).
+            Disabling them changes performance only, never results.
+        trace_policy: optional memory bound for the recorded trace
+            (ring buffer / stride sampling; see
+            :class:`~repro.model.trace.TracePolicy`).
 
     The constructor *binds* every protocol: each robot learns its
     tracking index, the swarm size, its movement bound in local units,
@@ -44,19 +95,28 @@ class Simulator:
     private frame, and (in identified systems) the observable IDs.
     """
 
-    def __init__(self, robots: Sequence[Robot], scheduler: Optional[Scheduler] = None) -> None:
+    def __init__(
+        self,
+        robots: Sequence[Robot],
+        scheduler: Optional[Scheduler] = None,
+        *,
+        caching: bool = True,
+        trace_policy: Optional[TracePolicy] = None,
+    ) -> None:
         if not robots:
             raise ModelError("a simulation needs at least one robot")
         protocols = [r.protocol for r in robots]
         if len({id(p) for p in protocols}) != len(protocols):
             raise ModelError("every robot needs its own protocol instance")
         positions = [r.position for r in robots]
-        for i in range(len(positions)):
-            for j in range(i + 1, len(positions)):
-                if positions[i] == positions[j]:
-                    raise ModelError(
-                        f"robots {i} and {j} share the initial position {positions[i]!r}"
-                    )
+        seen: Dict[Vec2, int] = {}
+        for i, p in enumerate(positions):
+            j = seen.get(p)
+            if j is not None:
+                raise ModelError(
+                    f"robots {j} and {i} share the initial position {p!r}"
+                )
+            seen[p] = i
         ids = [r.observable_id for r in robots]
         self._identified = all(v is not None for v in ids)
         if not self._identified and any(v is not None for v in ids):
@@ -72,7 +132,37 @@ class Simulator:
         self._positions: List[Vec2] = positions[:]
         self._anchors: Tuple[Vec2, ...] = tuple(positions)
         self._time = 0
-        self._trace = Trace(initial_positions=tuple(positions))
+        self._trace = Trace(
+            initial_positions=tuple(positions),
+            policy=trace_policy if trace_policy is not None else TracePolicy(),
+        )
+
+        # --- hot-path state -------------------------------------------
+        self._caching = bool(caching)
+        self._stats = PerfStats()
+        self._epoch = 0
+        self._pos_epoch: List[int] = [0] * len(self._robots)
+        self._observed_ids: Tuple[Optional[int], ...] = (
+            tuple(ids) if self._identified else (None,) * len(self._robots)
+        )
+        # Visibility depends only on the immutable anchors: compute it
+        # once per robot instead of on every observe.
+        self._visible_sets: Tuple[frozenset, ...] = tuple(
+            self._compute_visible_from(i) for i in range(len(self._robots))
+        )
+        self._visible_lists: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(v)) for v in self._visible_sets
+        )
+        # Per-robot (to_local, anchor) pairs: the observe loop is the
+        # hottest code in the engine, so attribute chases are hoisted.
+        self._local_transforms: Tuple[Tuple[Callable, Vec2], ...] = tuple(
+            (robot.frame.to_local, self._anchors[i])
+            for i, robot in enumerate(self._robots)
+        )
+        self._obs_cache: List[Optional[_ObservationCacheEntry]] = [None] * len(
+            self._robots
+        )
+        self._geometry = CachedGeometry(stats=self._stats, enabled=self._caching)
 
         observable_ids = tuple(ids) if self._identified else None
         world_visibility = self._world_visibility_radius()
@@ -125,6 +215,32 @@ class Simulator:
         """The recorded history so far."""
         return self._trace
 
+    @property
+    def epoch(self) -> int:
+        """The configuration epoch (bumps only when positions change)."""
+        return self._epoch
+
+    @property
+    def stats(self) -> PerfStats:
+        """Live performance counters of the caching layer."""
+        return self._stats
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Whether the hot-path caches are active."""
+        return self._caching
+
+    @property
+    def geometry(self) -> CachedGeometry:
+        """Derived geometry of ``P(t_j)``, memoised per epoch.
+
+        The facade is synchronised with the current configuration on
+        every access; consumers may call it on every activation and pay
+        the geometric cost only when the configuration changed.
+        """
+        self._geometry.update(self._epoch, lambda: self._positions)
+        return self._geometry
+
     def protocol_of(self, index: int):
         """The protocol instance of robot ``index``."""
         return self._robots[index].protocol
@@ -150,16 +266,27 @@ class Simulator:
             clamped = self._positions[index].clamped_toward(world_target, robot.sigma)
             new_positions[index] = self._constrain_destination(index, clamped)
 
-        # ...and move simultaneously.
+        # ...and move simultaneously.  The epoch only advances when a
+        # position actually changed; per-robot position epochs let
+        # observers keep cached entries for everyone who stayed put.
+        moved = [
+            index
+            for index, position in new_positions.items()
+            if position != self._positions[index]
+        ]
         for index, position in new_positions.items():
             self._positions[index] = position
+        if moved:
+            self._epoch += 1
+            for index in moved:
+                self._pos_epoch[index] = self._epoch
 
         step = TraceStep(
             time=self._time,
             active=frozenset(active),
             positions=tuple(self._positions),
         )
-        self._trace.steps.append(step)
+        self._trace.record(step)
         self._time += 1
         return step
 
@@ -201,6 +328,9 @@ class Simulator:
         perturbation).  Protocol-internal state (homes, granulars) is
         deliberately left stale; recovering from that is exactly what
         :mod:`repro.stabilization` exists for.
+
+        A displacement always bumps the configuration epoch, so every
+        cached derived quantity is recomputed on next use.
         """
         if not (0 <= index < self.count):
             raise ModelError(f"unknown robot {index}")
@@ -208,6 +338,8 @@ class Simulator:
             if i != index and existing == position:
                 raise ModelError(f"displacement collides with robot {i}")
         self._positions[index] = position
+        self._epoch += 1
+        self._pos_epoch[index] = self._epoch
 
     # ------------------------------------------------------------------
     # Internals / extension hooks
@@ -230,13 +362,8 @@ class Simulator:
         """
         return None
 
-    def _visible_from(self, index: int) -> frozenset:
-        """Indices visible to ``index`` (always includes itself).
-
-        Evaluated on the anchor configuration ``P(t_0)``: protocol
-        movements stay within granular-scale bands, so the visibility
-        graph is treated as static for a run.
-        """
+    def _compute_visible_from(self, index: int) -> frozenset:
+        """Visibility of ``index`` from scratch (anchors only)."""
         radius = self._world_visibility_radius()
         if radius is None:
             return frozenset(range(self.count))
@@ -244,6 +371,18 @@ class Simulator:
         return frozenset(
             i for i in range(self.count) if me.distance_to(self._anchors[i]) <= radius
         )
+
+    def _visible_from(self, index: int) -> frozenset:
+        """Indices visible to ``index`` (always includes itself).
+
+        Evaluated on the anchor configuration ``P(t_0)``: protocol
+        movements stay within granular-scale bands, so the visibility
+        graph is treated as static for a run — which also makes the
+        per-robot result cacheable at construction time.
+        """
+        if self._caching:
+            return self._visible_sets[index]
+        return self._compute_visible_from(index)
 
     def _config_for_observation(self, index: int) -> Sequence[Vec2]:
         """The configuration an activation's Look phase returns.
@@ -255,10 +394,105 @@ class Simulator:
         return self._positions
 
     def _observe(self, index: int) -> Observation:
+        # Subclass hooks may have side effects (stale-look bookkeeping,
+        # noise RNG draws), so the config is fetched unconditionally —
+        # caching must never change how often hooks run.
+        config = self._config_for_observation(index)
+        if not self._caching:
+            return self._observe_uncached(index, config)
+
+        live = config is self._positions
+        entry = self._obs_cache[index]
+        if entry is not None:
+            if (live and entry.live and entry.epoch == self._epoch) or (
+                not live and entry.config_ref is config
+            ):
+                # Nothing the observer can see has changed: reuse the
+                # whole snapshot (only the timestamp differs).
+                self._stats.cache_hits += 1
+                self._stats.observations_reused += len(entry.observed)
+                return Observation(
+                    time=self._time,
+                    self_index=index,
+                    robots=entry.observed,
+                    _by_index=entry.index_map,
+                )
+
+        self._stats.cache_misses += 1
+        visible = self._visible_lists[index]
+        to_local, anchor = self._local_transforms[index]
+        obs_ids = self._observed_ids
+        built: List[ObservedRobot] = []
+        reused = 0
+
+        if entry is not None and live and entry.live:
+            # Per-entry reuse by position epoch: integer compare per
+            # robot instead of a transform + allocation.
+            pos_epoch = self._pos_epoch
+            base_epoch = entry.epoch
+            old = entry.observed
+            for k, i in enumerate(visible):
+                if pos_epoch[i] <= base_epoch:
+                    built.append(old[k])
+                    reused += 1
+                else:
+                    built.append(
+                        ObservedRobot(
+                            index=i,
+                            position=to_local(config[i], anchor),
+                            observable_id=obs_ids[i],
+                        )
+                    )
+        elif entry is not None:
+            # Cached build came from (or is compared against) a
+            # non-live snapshot: reuse entries whose world position is
+            # value-identical.
+            old_world = entry.world
+            old = entry.observed
+            for k, i in enumerate(visible):
+                p = config[i]
+                if p == old_world[k]:
+                    built.append(old[k])
+                    reused += 1
+                else:
+                    built.append(
+                        ObservedRobot(
+                            index=i,
+                            position=to_local(p, anchor),
+                            observable_id=obs_ids[i],
+                        )
+                    )
+        else:
+            for i in visible:
+                built.append(
+                    ObservedRobot(
+                        index=i,
+                        position=to_local(config[i], anchor),
+                        observable_id=obs_ids[i],
+                    )
+                )
+
+        observed = tuple(built)
+        index_map = {r.index: r.position for r in observed}
+        self._stats.observations_built += len(observed) - reused
+        self._stats.observations_reused += reused
+        self._obs_cache[index] = _ObservationCacheEntry(
+            epoch=self._epoch,
+            live=live,
+            config_ref=None if live else config,
+            world=tuple(config[i] for i in visible),
+            observed=observed,
+            index_map=index_map,
+        )
+        return Observation(
+            time=self._time, self_index=index, robots=observed, _by_index=index_map
+        )
+
+    def _observe_uncached(self, index: int, config: Sequence[Vec2]) -> Observation:
+        """The original always-rebuild pipeline (A/B baseline)."""
         robot = self._robots[index]
         anchor = self._anchors[index]
         visible = self._visible_from(index)
-        config = self._config_for_observation(index)
         observed = tuple(
             ObservedRobot(
                 index=i,
@@ -268,4 +502,5 @@ class Simulator:
             for i in range(self.count)
             if i in visible
         )
+        self._stats.observations_built += len(observed)
         return Observation(time=self._time, self_index=index, robots=observed)

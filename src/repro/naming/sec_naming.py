@@ -39,8 +39,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import NamingError
 from repro.geometry.predicates import normalize_angle_positive
-from repro.geometry.sec import smallest_enclosing_circle
 from repro.geometry.vec import Vec2
+from repro.perf.memo import shared_sec
 
 __all__ = ["relative_labels", "horizon_direction"]
 
@@ -58,7 +58,7 @@ def horizon_direction(positions: Sequence[Vec2], subject: int) -> Vec2:
     Raises:
         NamingError: when the subject sits exactly at ``O``.
     """
-    center = smallest_enclosing_circle(positions).center
+    center = shared_sec(tuple(positions)).center
     offset = positions[subject] - center
     if offset.norm() <= _ANGLE_TIE_EPS:
         raise NamingError(
@@ -97,7 +97,7 @@ def relative_labels(
     if sweep not in (1, -1):
         raise NamingError(f"sweep must be +1 or -1, got {sweep}")
 
-    center = smallest_enclosing_circle(positions).center
+    center = shared_sec(tuple(positions)).center
     reference = positions[subject] - center
     if reference.norm() <= _ANGLE_TIE_EPS:
         raise NamingError(

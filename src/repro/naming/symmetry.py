@@ -23,7 +23,7 @@ import math
 from typing import List, Sequence, Tuple
 
 from repro.geometry.frames import Frame
-from repro.geometry.sec import smallest_enclosing_circle
+from repro.perf.memo import shared_sec
 from repro.geometry.vec import Vec2
 
 __all__ = [
@@ -41,7 +41,7 @@ def _symmetry_center(positions: Sequence[Vec2]) -> Vec2:
     Any isometry mapping the configuration to itself maps its unique
     smallest enclosing circle to itself, hence fixes the centre.
     """
-    return smallest_enclosing_circle(positions).center
+    return shared_sec(tuple(positions)).center
 
 
 def _maps_to_self(positions: Sequence[Vec2], center: Vec2, angle: float) -> bool:

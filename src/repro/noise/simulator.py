@@ -24,6 +24,7 @@ from repro.geometry.vec import Vec2
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
 from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
 
 __all__ = ["NoisyObservationSimulator"]
 
@@ -45,12 +46,17 @@ class NoisyObservationSimulator(Simulator):
         noise_std: float,
         seed: int = 0,
         scheduler: Optional[Scheduler] = None,
+        *,
+        caching: bool = True,
+        trace_policy: Optional[TracePolicy] = None,
     ) -> None:
         if noise_std < 0.0:
             raise ModelError(f"noise_std must be >= 0, got {noise_std}")
         self._noise_std = noise_std
         self._noise_rng = random.Random(seed)
-        super().__init__(robots, scheduler)
+        super().__init__(
+            robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
 
     @property
     def noise_std(self) -> float:

@@ -1,0 +1,37 @@
+"""Hot-path performance layer.
+
+Everything in this subpackage is *semantically transparent*: with
+caching on or off, simulators produce bit-identical traces and
+protocols bit-identical decodes.  The layer exists so that the
+per-activation cost of the geometric substrate — smallest enclosing
+circle, Voronoi diagram, relative naming, observation snapshots —
+collapses to near-zero across instants where the configuration did not
+change (the overwhelmingly common case under asynchronous schedules
+and silent protocols).
+
+Pieces:
+
+* :class:`~repro.perf.counters.PerfStats` — the counter block exposed
+  as ``Simulator.stats``.
+* :class:`~repro.perf.cache.CachedGeometry` — per-configuration-epoch
+  memo of derived geometry.
+* :mod:`~repro.perf.memo` — process-wide bounded memo for pure
+  geometric functions (shared SEC used by the naming layer).
+* :class:`~repro.perf.spatial.SpatialHashGrid` — O(1) fixed-radius
+  neighbour queries for benchmark point-set generation.
+"""
+
+from repro.perf.cache import CachedGeometry
+from repro.perf.counters import PerfStats
+from repro.perf.memo import LRUMemo, clear_shared_memos, shared_sec, shared_sec_stats
+from repro.perf.spatial import SpatialHashGrid
+
+__all__ = [
+    "CachedGeometry",
+    "PerfStats",
+    "LRUMemo",
+    "SpatialHashGrid",
+    "shared_sec",
+    "shared_sec_stats",
+    "clear_shared_memos",
+]

@@ -1,0 +1,138 @@
+"""The configuration-epoch geometry cache.
+
+The simulator treats derived geometry (smallest enclosing circle,
+Voronoi diagram, convex hull, SEC-relative naming) as a function of the
+*configuration epoch*: a counter that only advances when some robot
+position actually changes (protocol movement or a ``displace()``
+fault).  :class:`CachedGeometry` memoises every derived quantity per
+epoch, so consumers can ask for them on every activation and pay the
+geometric cost only when the configuration really moved.
+
+The cache is semantically transparent by construction: on a lookup it
+either returns the value computed for the *current* epoch's positions
+or recomputes from those positions — there is no way to observe a
+stale value.  With ``enabled=False`` every lookup recomputes, which is
+the A/B baseline the benchmark runner uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple, TypeVar
+
+from repro.geometry.circle import Circle
+from repro.geometry.convex import ConvexPolygon, convex_hull
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.geometry.voronoi import VoronoiCell, voronoi_diagram
+from repro.perf.counters import PerfStats
+
+__all__ = ["CachedGeometry"]
+
+T = TypeVar("T")
+
+
+class CachedGeometry:
+    """Per-epoch memo of geometry derived from one configuration.
+
+    Owners (the simulator, or standalone users) call :meth:`update`
+    with the current epoch and a positions factory; the memo is cleared
+    whenever the epoch advances.  All accessors then serve the derived
+    quantity for the configuration the cache was last updated with.
+
+    Args:
+        stats: counter block to record hits/misses into; a private one
+            is created when omitted.
+        enabled: when False every accessor recomputes (baseline mode).
+    """
+
+    def __init__(self, stats: Optional[PerfStats] = None, enabled: bool = True) -> None:
+        self._stats = stats if stats is not None else PerfStats()
+        self._enabled = enabled
+        self._epoch: Optional[int] = None
+        self._positions: Tuple[Vec2, ...] = ()
+        self._memo: Dict[Hashable, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Optional[int]:
+        """The epoch the cached values belong to (None before update)."""
+        return self._epoch
+
+    @property
+    def positions(self) -> Tuple[Vec2, ...]:
+        """The configuration the cached values were derived from."""
+        return self._positions
+
+    @property
+    def enabled(self) -> bool:
+        """Whether memoisation is active (False = recompute always)."""
+        return self._enabled
+
+    @property
+    def stats(self) -> PerfStats:
+        """The counter block this cache writes into."""
+        return self._stats
+
+    def update(
+        self,
+        epoch: int,
+        positions: Callable[[], Sequence[Vec2]],
+    ) -> None:
+        """Synchronise with the owner's configuration.
+
+        ``positions`` is a factory so an unchanged epoch costs one
+        integer comparison — the positions are only materialised when
+        the epoch advanced (at which point the memo is invalidated).
+        """
+        if self._epoch == epoch:
+            return
+        self._epoch = epoch
+        self._positions = tuple(positions())
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    def _derive(self, key: Hashable, compute: Callable[[Tuple[Vec2, ...]], T]) -> T:
+        if not self._enabled:
+            return compute(self._positions)
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self._stats.cache_misses += 1
+            value = self._memo[key] = compute(self._positions)
+            return value  # type: ignore[return-value]
+        self._stats.cache_hits += 1
+        return value  # type: ignore[return-value]
+
+    def sec(self) -> Circle:
+        """The smallest enclosing circle of the configuration."""
+        return self._derive("sec", smallest_enclosing_circle)
+
+    def voronoi(self) -> Dict[int, VoronoiCell]:
+        """The Voronoi diagram of the configuration."""
+        return self._derive("voronoi", voronoi_diagram)
+
+    def hull(self) -> ConvexPolygon:
+        """The convex hull of the configuration."""
+        return self._derive("hull", convex_hull)
+
+    def labels(self, subject: int, sweep: int = -1) -> Dict[int, int]:
+        """The SEC-relative labelling of all robots for ``subject``."""
+        from repro.naming.sec_naming import relative_labels
+
+        return self._derive(
+            ("labels", subject, sweep),
+            lambda pts: relative_labels(pts, subject, sweep),
+        )
+
+    def horizon(self, subject: int) -> Vec2:
+        """The outward horizon direction of ``subject`` (its North)."""
+        from repro.naming.sec_naming import horizon_direction
+
+        return self._derive(
+            ("horizon", subject),
+            lambda pts: horizon_direction(pts, subject),
+        )

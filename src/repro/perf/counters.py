@@ -1,0 +1,69 @@
+"""Performance counters for the hot-path caching layer.
+
+Every :class:`~repro.model.simulator.Simulator` owns one
+:class:`PerfStats` instance (exposed as ``Simulator.stats``) that the
+configuration-epoch geometry cache and the fast observation pipeline
+both write into.  The counters are purely observational: caching is
+semantically transparent, so they exist to *measure* the layer, not to
+influence it.
+
+Counter semantics:
+
+* ``cache_hits`` / ``cache_misses`` — derived-geometry lookups and
+  whole-observation reuse checks.  A hit means the cached value was
+  served without recomputation; a miss means a (full or partial)
+  rebuild happened.
+* ``observations_built`` — individual :class:`~repro.model.observation.
+  ObservedRobot` entries constructed from scratch (one local-frame
+  transform plus one allocation each).
+* ``observations_reused`` — entries served from the per-robot
+  observation cache because the underlying world position did not
+  change since they were built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PerfStats"]
+
+
+@dataclass
+class PerfStats:
+    """Mutable counter block for one simulator (or cache) instance."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    observations_built: int = 0
+    observations_reused: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served without recomputation."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def observation_reuse_rate(self) -> float:
+        """Fraction of observed-robot entries served from cache."""
+        total = self.observations_built + self.observations_reused
+        return self.observations_reused / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """A JSON-friendly snapshot (used by the benchmark runner)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "observations_built": self.observations_built,
+            "observations_reused": self.observations_reused,
+            "hit_rate": self.hit_rate,
+            "observation_reuse_rate": self.observation_reuse_rate,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.observations_built = 0
+        self.observations_reused = 0

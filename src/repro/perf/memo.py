@@ -1,0 +1,97 @@
+"""Bounded memoisation for pure geometric functions.
+
+The SEC-based naming layer calls :func:`~repro.geometry.sec.
+smallest_enclosing_circle` once per subject when building per-sender
+addressing (``build_addressing`` computes ``relative_labels`` *and*
+``horizon_direction`` for every robot — 2n SEC computations over the
+*same* configuration), and self-stabilizing protocols re-run the whole
+preprocessing every epoch even when the configuration is unchanged.
+The SEC is a pure function of the point set, so a small keyed memo
+makes every call after the first near-free without changing a single
+result.
+
+This module deliberately depends only on :mod:`repro.geometry` so that
+the naming layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Sequence, Tuple, TypeVar
+
+from repro.geometry.circle import Circle
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+
+__all__ = ["LRUMemo", "shared_sec", "shared_sec_stats", "clear_shared_memos"]
+
+T = TypeVar("T")
+
+
+class LRUMemo:
+    """A tiny least-recently-used memo with hit/miss counters.
+
+    Unlike :func:`functools.lru_cache` this memoises *values by key*
+    rather than wrapping one function, so several derived quantities
+    can share a single bounded store, and the counters are readable.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """The memoised value for ``key``, computing it on a miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+            return value  # type: ignore[return-value]
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+
+_SEC_MEMO = LRUMemo(maxsize=256)
+
+
+def shared_sec(
+    points: Sequence[Vec2],
+    eps: float = DEFAULT_EPS,
+    seed: int = 0x5EC,
+) -> Circle:
+    """Memoised :func:`smallest_enclosing_circle` keyed by the points.
+
+    The SEC of a configuration is unique and deterministic, so callers
+    that repeatedly name the same configuration (per-sender addressing,
+    epoch re-preprocessing) share one computation.  Results are
+    bit-identical to the raw function.
+    """
+    key: Tuple = (tuple(points), eps, seed)
+    return _SEC_MEMO.get(key, lambda: smallest_enclosing_circle(points, eps, seed))
+
+
+def shared_sec_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide SEC memo."""
+    return {"hits": _SEC_MEMO.hits, "misses": _SEC_MEMO.misses, "entries": len(_SEC_MEMO)}
+
+
+def clear_shared_memos() -> None:
+    """Empty the process-wide memo stores (tests / benchmarks)."""
+    _SEC_MEMO.clear()

@@ -18,6 +18,7 @@ from repro.errors import ModelError
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
 from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
 
 __all__ = ["VisibilitySimulator"]
 
@@ -29,6 +30,8 @@ class VisibilitySimulator(Simulator):
         robots: the swarm (as for the base simulator).
         visibility_radius: world-units range; must be positive.
         scheduler: activation policy.
+        caching: forwarded to the base engine (hot-path caches).
+        trace_policy: forwarded to the base engine (trace bounding).
     """
 
     def __init__(
@@ -36,13 +39,18 @@ class VisibilitySimulator(Simulator):
         robots: Sequence[Robot],
         visibility_radius: float,
         scheduler: Optional[Scheduler] = None,
+        *,
+        caching: bool = True,
+        trace_policy: Optional[TracePolicy] = None,
     ) -> None:
         if visibility_radius <= 0.0:
             raise ModelError(
                 f"visibility_radius must be positive, got {visibility_radius}"
             )
         self._visibility_radius = visibility_radius
-        super().__init__(robots, scheduler)
+        super().__init__(
+            robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
 
     def _world_visibility_radius(self) -> Optional[float]:
         return self._visibility_radius

@@ -1,0 +1,84 @@
+"""The spatial-hash grid and the grid-backed ``scatter`` sampler."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.perf.spatial import SpatialHashGrid
+
+from benchmarks.support import scatter
+
+
+def brute_force_scatter(
+    count: int, seed: int = 0, min_distance: float = 2.0, extent: float = 60.0
+) -> List[Vec2]:
+    """The historical all-pairs rejection sampler, kept as the oracle."""
+    rng = random.Random(seed)
+    pts: List[Vec2] = []
+    while len(pts) < count:
+        p = Vec2(rng.uniform(-extent, extent), rng.uniform(-extent, extent))
+        if all(p.distance_to(q) > min_distance for q in pts):
+            pts.append(p)
+    return pts
+
+
+class TestGrid:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            SpatialHashGrid(cell_size=0.0)
+        grid = SpatialHashGrid(cell_size=1.0)
+        with pytest.raises(ValueError, match="radius"):
+            list(grid.neighbors_within(Vec2(0.0, 0.0), -1.0))
+
+    def test_neighbors_match_brute_force(self):
+        rng = random.Random(42)
+        points = [Vec2(rng.uniform(-30, 30), rng.uniform(-30, 30)) for _ in range(300)]
+        grid = SpatialHashGrid(cell_size=3.0)
+        grid.extend(points)
+        assert len(grid) == 300
+        for radius in (0.5, 3.0, 7.5):
+            for probe in points[:20]:
+                expected = {q for q in points if probe.distance_to(q) <= radius}
+                got = set(grid.neighbors_within(probe, radius))
+                assert got == expected
+
+    def test_boundary_inclusive(self):
+        grid = SpatialHashGrid(cell_size=2.0)
+        grid.insert(Vec2(2.0, 0.0))
+        assert grid.has_neighbor_within(Vec2(0.0, 0.0), 2.0)
+        assert not grid.has_neighbor_within(Vec2(0.0, 0.0), 1.999)
+
+    def test_query_radius_larger_than_cell(self):
+        grid = SpatialHashGrid(cell_size=1.0)
+        grid.insert(Vec2(5.5, 0.0))
+        assert grid.has_neighbor_within(Vec2(0.0, 0.0), 6.0)
+        assert not grid.has_neighbor_within(Vec2(0.0, 0.0), 5.0)
+
+    def test_negative_coordinates(self):
+        grid = SpatialHashGrid(cell_size=2.0)
+        grid.insert(Vec2(-3.1, -3.1))
+        assert grid.has_neighbor_within(Vec2(-2.0, -2.0), 2.0)
+        assert not grid.has_neighbor_within(Vec2(2.0, 2.0), 2.0)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_identical_to_brute_force(self, seed):
+        # Same RNG draw order and accept decisions => bit-identical
+        # points, so historical benchmark placements are unchanged.
+        assert scatter(40, seed=seed) == brute_force_scatter(40, seed=seed)
+
+    def test_identical_with_custom_separation(self):
+        assert scatter(24, seed=3, min_distance=6.0, extent=40.0) == (
+            brute_force_scatter(24, seed=3, min_distance=6.0, extent=40.0)
+        )
+
+    def test_separation_respected(self):
+        pts = scatter(60, seed=5, min_distance=4.0)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert pts[i].distance_to(pts[j]) > 4.0

@@ -1,0 +1,46 @@
+"""CI smoke target: ``python -m benchmarks.run_all --quick --json ...``.
+
+Runs the quick probe mode in a subprocess exactly as CI would and
+asserts the machine-readable invariants: the sync-granular protocol
+still costs 2 instants per bit and the hot-path caches are
+semantically transparent (identical traces and bit streams).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def test_quick_smoke_passes_and_reports_invariants(tmp_path):
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    out = tmp_path / "BENCH_results.json"
+    result = subprocess.run(
+        [sys.executable, "-m", "benchmarks.run_all", "--quick", "--json", str(out)],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "quick"
+    invariants = payload["invariants"]
+    assert invariants["sync_granular_two_steps_per_bit"] is True
+    assert invariants["caching_trace_identical"] is True
+    assert invariants["caching_bits_identical"] is True
+
+    throughput = payload["probes"]["sync_throughput_n64"]
+    assert throughput["n"] == 64
+    # Speedup magnitude is hardware-dependent; only sanity-check the
+    # counters that prove the caches actually engaged.
+    stats = throughput["stats"]
+    assert stats["cache_hits"] > 0
+    assert stats["observations_reused"] > 0
+
+    geometry = payload["probes"]["geometry_cache"]
+    assert geometry["cache_hits"] > 0
+    assert geometry["hit_rate"] > 0.9
