@@ -211,11 +211,48 @@ def sync_invariant_holds() -> bool:
     return all(sync_steps_per_bit(n) == 2.0 for n in (4, 8))
 
 
-def collect_probes() -> Dict:
+def adversarial_transparency_probe(seeds: int = 2) -> Dict:
+    """Caching transparency under *adversarial* schedules.
+
+    The throughput probe only exercises the benign synchronous
+    scheduler; this one sweeps the full ``repro.verify`` matrix —
+    bounded-unfair, burst, crash, worst-case-stale and displacement
+    adversaries — and requires every cell's caching on/off twin runs
+    to stay bit-identical (plus every protocol invariant the cell
+    declares).
+    """
+    from repro.verify import run_matrix as verify_matrix
+
+    report = verify_matrix(seeds=range(seeds), quick=True, minimize=False)
     return {
-        "sync_throughput_n64": throughput_probe(n=64, steps=40),
-        "geometry_cache": geometry_cache_probe(),
+        "seeds": seeds,
+        "runs": len(report.results),
+        "failures": len(report.failures),
+        "ok": report.ok,
+        "violations": [
+            str(v) for r in report.failures for v in r.violations
+        ][:10],
     }
+
+
+def collect_probes() -> Dict:
+    """Run every probe; a probe that *raises* is recorded as failed.
+
+    A crashed probe must not take the driver (or the JSON report) down
+    with it — it counts as a failure via its ``"ok": False`` entry,
+    which :func:`main` turns into a nonzero exit.
+    """
+    probes: Dict = {}
+    for name, runner in (
+        ("sync_throughput_n64", lambda: throughput_probe(n=64, steps=40)),
+        ("geometry_cache", geometry_cache_probe),
+        ("adversarial_transparency", adversarial_transparency_probe),
+    ):
+        try:
+            probes[name] = runner()
+        except Exception as exc:
+            probes[name] = {"ok": False, "error": repr(exc)}
+    return probes
 
 
 # ----------------------------------------------------------------------
@@ -273,20 +310,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     probes = collect_probes()
     invariants = {
         "sync_granular_two_steps_per_bit": sync_invariant_holds(),
-        "caching_trace_identical": bool(probes["sync_throughput_n64"]["trace_identical"]),
-        "caching_bits_identical": bool(probes["sync_throughput_n64"]["bits_identical"]),
+        "caching_trace_identical": bool(
+            probes["sync_throughput_n64"].get("trace_identical", False)
+        ),
+        "caching_bits_identical": bool(
+            probes["sync_throughput_n64"].get("bits_identical", False)
+        ),
+        "adversarial_transparency": bool(
+            probes["adversarial_transparency"].get("ok", False)
+        ),
     }
     results["probes"] = probes
     results["invariants"] = invariants
 
+    for name, probe in probes.items():
+        if "error" in probe:
+            failures += 1
+            print(f"[probe {name}: CRASHED — {probe['error']}]", file=sys.stderr)
+
     throughput = probes["sync_throughput_n64"]
-    print(
-        f"[probe sync_throughput n={throughput['n']}: "
-        f"uncached {throughput['uncached_s']:.3f}s, "
-        f"cached {throughput['cached_s']:.3f}s, "
-        f"speedup {throughput['speedup']:.2f}x, "
-        f"reuse {throughput['stats']['observation_reuse_rate']:.1%}]"
-    )
+    if "error" not in throughput:
+        print(
+            f"[probe sync_throughput n={throughput['n']}: "
+            f"uncached {throughput['uncached_s']:.3f}s, "
+            f"cached {throughput['cached_s']:.3f}s, "
+            f"speedup {throughput['speedup']:.2f}x, "
+            f"reuse {throughput['stats']['observation_reuse_rate']:.1%}]"
+        )
+    adversarial = probes["adversarial_transparency"]
+    if "error" not in adversarial:
+        print(
+            f"[probe adversarial_transparency: {adversarial['runs']} runs, "
+            f"{adversarial['failures']} failures]"
+        )
     for name, ok in invariants.items():
         print(f"[invariant {name}: {'ok' if ok else 'VIOLATED'}]")
         if not ok:

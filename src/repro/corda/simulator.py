@@ -81,11 +81,26 @@ class StaleLookSimulator(Simulator):
         """The instant whose configuration the robot last looked at."""
         return self._look_times[index]
 
+    def _draw_lag(self, index: int, now: int) -> int:
+        """The Look lag of this activation, in ``[0, max_delay]``.
+
+        The base engine draws uniformly.  Adversarial variants (the
+        verification subsystem's worst-case stale selection,
+        :class:`repro.verify.adversaries.SawtoothStaleLookSimulator`)
+        override this single hook; everything else — monotonicity, the
+        staleness bound, trace retrieval — stays in one place.
+        """
+        return self._rng.randint(0, self._max_delay)
+
     def _config_for_observation(self, index: int) -> Sequence[Vec2]:
         if self._max_delay == 0:
             return self._positions
         now = self.time
-        lag = self._rng.randint(0, self._max_delay)
+        lag = self._draw_lag(index, now)
+        if not (0 <= lag <= self._max_delay):
+            raise ModelError(
+                f"lag policy produced {lag}, outside [0, {self._max_delay}]"
+            )
         look = max(self._look_times[index], now - lag)
         self._look_times[index] = look
         if look >= now:

@@ -7,8 +7,14 @@ communication", or that cannot carry a radio at all.
 injectable-fault radio medium so the
 :class:`~repro.channels.stack.DualChannelStack` failover path can be
 exercised end-to-end.
+
+:class:`~repro.faults.transient.TransientDisplacementFault` covers the
+other fault family the paper gestures at (Section 5's transient state
+perturbations): seeded out-of-band robot displacements, driven by the
+adversarial verification subsystem (:mod:`repro.verify`).
 """
 
+from repro.faults.transient import TransientDisplacementFault
 from repro.faults.wireless import SimulatedWireless, WirelessFrame
 
-__all__ = ["SimulatedWireless", "WirelessFrame"]
+__all__ = ["SimulatedWireless", "TransientDisplacementFault", "WirelessFrame"]

@@ -1,0 +1,96 @@
+"""Transient robot faults: seeded out-of-band displacements.
+
+The self-stabilization discussion of Section 5 envisages *arbitrary
+transient perturbations* of the configuration.  The simulator exposes
+the primitive (:meth:`repro.model.simulator.Simulator.displace`);
+this module adds the adversary that drives it: a seeded plan of
+displacement injections, deterministic given its seed so that paired
+caching-on/off runs see bit-identical fault sequences.
+
+The plan always teleports its victim *outside* the swarm's current
+bounding box (plus a margin), so an injection can never create a
+collision by itself — any collision observed afterwards would be a
+genuine protocol failure, which is exactly what the verification
+monitors are watching for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.model.simulator import Simulator
+
+__all__ = ["TransientDisplacementFault"]
+
+
+class TransientDisplacementFault:
+    """A seeded schedule of transient displacement injections.
+
+    Args:
+        victim: tracking index of the robot to displace.
+        times: instants *before* which an injection fires (the fault
+            hits between the previous step and the step of that
+            instant).
+        seed: RNG seed for the displacement direction/radius jitter.
+        margin: minimum distance between the displaced victim and the
+            swarm's bounding box.
+
+    Drive it by calling :meth:`maybe_inject` once per instant, before
+    ``Simulator.step()``.  Injections are recorded in
+    :attr:`injections` so monitors can exempt them (a teleport is not
+    a protocol movement).
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        times: Sequence[int],
+        seed: int = 0,
+        margin: float = 5.0,
+    ) -> None:
+        if victim < 0:
+            raise ModelError(f"victim index must be >= 0, got {victim}")
+        if margin <= 0.0:
+            raise ModelError(f"margin must be positive, got {margin}")
+        self.victim = victim
+        self._times = sorted(set(int(t) for t in times))
+        if any(t < 0 for t in self._times):
+            raise ModelError(f"injection times must be >= 0, got {self._times}")
+        self._rng = random.Random(seed)
+        self._margin = margin
+        self.injections: List[Tuple[int, int, Vec2]] = []
+
+    @property
+    def times(self) -> Tuple[int, ...]:
+        """The planned injection instants."""
+        return tuple(self._times)
+
+    def maybe_inject(self, sim: Simulator) -> Optional[Vec2]:
+        """Fire the fault if one is planned for ``sim.time``.
+
+        Returns the displacement target when an injection happened,
+        None otherwise.
+        """
+        if sim.time not in self._times:
+            return None
+        if not (0 <= self.victim < sim.count):
+            raise ModelError(f"victim {self.victim} not in swarm of {sim.count}")
+        target = self._pick_target(sim.positions)
+        sim.displace(self.victim, target)
+        self.injections.append((sim.time, self.victim, target))
+        return target
+
+    def _pick_target(self, positions: Sequence[Vec2]) -> Vec2:
+        """A point strictly outside the swarm, seeded direction."""
+        cx = sum(p.x for p in positions) / len(positions)
+        cy = sum(p.y for p in positions) / len(positions)
+        spread = max(
+            (math.hypot(p.x - cx, p.y - cy) for p in positions), default=0.0
+        )
+        radius = spread + self._margin * (1.0 + self._rng.random())
+        angle = self._rng.uniform(0.0, 2.0 * math.pi)
+        return Vec2(cx + radius * math.cos(angle), cy + radius * math.sin(angle))

@@ -79,6 +79,14 @@ class Protocol(ABC):
     outgoing bit queue and the incoming/overheard bit logs.
     """
 
+    #: Whether the protocol satisfies the paper's *silence* property:
+    #: a robot with nothing to send does not move.  The synchronous
+    #: family is silent; the asynchronous protocols and the flocking
+    #: overlay move while idle (Remark 4.3 / the common drift) and
+    #: override this to False.  The silence invariant monitor
+    #: (:mod:`repro.verify.monitors`) keys on this declaration.
+    idle_silent: bool = True
+
     def __init__(self) -> None:
         self._info: Optional[BindingInfo] = None
         self._outgoing: Deque[Tuple[int, int]] = deque()

@@ -163,6 +163,7 @@ class Simulator:
             self._robots
         )
         self._geometry = CachedGeometry(stats=self._stats, enabled=self._caching)
+        self._step_listeners: List[Callable[["Simulator", TraceStep], None]] = []
 
         observable_ids = tuple(ids) if self._identified else None
         world_visibility = self._world_visibility_radius()
@@ -246,6 +247,29 @@ class Simulator:
         return self._robots[index].protocol
 
     # ------------------------------------------------------------------
+    # Trace stream
+    # ------------------------------------------------------------------
+    def add_step_listener(
+        self, listener: Callable[["Simulator", TraceStep], None]
+    ) -> None:
+        """Subscribe to the live trace stream.
+
+        The listener is called after every :meth:`step`, with the
+        simulator and the freshly recorded :class:`TraceStep` — even
+        when the trace's retention policy drops the step.  Invariant
+        monitors (:mod:`repro.verify.monitors`) attach here so they see
+        the complete history regardless of trace bounding.  Listeners
+        must not mutate the simulation.
+        """
+        self._step_listeners.append(listener)
+
+    def remove_step_listener(
+        self, listener: Callable[["Simulator", TraceStep], None]
+    ) -> None:
+        """Unsubscribe a previously added step listener."""
+        self._step_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> TraceStep:
@@ -288,6 +312,8 @@ class Simulator:
         )
         self._trace.record(step)
         self._time += 1
+        for listener in self._step_listeners:
+            listener(self, step)
         return step
 
     def run(self, steps: int) -> Trace:

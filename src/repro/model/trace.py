@@ -158,6 +158,15 @@ class Trace:
             f"{self.skipped} skipped)"
         )
 
+    def retained_times(self) -> List[int]:
+        """The instants whose steps are retained, in ascending order.
+
+        Under a bounding policy this is the surviving subset; audits
+        that sample the history (the verification monitors, eviction
+        tests) use it to know which ``positions_at`` queries are legal.
+        """
+        return [step.time for step in self.steps]
+
     def path_of(self, index: int) -> List[Vec2]:
         """The retained position sequence of one robot."""
         return [self.initial_positions[index]] + [s.positions[index] for s in self.steps]

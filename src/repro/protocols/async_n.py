@@ -75,6 +75,10 @@ class AsyncNProtocol(Protocol):
             fall between diameters instead of raising.
     """
 
+    #: Remark 4.3 again: idle robots oscillate on kappa so every
+    #: observer's change counters keep advancing — never silent.
+    idle_silent = False
+
     def __init__(
         self,
         naming: NamingMode = "sec",

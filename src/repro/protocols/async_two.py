@@ -67,6 +67,11 @@ class AsyncTwoProtocol(Protocol):
             0 is the paper's exact model.
     """
 
+    #: Remark 4.3: an active robot always moves (idle drift along
+    #: H keeps the peer's acknowledgement counter alive), so the
+    #: silence property deliberately does not hold here.
+    idle_silent = False
+
     def __init__(
         self,
         bounded: bool = False,

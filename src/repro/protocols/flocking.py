@@ -47,6 +47,10 @@ class FlockingProtocol(Protocol):
             inner protocol enough of the movement budget ``sigma``.
     """
 
+    #: The whole swarm drifts every instant — the overlay trades
+    #: the silence property for mobility (Section 5 remark).
+    idle_silent = False
+
     def __init__(
         self,
         inner: Protocol,

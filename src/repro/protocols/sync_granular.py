@@ -75,6 +75,10 @@ class SyncGranularProtocol(Protocol):
             decoder armed for the next look.
     """
 
+    #: Sections 3.2-3.4 share the silence property: idle robots
+    #: rest at their granular centre and do not move.
+    idle_silent = True
+
     def __init__(
         self,
         naming: NamingMode = "identified",

@@ -62,6 +62,10 @@ class SyncLogKProtocol(Protocol):
             granular radius.
     """
 
+    #: The bounded-resolution variant keeps the synchronous
+    #: family's silence property: no traffic, no movement.
+    idle_silent = True
+
     def __init__(
         self,
         k: int,

@@ -48,6 +48,10 @@ class SyncTwoProtocol(Protocol):
             validated at bind time.
     """
 
+    #: Section 3.1: "a robot that has no bit to send [...] does not
+    #: move" — verified by the silence invariant monitor.
+    idle_silent = True
+
     def __init__(self, alphabet_size: int = 2, span_fraction: float = 0.25) -> None:
         super().__init__()
         if not (0.0 < span_fraction <= 0.4):

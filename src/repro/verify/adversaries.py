@@ -1,0 +1,41 @@
+"""Non-scheduler adversaries: worst-case stale looks.
+
+The CORDA-style engine (:mod:`repro.corda`) draws each activation's
+Look lag uniformly.  The *adversarial* lag choice is not the maximal
+lag — a constant lag is just a delayed but gap-free replay of the
+history — it is the **sawtooth**: alternate between the maximal lag
+and no lag at all, which makes consecutive looks jump forward by up
+to ``max_delay + 1`` instants and therefore *skip* whole
+configurations.  Skipped configurations are exactly what breaks
+undilated decoders (see ``dilation`` in
+:class:`repro.protocols.sync_granular.SyncGranularProtocol`), so this
+is the worst case the dilation guarantee is stated against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.corda.simulator import StaleLookSimulator
+
+__all__ = ["SawtoothStaleLookSimulator"]
+
+
+class SawtoothStaleLookSimulator(StaleLookSimulator):
+    """Stale looks with the adversarial sawtooth lag policy.
+
+    Per robot, activations alternate between the maximal legal lag
+    (``max_delay``) and a perfectly fresh look (lag 0), maximizing
+    the forward jumps of the (monotone) look sequence.  Deterministic:
+    no randomness is involved, so paired caching-on/off runs are
+    trivially identical.
+    """
+
+    def __init__(self, robots: Sequence, max_delay: int, **kwargs) -> None:
+        super().__init__(robots, max_delay, **kwargs)
+        self._sawtooth_phase: List[int] = [0] * len(robots)
+
+    def _draw_lag(self, index: int, now: int) -> int:
+        phase = self._sawtooth_phase[index]
+        self._sawtooth_phase[index] = 1 - phase
+        return self._max_delay if phase == 0 else 0

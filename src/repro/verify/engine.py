@@ -1,0 +1,305 @@
+"""The seeded property-test engine.
+
+For every executable cell of the matrix (:mod:`repro.verify.scenarios`)
+and every seed, the engine:
+
+1. builds the run twice — hot-path caching on and off — from the same
+   seed, drives both, and requires the two traces, received streams
+   and final configurations to be **bit-identical** (the
+   ``transparency`` invariant, checked at engine level so it holds
+   under every adversary, not just the benign benchmarks);
+2. streams the cell's invariant monitors over the cached run;
+3. on violation, *minimizes* the reproduction: shrink the swarm while
+   the cell still fails, and clip the step budget to the earliest
+   streaming violation.
+
+Everything is deterministic given the seed list, so a failure report
+is a complete reproduction recipe:
+``build_run(CELLS[(protocol, scheduler)], seed, size_override=size)``.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.monitors import Violation, attach
+from repro.verify.scenarios import (
+    CELLS,
+    SKIPS,
+    Cell,
+    ScenarioRun,
+    build_run,
+    cells_for,
+)
+
+__all__ = ["CellResult", "Report", "drive", "run_cell", "run_matrix"]
+
+#: extra instants run after the early-stop condition fires, so silence
+#: violations just after delivery are still observed.
+_COOLDOWN = 4
+
+#: smallest swarm the size-minimizer will try (crash/displacement cells
+#: need a robot that is endpoint of no flow).
+_MIN_SIZE = 4
+
+
+def drive(run: ScenarioRun) -> int:
+    """Step a scenario to completion; returns instants executed.
+
+    The early-stop rule is a pure function of the (deterministic) run
+    state, so the caching on/off twins always stop at the same instant.
+    """
+    steps = 0
+    while steps < run.max_steps:
+        if run.fault is not None:
+            run.fault.maybe_inject(run.sim)
+        run.sim.step()
+        steps += 1
+        if steps >= run.min_steps and (not run.check_receipt or run.delivered()):
+            break
+    cooldown = min(_COOLDOWN, run.max_steps - steps)
+    for _ in range(cooldown):
+        if run.fault is not None:
+            run.fault.maybe_inject(run.sim)
+        run.sim.step()
+        steps += 1
+    for monitor in run.monitors:
+        monitor.finish(run.sim)
+    return steps
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (cell, seed) verification."""
+
+    protocol: str
+    scheduler: str
+    seed: int
+    size: int = 0
+    steps: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: populated when the run itself crashed (build or step raised) —
+    #: always a failure, whatever the cell's invariant list.
+    error: Optional[str] = None
+    #: minimized reproduction (seed/size/steps), present on failure.
+    minimized: Optional[Dict[str, int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.violations
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict: repro coordinates plus any violations."""
+        payload: Dict[str, object] = {
+            "protocol": self.protocol,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "size": self.size,
+            "steps": self.steps,
+            "ok": self.ok,
+        }
+        if self.violations:
+            payload["violations"] = [
+                {"invariant": v.invariant, "time": v.time, "message": v.message}
+                for v in self.violations
+            ]
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.minimized is not None:
+            payload["minimized"] = dict(self.minimized)
+        return payload
+
+
+def _trace_fingerprint(run: ScenarioRun) -> List[Tuple[object, ...]]:
+    return [
+        (step.time, tuple(sorted(step.active)), tuple(step.positions))
+        for step in run.sim.trace.steps
+    ]
+
+
+def _received_fingerprint(run: ScenarioRun) -> List[Tuple[object, ...]]:
+    out: List[Tuple[object, ...]] = []
+    for i in range(run.sim.count):
+        for e in run.sim.protocol_of(i).received:
+            out.append((i, e.time, e.src, e.dst, e.bit))
+    return out
+
+
+def _check_transparency(
+    cell: Cell, seed: int, quick: bool, cached: ScenarioRun, cached_steps: int
+) -> List[Violation]:
+    """Re-run with caching off; the runs must be indistinguishable."""
+    twin = build_run(cell, seed, caching=False, quick=quick)
+    twin_steps = drive(twin)
+    problems: List[str] = []
+    if twin_steps != cached_steps:
+        problems.append(f"run length diverged: {cached_steps} vs {twin_steps}")
+    if _trace_fingerprint(cached) != _trace_fingerprint(twin):
+        problems.append("position traces diverged")
+    if _received_fingerprint(cached) != _received_fingerprint(twin):
+        problems.append("received bit streams diverged")
+    if tuple(cached.sim.positions) != tuple(twin.sim.positions):
+        problems.append("final configurations diverged")
+    return [
+        Violation(
+            "transparency",
+            -1,
+            f"caching on/off runs differ ({problem})",
+        )
+        for problem in problems
+    ]
+
+
+def _minimize(
+    cell: Cell, seed: int, quick: bool, failing: CellResult
+) -> Dict[str, int]:
+    """Shrink the failing reproduction: swarm size, then step budget.
+
+    The step budget needs no re-runs — the earliest *streaming*
+    violation bounds it; end-of-run violations (receipt and friends)
+    need the full run by definition.
+    """
+    best_size = failing.size
+    for size in range(_MIN_SIZE, failing.size):
+        try:
+            candidate = build_run(cell, seed, quick=quick, size_override=size)
+            attach(candidate.sim, candidate.monitors)
+            drive(candidate)
+        except Exception:
+            continue
+        if any(m.violations for m in candidate.monitors):
+            best_size = size
+            break
+    streamed = [v.time for v in failing.violations if v.time >= 0]
+    best_steps = (min(streamed) + 1) if streamed else failing.steps
+    return {"seed": seed, "size": best_size, "steps": best_steps}
+
+
+def run_cell(
+    cell: Cell,
+    seed: int,
+    *,
+    quick: bool = False,
+    transparency: bool = True,
+    minimize: bool = True,
+) -> CellResult:
+    """Verify one cell at one seed; see the module docstring."""
+    result = CellResult(cell.protocol, cell.scheduler, seed)
+    try:
+        run = build_run(cell, seed, caching=True, quick=quick)
+        result.size = run.size
+        attach(run.sim, run.monitors)
+        result.steps = drive(run)
+        for monitor in run.monitors:
+            result.violations.extend(monitor.violations)
+        if transparency:
+            result.violations.extend(
+                _check_transparency(cell, seed, quick, run, result.steps)
+            )
+    except Exception:
+        result.error = traceback.format_exc(limit=8)
+        return result
+    if result.violations and minimize and cell.protocol not in ("sync_two", "async_two"):
+        try:
+            result.minimized = _minimize(cell, seed, quick, result)
+        except Exception:  # pragma: no cover - minimization is best-effort
+            pass
+    return result
+
+
+@dataclass
+class Report:
+    """Aggregate outcome of a matrix sweep."""
+
+    results: List[CellResult] = field(default_factory=list)
+    skipped: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict of the whole sweep (results and skips)."""
+        return {
+            "ok": self.ok,
+            "runs": len(self.results),
+            "failures": len(self.failures),
+            "skipped": [
+                {"protocol": p, "scheduler": s, "reason": reason}
+                for p, s, reason in self.skipped
+            ],
+            "results": [r.to_json() for r in self.results],
+        }
+
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable per-cell summary with violation details."""
+        lines: List[str] = []
+        by_cell: Dict[Tuple[str, str], List[CellResult]] = {}
+        for r in self.results:
+            by_cell.setdefault((r.protocol, r.scheduler), []).append(r)
+        for (protocol, scheduler), runs in sorted(by_cell.items()):
+            bad = [r for r in runs if not r.ok]
+            status = "ok" if not bad else f"FAIL ({len(bad)}/{len(runs)} seeds)"
+            lines.append(f"{protocol:14s} x {scheduler:15s} {len(runs):4d} seeds  {status}")
+            for r in bad:
+                for v in r.violations:
+                    lines.append(f"    seed {r.seed}: {v}")
+                if r.error is not None:
+                    first = r.error.strip().splitlines()[-1]
+                    lines.append(f"    seed {r.seed}: engine error: {first}")
+                if r.minimized:
+                    m = r.minimized
+                    lines.append(
+                        f"    seed {r.seed}: minimized repro: seed={m['seed']} "
+                        f"size={m['size']} steps={m['steps']}"
+                    )
+        if verbose and self.skipped:
+            lines.append("")
+            for protocol, scheduler, reason in self.skipped:
+                lines.append(f"skip {protocol} x {scheduler}: {reason}")
+        total = len(self.results)
+        bad_total = len(self.failures)
+        lines.append("")
+        lines.append(
+            f"{total} runs, {bad_total} failures, {len(self.skipped)} cells "
+            f"skipped (out of envelope)"
+        )
+        return "\n".join(lines)
+
+
+def run_matrix(
+    protocols: Optional[Sequence[str]] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = range(10),
+    *,
+    quick: bool = False,
+    transparency: bool = True,
+    minimize: bool = True,
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> Report:
+    """Sweep the matrix: every matching cell x every seed."""
+    report = Report()
+    wanted_p = set(protocols) if protocols else None
+    wanted_s = set(schedulers) if schedulers else None
+    for (p, s), reason in sorted(SKIPS.items()):
+        if (wanted_p is None or p in wanted_p) and (wanted_s is None or s in wanted_s):
+            report.skipped.append((p, s, reason))
+    for cell in cells_for(protocols, schedulers):
+        for seed in seeds:
+            result = run_cell(
+                cell,
+                seed,
+                quick=quick,
+                transparency=transparency,
+                minimize=minimize,
+            )
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+    return report

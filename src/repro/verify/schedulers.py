@@ -1,0 +1,201 @@
+"""The adversarial scheduler zoo.
+
+The paper's proofs quantify over *every* SSM schedule: the adversary
+may activate any nonempty subset of robots at each instant, subject
+only to fairness.  The built-in schedulers
+(:mod:`repro.model.scheduler`) sample the benign middle of that
+spectrum; the zoo here walks its edges:
+
+* :class:`BoundedUnfairScheduler` — the *meanest legal* fair
+  scheduler: every robot is starved for exactly its fairness window
+  before being forced to run, and otherwise a single seeded robot
+  hogs the schedule.
+* :class:`BurstScheduler` — one robot at a time, in long exclusive
+  bursts (fairness bound ``count * burst_length``); stresses
+  acknowledgement counting and excursion phases that the round-robin
+  scheduler inter-leaves gently.
+* :class:`CrashScheduler` — wraps any scheduler and permanently stops
+  activating a victim set from a given instant: a crashed robot in
+  the SSM sense (it never computes nor moves again).
+
+All three are deterministic given their seed, which the verification
+engine relies on for its paired caching-on/off transparency runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.errors import SchedulerError
+from repro.model.scheduler import Scheduler
+
+__all__ = [
+    "BoundedUnfairScheduler",
+    "BurstScheduler",
+    "CrashScheduler",
+]
+
+
+class BoundedUnfairScheduler(Scheduler):
+    """The worst fair schedule: starve everyone to the exact bound.
+
+    At each instant the activation set is exactly:
+
+    * every robot whose inactivity streak has reached
+      ``fairness_bound`` (it *must* run now for the schedule to stay
+      legal), plus
+    * when nobody is forced, one seeded "favourite" robot — kept the
+      same for ``stickiness`` consecutive instants so the rest of the
+      swarm is starved in the longest legal stretches.
+
+    This is still a fair SSM schedule (every robot is active at least
+    once in every window of ``fairness_bound`` instants, the same
+    contract as :class:`repro.model.scheduler.FairAsynchronousScheduler`)
+    but with none of the probabilistic slack of the built-in one.
+
+    Args:
+        fairness_bound: the adversary's fairness window (``>= 1``).
+        seed: RNG seed for favourite selection.
+        stickiness: instants a favourite keeps the schedule to itself.
+        activate_all_first: when True, instant 0 activates everyone
+            (the Section 4.2 "all awake at t0" assumption).
+    """
+
+    def __init__(
+        self,
+        fairness_bound: int = 4,
+        seed: int = 0,
+        stickiness: int = 2,
+        activate_all_first: bool = True,
+    ) -> None:
+        if fairness_bound < 1:
+            raise SchedulerError(f"fairness_bound must be >= 1, got {fairness_bound}")
+        if stickiness < 1:
+            raise SchedulerError(f"stickiness must be >= 1, got {stickiness}")
+        self.fairness_bound = fairness_bound
+        self.stickiness = stickiness
+        self.activate_all_first = activate_all_first
+        self._rng = random.Random(seed)
+        self._last_active: Optional[List[int]] = None
+        self._favourite = 0
+        self._favourite_left = 0
+        self._expected_time = 0
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if count < 1:
+            raise SchedulerError("cannot schedule an empty swarm")
+        if time != self._expected_time:
+            raise SchedulerError(
+                f"scheduler driven out of order: expected t={self._expected_time}, "
+                f"got t={time}"
+            )
+        self._expected_time += 1
+        if self._last_active is None:
+            self._last_active = [-1] * count
+        elif len(self._last_active) != count:
+            raise SchedulerError("robot count changed mid-run")
+
+        if time == 0 and self.activate_all_first:
+            active = set(range(count))
+        else:
+            active = {
+                i
+                for i in range(count)
+                if time - self._last_active[i] >= self.fairness_bound
+            }
+            if not active:
+                if self._favourite_left <= 0 or not (0 <= self._favourite < count):
+                    self._favourite = self._rng.randrange(count)
+                    self._favourite_left = self.stickiness
+                self._favourite_left -= 1
+                active = {self._favourite}
+        for i in active:
+            self._last_active[i] = time
+        return frozenset(active)
+
+
+class BurstScheduler(Scheduler):
+    """One robot at a time, in exclusive seeded bursts.
+
+    The activation order cycles through a seeded permutation of the
+    swarm; each robot runs ``burst_length`` consecutive instants while
+    everyone else is frozen.  Equivalent fairness bound:
+    ``count * burst_length`` — fair, but with the longest legal
+    exclusive stretches, the regime where phase-based decoding and
+    change-counting acknowledgements are most brittle.
+
+    Args:
+        burst_length: instants per exclusive burst (``>= 1``).
+        seed: seed for the cycling permutation.
+        activate_all_first: when True, instant 0 activates everyone.
+    """
+
+    def __init__(
+        self,
+        burst_length: int = 3,
+        seed: int = 0,
+        activate_all_first: bool = True,
+    ) -> None:
+        if burst_length < 1:
+            raise SchedulerError(f"burst_length must be >= 1, got {burst_length}")
+        self.burst_length = burst_length
+        self.activate_all_first = activate_all_first
+        self._seed = seed
+        self._order: Optional[List[int]] = None
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if count < 1:
+            raise SchedulerError("cannot schedule an empty swarm")
+        if self._order is None:
+            self._order = list(range(count))
+            random.Random(self._seed).shuffle(self._order)
+        elif len(self._order) != count:
+            raise SchedulerError("robot count changed mid-run")
+        if time == 0 and self.activate_all_first:
+            return frozenset(range(count))
+        offset = time - 1 if self.activate_all_first else time
+        slot = (offset // self.burst_length) % count
+        return frozenset({self._order[slot]})
+
+
+class CrashScheduler(Scheduler):
+    """Crash-at-instant: victims stop being activated, permanently.
+
+    In the SSM a robot that is never activated never observes,
+    computes, or moves — the standard crash fault.  The wrapper
+    filters the victims out of the inner scheduler's activation sets
+    from ``crash_time`` on; if that empties a set entirely, the live
+    robot with the lowest index runs instead (the model requires a
+    nonempty activation at every instant).
+
+    Args:
+        inner: the schedule the live robots follow.
+        crash_time: first instant at which the victims are dead.
+        victims: tracking indices that crash (at least one robot must
+            survive).
+    """
+
+    def __init__(
+        self, inner: Scheduler, crash_time: int, victims: Sequence[int]
+    ) -> None:
+        if crash_time < 0:
+            raise SchedulerError(f"crash_time must be >= 0, got {crash_time}")
+        if not victims:
+            raise SchedulerError("need at least one crash victim")
+        self.inner = inner
+        self.crash_time = crash_time
+        self.victims: FrozenSet[int] = frozenset(victims)
+
+    def activations(self, time: int, count: int) -> FrozenSet[int]:
+        if len(self.victims) >= count:
+            raise SchedulerError("crashing every robot leaves nobody to schedule")
+        active = self.inner.activations(time, count)
+        if time < self.crash_time:
+            return active
+        live = active - self.victims
+        if not live:
+            live = frozenset(
+                {min(i for i in range(count) if i not in self.victims)}
+            )
+        return live

@@ -1,0 +1,151 @@
+"""Edge cases for trace retention and simulator construction.
+
+These pin down the exact boundaries that the broad policy tests in
+``tests/perf/test_trace_policy.py`` step over: lookups *at* the ring
+eviction frontier (first retained vs last evicted instant), stride=1
+rings wrapping many times over, and the duplicate-initial-position
+rejection in ``Simulator.__init__``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import Protocol
+from repro.model.robot import Robot
+from repro.model.simulator import Simulator
+from repro.model.trace import TracePolicy
+
+
+class Drift(Protocol):
+    """Move right by a fixed amount every activation."""
+
+    def _decode(self, observation: Observation):
+        return []
+
+    def _compute(self, observation: Observation) -> Vec2:
+        return observation.self_position + Vec2(0.5, 0.0)
+
+
+def drifting(count: int = 2, **simulator_kwargs) -> Simulator:
+    robots = [
+        Robot(position=Vec2(0.0, float(4 * i)), protocol=Drift(), sigma=1.0)
+        for i in range(count)
+    ]
+    return Simulator(robots, **simulator_kwargs)
+
+
+class TestEvictionBoundary:
+    def test_exactly_full_ring_drops_nothing(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=6))
+        sim.run(6)
+        assert sim.trace.dropped == 0
+        assert [s.time for s in sim.trace.steps] == list(range(6))
+        # Every instant, including the very first, is still retrievable.
+        assert sim.trace.positions_at(1) == sim.trace.steps[0].positions
+
+    def test_one_past_capacity_evicts_exactly_the_oldest(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=6))
+        sim.run(7)
+        assert sim.trace.dropped == 1
+        # Instant 1 (step time=0) was just evicted; instant 2 is the
+        # new frontier and must still resolve.
+        with pytest.raises(ModelError, match="not retained"):
+            sim.trace.positions_at(1)
+        assert sim.trace.positions_at(2) == sim.trace.steps[0].positions
+
+    def test_lookup_at_both_ends_of_the_retained_window(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=4))
+        sim.run(10)
+        times = sim.trace.retained_times()
+        assert times == [6, 7, 8, 9]
+        # The binary search must hit both ends of the window exactly.
+        assert sim.trace.positions_at(times[0] + 1) == sim.trace.steps[0].positions
+        assert sim.trace.positions_at(times[-1] + 1) == sim.trace.steps[-1].positions
+        # One before the window and one past the end both fail cleanly.
+        with pytest.raises(ModelError, match="not retained"):
+            sim.trace.positions_at(times[0])
+        with pytest.raises(ModelError, match="not retained"):
+            sim.trace.positions_at(times[-1] + 2)
+
+    def test_initial_configuration_survives_total_eviction(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=1))
+        sim.run(20)
+        # The ring holds a single step, yet P(t_0) is not evictable.
+        assert sim.trace.positions_at(0) == sim.trace.initial_positions
+        assert len(sim.trace.steps) == 1
+        assert sim.trace.dropped == 19
+
+    def test_capacity_one_tracks_only_the_latest(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=1))
+        for expected_time in range(5):
+            sim.step()
+            assert [s.time for s in sim.trace.steps] == [expected_time]
+            assert sim.trace.positions_at(expected_time + 1) == sim.positions
+
+
+class TestStrideOneRingWraparound:
+    def test_window_stays_contiguous_over_many_wraps(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=3, stride=1))
+        sim.run(50)
+        # stride=1 records every instant, so the ring wraps 47 times and
+        # the surviving window is always the contiguous tail.
+        assert sim.trace.retained_times() == [47, 48, 49]
+        assert sim.trace.dropped == 47
+        assert sim.trace.skipped == 0
+        assert sim.trace.total_steps == 50
+
+    def test_counters_after_each_single_step(self):
+        sim = drifting(trace_policy=TracePolicy(capacity=2, stride=1))
+        for t in range(8):
+            sim.step()
+            assert sim.trace.dropped == max(0, t - 1)
+            assert sim.trace.retained_times() == list(range(max(0, t - 1), t + 1))
+
+    def test_path_metrics_use_only_the_window(self):
+        full = drifting(count=1)
+        ring = drifting(count=1, trace_policy=TracePolicy(capacity=4, stride=1))
+        full.run(12)
+        ring.run(12)
+        # The robot drifts 0.5/step; the bounded path sees the initial
+        # position plus the last 4 steps, not the whole journey.
+        assert full.trace.distance_travelled(0) == pytest.approx(6.0)
+        assert ring.trace.distance_travelled(0) == pytest.approx(
+            (12 - 4) * 0.5 + 4 * 0.5
+        )
+        assert len(ring.trace.path_of(0)) == 5
+
+
+class TestDuplicatePositionRejection:
+    def _robots(self, positions):
+        return [Robot(position=p, protocol=Drift(), sigma=1.0) for p in positions]
+
+    def test_exact_duplicate_rejected_naming_both_indices(self):
+        with pytest.raises(ModelError, match="robots 0 and 2"):
+            Simulator(
+                self._robots([Vec2(0.0, 0.0), Vec2(5.0, 0.0), Vec2(0.0, 0.0)])
+            )
+
+    def test_adjacent_duplicate_rejected(self):
+        with pytest.raises(ModelError, match="share the initial position"):
+            Simulator(self._robots([Vec2(1.0, 2.0), Vec2(1.0, 2.0)]))
+
+    def test_negative_zero_collides_with_zero(self):
+        # Vec2(-0.0, 0.0) == Vec2(0.0, 0.0) and must hash identically;
+        # the duplicate check cannot be fooled by the sign of zero.
+        with pytest.raises(ModelError, match="share the initial position"):
+            Simulator(self._robots([Vec2(0.0, 0.0), Vec2(-0.0, -0.0)]))
+
+    def test_nearby_but_distinct_positions_accepted(self):
+        sim = Simulator(
+            self._robots([Vec2(0.0, 0.0), Vec2(1e-12, 0.0), Vec2(0.0, 1e-12)])
+        )
+        assert sim.count == 3
+
+    def test_displace_onto_occupied_position_rejected(self):
+        sim = drifting(count=2)
+        with pytest.raises(ModelError, match="collides with robot 1"):
+            sim.displace(0, Vec2(0.0, 4.0))

@@ -34,3 +34,75 @@ class TestRunAll:
             f"{len(ok_lines)} experiments succeeded, {len(registered)} registered"
         )
         assert "FAILED" not in result.stderr
+
+
+class TestQuickGate:
+    """``--quick`` must gate CI: probe failures => nonzero exit."""
+
+    def _cheap_probes(self, monkeypatch, run_all, **overrides):
+        """Replace every probe with a cheap stub, then apply overrides."""
+        good = {
+            "throughput_probe": lambda n=64, steps=40: {
+                "n": n, "steps": steps, "uncached_s": 1.0, "cached_s": 0.5,
+                "speedup": 2.0, "uncached_steps_per_sec": 1.0,
+                "cached_steps_per_sec": 2.0, "trace_identical": True,
+                "bits_identical": True,
+                "stats": {"observation_reuse_rate": 1.0},
+            },
+            "geometry_cache_probe": lambda: {"ok": True},
+            "adversarial_transparency_probe": lambda: {
+                "seeds": 0, "runs": 0, "failures": 0, "ok": True,
+                "violations": [],
+            },
+            "sync_invariant_holds": lambda: True,
+        }
+        good.update(overrides)
+        for name, fake in good.items():
+            monkeypatch.setattr(run_all, name, fake)
+
+    def test_quick_mode_exits_zero_when_clean(self, monkeypatch):
+        import benchmarks.run_all as run_all
+
+        self._cheap_probes(monkeypatch, run_all)
+        assert run_all.main(["--quick"]) == 0
+
+    def test_transparency_violation_exits_nonzero(self, monkeypatch):
+        import benchmarks.run_all as run_all
+
+        broken = dict(self._good_throughput(), trace_identical=False)
+        self._cheap_probes(
+            monkeypatch, run_all,
+            throughput_probe=lambda n=64, steps=40: broken,
+        )
+        assert run_all.main(["--quick"]) == 1
+
+    def test_adversarial_violation_exits_nonzero(self, monkeypatch):
+        import benchmarks.run_all as run_all
+
+        self._cheap_probes(
+            monkeypatch, run_all,
+            adversarial_transparency_probe=lambda: {
+                "seeds": 1, "runs": 25, "failures": 3, "ok": False,
+                "violations": ["[transparency @ end] traces diverged"],
+            },
+        )
+        assert run_all.main(["--quick"]) == 1
+
+    def test_crashing_probe_is_a_failure_not_a_traceback(self, monkeypatch):
+        import benchmarks.run_all as run_all
+
+        def boom(n=64, steps=40):
+            raise RuntimeError("probe exploded")
+
+        self._cheap_probes(monkeypatch, run_all, throughput_probe=boom)
+        assert run_all.main(["--quick"]) == 1
+
+    @staticmethod
+    def _good_throughput():
+        return {
+            "n": 64, "steps": 40, "uncached_s": 1.0, "cached_s": 0.5,
+            "speedup": 2.0, "uncached_steps_per_sec": 1.0,
+            "cached_steps_per_sec": 2.0, "trace_identical": True,
+            "bits_identical": True,
+            "stats": {"observation_reuse_rate": 1.0},
+        }

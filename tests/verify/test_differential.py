@@ -1,0 +1,110 @@
+"""Differential testing: sync and async protocols agree on payloads.
+
+The paper presents the synchronous (Section 3) and asynchronous
+(Section 4) protocols as implementations of the *same* communication
+primitive under different schedulers.  So for one payload, whatever
+family carries it, the receiver must decode the identical bit stream —
+a cross-protocol oracle that catches en/decoding biases a
+per-protocol test cannot see (both sides of a single protocol could
+be wrong the same way).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.harness import SwarmHarness, ring_positions
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+
+pytestmark = pytest.mark.verify
+
+SEEDS = (0, 1, 2, 7, 23)
+
+
+def _payload(seed: int, length: int = 5):
+    rng = random.Random(seed * 101 + 13)
+    return [rng.randrange(2) for _ in range(length)]
+
+
+def _received_bits(harness: SwarmHarness, src: int, dst: int):
+    return [
+        e.bit
+        for e in harness.simulator.protocol_of(dst).received
+        if e.src == src
+    ]
+
+
+def _deliver(harness: SwarmHarness, src: int, dst: int, payload, budget: int):
+    harness.simulator.protocol_of(src).send_bits(dst, payload)
+    done = harness.pump(
+        lambda h: len(_received_bits(h, src, dst)) >= len(payload),
+        max_steps=budget,
+    )
+    assert done, f"no delivery within {budget} instants"
+    return _received_bits(harness, src, dst)
+
+
+class TestPairDifferential:
+    """SyncTwo vs AsyncTwo on the same two-robot payload."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_payload_same_stream(self, seed):
+        payload = _payload(seed)
+        positions = [Vec2(0.0, 0.0), Vec2(10.0, 0.0)]
+        sync = SwarmHarness(
+            positions,
+            protocol_factory=lambda: SyncTwoProtocol(),
+            identified=False,
+            sigma=6.0,
+            frame_seed=seed,
+        )
+        asynchronous = SwarmHarness(
+            positions,
+            protocol_factory=lambda: AsyncTwoProtocol(bounded=True),
+            scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=seed),
+            identified=False,
+            sigma=6.0,
+            frame_seed=seed,
+        )
+        got_sync = _deliver(sync, 0, 1, payload, budget=60)
+        got_async = _deliver(asynchronous, 0, 1, payload, budget=3000)
+        assert got_sync == payload
+        assert got_async == payload
+        assert got_sync == got_async
+
+
+class TestSwarmDifferential:
+    """SyncGranular vs AsyncN on the same routed payload."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_payload_same_stream(self, seed):
+        payload = _payload(seed, length=3)
+        positions = ring_positions(5, radius=10.0, jitter=0.07)
+        sync = SwarmHarness(
+            positions,
+            protocol_factory=lambda: SyncGranularProtocol(naming="identified"),
+            identified=True,
+            sigma=6.0,
+            frame_seed=seed,
+        )
+        asynchronous = SwarmHarness(
+            positions,
+            protocol_factory=lambda: AsyncNProtocol(naming="sec"),
+            scheduler=FairAsynchronousScheduler(fairness_bound=4, seed=seed),
+            identified=False,
+            frame_regime="chirality",
+            sigma=6.0,
+            frame_seed=seed,
+        )
+        got_sync = _deliver(sync, 0, 2, payload, budget=60)
+        got_async = _deliver(asynchronous, 0, 2, payload, budget=5000)
+        assert got_sync == payload
+        assert got_async == payload
+        assert got_sync == got_async

@@ -1,0 +1,193 @@
+"""Unit tests for the invariant monitors, on synthetic streams.
+
+The mutants (`test_mutants.py`) prove the monitors fire on real
+protocol runs; here each monitor is probed in isolation on
+hand-crafted trace steps, including its non-firing side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.model.protocol import BitEvent
+from repro.model.trace import TraceStep
+from repro.verify.monitors import (
+    CollisionFreedomMonitor,
+    NoForgedBitsMonitor,
+    ReceiptMonitor,
+    SchedulerContractMonitor,
+    SilenceMonitor,
+    TwoInstantsPerBitMonitor,
+    _is_subsequence,
+)
+
+pytestmark = pytest.mark.verify
+
+
+class _StubProtocol:
+    def __init__(self, idle_silent: bool = True,
+                 received: Optional[List[BitEvent]] = None) -> None:
+        self.idle_silent = idle_silent
+        self.received = tuple(received or ())
+
+
+class _StubSim:
+    """Just enough simulator surface for the monitors."""
+
+    def __init__(self, initial: List[Vec2],
+                 protocols: Optional[List[_StubProtocol]] = None) -> None:
+        self.count = len(initial)
+        self._protocols = protocols or [_StubProtocol() for _ in initial]
+
+        class _Trace:
+            initial_positions = tuple(initial)
+
+        self.trace = _Trace()
+
+    def protocol_of(self, index: int) -> _StubProtocol:
+        return self._protocols[index]
+
+
+def step(time: int, active, positions) -> TraceStep:
+    return TraceStep(time=time, active=frozenset(active),
+                     positions=tuple(positions))
+
+
+class TestCollision:
+    def test_flags_coincident_robots(self):
+        sim = _StubSim([Vec2(0, 0), Vec2(5, 0)])
+        monitor = CollisionFreedomMonitor()
+        monitor.on_step(sim, step(0, {0, 1}, [Vec2(2, 2), Vec2(2, 2)]))
+        assert len(monitor.violations) == 1
+        assert monitor.violations[0].invariant == "collision"
+
+    def test_silent_on_distinct_positions(self):
+        sim = _StubSim([Vec2(0, 0), Vec2(5, 0)])
+        monitor = CollisionFreedomMonitor()
+        monitor.on_step(sim, step(0, {0, 1}, [Vec2(0, 0), Vec2(5, 0)]))
+        assert not monitor.violations
+
+
+class TestSilence:
+    def test_flags_idle_movement(self):
+        sim = _StubSim([Vec2(0, 0), Vec2(5, 0)])
+        monitor = SilenceMonitor(senders={0})
+        monitor.on_step(sim, step(0, {0, 1}, [Vec2(1, 0), Vec2(5.1, 0)]))
+        # robot 0 is a sender (exempt); robot 1 moved while silent.
+        assert [v.invariant for v in monitor.violations] == ["silence"]
+        assert "robot 1" in monitor.violations[0].message
+
+    def test_exempts_displaced_robots(self):
+        sim = _StubSim([Vec2(0, 0), Vec2(5, 0)])
+        monitor = SilenceMonitor(senders=set(), displaced={1})
+        monitor.on_step(sim, step(0, set(), [Vec2(0, 0), Vec2(9, 9)]))
+        assert not monitor.violations
+
+    def test_skips_protocols_without_silence(self):
+        sim = _StubSim(
+            [Vec2(0, 0), Vec2(5, 0)],
+            [_StubProtocol(idle_silent=False), _StubProtocol(idle_silent=False)],
+        )
+        monitor = SilenceMonitor(senders=set())
+        monitor.on_step(sim, step(0, {0, 1}, [Vec2(1, 1), Vec2(6, 1)]))
+        assert not monitor.violations
+
+    def test_compares_against_previous_step(self):
+        sim = _StubSim([Vec2(0, 0)])
+        monitor = SilenceMonitor(senders=set())
+        monitor.on_step(sim, step(0, {0}, [Vec2(0, 0)]))
+        monitor.on_step(sim, step(1, {0}, [Vec2(0, 1)]))
+        assert len(monitor.violations) == 1
+        assert monitor.violations[0].time == 1
+
+
+class TestReceipt:
+    def _sim(self, bits: List[int]) -> _StubSim:
+        events = [BitEvent(time=2 * k + 1, src=0, dst=1, bit=b)
+                  for k, b in enumerate(bits)]
+        return _StubSim(
+            [Vec2(0, 0), Vec2(5, 0)],
+            [_StubProtocol(), _StubProtocol(received=events)],
+        )
+
+    def test_exact_delivery_passes(self):
+        monitor = ReceiptMonitor({(0, 1): [1, 0, 1]})
+        monitor.finish(self._sim([1, 0, 1]))
+        assert not monitor.violations
+
+    def test_loss_reorder_corruption_flagged(self):
+        for delivered in ([1, 0], [0, 1, 1], [1, 1, 1], []):
+            monitor = ReceiptMonitor({(0, 1): [1, 0, 1]})
+            monitor.finish(self._sim(delivered))
+            assert monitor.violations, delivered
+
+    def test_forged_bits_subsequence_semantics(self):
+        # Loss is fine for the weak monitor; inventions are not.
+        lossy = NoForgedBitsMonitor({(0, 1): [1, 0, 1]})
+        lossy.finish(self._sim([1, 1]))
+        assert not lossy.violations
+        forged = NoForgedBitsMonitor({(0, 1): [1, 0, 1]})
+        forged.finish(self._sim([1, 0, 1, 0]))
+        assert forged.violations
+
+    def test_two_per_bit_timing(self):
+        monitor = TwoInstantsPerBitMonitor({(0, 1): [1, 0]})
+        monitor.finish(self._sim([1, 0]))
+        assert not monitor.violations
+        late_events = [BitEvent(time=1, src=0, dst=1, bit=1),
+                       BitEvent(time=5, src=0, dst=1, bit=0)]
+        sim = _StubSim(
+            [Vec2(0, 0), Vec2(5, 0)],
+            [_StubProtocol(), _StubProtocol(received=late_events)],
+        )
+        monitor = TwoInstantsPerBitMonitor({(0, 1): [1, 0]})
+        monitor.finish(sim)
+        assert [v.invariant for v in monitor.violations] == ["two-per-bit"]
+
+
+class TestSubsequence:
+    def test_basics(self):
+        assert _is_subsequence([], [1, 0])
+        assert _is_subsequence([1, 0], [1, 0])
+        assert _is_subsequence([0], [1, 0])
+        assert not _is_subsequence([0, 1], [1, 0])
+        assert not _is_subsequence([1, 1], [1, 0])
+
+
+class TestSchedulerContract:
+    def _sim(self) -> _StubSim:
+        return _StubSim([Vec2(0, 0), Vec2(5, 0), Vec2(0, 5)])
+
+    def test_empty_activation_flagged(self):
+        monitor = SchedulerContractMonitor()
+        monitor.on_step(self._sim(), step(0, set(), [Vec2(0, 0)] * 3))
+        assert [v.invariant for v in monitor.violations] == ["scheduler"]
+
+    def test_out_of_range_flagged(self):
+        monitor = SchedulerContractMonitor()
+        monitor.on_step(self._sim(), step(0, {7}, [Vec2(0, 0)] * 3))
+        assert any("unknown robots" in v.message for v in monitor.violations)
+
+    def test_starvation_flagged_and_crashed_exempt(self):
+        monitor = SchedulerContractMonitor(
+            fairness_bound=2, crashed={2}, crash_time=0
+        )
+        sim = self._sim()
+        positions = [Vec2(0, 0), Vec2(5, 0), Vec2(0, 5)]
+        for t in range(5):
+            monitor.on_step(sim, step(t, {0}, positions))
+        kinds = {v.message.split()[1] for v in monitor.violations}
+        assert "1" in kinds  # robot 1 starved
+        assert "2" not in kinds  # crashed robot may legally starve
+
+    def test_dead_activation_flagged(self):
+        monitor = SchedulerContractMonitor(crashed={1}, crash_time=2)
+        sim = self._sim()
+        positions = [Vec2(0, 0), Vec2(5, 0), Vec2(0, 5)]
+        monitor.on_step(sim, step(0, {0, 1, 2}, positions))
+        assert not monitor.violations  # before the crash: fine
+        monitor.on_step(sim, step(2, {0, 1}, positions))
+        assert any("crashed robots [1]" in v.message for v in monitor.violations)

@@ -1,0 +1,90 @@
+"""The verifier's self-test: every planted bug must be caught.
+
+This is the test that keeps the monitors honest — a refactor that
+silences a monitor fails here, not in production verification runs
+where silence looks like success.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.mutants import MUTANTS, run_mutant, run_self_test
+
+pytestmark = pytest.mark.verify
+
+
+class TestMutants:
+    @pytest.mark.parametrize("name", sorted(MUTANTS))
+    def test_mutant_is_caught_by_its_expected_monitor(self, name):
+        result = run_mutant(name)
+        expected = MUTANTS[name][1]
+        assert result.caught, (
+            f"mutant {name!r} should violate {expected!r}; monitors saw "
+            f"{sorted({v.invariant for v in result.violations}) or 'nothing'}"
+        )
+
+    def test_every_invariant_has_a_mutant(self):
+        # The self-test must exercise the whole monitor suite (the
+        # engine-level transparency check is tested separately in
+        # test_matrix.py).
+        covered = {expected for _, expected in MUTANTS.values()}
+        assert covered == {
+            "silence",
+            "receipt",
+            "no-forged-bits",
+            "two-per-bit",
+            "collision",
+            "scheduler",
+            "staleness",
+        }
+
+    def test_self_test_runs_every_mutant(self):
+        results = run_self_test()
+        assert {r.name for r in results} == set(MUTANTS)
+        assert all(r.caught for r in results)
+
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(KeyError):
+            run_mutant("heisenbug")
+
+
+class TestCli:
+    def test_self_test_exit_zero(self):
+        from repro.verify.__main__ import main
+
+        assert main(["--self-test"]) == 0
+
+    def test_mutant_run_exits_nonzero(self, capsys):
+        from repro.verify.__main__ import main
+
+        assert main(["--mutant", "deaf"]) == 1
+        out = capsys.readouterr().out
+        assert "receipt" in out and "caught" in out
+
+    def test_unknown_mutant_usage_error(self):
+        from repro.verify.__main__ import main
+
+        assert main(["--mutant", "nope"]) == 2
+
+    def test_list_mode(self, capsys):
+        from repro.verify.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sync_granular" in out and "skipped cells" in out
+
+    def test_tiny_sweep_exit_zero(self):
+        from repro.verify.__main__ import main
+
+        assert (
+            main(
+                [
+                    "--seeds", "1",
+                    "--quick",
+                    "--protocol", "sync_two",
+                    "--scheduler", "synchronous,burst",
+                ]
+            )
+            == 0
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for the adversarial scheduler zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.model.scheduler import SynchronousScheduler
+from repro.verify.schedulers import (
+    BoundedUnfairScheduler,
+    BurstScheduler,
+    CrashScheduler,
+)
+
+pytestmark = pytest.mark.verify
+
+
+def drain(scheduler, steps: int, count: int):
+    return [scheduler.activations(t, count) for t in range(steps)]
+
+
+class TestBoundedUnfair:
+    def test_all_awake_at_t0(self):
+        sets = drain(BoundedUnfairScheduler(seed=1), 1, count=5)
+        assert sets[0] == frozenset(range(5))
+
+    def test_fairness_bound_is_respected(self):
+        bound = 4
+        sets = drain(BoundedUnfairScheduler(fairness_bound=bound, seed=2), 200, 6)
+        last = {i: 0 for i in range(6)}
+        for t, active in enumerate(sets):
+            for i in range(6):
+                assert t - last[i] <= bound, f"robot {i} starved at t={t}"
+            for i in active:
+                last[i] = t
+
+    def test_starvation_is_maximal(self):
+        # The adversary's point: most robots wait the whole window.
+        bound = 5
+        sets = drain(BoundedUnfairScheduler(fairness_bound=bound, seed=3), 100, 4)
+        gaps = []
+        last = {i: 0 for i in range(4)}
+        for t, active in enumerate(sets):
+            for i in active:
+                if t > 0:
+                    gaps.append(t - last[i])
+                last[i] = t
+        assert max(gaps) == bound
+
+    def test_nonempty_every_instant(self):
+        for active in drain(BoundedUnfairScheduler(seed=4), 100, 3):
+            assert active
+
+    def test_deterministic_given_seed(self):
+        a = drain(BoundedUnfairScheduler(seed=9), 60, 5)
+        b = drain(BoundedUnfairScheduler(seed=9), 60, 5)
+        assert a == b
+
+    def test_out_of_order_driving_rejected(self):
+        scheduler = BoundedUnfairScheduler()
+        scheduler.activations(0, 3)
+        with pytest.raises(SchedulerError):
+            scheduler.activations(5, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulerError):
+            BoundedUnfairScheduler(fairness_bound=0)
+        with pytest.raises(SchedulerError):
+            BoundedUnfairScheduler(stickiness=0)
+
+
+class TestBurst:
+    def test_exclusive_bursts(self):
+        length = 3
+        sets = drain(BurstScheduler(burst_length=length, seed=1), 100, 4)
+        # After the all-awake instant, exactly one robot at a time, in
+        # runs of exactly `length`.
+        solo = sets[1:]
+        assert all(len(s) == 1 for s in solo)
+        runs = []
+        current, streak = None, 0
+        for s in solo:
+            robot = next(iter(s))
+            if robot == current:
+                streak += 1
+            else:
+                if current is not None:
+                    runs.append(streak)
+                current, streak = robot, 1
+        assert set(runs) == {length}
+
+    def test_every_robot_gets_a_turn(self):
+        count = 5
+        sets = drain(BurstScheduler(burst_length=2, seed=7), 2 * count * 2 + 1, count)
+        seen = set().union(*sets)
+        assert seen == set(range(count))
+
+    def test_fairness_bound_formula(self):
+        count, length = 4, 3
+        bound = (count - 1) * length + 1
+        sets = drain(BurstScheduler(burst_length=length, seed=2), 120, count)
+        last = {i: 0 for i in range(count)}
+        for t, active in enumerate(sets):
+            for i in range(count):
+                assert t - last[i] <= bound
+            for i in active:
+                last[i] = t
+
+    def test_invalid_burst_length(self):
+        with pytest.raises(SchedulerError):
+            BurstScheduler(burst_length=0)
+
+
+class TestCrash:
+    def test_victims_stop_at_crash_time(self):
+        scheduler = CrashScheduler(SynchronousScheduler(), crash_time=3, victims=[1])
+        sets = drain(scheduler, 10, 4)
+        for t, active in enumerate(sets):
+            if t < 3:
+                assert 1 in active
+            else:
+                assert 1 not in active
+
+    def test_activation_never_empty(self):
+        # Crash every robot the inner scheduler picked: the lowest live
+        # index must be substituted.
+        scheduler = CrashScheduler(
+            BurstScheduler(burst_length=2, seed=1), crash_time=0, victims=[0]
+        )
+        for active in drain(scheduler, 50, 3):
+            assert active
+            assert 0 not in active or False  # victims filtered from t=0
+
+    def test_cannot_crash_everyone(self):
+        scheduler = CrashScheduler(SynchronousScheduler(), crash_time=0, victims=[0, 1])
+        with pytest.raises(SchedulerError):
+            scheduler.activations(0, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulerError):
+            CrashScheduler(SynchronousScheduler(), crash_time=-1, victims=[0])
+        with pytest.raises(SchedulerError):
+            CrashScheduler(SynchronousScheduler(), crash_time=0, victims=[])
