@@ -7,6 +7,7 @@ Usage::
     python benchmarks/run_all.py --sequential    # old single-process mode
     python benchmarks/run_all.py --json BENCH_results.json
     python -m benchmarks.run_all --quick --json BENCH_results.json
+    python -m benchmarks.run_all --quick --obs run.jsonl   # + obs export
 
 The default mode fans the experiment modules out over a process pool
 (each module is independent: it builds its own swarms and prints a
@@ -30,9 +31,15 @@ import json
 import multiprocessing
 import os
 import pathlib
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional
+
+#: schema tag of the machine-readable results document; bump the
+#: version whenever a consumer-visible key changes shape.
+RESULTS_SCHEMA = "repro-bench-results"
+RESULTS_VERSION = 2
 
 # Allow `python benchmarks/run_all.py` from the repo root.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
@@ -204,6 +211,87 @@ def geometry_cache_probe(n: int = 32, repeats: int = 200) -> Dict:
     }
 
 
+def git_commit() -> Optional[str]:
+    """The repo's current commit hash, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(pathlib.Path(__file__).resolve().parent),
+        )
+    except Exception:  # pragma: no cover - git missing entirely
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def obs_probe(path: str, n: int = 8, steps: int = 24) -> Dict:
+    """Record an instrumented run and prove the recorder is invisible.
+
+    Runs the same seeded sync-granular scenario twice — bare, then with
+    an :class:`~repro.obs.recorder.ObsRecorder` attached — and requires
+    the two traces and delivered bit streams to be bit-identical.  The
+    instrumented run is exported as ``repro-obs-v1`` JSONL at ``path``
+    (the file ``python -m repro.obs report`` renders).
+    """
+    from repro.apps.harness import SwarmHarness, ring_positions
+    from repro.obs.export import dump_run
+    from repro.obs.recorder import ObsRecorder
+    from repro.protocols.sync_granular import SyncGranularProtocol
+
+    def run(recorder):
+        harness = SwarmHarness(
+            ring_positions(n, radius=10.0, jitter=0.06),
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        if recorder is not None:
+            recorder.attach(harness.simulator)
+        harness.simulator.protocol_of(0).send_bits(n // 2, [1, 0, 1, 1])
+        harness.run(steps)
+        if recorder is not None:
+            recorder.detach(harness.simulator)
+        return harness
+
+    bare = run(None)
+    recorder = ObsRecorder(
+        meta={
+            "protocol": "sync_granular",
+            "scheduler": "synchronous",
+            "n": n,
+            "steps": steps,
+            "source": "benchmarks/run_all.py --obs",
+        }
+    )
+    instrumented = run(recorder)
+    transparent = (
+        bare.simulator.trace.initial_positions
+        == instrumented.simulator.trace.initial_positions
+        and bare.simulator.trace.steps == instrumented.simulator.trace.steps
+        and [
+            (e.src, e.dst, e.bit)
+            for e in bare.simulator.protocol_of(n // 2).received
+        ]
+        == [
+            (e.src, e.dst, e.bit)
+            for e in instrumented.simulator.protocol_of(n // 2).received
+        ]
+    )
+    obs_run = recorder.to_run()
+    dump_run(obs_run, path)
+    return {
+        "path": path,
+        "n": n,
+        "steps": steps,
+        "events": len(obs_run.events),
+        "transparent": transparent,
+        "metrics": obs_run.metrics,
+    }
+
+
 def sync_invariant_holds() -> bool:
     """The paper's sync-granular cost: exactly 2 instants per bit."""
     from benchmarks.bench_p1_scaling import sync_steps_per_bit
@@ -282,10 +370,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run the table matrix in-process, one module at a time",
     )
+    parser.add_argument(
+        "--obs",
+        metavar="PATH",
+        default=None,
+        help="record an instrumented run, write it as repro-obs-v1 "
+             "JSONL, and check the recorder changed nothing",
+    )
     args = parser.parse_args(argv)
 
     results: Dict = {
+        "schema": RESULTS_SCHEMA,
+        "version": RESULTS_VERSION,
         "generated_by": "benchmarks/run_all.py",
+        "git_commit": git_commit(),
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
     }
@@ -320,6 +418,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             probes["adversarial_transparency"].get("ok", False)
         ),
     }
+    if args.obs:
+        try:
+            obs = obs_probe(args.obs)
+        except Exception as exc:
+            obs = {"ok": False, "error": repr(exc)}
+        results["obs"] = obs
+        invariants["obs_transparency"] = bool(obs.get("transparent", False))
+        if "error" in obs:
+            failures += 1
+            print(f"[obs probe: CRASHED — {obs['error']}]", file=sys.stderr)
+        else:
+            print(
+                f"[obs: {obs['events']} events, "
+                f"{len(obs['metrics'])} metric series -> {obs['path']}]"
+            )
+
     results["probes"] = probes
     results["invariants"] = invariants
 

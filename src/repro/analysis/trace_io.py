@@ -9,15 +9,35 @@ then one line per instant — chosen for streamability and diff-ability.
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
-from repro.errors import ReproError
+from repro.errors import TraceFormatError
 from repro.geometry.vec import Vec2
 from repro.model.trace import Trace, TraceStep
 
 __all__ = ["dump_trace", "load_trace", "trace_to_jsonl", "trace_from_jsonl"]
 
 _FORMAT = "repro-trace-v1"
+
+
+def _parse_line(line: str, number: int) -> Dict:
+    """One JSONL record, or a :class:`TraceFormatError` naming the line.
+
+    ``number`` is 1-based, matching what an editor displays — a
+    truncated or hand-mangled dump should be findable by eye.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"line {number}: garbled JSON ({exc.msg} at column {exc.colno}); "
+            f"the trace file is corrupt or was truncated mid-line"
+        ) from exc
+    if not isinstance(record, dict):
+        raise TraceFormatError(
+            f"line {number}: expected a JSON object, got {type(record).__name__}"
+        )
+    return record
 
 
 def trace_to_jsonl(trace: Trace) -> str:
@@ -48,36 +68,59 @@ def trace_from_jsonl(text: str) -> Trace:
     """Parse a trace back from JSON-lines text.
 
     Raises:
-        ReproError: on a wrong header, robot-count mismatch, or
-            non-contiguous instants.
+        TraceFormatError: on an empty document, garbled or truncated
+            JSON, a wrong header, missing keys, robot-count mismatch,
+            or non-contiguous instants — always naming the 1-based
+            line the problem was found on.
     """
-    lines = [line for line in text.splitlines() if line.strip()]
-    if not lines:
-        raise ReproError("empty trace document")
-    header = json.loads(lines[0])
+    numbered = [
+        (i, line) for i, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    if not numbered:
+        raise TraceFormatError("empty trace document")
+    header_no, header_line = numbered[0]
+    header = _parse_line(header_line, header_no)
     if header.get("format") != _FORMAT:
-        raise ReproError(f"unknown trace format {header.get('format')!r}")
-    count = header["count"]
-    initial = tuple(Vec2(x, y) for x, y in header["initial"])
+        raise TraceFormatError(
+            f"line {header_no}: unknown trace format {header.get('format')!r} "
+            f"(expected {_FORMAT!r})"
+        )
+    try:
+        count = header["count"]
+        initial = tuple(Vec2(x, y) for x, y in header["initial"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"line {header_no}: malformed trace header ({exc!r})"
+        ) from exc
     if len(initial) != count:
-        raise ReproError("initial-position count does not match the header")
+        raise TraceFormatError(
+            f"line {header_no}: initial-position count does not match the header"
+        )
 
     trace = Trace(initial_positions=initial)
-    for expected_time, line in enumerate(lines[1:]):
-        record = json.loads(line)
-        if record["t"] != expected_time:
-            raise ReproError(
-                f"non-contiguous instants: expected t={expected_time}, got {record['t']}"
+    for expected_time, (number, line) in enumerate(numbered[1:]):
+        record = _parse_line(line, number)
+        try:
+            time = record["t"]
+            active = frozenset(record["active"])
+            positions = tuple(Vec2(x, y) for x, y in record["positions"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {number}: malformed step record ({exc!r})"
+            ) from exc
+        if time != expected_time:
+            raise TraceFormatError(
+                f"line {number}: non-contiguous instants: expected "
+                f"t={expected_time}, got {time} (truncated or spliced trace?)"
             )
-        positions = tuple(Vec2(x, y) for x, y in record["positions"])
         if len(positions) != count:
-            raise ReproError(f"step t={record['t']} has {len(positions)} positions")
-        trace.steps.append(
-            TraceStep(
-                time=record["t"],
-                active=frozenset(record["active"]),
-                positions=positions,
+            raise TraceFormatError(
+                f"line {number}: step t={time} has {len(positions)} positions, "
+                f"header declared {count} robots"
             )
+        trace.steps.append(
+            TraceStep(time=time, active=active, positions=positions)
         )
     return trace
 

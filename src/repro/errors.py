@@ -18,6 +18,8 @@ __all__ = [
     "CodingError",
     "ChannelError",
     "ChannelDownError",
+    "TraceFormatError",
+    "ObservabilityError",
 ]
 
 
@@ -67,3 +69,18 @@ class ChannelError(ReproError):
 
 class ChannelDownError(ChannelError):
     """The (simulated) wireless device is unavailable."""
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace or obs run is truncated, garbled, or of an
+    unknown schema version.
+
+    Raised with the offending line number, so a corrupt multi-gigabyte
+    JSONL recording points at the bad line instead of dying in a bare
+    ``KeyError`` deep inside the parser.
+    """
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was used inconsistently (duplicate
+    metric types, malformed spans, double-attached recorders)."""

@@ -93,6 +93,12 @@ class Protocol(ABC):
         self._received: List[BitEvent] = []
         self._overheard: List[BitEvent] = []
         self._activations: int = 0
+        # Observability sink (set by repro.obs.recorder.ObsRecorder).
+        # None by default: the hot path pays one identity check per
+        # activation, and no bit-lifecycle events are dispatched.
+        self._obs_sink = None
+        self._obs_time: int = -1
+        self._obs_pop: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Simulator-facing lifecycle
@@ -120,11 +126,23 @@ class Protocol(ABC):
                 f"protocol bound to robot {info.index}"
             )
         self._activations += 1
+        sink = self._obs_sink
+        if sink is not None:
+            self._obs_time = observation.time
         for event in self._decode(observation):
             self._overheard.append(event)
             if event.dst == info.index:
                 self._received.append(event)
-        return self._compute(observation)
+                if sink is not None:
+                    sink.bit_receipt(info.index, event)
+            elif sink is not None:
+                sink.bit_overheard(info.index, event)
+        target = self._compute(observation)
+        if sink is not None and self._obs_pop is not None:
+            dst, bit = self._obs_pop
+            self._obs_pop = None
+            sink.bit_moved(info.index, dst, bit, observation.time, target)
+        return target
 
     # ------------------------------------------------------------------
     # Application-facing API
@@ -200,7 +218,14 @@ class Protocol(ABC):
     def _next_outgoing(self) -> Optional[Tuple[int, int]]:
         """Pop the next queued (dst, bit), or None when idle."""
         if self._outgoing:
-            return self._outgoing.popleft()
+            entry = self._outgoing.popleft()
+            sink = self._obs_sink
+            if sink is not None:
+                self._obs_pop = entry
+                sink.bit_encode_started(
+                    self._require_info().index, entry[0], entry[1], self._obs_time
+                )
+            return entry
         return None
 
     def _peek_outgoing(self) -> Optional[Tuple[int, int]]:

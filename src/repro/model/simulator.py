@@ -164,6 +164,12 @@ class Simulator:
         )
         self._geometry = CachedGeometry(stats=self._stats, enabled=self._caching)
         self._step_listeners: List[Callable[["Simulator", TraceStep], None]] = []
+        self._fault_listeners: List[Callable[["Simulator", int, Vec2, Vec2], None]] = []
+        # Observability injection point: when set, called at every
+        # phase boundary of step().  None (the default) costs one
+        # identity check per phase — the zero-overhead-when-disabled
+        # contract of repro.obs.
+        self._phase_hook: Optional[Callable[[str, int], None]] = None
 
         observable_ids = tuple(ids) if self._identified else None
         world_visibility = self._world_visibility_radius()
@@ -269,11 +275,51 @@ class Simulator:
         """Unsubscribe a previously added step listener."""
         self._step_listeners.remove(listener)
 
+    def add_fault_listener(
+        self, listener: Callable[["Simulator", int, Vec2, Vec2], None]
+    ) -> None:
+        """Subscribe to out-of-band fault injections.
+
+        The listener is called after every :meth:`displace` with
+        ``(simulator, index, old_position, new_position)``.  The
+        observability recorder uses this to put transient faults on
+        the run's event timeline.
+        """
+        self._fault_listeners.append(listener)
+
+    def remove_fault_listener(
+        self, listener: Callable[["Simulator", int, Vec2, Vec2], None]
+    ) -> None:
+        """Unsubscribe a previously added fault listener."""
+        self._fault_listeners.remove(listener)
+
+    def set_phase_hook(
+        self, hook: Optional[Callable[[str, int], None]]
+    ) -> Optional[Callable[[str, int], None]]:
+        """Install (or clear, with None) the phase-boundary hook.
+
+        The hook is called as ``hook(phase, time)`` when :meth:`step`
+        enters each of its phases — ``"schedule"``, ``"compute"``
+        (the observe+compute loop), ``"move"``, ``"record"`` — and
+        once more as ``hook("end", time)`` after the step listeners
+        ran.  An :class:`~repro.obs.recorder.ObsRecorder` pairs these
+        calls with an injected monotonic clock to build the hot-path
+        profile; the hook must not mutate the simulation.  Returns the
+        previously installed hook.
+        """
+        previous = self._phase_hook
+        self._phase_hook = hook
+        return previous
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> TraceStep:
         """Advance one instant: activate, observe, compute, move."""
+        hook = self._phase_hook
+        now = self._time
+        if hook is not None:
+            hook("schedule", now)
         active = self._scheduler.activations(self._time, self.count)
         if not active:
             raise SchedulerError(f"empty activation set at t={self._time}")
@@ -281,6 +327,8 @@ class Simulator:
             raise SchedulerError(f"activation set {sorted(active)} out of range")
 
         # All active robots observe the same configuration P(t_j)...
+        if hook is not None:
+            hook("compute", now)
         new_positions: Dict[int, Vec2] = {}
         for index in sorted(active):
             robot = self._robots[index]
@@ -293,6 +341,8 @@ class Simulator:
         # ...and move simultaneously.  The epoch only advances when a
         # position actually changed; per-robot position epochs let
         # observers keep cached entries for everyone who stayed put.
+        if hook is not None:
+            hook("move", now)
         moved = [
             index
             for index, position in new_positions.items()
@@ -305,6 +355,8 @@ class Simulator:
             for index in moved:
                 self._pos_epoch[index] = self._epoch
 
+        if hook is not None:
+            hook("record", now)
         step = TraceStep(
             time=self._time,
             active=frozenset(active),
@@ -314,6 +366,8 @@ class Simulator:
         self._time += 1
         for listener in self._step_listeners:
             listener(self, step)
+        if hook is not None:
+            hook("end", now)
         return step
 
     def run(self, steps: int) -> Trace:
@@ -363,9 +417,12 @@ class Simulator:
         for i, existing in enumerate(self._positions):
             if i != index and existing == position:
                 raise ModelError(f"displacement collides with robot {i}")
+        old = self._positions[index]
         self._positions[index] = position
         self._epoch += 1
         self._pos_epoch[index] = self._epoch
+        for listener in self._fault_listeners:
+            listener(self, index, old, position)
 
     # ------------------------------------------------------------------
     # Internals / extension hooks

@@ -1,0 +1,61 @@
+"""Unified observability: structured run tracing, metrics, inspection.
+
+The paper's robots communicate by *motion* — the only evidence that a
+bit was spoken or heard is buried in a geometric trace.  This
+subpackage makes runs observable without changing them:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.spans` — the structured
+  event and span model (activation cycles, scheduler decisions,
+  displacement faults, the bit lifecycle, monitor firings).
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  deterministic-bucket histograms, labeled per protocol x scheduler;
+  supersedes the ad-hoc :class:`~repro.perf.counters.PerfStats` block
+  (which now delegates here).
+* :class:`~repro.obs.recorder.ObsRecorder` — attaches to a simulator
+  and records everything; **bit-transparent** (an instrumented run
+  produces a byte-identical trace) and **zero-overhead when
+  disabled** (no recorder => no dispatches; see
+  :func:`~repro.obs.recorder.dispatch_count`).
+* :mod:`repro.obs.export` — versioned JSONL export (``repro-obs-v1``)
+  with exact round-trips and line-numbered
+  :class:`~repro.errors.TraceFormatError` diagnostics.
+* ``python -m repro.obs`` — render the activation timeline, the bit
+  Gantt, metrics tables and the hot-path profile from an exported run
+  (see :mod:`repro.obs.report`).
+"""
+
+from repro.obs.events import Event
+from repro.obs.export import ObsRun, dump_run, load_run, run_from_jsonl, run_to_jsonl
+from repro.obs.recorder import ObsRecorder, dispatch_count
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.report import render_report
+from repro.obs.spans import Span, activation_spans, bit_spans, phase_totals
+
+__all__ = [
+    "Event",
+    "Span",
+    "ObsRun",
+    "ObsRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "default_registry",
+    "set_default_registry",
+    "dispatch_count",
+    "activation_spans",
+    "bit_spans",
+    "phase_totals",
+    "run_to_jsonl",
+    "run_from_jsonl",
+    "dump_run",
+    "load_run",
+    "render_report",
+]

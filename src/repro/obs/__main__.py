@@ -1,0 +1,119 @@
+"""``python -m repro.obs`` — inspect a recorded run.
+
+Examples::
+
+    python -m repro.obs report run.jsonl        # every view
+    python -m repro.obs timeline run.jsonl      # activation timeline only
+    python -m repro.obs gantt run.jsonl         # bit-transmission Gantt
+    python -m repro.obs metrics run.jsonl       # metrics tables
+    python -m repro.obs profile run.jsonl       # wall-time per phase
+    python -m repro.obs demo demo.jsonl         # record a 2-robot
+                                                # sync_two run, then
+                                                # inspect it
+
+Exit status: 0 on success, 1 when the run file is missing or garbled,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.obs.export import ObsRun, dump_run, load_run
+from repro.obs.report import (
+    render_gantt,
+    render_metrics,
+    render_profile,
+    render_report,
+    render_timeline,
+)
+
+_VIEWS = {
+    "report": render_report,
+    "timeline": render_timeline,
+    "gantt": render_gantt,
+    "metrics": lambda run, width=None: render_metrics(run),
+    "profile": lambda run, width=None: render_profile(run),
+}
+
+
+def record_demo(path: str, steps: int = 12, payload: Optional[List[int]] = None) -> str:
+    """Record the canonical 2-robot sync_two run; returns the path.
+
+    This is the CI smoke recipe: two robots, one flow, a short
+    payload, synchronous schedule — enough to exercise every event
+    kind except faults.
+    """
+    from repro.apps.harness import SwarmHarness
+    from repro.geometry.vec import Vec2
+    from repro.obs.recorder import ObsRecorder
+    from repro.protocols.sync_two import SyncTwoProtocol
+
+    bits = payload if payload is not None else [1, 0, 1]
+    harness = SwarmHarness(
+        [Vec2(0.0, 0.0), Vec2(10.0, 0.0)],
+        protocol_factory=lambda: SyncTwoProtocol(),
+        identified=False,
+        sigma=6.0,
+    )
+    recorder = ObsRecorder(
+        meta={"protocol": "sync_two", "scheduler": "synchronous", "demo": True}
+    )
+    recorder.attach(harness.simulator)
+    harness.simulator.protocol_of(0).send_bits(1, bits)
+    harness.run(steps)
+    recorder.detach(harness.simulator)
+    return dump_run(recorder.to_run(), path)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect an exported observability run (repro-obs-v1 JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("report", "render every view of a run"),
+        ("timeline", "render the activation timeline"),
+        ("gantt", "render the per-flow bit-transmission Gantt"),
+        ("metrics", "render the metrics tables"),
+        ("profile", "render the wall-time-per-phase profile"),
+    ):
+        view = sub.add_parser(name, help=help_text)
+        view.add_argument("run", help="path to an exported run (JSONL)")
+        view.add_argument(
+            "--width", type=int, default=None,
+            help="maximum timeline columns (default 72; wide runs are strided)",
+        )
+    demo = sub.add_parser(
+        "demo", help="record a 2-robot sync_two run and write it as JSONL"
+    )
+    demo.add_argument("out", help="path to write the recorded run to")
+    demo.add_argument("--steps", type=int, default=12, help="instants to run")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if args.command == "demo":
+        path = record_demo(args.out, steps=args.steps)
+        print(f"[recorded 2-robot sync_two run -> {path}]")
+        return 0
+    try:
+        run: ObsRun = load_run(args.run)
+    except FileNotFoundError:
+        print(f"error: no such run file: {args.run}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {args.run}: {exc}", file=sys.stderr)
+        return 1
+    print(_VIEWS[args.command](run, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""The structured event model of the observability layer.
+
+Every observable fact about a run — an instant's activation set, a
+scheduler decision, a displacement fault, one leg of a bit's life, a
+monitor firing, a timed simulator phase — becomes one :class:`Event`:
+a ``kind`` tag, the instant ``time`` it belongs to, and a flat
+JSON-able attribute mapping.  Events are what the recorder collects,
+what the JSONL export writes one-per-line, and what the report views
+and the span builders consume.
+
+Bit lifecycle
+-------------
+
+The paper's protocols "speak" a bit over several instants; the
+lifecycle kinds trace each leg:
+
+``bit-encode-started``
+    the sender popped the bit off its outgoing queue and began
+    encoding it into movement (the Compute that chose the excursion).
+``bit-moved``
+    the sender's encoding movement was computed — the excursion (or
+    excursion leg) that makes the bit visible to observers.
+``bit-receipt``
+    the addressee decoded the bit (it entered ``Protocol.received``).
+``bit-overheard``
+    a third party decoded the bit in passing (the paper's "every robot
+    is able to know all the messages sent in the system").
+``bit-ack``
+    the sender advanced to its next queued bit on the same flow — the
+    implicit acknowledgement of Lemma 4.1 (or the synchronous rhythm)
+    has been consumed, so the previous bit's transmission is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import TraceFormatError
+
+__all__ = [
+    "Event",
+    "STEP",
+    "SCHEDULE",
+    "DISPLACEMENT",
+    "MONITOR",
+    "PHASE",
+    "BIT_ENCODE_STARTED",
+    "BIT_MOVED",
+    "BIT_RECEIPT",
+    "BIT_OVERHEARD",
+    "BIT_ACK",
+    "BIT_KINDS",
+    "EVENT_KINDS",
+]
+
+# -- event kinds (stable identifiers: the export schema keys on them) --
+STEP = "step"                          #: one simulated instant
+SCHEDULE = "schedule"                  #: the scheduler's activation decision
+DISPLACEMENT = "displacement"          #: an out-of-band transient fault
+MONITOR = "monitor"                    #: an invariant monitor fired
+PHASE = "phase"                        #: a timed simulator phase (profiling)
+BIT_ENCODE_STARTED = "bit-encode-started"
+BIT_MOVED = "bit-moved"
+BIT_RECEIPT = "bit-receipt"
+BIT_OVERHEARD = "bit-overheard"
+BIT_ACK = "bit-ack"
+
+#: the bit-lifecycle kinds, in lifecycle order
+BIT_KINDS = (BIT_ENCODE_STARTED, BIT_MOVED, BIT_RECEIPT, BIT_OVERHEARD, BIT_ACK)
+
+#: every kind the v1 schema admits
+EVENT_KINDS = frozenset(
+    (STEP, SCHEDULE, DISPLACEMENT, MONITOR, PHASE) + BIT_KINDS
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observable fact about a run.
+
+    Attributes:
+        kind: one of the module's kind constants.
+        time: the instant the event belongs to (-1 for events outside
+            any instant, e.g. end-of-run monitor verdicts).
+        attrs: flat JSON-able payload; keys depend on the kind (see
+            :mod:`repro.obs.export` for the schema).
+    """
+
+    kind: str
+    time: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """The export form: ``kind``/``t`` plus the flat attributes."""
+        record: Dict[str, object] = {"kind": self.kind, "t": self.time}
+        for key, value in self.attrs.items():
+            if key in ("kind", "t"):
+                raise TraceFormatError(
+                    f"event attribute {key!r} collides with an envelope field"
+                )
+            record[key] = value
+        return record
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, object]) -> "Event":
+        """Rebuild an event from its export form.
+
+        Raises:
+            TraceFormatError: when the record is not a valid v1 event.
+        """
+        if not isinstance(record, Mapping):
+            raise TraceFormatError(f"event record is not an object: {record!r}")
+        kind = record.get("kind")
+        if kind not in EVENT_KINDS:
+            raise TraceFormatError(f"unknown event kind {kind!r}")
+        time = record.get("t")
+        if not isinstance(time, int) or isinstance(time, bool):
+            raise TraceFormatError(f"event of kind {kind!r} has no instant: {record!r}")
+        attrs = {k: v for k, v in record.items() if k not in ("kind", "t")}
+        return cls(kind=str(kind), time=time, attrs=attrs)
+
+    def get(self, key: str, default: Optional[object] = None) -> object:
+        """Attribute lookup with a default (sugar for report code)."""
+        return self.attrs.get(key, default)

@@ -1,0 +1,357 @@
+"""The run recorder: one object that watches everything.
+
+An :class:`ObsRecorder` attaches to a simulator and turns the run into
+a structured event stream plus a metrics registry:
+
+* the **step stream** (:meth:`~repro.model.simulator.Simulator.
+  add_step_listener`) yields one ``step`` + one ``schedule`` event per
+  instant;
+* the **fault stream** yields ``displacement`` events for every
+  out-of-band teleport;
+* the **phase hook** plus an injected monotonic clock yields timed
+  ``phase`` events — the hot-path wall-time profile (inject a fake
+  clock to keep tests deterministic);
+* light **protocol-side sinks** yield the bit-lifecycle events
+  (encode-started / moved / receipt / overheard, with acks
+  synthesized when a sender advances to its next bit on a flow);
+* the **monitor hook** (:func:`repro.verify.monitors.set_flag_hook`)
+  yields ``monitor`` events and firing counters.
+
+Everything is opt-in and bit-transparent: with no recorder attached,
+every hook is None and the simulation takes the exact same code path;
+with one attached, the recorder only *reads*.  The module-level
+dispatch counter exists so tests can assert the disabled path really
+dispatches nothing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.geometry.vec import Vec2
+from repro.model.protocol import BitEvent, Protocol
+from repro.model.trace import TraceStep
+from repro.obs.events import (
+    BIT_ACK,
+    BIT_ENCODE_STARTED,
+    BIT_MOVED,
+    BIT_OVERHEARD,
+    BIT_RECEIPT,
+    DISPLACEMENT,
+    MONITOR,
+    PHASE,
+    SCHEDULE,
+    STEP,
+    Event,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ObsRecorder", "dispatch_count"]
+
+#: process-wide count of obs hook dispatches; stays frozen while no
+#: recorder is attached (the zero-overhead-when-disabled witness).
+_dispatches = 0
+
+
+def dispatch_count() -> int:
+    """How many obs hook dispatches happened in this process so far."""
+    return _dispatches
+
+
+def _bump() -> None:
+    global _dispatches
+    _dispatches += 1
+
+
+def _protocol_chain(protocol: Protocol) -> List[Protocol]:
+    """A protocol plus its wrapped ``inner`` protocols (flocking)."""
+    chain: List[Protocol] = []
+    seen = set()
+    current: Optional[Protocol] = protocol
+    while isinstance(current, Protocol) and id(current) not in seen:
+        chain.append(current)
+        seen.add(id(current))
+        current = getattr(current, "inner", None)
+    return chain
+
+
+class ObsRecorder:
+    """Record one simulator run as events + metrics.
+
+    Args:
+        clock: monotonic clock for the phase profile; defaults to
+            :func:`time.perf_counter`.  Tests inject a deterministic
+            fake.  Pass ``timing=False`` to skip phase profiling
+            entirely (no phase hook installed).
+        registry: metrics registry to write into; a fresh private one
+            is created when omitted.
+        meta: free-form run metadata (protocol, scheduler, seed, ...)
+            embedded in the export header.  ``protocol`` and
+            ``scheduler`` become the labels of every metric series.
+        timing: whether to install the phase hook (default True).
+
+    Usage::
+
+        recorder = ObsRecorder(meta={"protocol": "sync_two"})
+        recorder.attach(sim)
+        ... run ...
+        recorder.detach(sim)
+        run = recorder.to_run()
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        meta: Optional[Dict[str, object]] = None,
+        timing: bool = True,
+    ) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else _time.perf_counter
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.events: List[Event] = []
+        self._timing = timing
+        self._sim = None
+        self._labels: Dict[str, object] = {}
+        self._open_phase: Optional[Tuple[str, int, float]] = None
+        self._previous_flag_hook: Optional[Callable[[str, int, str], None]] = None
+        #: last encode-started (seq, bit) per flow, for ack synthesis
+        self._flow_seq: Dict[Tuple[int, int], int] = {}
+        self._flow_last_bit: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> "ObsRecorder":
+        """Subscribe to every stream of ``sim``; returns self.
+
+        Also installs the process-wide monitor-firing hook (restored
+        on :meth:`detach`), so invariant monitors attached to the same
+        run land on the event timeline.
+        """
+        from repro.verify import monitors as _monitors
+
+        if self._sim is not None:
+            raise ObservabilityError("recorder is already attached to a simulator")
+        self._sim = sim
+        self.meta.setdefault("count", sim.count)
+        self.meta.setdefault(
+            "initial", [[p.x, p.y] for p in sim.trace.initial_positions]
+        )
+        labels = {}
+        for key in ("protocol", "scheduler"):
+            if key in self.meta:
+                labels[key] = self.meta[key]
+        self._labels = labels
+        sim.add_step_listener(self._on_step)
+        sim.add_fault_listener(self._on_fault)
+        if self._timing:
+            sim.set_phase_hook(self._on_phase)
+        for robot in sim.robots:
+            for protocol in _protocol_chain(robot.protocol):
+                protocol._obs_sink = self
+        self._previous_flag_hook = _monitors.set_flag_hook(self._on_monitor)
+        return self
+
+    def detach(self, sim) -> None:
+        """Undo :meth:`attach`; safe to call exactly once."""
+        from repro.verify import monitors as _monitors
+
+        if self._sim is not sim:
+            raise ObservabilityError("recorder is not attached to this simulator")
+        sim.remove_step_listener(self._on_step)
+        sim.remove_fault_listener(self._on_fault)
+        if self._timing:
+            sim.set_phase_hook(None)
+        for robot in sim.robots:
+            for protocol in _protocol_chain(robot.protocol):
+                if protocol._obs_sink is self:
+                    protocol._obs_sink = None
+        _monitors.set_flag_hook(self._previous_flag_hook)
+        self._previous_flag_hook = None
+        self._absorb_perf(sim)
+        self._sim = None
+
+    def _absorb_perf(self, sim) -> None:
+        """Fold the legacy perf counter blocks into the registry."""
+        self.registry.absorb(
+            {f"perf_{name}": value for name, value in sim.stats.as_dict().items()},
+            **self._labels,
+        )
+        try:
+            from repro.perf.memo import shared_sec_stats
+
+            self.registry.absorb(
+                {f"shared_sec_{k}": v for k, v in shared_sec_stats().items()},
+                **self._labels,
+            )
+        except Exception:  # pragma: no cover - memo layer is optional here
+            pass
+
+    # ------------------------------------------------------------------
+    # Stream callbacks
+    # ------------------------------------------------------------------
+    def _emit(self, event: Event) -> None:
+        _bump()
+        self.events.append(event)
+
+    def _on_step(self, sim, step: TraceStep) -> None:
+        active = sorted(step.active)
+        self._emit(
+            Event(
+                SCHEDULE,
+                step.time,
+                {"active": active, "count": sim.count},
+            )
+        )
+        self._emit(
+            Event(
+                STEP,
+                step.time,
+                {
+                    "active": active,
+                    "positions": [[p.x, p.y] for p in step.positions],
+                    "epoch": sim.epoch,
+                },
+            )
+        )
+        self.registry.counter("sim_steps_total", **self._labels).inc()
+        self.registry.counter("sim_activations_total", **self._labels).inc(len(active))
+        self.registry.gauge("sim_epoch", **self._labels).set(sim.epoch)
+
+    def _on_fault(self, sim, index: int, old: Vec2, new: Vec2) -> None:
+        self._emit(
+            Event(
+                DISPLACEMENT,
+                sim.time,
+                {"robot": index, "from": [old.x, old.y], "to": [new.x, new.y]},
+            )
+        )
+        self.registry.counter("faults_displacements_total", **self._labels).inc()
+
+    def _on_phase(self, phase: str, time: int) -> None:
+        now = self.clock()
+        open_phase = self._open_phase
+        if open_phase is not None:
+            name, start_time, started = open_phase
+            seconds = now - started
+            self._emit(
+                Event(PHASE, start_time, {"phase": name, "seconds": seconds})
+            )
+            self.registry.histogram(
+                "sim_phase_seconds", phase=name, **self._labels
+            ).observe(seconds)
+        self._open_phase = None if phase == "end" else (phase, time, now)
+
+    def _on_monitor(self, invariant: str, time: int, message: str) -> None:
+        self._emit(Event(MONITOR, time, {"invariant": invariant, "message": message}))
+        self.registry.counter(
+            "verify_monitor_firings_total", invariant=invariant, **self._labels
+        ).inc()
+        previous = self._previous_flag_hook
+        if previous is not None:  # pragma: no cover - hook chaining
+            previous(invariant, time, message)
+
+    # ------------------------------------------------------------------
+    # Bit-lifecycle sink (called by the Protocol base class)
+    # ------------------------------------------------------------------
+    def bit_encode_started(self, src: int, dst: int, bit: int, time: int) -> None:
+        """A sender popped a bit off its queue and began encoding it.
+
+        Also synthesizes the previous bit's ``bit-ack`` event on the
+        same flow: a protocol only advances once its ack condition
+        (Lemma 4.1 or the synchronous rhythm) was consumed.
+        """
+        flow = (src, dst)
+        seq = self._flow_seq.get(flow, 0)
+        if seq > 0:
+            # The sender only advances once the previous bit's leg is
+            # complete — the implicit acknowledgement was consumed.
+            self._emit(
+                Event(
+                    BIT_ACK,
+                    time,
+                    {
+                        "src": src,
+                        "dst": dst,
+                        "seq": seq - 1,
+                        "bit": self._flow_last_bit.get(flow),
+                    },
+                )
+            )
+            self.registry.counter(
+                "bits_total", phase="ack", **self._labels
+            ).inc()
+        self._flow_seq[flow] = seq + 1
+        self._flow_last_bit[flow] = bit
+        self._emit(
+            Event(
+                BIT_ENCODE_STARTED,
+                time,
+                {"src": src, "dst": dst, "bit": bit, "seq": seq},
+            )
+        )
+        self.registry.counter(
+            "bits_total", phase="encode-started", **self._labels
+        ).inc()
+
+    def bit_moved(self, src: int, dst: int, bit: int, time: int, target: Vec2) -> None:
+        """The sender's encoding movement was computed (the excursion)."""
+        self._emit(
+            Event(
+                BIT_MOVED,
+                time,
+                {
+                    "src": src,
+                    "dst": dst,
+                    "bit": bit,
+                    "target": [target.x, target.y],
+                },
+            )
+        )
+        self.registry.counter("bits_total", phase="moved", **self._labels).inc()
+
+    def bit_receipt(self, observer: int, event: BitEvent) -> None:
+        """The addressee decoded a bit (it entered ``received``)."""
+        self._emit(
+            Event(
+                BIT_RECEIPT,
+                event.time,
+                {"src": event.src, "dst": event.dst, "bit": event.bit},
+            )
+        )
+        self.registry.counter("bits_total", phase="receipt", **self._labels).inc()
+
+    def bit_overheard(self, observer: int, event: BitEvent) -> None:
+        """A third party decoded a bit addressed to someone else."""
+        self._emit(
+            Event(
+                BIT_OVERHEARD,
+                event.time,
+                {
+                    "src": event.src,
+                    "dst": event.dst,
+                    "bit": event.bit,
+                    "by": observer,
+                },
+            )
+        )
+        self.registry.counter("bits_total", phase="overheard", **self._labels).inc()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def to_run(self):
+        """Freeze the recording into an exportable ObsRun."""
+        from repro.obs.export import ObsRun
+
+        if self._sim is not None:
+            # Snapshot live perf counters without requiring detach.
+            self._absorb_perf(self._sim)
+        return ObsRun(
+            meta=dict(self.meta),
+            events=list(self.events),
+            metrics=self.registry.collect(),
+        )

@@ -7,6 +7,14 @@ both write into.  The counters are purely observational: caching is
 semantically transparent, so they exist to *measure* the layer, not to
 influence it.
 
+Since the observability layer landed, ``PerfStats`` is a **shim** over
+:class:`repro.obs.registry.MetricsRegistry` — the counters live as
+labeled ``perf_*`` counter series in a registry, so the obs recorder
+and the benchmark runner read them through one interface.  The classic
+attribute API (``stats.cache_hits += 1``, ``stats.hit_rate``,
+``as_dict``, ``reset``) is unchanged and remains the supported surface
+for existing callers.
+
 Counter semantics:
 
 * ``cache_hits`` / ``cache_misses`` — derived-geometry lookups and
@@ -23,21 +31,90 @@ Counter semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["PerfStats"]
 
+_FIELDS = (
+    "cache_hits",
+    "cache_misses",
+    "observations_built",
+    "observations_reused",
+)
 
-@dataclass
+
 class PerfStats:
-    """Mutable counter block for one simulator (or cache) instance."""
+    """Mutable counter block for one simulator (or cache) instance.
 
-    cache_hits: int = 0
-    cache_misses: int = 0
-    observations_built: int = 0
-    observations_reused: int = 0
+    Args:
+        registry: the :class:`~repro.obs.registry.MetricsRegistry` to
+            host the ``perf_*`` counter series in; a fresh private one
+            is created when omitted (the classic per-simulator
+            behaviour).
+        labels: labels for the hosted series (e.g. ``protocol=...``).
+    """
 
+    __slots__ = ("_registry", "_cache_hits", "_cache_misses",
+                 "_observations_built", "_observations_reused")
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **labels: object
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._cache_hits = self._registry.counter("perf_cache_hits", **labels)
+        self._cache_misses = self._registry.counter("perf_cache_misses", **labels)
+        self._observations_built = self._registry.counter(
+            "perf_observations_built", **labels
+        )
+        self._observations_reused = self._registry.counter(
+            "perf_observations_reused", **labels
+        )
+
+    # ------------------------------------------------------------------
+    # The classic attribute API (delegates to the registry counters)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry hosting this block's ``perf_*`` series."""
+        return self._registry
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @cache_hits.setter
+    def cache_hits(self, value: int) -> None:
+        self._cache_hits.value = value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    @cache_misses.setter
+    def cache_misses(self, value: int) -> None:
+        self._cache_misses.value = value
+
+    @property
+    def observations_built(self) -> int:
+        return self._observations_built.value
+
+    @observations_built.setter
+    def observations_built(self, value: int) -> None:
+        self._observations_built.value = value
+
+    @property
+    def observations_reused(self) -> int:
+        return self._observations_reused.value
+
+    @observations_reused.setter
+    def observations_reused(self, value: int) -> None:
+        self._observations_reused.value = value
+
+    # ------------------------------------------------------------------
+    # Derived rates and snapshots (unchanged semantics)
+    # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         """Fraction of cache lookups served without recomputation."""
@@ -63,7 +140,14 @@ class PerfStats:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.observations_built = 0
-        self.observations_reused = 0
+        for name in _FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)}" for name in _FIELDS)
+        return f"PerfStats({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PerfStats):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in _FIELDS)

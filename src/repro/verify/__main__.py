@@ -66,6 +66,11 @@ def _parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON ('-' for stdout)",
     )
     parser.add_argument(
+        "--obs-dump", metavar="DIR",
+        help="on failure, replay the minimized repro with the obs "
+             "recorder attached and dump the event trace (JSONL) here",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list executable cells, skipped cells and mutants, then exit",
     )
@@ -184,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         quick=args.quick,
         transparency=not args.no_transparency,
         minimize=not args.no_minimize,
+        obs_dump_dir=args.obs_dump,
         progress=progress if args.verbose else None,
     )
     print(report.format(verbose=args.verbose))

@@ -11,7 +11,11 @@ and every seed, the engine:
 2. streams the cell's invariant monitors over the cached run;
 3. on violation, *minimizes* the reproduction: shrink the swarm while
    the cell still fails, and clip the step budget to the earliest
-   streaming violation.
+   streaming violation;
+4. when an ``obs_dump_dir`` is given, re-runs the minimized
+   reproduction with an :class:`~repro.obs.recorder.ObsRecorder`
+   attached and leaves the full event trace on disk as JSONL — a
+   failure report you can open with ``python -m repro.obs report``.
 
 Everything is deterministic given the seed list, so a failure report
 is a complete reproduction recipe:
@@ -20,6 +24,7 @@ is a complete reproduction recipe:
 
 from __future__ import annotations
 
+import os
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -85,6 +90,9 @@ class CellResult:
     error: Optional[str] = None
     #: minimized reproduction (seed/size/steps), present on failure.
     minimized: Optional[Dict[str, int]] = None
+    #: path of the obs trace dumped for the minimized repro, when the
+    #: engine was invoked with an ``obs_dump_dir``.
+    obs_dump: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +117,8 @@ class CellResult:
             payload["error"] = self.error
         if self.minimized is not None:
             payload["minimized"] = dict(self.minimized)
+        if self.obs_dump is not None:
+            payload["obs_dump"] = self.obs_dump
         return payload
 
 
@@ -177,6 +187,50 @@ def _minimize(
     return {"seed": seed, "size": best_size, "steps": best_steps}
 
 
+def _dump_obs(
+    cell: Cell, seed: int, quick: bool, failing: CellResult, dump_dir: str
+) -> Optional[str]:
+    """Replay the (minimized) failing repro instrumented; dump JSONL.
+
+    Best-effort by design: the dump must never turn a clean failure
+    report into an engine crash, so any exception yields ``None``.
+    """
+    from repro.obs.export import dump_run
+    from repro.obs.recorder import ObsRecorder
+
+    try:
+        size = failing.minimized["size"] if failing.minimized else None
+        steps = failing.minimized["steps"] if failing.minimized else None
+        run = build_run(
+            cell,
+            seed,
+            quick=quick,
+            size_override=size,
+            max_steps_override=steps,
+        )
+        recorder = ObsRecorder(
+            meta={
+                "protocol": cell.protocol,
+                "scheduler": cell.scheduler,
+                "seed": seed,
+                "quick": quick,
+                "minimized": dict(failing.minimized) if failing.minimized else None,
+                "violations": [str(v) for v in failing.violations],
+            }
+        )
+        recorder.attach(run.sim)
+        attach(run.sim, run.monitors)
+        drive(run)
+        recorder.detach(run.sim)
+        os.makedirs(dump_dir, exist_ok=True)
+        path = os.path.join(
+            dump_dir, f"{cell.protocol}-{cell.scheduler}-seed{seed}.jsonl"
+        )
+        return dump_run(recorder.to_run(), path)
+    except Exception:  # pragma: no cover - dump is best-effort
+        return None
+
+
 def run_cell(
     cell: Cell,
     seed: int,
@@ -184,6 +238,7 @@ def run_cell(
     quick: bool = False,
     transparency: bool = True,
     minimize: bool = True,
+    obs_dump_dir: Optional[str] = None,
 ) -> CellResult:
     """Verify one cell at one seed; see the module docstring."""
     result = CellResult(cell.protocol, cell.scheduler, seed)
@@ -206,6 +261,8 @@ def run_cell(
             result.minimized = _minimize(cell, seed, quick, result)
         except Exception:  # pragma: no cover - minimization is best-effort
             pass
+    if result.violations and obs_dump_dir is not None:
+        result.obs_dump = _dump_obs(cell, seed, quick, result, obs_dump_dir)
     return result
 
 
@@ -259,6 +316,11 @@ class Report:
                         f"    seed {r.seed}: minimized repro: seed={m['seed']} "
                         f"size={m['size']} steps={m['steps']}"
                     )
+                if r.obs_dump:
+                    lines.append(
+                        f"    seed {r.seed}: obs trace: {r.obs_dump} "
+                        f"(open with `python -m repro.obs report`)"
+                    )
         if verbose and self.skipped:
             lines.append("")
             for protocol, scheduler, reason in self.skipped:
@@ -281,6 +343,7 @@ def run_matrix(
     quick: bool = False,
     transparency: bool = True,
     minimize: bool = True,
+    obs_dump_dir: Optional[str] = None,
     progress: Optional[Callable[[CellResult], None]] = None,
 ) -> Report:
     """Sweep the matrix: every matching cell x every seed."""
@@ -298,6 +361,7 @@ def run_matrix(
                 quick=quick,
                 transparency=transparency,
                 minimize=minimize,
+                obs_dump_dir=obs_dump_dir,
             )
             report.results.append(result)
             if progress is not None:

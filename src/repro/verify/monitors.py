@@ -28,7 +28,7 @@ the self-test all key on them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.vec import Vec2
 from repro.model.simulator import Simulator
@@ -37,6 +37,7 @@ from repro.model.trace import TraceStep
 __all__ = [
     "Violation",
     "InvariantMonitor",
+    "set_flag_hook",
     "CollisionFreedomMonitor",
     "SilenceMonitor",
     "ReceiptMonitor",
@@ -49,6 +50,26 @@ __all__ = [
 
 #: ``sent`` maps (src, dst) to the exact bit payload queued at t=0.
 TrafficMap = Dict[Tuple[int, int], List[int]]
+
+#: Observability injection point: when set, every monitor firing is
+#: also dispatched as ``hook(invariant, time, message)`` — the obs
+#: recorder counts firings into its metrics registry and puts them on
+#: the run's event timeline.  None (the default) costs one identity
+#: check per firing; verdicts are never affected.
+_flag_hook: Optional[Callable[[str, int, str], None]] = None
+
+
+def set_flag_hook(
+    hook: Optional[Callable[[str, int, str], None]],
+) -> Optional[Callable[[str, int, str], None]]:
+    """Install (or clear, with None) the monitor-firing hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _flag_hook
+    previous = _flag_hook
+    _flag_hook = hook
+    return previous
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +109,8 @@ class InvariantMonitor:
 
     def _flag(self, time: int, message: str) -> None:
         self.violations.append(Violation(self.name, time, message))
+        if _flag_hook is not None:
+            _flag_hook(self.name, time, message)
 
 
 def attach(sim: Simulator, monitors: Sequence[InvariantMonitor]) -> None:

@@ -1,0 +1,86 @@
+"""Trace parsing must fail loudly and name the offending line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace_io import dump_trace, load_trace, trace_from_jsonl, trace_to_jsonl
+from repro.errors import ReproError, TraceFormatError
+from repro.geometry.vec import Vec2
+from repro.model.trace import Trace, TraceStep
+
+
+def _sample_trace() -> Trace:
+    trace = Trace(initial_positions=(Vec2(0.0, 0.0), Vec2(1.0, 0.0)))
+    for t in range(3):
+        trace.steps.append(
+            TraceStep(
+                time=t,
+                active=frozenset({0, 1}),
+                positions=(Vec2(float(t), 0.0), Vec2(1.0, float(t))),
+            )
+        )
+    return trace
+
+
+class TestHappyPath:
+    def test_roundtrip_still_works(self, tmp_path):
+        path = dump_trace(_sample_trace(), str(tmp_path / "t.jsonl"))
+        loaded = load_trace(path)
+        assert loaded.steps == _sample_trace().steps
+        assert loaded.initial_positions == _sample_trace().initial_positions
+
+
+class TestTraceFormatError:
+    def test_empty_document(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            trace_from_jsonl("   \n  \n")
+
+    def test_truncated_mid_line_names_the_line(self):
+        text = trace_to_jsonl(_sample_trace())
+        cut = text[: int(len(text) * 0.8)]
+        with pytest.raises(TraceFormatError, match=r"line \d+.*truncated"):
+            trace_from_jsonl(cut)
+
+    def test_garbled_step_names_the_line(self):
+        lines = trace_to_jsonl(_sample_trace()).splitlines()
+        lines[2] = lines[2][:-5] + "oops}"
+        with pytest.raises(TraceFormatError, match="line 3"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_non_object_line(self):
+        lines = trace_to_jsonl(_sample_trace()).splitlines()
+        lines[1] = '"just a string"'
+        with pytest.raises(TraceFormatError, match="line 2.*object"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_unknown_format_names_line_one(self):
+        with pytest.raises(TraceFormatError, match="line 1.*unknown trace format"):
+            trace_from_jsonl('{"format": "elephant-v9", "count": 0, "initial": []}')
+
+    def test_missing_header_keys(self):
+        with pytest.raises(TraceFormatError, match="line 1.*malformed trace header"):
+            trace_from_jsonl('{"format": "repro-trace-v1"}')
+
+    def test_missing_step_keys_name_the_line(self):
+        lines = trace_to_jsonl(_sample_trace()).splitlines()
+        lines[2] = '{"t": 1, "active": [0]}'
+        with pytest.raises(TraceFormatError, match="line 3.*malformed step"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_non_contiguous_instants_name_the_line(self):
+        lines = trace_to_jsonl(_sample_trace()).splitlines()
+        del lines[2]  # drop t=1: the old t=2 line is now line 3
+        with pytest.raises(TraceFormatError, match="line 3.*non-contiguous"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_position_count_mismatch_names_the_line(self):
+        lines = trace_to_jsonl(_sample_trace()).splitlines()
+        lines[3] = '{"t": 2, "active": [0], "positions": [[0.0, 0.0]]}'
+        with pytest.raises(TraceFormatError, match="line 4.*positions"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_still_catchable_as_reproerror(self):
+        """Existing except-clauses on the base class keep working."""
+        with pytest.raises(ReproError):
+            trace_from_jsonl("garbage")

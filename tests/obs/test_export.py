@@ -1,0 +1,106 @@
+"""The JSONL export: exact round-trips, line-numbered diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, TraceFormatError
+from repro.obs.events import STEP, Event
+from repro.obs.export import (
+    FORMAT,
+    ObsRun,
+    dump_run,
+    load_run,
+    run_from_jsonl,
+    run_to_jsonl,
+)
+
+
+def _sample_run() -> ObsRun:
+    return ObsRun(
+        meta={"protocol": "sync_two", "scheduler": "synchronous", "count": 2},
+        events=[
+            Event(STEP, 0, {"active": [0, 1], "epoch": 1}),
+            Event(STEP, 1, {"active": [0, 1], "epoch": 2}),
+        ],
+        metrics=[{"name": "sim_steps_total", "type": "counter", "value": 2}],
+    )
+
+
+class TestRoundTrip:
+    def test_events_meta_and_metrics_survive_exactly(self):
+        run = _sample_run()
+        loaded = run_from_jsonl(run_to_jsonl(run))
+        assert loaded.meta == run.meta
+        assert loaded.events == run.events
+        assert loaded.metrics == run.metrics
+
+    def test_serialisation_is_deterministic(self):
+        assert run_to_jsonl(_sample_run()) == run_to_jsonl(_sample_run())
+
+    def test_dump_and_load_via_files(self, tmp_path):
+        path = dump_run(_sample_run(), str(tmp_path / "run.jsonl"))
+        loaded = load_run(path)
+        assert loaded.events == _sample_run().events
+
+    def test_run_accessors(self):
+        run = _sample_run()
+        assert run.count == 2
+        assert run.total_instants == 2
+        assert len(run.of_kind(STEP)) == 2
+
+
+class TestFormatErrors:
+    """Garbled input fails loudly, with the offending line number."""
+
+    def test_empty_document(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            run_from_jsonl("")
+
+    def test_truncated_line_names_the_line(self):
+        text = run_to_jsonl(_sample_run())
+        truncated = text[: len(text) // 2]
+        with pytest.raises(TraceFormatError, match=r"line \d+"):
+            run_from_jsonl(truncated)
+
+    def test_garbled_json_names_the_line(self):
+        good = run_to_jsonl(_sample_run()).splitlines()
+        good[1] = '{"kind": "step", "t": 0, "active": [0,'
+        with pytest.raises(TraceFormatError, match="line 2"):
+            run_from_jsonl("\n".join(good))
+
+    def test_non_object_line(self):
+        good = run_to_jsonl(_sample_run()).splitlines()
+        good[2] = "[1, 2, 3]"
+        with pytest.raises(TraceFormatError, match="line 3"):
+            run_from_jsonl("\n".join(good))
+
+    def test_unknown_format(self):
+        with pytest.raises(TraceFormatError, match="unknown obs format"):
+            run_from_jsonl('{"format": "not-a-run", "version": 1, "meta": {}}\n')
+
+    def test_unsupported_version(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            run_from_jsonl(
+                '{"format": "%s", "version": 99, "meta": {}}\n' % FORMAT
+            )
+
+    def test_missing_meta(self):
+        with pytest.raises(TraceFormatError, match="meta"):
+            run_from_jsonl('{"format": "%s", "version": 1}\n' % FORMAT)
+
+    def test_content_after_metrics_trailer(self):
+        text = run_to_jsonl(_sample_run()) + '{"kind": "step", "t": 9}\n'
+        with pytest.raises(TraceFormatError, match="after the metrics trailer"):
+            run_from_jsonl(text)
+
+    def test_bad_event_kind_names_the_line(self):
+        good = run_to_jsonl(_sample_run()).splitlines()
+        good[1] = '{"kind": "tea-break", "t": 0}'
+        with pytest.raises(TraceFormatError, match="line 2"):
+            run_from_jsonl("\n".join(good))
+
+    def test_errors_are_catchable_as_reproerror(self):
+        """Callers that only know the base hierarchy still catch it."""
+        with pytest.raises(ReproError):
+            run_from_jsonl("not json at all")

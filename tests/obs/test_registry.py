@@ -1,0 +1,139 @@
+"""The metrics registry: instruments, labels, deterministic snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_increment_is_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_snapshot_is_json_ready(self):
+        c = Counter()
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(7)
+        g.set(3.5)
+        assert g.value == 3.5
+        assert g.snapshot() == {"type": "gauge", "value": 3.5}
+
+
+class TestHistogram:
+    def test_default_buckets_are_the_decade_ladder(self):
+        h = Histogram()
+        assert h.bounds[0] == 1e-6 and h.bounds[-1] == 100.0
+
+    def test_observations_land_in_the_right_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(0.5)   # <= 1.0
+        h.observe(1.0)   # <= 1.0 (bounds are inclusive upper bounds)
+        h.observe(5.0)   # <= 10.0
+        h.observe(50.0)  # overflow
+        assert h.counts == [2, 1]
+        assert h.overflow == 1
+        assert h.count == 4
+        assert h.total == pytest.approx(56.5)
+        assert h.mean == pytest.approx(56.5 / 4)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_unsorted_bounds_are_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_empty_bounds_are_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        assert len(reg) == 1
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("bits", protocol="sync_two")
+        b = reg.counter("bits", protocol="async_n")
+        a.inc(5)
+        assert b.value == 0
+        assert len(reg) == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", p="1", s="2")
+        b = reg.counter("x", s="2", p="1")
+        assert a is b
+
+    def test_type_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("v")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("v")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("v")
+
+    def test_histogram_bounds_must_be_stable(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        reg.histogram("lat")  # omitting bounds later is fine
+        reg.histogram("lat", buckets=(1.0, 2.0))  # repeating them too
+        with pytest.raises(ObservabilityError):
+            reg.histogram("lat", buckets=(5.0,))
+
+    def test_collect_is_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a", k="2").inc(2)
+        reg.counter("a", k="1").inc(1)
+        snapshot = reg.collect()
+        assert [e["name"] for e in snapshot] == ["a", "a", "z"]
+        assert snapshot == reg.collect()
+        assert snapshot[0]["labels"] == {"k": "1"}
+
+    def test_absorb_records_gauges(self):
+        reg = MetricsRegistry()
+        reg.absorb({"hit_rate": 0.5, "hits": 10}, protocol="sync_two")
+        assert reg.gauge("hit_rate", protocol="sync_two").value == 0.5
+        assert reg.gauge("hits", protocol="sync_two").value == 10
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_default_registry_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous

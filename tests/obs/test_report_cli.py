@@ -1,0 +1,82 @@
+"""The ASCII report views and the ``python -m repro.obs`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.__main__ import main, record_demo
+from repro.obs.export import load_run
+from repro.obs.report import (
+    render_gantt,
+    render_metrics,
+    render_profile,
+    render_report,
+    render_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def demo_path(tmp_path_factory) -> str:
+    """One recorded 2-robot sync_two run, shared across this module."""
+    path = tmp_path_factory.mktemp("obs") / "demo.jsonl"
+    return record_demo(str(path), steps=12)
+
+
+class TestViews:
+    def test_timeline_shows_every_robot(self, demo_path):
+        text = render_timeline(load_run(demo_path))
+        assert "r0" in text and "r1" in text
+        assert "#" in text  # synchronous schedule: everyone active
+
+    def test_gantt_shows_bit_rows_and_marks(self, demo_path):
+        text = render_gantt(load_run(demo_path))
+        assert "r0->r1" in text
+        assert "E" in text and "R" in text
+
+    def test_metrics_table_lists_bit_counters(self, demo_path):
+        text = render_metrics(load_run(demo_path))
+        assert "bits_total" in text
+        assert "sim_steps_total" in text
+
+    def test_profile_lists_every_phase(self, demo_path):
+        text = render_profile(load_run(demo_path))
+        for phase in ("schedule", "compute", "move", "record"):
+            assert phase in text
+
+    def test_report_concatenates_everything(self, demo_path):
+        text = render_report(load_run(demo_path))
+        for fragment in ("activation timeline", "bit lifecycle", "metrics"):
+            assert fragment in text
+
+    def test_wide_runs_are_strided_to_fit(self, demo_path):
+        run = load_run(demo_path)
+        narrow = render_timeline(run, width=8)
+        rows = [line for line in narrow.splitlines() if line.startswith("  r")]
+        assert rows and all(len(r) <= 7 + 8 for r in rows)
+        assert "every 2th instant" in narrow  # downsampling is announced
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "command", ["report", "timeline", "gantt", "metrics", "profile"]
+    )
+    def test_views_render_from_a_run_file(self, demo_path, command, capsys):
+        assert main([command, demo_path]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_demo_records_a_loadable_run(self, tmp_path, capsys):
+        out = tmp_path / "fresh.jsonl"
+        assert main(["demo", str(out), "--steps", "8"]) == 0
+        run = load_run(str(out))
+        assert run.total_instants == 8
+        assert run.meta["protocol"] == "sync_two"
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such run file" in capsys.readouterr().err
+
+    def test_garbled_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format": "repro-obs-v1", "version": 1, "meta": {}}\n{oops\n')
+        assert main(["report", str(bad)]) == 1
+        assert "line 2" in capsys.readouterr().err

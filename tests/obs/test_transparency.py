@@ -1,0 +1,61 @@
+"""The bit-transparency property: observation must not perturb.
+
+For every protocol the paper describes, an instrumented run and a bare
+run of the identical seeded scenario must be indistinguishable — same
+position trace, same delivered bit streams, same monitor verdicts.
+And with no recorder attached, the obs layer must dispatch *nothing*
+(the zero-overhead-when-disabled contract).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import recorder as recorder_module
+from repro.obs.recorder import ObsRecorder, dispatch_count
+from repro.verify.engine import _received_fingerprint, _trace_fingerprint, drive
+from repro.verify.monitors import attach
+from repro.verify.scenarios import CELLS, PROTOCOLS, build_run
+
+_SEED = 1
+
+
+def _drive_cell(protocol: str, instrument: bool):
+    """One seeded synchronous run of ``protocol``; optionally recorded."""
+    cell = CELLS[(protocol, "synchronous")]
+    run = build_run(cell, _SEED, quick=True)
+    recorder = None
+    if instrument:
+        recorder = ObsRecorder(
+            meta={"protocol": protocol, "scheduler": "synchronous"}
+        )
+        recorder.attach(run.sim)
+    attach(run.sim, run.monitors)
+    steps = drive(run)
+    if recorder is not None:
+        recorder.detach(run.sim)
+    verdicts = [
+        (m.name, [(v.invariant, v.time, v.message) for v in m.violations])
+        for m in run.monitors
+    ]
+    return run, steps, verdicts, recorder
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestBitTransparency:
+    def test_instrumented_run_is_byte_identical(self, protocol):
+        bare, bare_steps, bare_verdicts, _ = _drive_cell(protocol, False)
+        inst, inst_steps, inst_verdicts, recorder = _drive_cell(protocol, True)
+        assert inst_steps == bare_steps
+        assert _trace_fingerprint(inst) == _trace_fingerprint(bare)
+        assert _received_fingerprint(inst) == _received_fingerprint(bare)
+        assert tuple(inst.sim.positions) == tuple(bare.sim.positions)
+        assert inst_verdicts == bare_verdicts
+        # the recorder did actually observe the run it left untouched
+        assert recorder is not None and len(recorder.events) > 0
+
+    def test_disabled_path_dispatches_nothing(self, protocol):
+        before = dispatch_count()
+        _drive_cell(protocol, False)
+        assert dispatch_count() == before
+        assert recorder_module._dispatches == before

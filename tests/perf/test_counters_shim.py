@@ -1,0 +1,91 @@
+"""The PerfStats deprecation shim over the metrics registry.
+
+PR 1 gave every simulator a ``PerfStats`` block; the observability
+layer re-hosts those counters as registry series.  The classic
+attribute API must keep working bit-for-bit, and the same numbers must
+be readable through the registry.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.perf.counters import PerfStats
+
+
+class TestClassicApi:
+    def test_attributes_start_at_zero(self):
+        stats = PerfStats()
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+        assert stats.observations_built == 0
+        assert stats.observations_reused == 0
+
+    def test_augmented_assignment_still_works(self):
+        stats = PerfStats()
+        stats.cache_hits += 1
+        stats.cache_hits += 1
+        stats.cache_misses += 1
+        assert stats.cache_hits == 2
+        assert stats.hit_rate == 2 / 3
+
+    def test_rates_and_as_dict_are_unchanged(self):
+        stats = PerfStats()
+        stats.observations_built = 1
+        stats.observations_reused = 3
+        assert stats.observation_reuse_rate == 0.75
+        snapshot = stats.as_dict()
+        assert snapshot["observations_reused"] == 3
+        assert snapshot["hit_rate"] == 0.0
+
+    def test_reset_zeroes_everything(self):
+        stats = PerfStats()
+        stats.cache_hits = 5
+        stats.reset()
+        assert stats.cache_hits == 0
+        assert stats.as_dict()["hit_rate"] == 0.0
+
+    def test_equality_and_repr(self):
+        a, b = PerfStats(), PerfStats()
+        a.cache_hits = 2
+        assert a != b
+        b.cache_hits = 2
+        assert a == b
+        assert "cache_hits=2" in repr(a)
+
+
+class TestRegistryDelegation:
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        stats = PerfStats(registry, protocol="sync_two")
+        stats.cache_hits += 4
+        assert (
+            registry.counter("perf_cache_hits", protocol="sync_two").value == 4
+        )
+
+    def test_registry_writes_are_visible_through_the_shim(self):
+        registry = MetricsRegistry()
+        stats = PerfStats(registry)
+        registry.counter("perf_cache_misses").inc(7)
+        assert stats.cache_misses == 7
+
+    def test_private_registry_by_default(self):
+        a, b = PerfStats(), PerfStats()
+        a.cache_hits += 1
+        assert b.cache_hits == 0
+        assert a.registry is not b.registry
+
+    def test_simulator_stats_are_shim_instances(self, twelve_ring):
+        from repro.apps.harness import SwarmHarness
+        from repro.protocols.sync_granular import SyncGranularProtocol
+
+        harness = SwarmHarness(
+            twelve_ring,
+            protocol_factory=lambda: SyncGranularProtocol(),
+            sigma=4.0,
+        )
+        harness.run(4)
+        stats = harness.simulator.stats
+        assert isinstance(stats, PerfStats)
+        total = stats.cache_hits + stats.cache_misses
+        assert total > 0
+        assert stats.registry.counter("perf_cache_hits").value == stats.cache_hits

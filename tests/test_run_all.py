@@ -106,3 +106,79 @@ class TestQuickGate:
             "bits_identical": True,
             "stats": {"observation_reuse_rate": 1.0},
         }
+
+
+class TestResultsSchema:
+    """The JSON payload identifies itself: schema, version, commit."""
+
+    def test_results_carry_schema_version_and_commit(self, monkeypatch, tmp_path):
+        import json
+
+        import benchmarks.run_all as run_all
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        out = tmp_path / "results.json"
+        assert run_all.main(["--quick", "--json", str(out)]) == 0
+        results = json.loads(out.read_text())
+        assert results["schema"] == run_all.RESULTS_SCHEMA
+        assert results["version"] == run_all.RESULTS_VERSION
+        # this test runs inside the repo's own git checkout
+        assert isinstance(results["git_commit"], str)
+        assert len(results["git_commit"]) == 40
+
+    def test_git_commit_is_none_outside_a_checkout(self, monkeypatch):
+        import benchmarks.run_all as run_all
+
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(run_all.subprocess, "run", no_git)
+        assert run_all.git_commit() is None
+
+
+class TestObsFlag:
+    """``--obs PATH`` exports a run and gates on transparency."""
+
+    def test_obs_export_is_loadable_and_reported(self, monkeypatch, tmp_path):
+        import json
+
+        import benchmarks.run_all as run_all
+        from repro.obs.export import load_run
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        obs_path = tmp_path / "run.jsonl"
+        out = tmp_path / "results.json"
+        code = run_all.main(
+            ["--quick", "--obs", str(obs_path), "--json", str(out)]
+        )
+        assert code == 0
+        run = load_run(str(obs_path))
+        assert run.total_instants > 0
+        results = json.loads(out.read_text())
+        assert results["obs"]["transparent"] is True
+        assert results["invariants"]["obs_transparency"] is True
+        assert results["obs"]["events"] == len(run.events)
+
+    def test_opaque_recorder_exits_nonzero(self, monkeypatch, tmp_path):
+        import benchmarks.run_all as run_all
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        monkeypatch.setattr(
+            run_all,
+            "obs_probe",
+            lambda path, n=8, steps=24: {
+                "path": path, "n": n, "steps": steps,
+                "events": 0, "transparent": False, "metrics": [],
+            },
+        )
+        assert run_all.main(["--quick", "--obs", str(tmp_path / "r.jsonl")]) == 1
+
+    def test_crashing_obs_probe_is_a_failure(self, monkeypatch, tmp_path):
+        import benchmarks.run_all as run_all
+
+        def boom(path, n=8, steps=24):
+            raise RuntimeError("recorder exploded")
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        monkeypatch.setattr(run_all, "obs_probe", boom)
+        assert run_all.main(["--quick", "--obs", str(tmp_path / "r.jsonl")]) == 1

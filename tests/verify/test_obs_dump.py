@@ -1,0 +1,72 @@
+"""Failing verify cells leave an obs trace on disk for the repro."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.export import load_run
+from repro.verify.engine import run_cell
+from repro.verify.scenarios import Cell
+
+
+def _doomed_cell() -> Cell:
+    """A deliberately failing cell: receipt demanded under a budget
+    far too small to deliver the payload."""
+    return Cell(
+        protocol="sync_granular",
+        scheduler="synchronous",
+        invariants=("receipt",),
+        max_steps=3,
+        quick_steps=3,
+    )
+
+
+class TestObsDumpOnFailure:
+    def test_failing_cell_dumps_a_loadable_trace(self, tmp_path):
+        result = run_cell(
+            _doomed_cell(),
+            0,
+            quick=True,
+            transparency=False,
+            obs_dump_dir=str(tmp_path),
+        )
+        assert not result.ok
+        assert result.obs_dump is not None
+        assert os.path.exists(result.obs_dump)
+        run = load_run(result.obs_dump)
+        assert run.meta["protocol"] == "sync_granular"
+        assert run.meta["scheduler"] == "synchronous"
+        assert run.meta["seed"] == 0
+        # the dump carries the verdict that triggered it
+        assert any("receipt" in v for v in run.meta["violations"])
+        assert run.events  # the replay actually recorded something
+
+    def test_dump_path_lands_in_the_json_report(self, tmp_path):
+        result = run_cell(
+            _doomed_cell(),
+            0,
+            quick=True,
+            transparency=False,
+            obs_dump_dir=str(tmp_path),
+        )
+        payload = result.to_json()
+        assert payload["obs_dump"] == result.obs_dump
+
+    def test_passing_cell_dumps_nothing(self, tmp_path):
+        from repro.verify.scenarios import CELLS
+
+        result = run_cell(
+            CELLS[("sync_two", "synchronous")],
+            0,
+            quick=True,
+            transparency=False,
+            obs_dump_dir=str(tmp_path),
+        )
+        assert result.ok
+        assert result.obs_dump is None
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_no_dump_dir_means_no_dump(self):
+        result = run_cell(_doomed_cell(), 0, quick=True, transparency=False)
+        assert not result.ok
+        assert result.obs_dump is None
