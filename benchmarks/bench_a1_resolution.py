@@ -32,7 +32,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 RESOLUTION = 8  # distinguishable directions (a square lattice's worth)
 SIZES = (3, 4, 6, 9, 12)
@@ -114,6 +114,10 @@ def main() -> None:
         ["n", f"2n slices @D={RESOLUTION}", "2k+1 slices (k=3)", "square lattice (k=3)"],
         sweep(),
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 BITS = [1, 0] * 10
 
@@ -124,6 +124,10 @@ def main() -> None:
         ["protocol", "distance/bit"],
         [("sync pair, B=2", alphabets[0][1]), ("async pair (bounded)", async_cost)],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 DELAYS = (0, 1, 2, 4)
 SEEDS = range(15)
@@ -77,6 +77,10 @@ def main() -> None:
         ["max look lag d", "dilation 1 (paper)", "dilation d+1", "steps/bit @ d+1"],
         sweep(),
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

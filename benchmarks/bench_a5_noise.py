@@ -29,7 +29,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table, scatter
+from benchmarks.support import print_table, scatter, table_cells
 
 NOISE_LEVELS = (0.0, 0.02, 0.1, 0.3, 1.2)
 SEEDS = range(20)
@@ -186,6 +186,10 @@ def main() -> None:
         ["n", "noise 0.0", "noise 0.05"],
         sweep_scattered(),
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

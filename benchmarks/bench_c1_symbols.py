@@ -21,7 +21,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 ALPHABETS = (2, 4, 16, 256)
 MESSAGE = b"stigmergic robots chat by moving"
@@ -85,6 +85,10 @@ def main() -> None:
             for r in rows
         ],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

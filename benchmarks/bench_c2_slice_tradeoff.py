@@ -24,7 +24,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 MODEL_SIZES = (16, 64, 256, 1024, 4096)
 SIM_CASES = ((8, 2), (8, 3), (16, 2), (16, 4))
@@ -102,6 +102,10 @@ def main() -> None:
             for r in slice_tradeoff_table(MODEL_SIZES)
         ],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

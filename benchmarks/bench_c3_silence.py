@@ -24,7 +24,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 import random
 
@@ -93,6 +93,10 @@ def main() -> None:
         ["protocol", "robots that moved while idle"],
         [("Asyncn (n=4, 60 steps)", async_movers)],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 
 def build(count: int = 4, drop: float = 0.0, seed: int = 0):
@@ -123,6 +123,10 @@ def main() -> None:
         ["sent", "delivered exactly once", "movement fallbacks"],
         [(len(lossy["sent"]), lossy["got"] == lossy["sent"], lossy["fallbacks"])],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

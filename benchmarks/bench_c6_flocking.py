@@ -20,7 +20,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 BITS = [1, 0, 1, 1, 0]
 
@@ -83,6 +83,10 @@ def main() -> None:
             ("steps", result["steps"]),
         ],
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 
 def run_fig1(message_a: str = "hello", message_b: str = "world"):
@@ -78,6 +78,10 @@ def main() -> None:
         ["sender", "bits", "steps", "steps/bit(run)", "distance"],
         rows,
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ if __package__ in (None, ""):
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks.support import print_table
+from benchmarks.support import print_table, table_cells
 
 FAIRNESS_BOUNDS = (1, 2, 4, 8)
 SEEDS = (0, 1, 2)
@@ -73,6 +73,10 @@ def main() -> None:
         ["fairness bound k", "min steps", "mean steps", "max steps"],
         sweep(),
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -28,7 +28,7 @@ if __package__ in (None, ""):
 
 # scatter() is grid-accelerated (same points per seed as the old O(n²)
 # rejection sampler) so the large-n substrate benchmarks stay feasible.
-from benchmarks.support import print_table, scatter
+from benchmarks.support import print_table, scatter, table_cells
 
 
 def sync_steps_per_bit(n: int) -> float:
@@ -123,6 +123,10 @@ def main() -> None:
         ["n", "sync granular", "async (sec naming)"],
         protocol_scaling_rows(),
     )
+
+
+# The campaign engine's import-based entry points (no exec).
+cells, run_cell = table_cells(main=main)
 
 
 if __name__ == "__main__":

@@ -8,12 +8,15 @@ Usage::
     python benchmarks/run_all.py --json BENCH_results.json
     python -m benchmarks.run_all --quick --json BENCH_results.json
     python -m benchmarks.run_all --quick --obs run.jsonl   # + obs export
+    python -m benchmarks.run_all --quick --workers 4 --store .campaigns/ci
 
-The default mode fans the experiment modules out over a process pool
-(each module is independent: it builds its own swarms and prints a
-table), buffers their stdout, and replays the outputs in registration
-order so the document is reproducible byte-for-byte regardless of
-completion order.
+The driver is a thin wrapper over :mod:`repro.campaign`: the table
+matrix and the perf probes are submitted as campaign cells, executed
+by the campaign worker pool (``--jobs`` for tables, ``--workers`` for
+probes; 0 = inline), and read back from the result store.  Outputs are
+replayed in registration order so the document is reproducible
+byte-for-byte regardless of completion order; ``--store DIR`` keeps
+the store (and with it, resumability) instead of a throwaway one.
 
 ``--quick`` is the CI smoke target: it skips the full table matrix and
 runs only the perf probes — the cached-vs-uncached throughput A/B at
@@ -25,21 +28,20 @@ JSON.  A nonzero exit means an invariant or transparency check failed.
 from __future__ import annotations
 
 import argparse
-import contextlib
-import io
 import json
-import multiprocessing
 import os
 import pathlib
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: schema tag of the machine-readable results document; bump the
 #: version whenever a consumer-visible key changes shape.
 RESULTS_SCHEMA = "repro-bench-results"
-RESULTS_VERSION = 2
+RESULTS_VERSION = 3
 
 # Allow `python benchmarks/run_all.py` from the repo root.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
@@ -94,44 +96,60 @@ MODULES = [
 
 
 # ----------------------------------------------------------------------
-# Worker: run one experiment module with buffered stdout
+# The table matrix, as a campaign
 # ----------------------------------------------------------------------
-def _run_module(name: str) -> Dict:
-    import importlib
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-    module = importlib.import_module(name)
-    buffer = io.StringIO()
-    started = time.perf_counter()
+
+def _run_cells(name: str, cells, workers: int, store_dir: Optional[str]):
+    """Run ``cells`` through the campaign engine; return the outcomes.
+
+    With ``store_dir`` the results persist (and a second run resumes
+    from them); without, a throwaway store is used and deleted.  Cells
+    get a single attempt — a crashed table or probe is a *finding*,
+    not flakiness to retry.
+    """
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec(
+        name=name, cells=cells, timeout_s=900.0, max_attempts=1
+    )
+    persistent = store_dir is not None
+    root = store_dir or tempfile.mkdtemp(prefix="repro-bench-store-")
     try:
-        with contextlib.redirect_stdout(buffer):
-            module.main()
-        return {
-            "name": name,
-            "ok": True,
-            "elapsed_s": time.perf_counter() - started,
-            "output": buffer.getvalue(),
-        }
-    except Exception as exc:  # pragma: no cover - reporting path
-        return {
-            "name": name,
-            "ok": False,
-            "elapsed_s": time.perf_counter() - started,
-            "output": buffer.getvalue(),
-            "error": repr(exc),
-        }
+        outcome = run_campaign(
+            spec,
+            root,
+            workers=workers,
+            resume=persistent,
+            extra_paths=[str(_REPO_ROOT), str(_REPO_ROOT / "src")],
+        )
+    finally:
+        if not persistent:
+            shutil.rmtree(root, ignore_errors=True)
+    return outcome.outcomes
 
 
-def run_matrix(jobs: Optional[int], sequential: bool) -> List[Dict]:
-    names = [m.__name__ for m in MODULES]
-    if sequential or len(names) == 1:
-        return [_run_module(name) for name in names]
-    worker_count = jobs or min(len(names), os.cpu_count() or 2)
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        return [_run_module(name) for name in names]
-    with context.Pool(processes=worker_count) as pool:
-        return pool.map(_run_module, names)
+def run_matrix(jobs: Optional[int], sequential: bool,
+               store_dir: Optional[str] = None) -> List[Dict]:
+    """Regenerate every experiment table as a campaign of bench cells."""
+    from repro.campaign.spec import bench_cells
+
+    workers = 0 if sequential else (jobs or min(len(MODULES), os.cpu_count() or 2))
+    entries: List[Dict] = []
+    for outcome in _run_cells("run-all-tables", bench_cells(), workers, store_dir):
+        payload = outcome.payload or {}
+        entry: Dict = {
+            "name": str(outcome.cell.params["module"]),
+            "ok": outcome.status == "ok",
+            "elapsed_s": outcome.elapsed_s,
+            "output": str(payload.get("output", "")),
+        }
+        if outcome.error is not None:  # pragma: no cover - reporting path
+            entry["error"] = outcome.error
+        entries.append(entry)
+    return entries
 
 
 # ----------------------------------------------------------------------
@@ -323,24 +341,57 @@ def adversarial_transparency_probe(seeds: int = 2) -> Dict:
     }
 
 
-def collect_probes() -> Dict:
-    """Run every probe; a probe that *raises* is recorded as failed.
+#: probe registry: cell name -> zero-arg runner.  The lambdas resolve
+#: the probe functions through module globals at call time, so tests
+#: (and users) can monkeypatch ``run_all.throughput_probe`` etc. and
+#: still route through the campaign engine.
+PROBES: Dict[str, object] = {
+    "sync_throughput_n64": lambda: throughput_probe(n=64, steps=40),
+    "geometry_cache": lambda: geometry_cache_probe(),
+    "adversarial_transparency": lambda: adversarial_transparency_probe(),
+}
 
-    A crashed probe must not take the driver (or the JSON report) down
-    with it — it counts as a failure via its ``"ok": False`` entry,
-    which :func:`main` turns into a nonzero exit.
+#: probe cell order: registration order, which the report replays.
+_PROBE_ORDER = list(PROBES)
+
+
+def cells() -> List[str]:
+    """The campaign cells this module exposes: the perf probes."""
+    return sorted(PROBES)
+
+
+def run_cell(name: str) -> Dict:
+    """Execute one probe cell for the campaign engine."""
+    if name not in PROBES:
+        raise KeyError(f"no probe cell {name!r} (available: {sorted(PROBES)})")
+    return PROBES[name]()  # type: ignore[operator]
+
+
+def collect_probes(workers: int = 0,
+                   store_dir: Optional[str] = None) -> Tuple[Dict, Dict[str, float]]:
+    """Run every probe as a campaign; return ``(payloads, timings)``.
+
+    ``payloads`` maps probe name to its result dict; a probe that
+    *raises* is recorded as ``{"ok": False, "error": ...}`` — it must
+    not take the driver (or the JSON report) down with it, but counts
+    as a failure :func:`main` turns into a nonzero exit.  ``timings``
+    maps probe name to its wall-clock seconds in the worker.
     """
+    from repro.campaign.spec import probe_cells
+
     probes: Dict = {}
-    for name, runner in (
-        ("sync_throughput_n64", lambda: throughput_probe(n=64, steps=40)),
-        ("geometry_cache", geometry_cache_probe),
-        ("adversarial_transparency", adversarial_transparency_probe),
-    ):
-        try:
-            probes[name] = runner()
-        except Exception as exc:
-            probes[name] = {"ok": False, "error": repr(exc)}
-    return probes
+    timings: Dict[str, float] = {}
+    for outcome in _run_cells("run-all-probes", probe_cells(), workers, store_dir):
+        name = str(outcome.cell.params["cell"])
+        timings[name] = outcome.elapsed_s
+        if outcome.status == "ok":
+            probes[name] = outcome.payload
+        else:
+            probes[name] = {"ok": False, "error": outcome.error or outcome.status}
+    # replay in registration order (cells() sorts for hashing stability)
+    ordered = {n: probes[n] for n in _PROBE_ORDER if n in probes}
+    ordered.update(probes)
+    return ordered, timings
 
 
 # ----------------------------------------------------------------------
@@ -377,7 +428,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record an instrumented run, write it as repro-obs-v1 "
              "JSONL, and check the recorder changed nothing",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="campaign worker processes for the perf probes (0 = inline)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist the campaign result stores under DIR "
+             "(default: throwaway; re-runs resume from a kept store)",
+    )
     args = parser.parse_args(argv)
+    started = time.perf_counter()
 
     results: Dict = {
         "schema": RESULTS_SCHEMA,
@@ -386,11 +451,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "git_commit": git_commit(),
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
+        "workers": args.workers,
     }
+    table_store = os.path.join(args.store, "tables") if args.store else None
+    probe_store = os.path.join(args.store, "probes") if args.store else None
 
     failures = 0
     if not args.quick:
-        matrix = run_matrix(args.jobs, args.sequential)
+        matrix = run_matrix(args.jobs, args.sequential, store_dir=table_store)
         for entry in matrix:
             sys.stdout.write(entry["output"])
             if entry["ok"]:
@@ -405,7 +473,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             {k: entry[k] for k in ("name", "ok", "elapsed_s")} for entry in matrix
         ]
 
-    probes = collect_probes()
+    probes, probe_timings = collect_probes(
+        workers=args.workers, store_dir=probe_store
+    )
+    results["probes_elapsed_s"] = probe_timings
     invariants = {
         "sync_granular_two_steps_per_bit": sync_invariant_holds(),
         "caching_trace_identical": bool(
@@ -462,6 +533,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not ok:
             failures += 1
 
+    results["elapsed_s"] = time.perf_counter() - started
     if args.json:
         path = pathlib.Path(args.json)
         path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

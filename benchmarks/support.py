@@ -11,13 +11,64 @@ Every ``bench_*.py`` module is both
 
 from __future__ import annotations
 
+import contextlib
+import io
 import random
-from typing import Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.geometry.vec import Vec2
 from repro.perf.spatial import SpatialHashGrid
 
-__all__ = ["print_table", "fmt", "scatter"]
+__all__ = ["print_table", "fmt", "scatter", "table_cells"]
+
+
+def table_cells(
+    *named: Tuple[str, Callable[[], object]],
+    main: Callable[[], None] = None,
+) -> Tuple[Callable[[], List[str]], Callable[[str], Dict[str, object]]]:
+    """Build the standard ``cells()``/``run_cell()`` pair for a module.
+
+    The campaign engine (``repro.campaign``) imports benchmark work
+    through this two-function protocol instead of ``exec``-ing
+    scripts: ``cells()`` lists the module's cell names, and
+    ``run_cell(name)`` executes one and returns a JSON-able payload.
+
+    ``main=fn`` registers the module's table regeneration as the
+    ``"table"`` cell — its stdout is captured into the payload, so the
+    experiment document can be replayed from the result store.  Extra
+    ``(name, fn)`` pairs register finer-grained cells whose return
+    value becomes the payload directly.
+
+    Usage, at the bottom of a ``bench_*.py`` module::
+
+        cells, run_cell = table_cells(main=main)
+    """
+    registry: Dict[str, Callable[[], object]] = dict(named)
+    if main is not None:
+        if "table" in registry:
+            raise ValueError("cell name 'table' is reserved for main")
+        registry["table"] = main
+
+    def cells() -> List[str]:
+        """The cell names this module exposes, sorted."""
+        return sorted(registry)
+
+    def run_cell(name: str) -> Dict[str, object]:
+        """Execute one cell; returns its JSON-able payload."""
+        if name not in registry:
+            raise KeyError(f"no cell {name!r} (available: {sorted(registry)})")
+        fn = registry[name]
+        if name == "table":
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                fn()
+            return {"ok": True, "output": buffer.getvalue()}
+        payload = fn()
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        return payload
+
+    return cells, run_cell
 
 
 def scatter(

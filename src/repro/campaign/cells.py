@@ -1,0 +1,202 @@
+"""Cell executors: what actually runs inside a campaign worker.
+
+Each cell *kind* maps to an executor function.  An executor takes the
+cell's identity ``params``, its non-identity ``options``, and the
+attempt number, and returns a JSON-able payload.  Executors run inside
+worker processes (or inline, for ``--workers 0``), so they import
+their heavyweight dependencies lazily.
+
+Determinism contract
+--------------------
+
+A payload must be a pure function of ``(kind, params)`` — no clocks,
+no process ids, no absolute paths — because result files are
+content-addressed by the cell hash and a resumed campaign must
+reproduce an uninterrupted one byte-for-byte.  Wall-clock timing lives
+in the store *journal*, never in the payload.  (The ``selftest`` kind
+deliberately breaks parts of this contract to exercise the runner's
+failure paths; it is not for production sweeps.)
+
+Obs integration
+---------------
+
+Every execution swaps in a fresh :class:`~repro.obs.registry.
+MetricsRegistry` as the process default; whatever deterministic series
+the cell emits are collected into ``payload["metrics"]``.  Verify
+cells additionally honour an ``obs_dump_dir`` option, leaving
+``repro-obs-v1`` JSONL traces of failing runs next to the store.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import CampaignError
+from repro.obs.registry import MetricsRegistry, set_default_registry
+
+__all__ = ["EXECUTORS", "execute_cell", "register_executor"]
+
+#: executor registry: cell kind -> callable(params, options, attempt).
+EXECUTORS: Dict[str, Callable[..., Dict[str, object]]] = {}
+
+
+def register_executor(
+    kind: str, fn: Callable[..., Dict[str, object]]
+) -> Callable[..., Dict[str, object]]:
+    """Register (or override) the executor for a cell kind."""
+    EXECUTORS[kind] = fn
+    return fn
+
+
+def execute_cell(
+    kind: str,
+    params: Dict[str, object],
+    options: Optional[Dict[str, object]] = None,
+    attempt: int = 1,
+) -> Dict[str, object]:
+    """Run one cell and return its payload.
+
+    Swaps a fresh metrics registry in as the process default for the
+    duration of the cell, so per-cell series neither leak between
+    cells sharing a pooled worker nor pollute the caller's registry.
+    """
+    try:
+        executor = EXECUTORS[kind]
+    except KeyError:
+        raise CampaignError(
+            f"unknown cell kind {kind!r} (registered: {sorted(EXECUTORS)})"
+        ) from None
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        payload = executor(params, options or {}, attempt)
+    finally:
+        set_default_registry(previous)
+    if not isinstance(payload, dict):
+        payload = {"value": payload}
+    metrics = registry.collect()
+    if metrics and "metrics" not in payload:
+        payload["metrics"] = metrics
+    return payload
+
+
+# ----------------------------------------------------------------------
+# verify: one (protocol, scheduler, seed) cell of the adversarial matrix
+# ----------------------------------------------------------------------
+def _exec_verify(
+    params: Dict[str, object], options: Dict[str, object], attempt: int
+) -> Dict[str, object]:
+    """Run one ``repro.verify`` matrix cell as campaign work.
+
+    The payload is the engine's :meth:`~repro.verify.engine.CellResult.
+    to_json` plus deterministic obs counters (steps driven, violations
+    found).  A cell whose invariants are violated still *executes*
+    successfully — the violation is the finding, carried in
+    ``payload["ok"]``, and surfaced by ``status``/``report``.
+    """
+    from repro.obs.registry import default_registry
+    from repro.verify.engine import run_cell as verify_cell
+    from repro.verify.scenarios import CELLS, SKIPS
+
+    key = (str(params["protocol"]), str(params["scheduler"]))
+    if key in SKIPS:
+        raise CampaignError(
+            f"verify cell {key[0]} x {key[1]} is out of envelope: {SKIPS[key]}"
+        )
+    if key not in CELLS:
+        raise CampaignError(f"unknown verify cell {key[0]} x {key[1]}")
+    dump_dir = options.get("obs_dump_dir")
+    result = verify_cell(
+        CELLS[key],
+        int(params["seed"]),  # type: ignore[arg-type]
+        quick=bool(params.get("quick", False)),
+        minimize=bool(params.get("minimize", True)),
+        obs_dump_dir=str(dump_dir) if dump_dir else None,
+    )
+    labels = {"protocol": key[0], "scheduler": key[1]}
+    registry = default_registry()
+    registry.counter("campaign_verify_steps", **labels).inc(result.steps)
+    registry.counter(
+        "campaign_verify_violations", **labels
+    ).inc(len(result.violations))
+    registry.gauge("campaign_verify_size", **labels).set(result.size)
+    return result.to_json()
+
+
+# ----------------------------------------------------------------------
+# bench: a cell exported by a benchmark module's cells()/run_cell() pair
+# ----------------------------------------------------------------------
+def _exec_bench(
+    params: Dict[str, object], options: Dict[str, object], attempt: int
+) -> Dict[str, object]:
+    """Run one benchmark cell by importing its module — no ``exec``.
+
+    The module must expose the ``cells()``/``run_cell(name)`` pair
+    (see ``benchmarks/support.py``); anything else is a spec error,
+    reported as such rather than retried.
+    """
+    import importlib
+
+    module_name = str(params["module"])
+    cell_name = str(params["cell"])
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise CampaignError(
+            f"cannot import benchmark module {module_name!r}: {exc}"
+        ) from exc
+    if not hasattr(module, "run_cell") or not hasattr(module, "cells"):
+        raise CampaignError(
+            f"{module_name} does not expose the cells()/run_cell() pair"
+        )
+    if cell_name not in module.cells():
+        raise CampaignError(
+            f"{module_name} has no cell {cell_name!r} "
+            f"(available: {sorted(module.cells())})"
+        )
+    return module.run_cell(cell_name)
+
+
+# ----------------------------------------------------------------------
+# selftest: deliberately misbehaving cells for the runner's own tests
+# ----------------------------------------------------------------------
+def _exec_selftest(
+    params: Dict[str, object], options: Dict[str, object], attempt: int
+) -> Dict[str, object]:
+    """Deterministically misbehave, as instructed by ``params``.
+
+    Behaviors: ``ok`` (return a payload derived from params), ``fail``
+    (always raise), ``flaky`` (raise until ``succeed_on_attempt``),
+    ``hang`` (spin past any reasonable timeout), ``die`` (hard
+    ``os._exit`` — a worker crash, not an exception), ``slow`` (sleep
+    ``sleep_s`` then succeed).
+    """
+    behavior = str(params.get("behavior", "ok"))
+    if behavior == "ok":
+        return {"ok": True, "value": params.get("value", 0)}
+    if behavior == "fail":
+        raise RuntimeError("selftest cell failed as instructed")
+    if behavior == "flaky":
+        target = int(params.get("succeed_on_attempt", 2))  # type: ignore[arg-type]
+        if attempt < target:
+            raise RuntimeError("selftest cell flaked as instructed")
+        return {"ok": True, "value": params.get("value", 0)}
+    if behavior == "hang":
+        deadline = time.monotonic() + float(params.get("hang_s", 3600.0))  # type: ignore[arg-type]
+        while time.monotonic() < deadline:
+            time.sleep(0.01)
+        return {"ok": True, "value": "outlived the watchdog"}
+    if behavior == "die":
+        import os
+
+        os._exit(int(params.get("exit_code", 23)))  # type: ignore[arg-type]
+    if behavior == "slow":
+        time.sleep(float(params.get("sleep_s", 0.1)))  # type: ignore[arg-type]
+        return {"ok": True, "value": params.get("value", 0)}
+    raise CampaignError(f"unknown selftest behavior {behavior!r}")
+
+
+register_executor("verify", _exec_verify)
+register_executor("bench", _exec_bench)
+register_executor("selftest", _exec_selftest)

@@ -1,0 +1,248 @@
+"""Render campaign stores: status summaries, reports, and store diffs.
+
+Everything here is read-only over one or two
+:class:`~repro.campaign.store.ResultStore` directories.  ``status``
+and ``report`` query the store's derived SQLite index; ``diff``
+compares two stores of (usually) the same campaign — the tool for
+bench-trajectory comparisons across commits or machines, and the CI
+check that a resumed campaign converged on the uninterrupted store.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.campaign.store import CellRecord, ResultStore
+
+__all__ = [
+    "render_status",
+    "render_report",
+    "render_diff",
+    "numeric_drift",
+]
+
+#: exit codes shared by the CLI: clean, failures/findings, incomplete.
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_INCOMPLETE = 3
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-" * len(lines[0]))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _label(record: CellRecord) -> str:
+    parts = [record.kind]
+    for key in ("protocol", "scheduler", "module", "cell", "behavior",
+                "seed", "repeat"):
+        if key in record.params:
+            parts.append(f"{key}={record.params[key]}")
+    return " ".join(parts)
+
+
+def render_status(store: ResultStore) -> Tuple[str, int]:
+    """One-screen campaign status; returns ``(text, exit_code)``.
+
+    Exit code 0 means complete and clean; 1 means failed cells or
+    payload-level findings; 3 means incomplete (killed or still
+    running) with no failures so far.
+    """
+    header = store.read_header()
+    expected = {str(c["cell_id"]) for c in store.expected_cells()}
+    records = {r.cell_id: r for r in store.iter_results()}
+    failed = [r for r in records.values() if r.status == "failed"]
+    findings = [
+        r for r in records.values() if r.status == "ok" and not r.payload_ok
+    ]
+    remaining = sorted(expected - set(records))
+    lines = [
+        f"campaign {header.get('name')!r}  (spec {header.get('spec_hash')}, "
+        f"commit {str(header.get('git_commit'))[:12]})",
+        f"store    {store.root}",
+        f"cells    {len(records)}/{len(expected)} done, "
+        f"{len(failed)} failed, {len(findings)} findings, "
+        f"{len(remaining)} remaining",
+    ]
+    for record in sorted(failed, key=lambda r: r.cell_id):
+        lines.append(f"  FAILED  {_label(record)}: {record.error}")
+    for record in sorted(findings, key=lambda r: r.cell_id):
+        lines.append(f"  FINDING {_label(record)} reports ok=false")
+    if failed or findings:
+        return "\n".join(lines), EXIT_FAILURES
+    if remaining:
+        lines.append("  (incomplete — resume with `run --resume`)")
+        return "\n".join(lines), EXIT_INCOMPLETE
+    return "\n".join(lines), EXIT_OK
+
+
+def render_report(store: ResultStore, slowest: int = 10) -> str:
+    """A full report: per-kind rollup, slowest cells, failure detail."""
+    header = store.read_header()
+    status_text, _ = render_status(store)
+    rollup = store.query_index(
+        """
+        SELECT kind, COUNT(*),
+               SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END),
+               SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END),
+               SUM(CASE WHEN payload_ok = 0 AND status = 'ok'
+                   THEN 1 ELSE 0 END),
+               SUM(attempts), SUM(COALESCE(elapsed_s, 0.0))
+        FROM cells GROUP BY kind ORDER BY kind
+        """
+    )
+    sections = [status_text, ""]
+    if rollup:
+        sections.append(
+            _table(
+                ["kind", "cells", "ok", "failed", "findings",
+                 "attempts", "wall s"],
+                [
+                    (k, n, ok, bad, find, att, f"{wall:.2f}")
+                    for k, n, ok, bad, find, att, wall in rollup
+                ],
+            )
+        )
+    slow = store.query_index(
+        """
+        SELECT cell_id, kind, params, elapsed_s FROM cells
+        WHERE elapsed_s IS NOT NULL ORDER BY elapsed_s DESC LIMIT ?
+        """,
+        slowest,
+    )
+    if slow:
+        sections.append("")
+        sections.append("slowest cells:")
+        for cell_id, kind, params_json, elapsed in slow:
+            params = json.loads(params_json)
+            label = " ".join(
+                [kind] + [f"{k}={params[k]}" for k in sorted(params)][:4]
+            )
+            sections.append(f"  {elapsed:8.3f}s  {cell_id}  {label}")
+    defaults = header.get("defaults", {})
+    sections.append("")
+    sections.append(
+        f"defaults: timeout {defaults.get('timeout_s')}s, "
+        f"max_attempts {defaults.get('max_attempts')}, "
+        f"backoff {defaults.get('backoff_s')}s"
+    )
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Store diff
+# ----------------------------------------------------------------------
+
+def _numeric_leaves(
+    value: object, prefix: str = ""
+) -> Iterable[Tuple[str, float]]:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix or ".", float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            yield from _numeric_leaves(
+                value[key], f"{prefix}.{key}" if prefix else str(key)
+            )
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            yield from _numeric_leaves(item, f"{prefix}[{i}]")
+
+
+def numeric_drift(
+    a: Optional[Dict[str, object]],
+    b: Optional[Dict[str, object]],
+    threshold: float = 0.2,
+) -> List[Tuple[str, float, float, float]]:
+    """Numeric payload leaves whose relative change exceeds ``threshold``.
+
+    Returns ``(path, value_a, value_b, relative_change)`` rows, largest
+    drift first — the bench-trajectory comparison primitive.
+    """
+    left = dict(_numeric_leaves(a or {}))
+    right = dict(_numeric_leaves(b or {}))
+    rows: List[Tuple[str, float, float, float]] = []
+    for path in sorted(set(left) & set(right)):
+        va, vb = left[path], right[path]
+        scale = max(abs(va), abs(vb))
+        if scale == 0.0:
+            continue
+        change = abs(va - vb) / scale
+        if change > threshold:
+            rows.append((path, va, vb, change))
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
+def render_diff(
+    store_a: ResultStore,
+    store_b: ResultStore,
+    threshold: float = 0.2,
+    max_rows: int = 40,
+) -> Tuple[str, int]:
+    """Compare two stores; returns ``(text, exit_code)``.
+
+    Exit code 1 when the stores *disagree structurally* — cells present
+    on one side only, or the same cell with a different status/payload
+    identity.  Pure numeric drift (timings, throughput) is reported but
+    exits 0: trajectories are expected to move between machines.
+    """
+    records_a = {r.cell_id: r for r in store_a.iter_results()}
+    records_b = {r.cell_id: r for r in store_b.iter_results()}
+    only_a = sorted(set(records_a) - set(records_b))
+    only_b = sorted(set(records_b) - set(records_a))
+    lines = [
+        f"A: {store_a.root}  ({len(records_a)} results)",
+        f"B: {store_b.root}  ({len(records_b)} results)",
+    ]
+    structural = False
+    for cid in only_a:
+        structural = True
+        lines.append(f"  only in A: {cid}  {_label(records_a[cid])}")
+    for cid in only_b:
+        structural = True
+        lines.append(f"  only in B: {cid}  {_label(records_b[cid])}")
+    drift_count = 0
+    for cid in sorted(set(records_a) & set(records_b)):
+        ra, rb = records_a[cid], records_b[cid]
+        if ra.status != rb.status:
+            structural = True
+            lines.append(
+                f"  status changed: {cid}  {_label(ra)}: "
+                f"{ra.status} -> {rb.status}"
+            )
+            continue
+        if ra.payload == rb.payload:
+            continue
+        rows = numeric_drift(ra.payload, rb.payload, threshold)
+        if not rows:
+            # payloads differ in non-numeric or sub-threshold ways
+            structural = True
+            lines.append(f"  payload changed: {cid}  {_label(ra)}")
+            continue
+        for path, va, vb, change in rows:
+            if drift_count >= max_rows:
+                break
+            drift_count += 1
+            lines.append(
+                f"  drift {change:7.1%}  {cid}  {_label(ra)}  "
+                f"{path}: {va:g} -> {vb:g}"
+            )
+    if structural:
+        lines.append("stores disagree structurally")
+        return "\n".join(lines), EXIT_FAILURES
+    if drift_count:
+        lines.append(f"{drift_count} numeric drift rows (threshold {threshold:g})")
+    else:
+        lines.append("stores agree")
+    return "\n".join(lines), EXIT_OK

@@ -1,0 +1,605 @@
+"""The campaign runner: a sharded, fault-tolerant cell execution pool.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into
+results in a :class:`~repro.campaign.store.ResultStore`:
+
+* **Sharding** — cells fan out over a ``concurrent.futures``
+  process pool (``workers=N``); ``workers=0`` runs inline in the
+  driver process (used by tests and by monkeypatch-friendly callers).
+* **Per-cell timeout** — each worker arms a SIGALRM watchdog around
+  the cell; a hung cell is interrupted at its budget and reported as
+  a ``timeout`` attempt.  A driver-side backstop catches workers whose
+  alarm never fires (e.g. stuck in C code) by rebuilding the pool.
+* **Bounded retry with backoff** — failed/timed-out attempts requeue
+  with exponential backoff until the cell's ``max_attempts`` is
+  exhausted, then the cell is recorded ``failed`` — never dropped.
+* **Crash isolation** — a worker that dies outright (SIGKILL,
+  ``os._exit``) breaks the pool; the runner rebuilds the pool, charges
+  the in-flight cells one attempt each, and carries on.  One dying
+  cell cannot take the campaign down.
+* **Resume** — cells whose content hash already has a result in the
+  store are skipped, so a killed campaign re-run with ``resume=True``
+  continues exactly where it stopped and converges on the same store
+  an uninterrupted run produces.
+
+Only the driver writes the store (workers return payloads over the
+future), so there is a single writer and no cross-process locking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cells import execute_cell
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import CellRecord, ResultStore, current_git_commit
+from repro.errors import CampaignError, CellTimeoutError
+
+__all__ = ["CellOutcome", "CampaignOutcome", "run_campaign"]
+
+#: extra seconds past ``2 x timeout`` before the driver-side backstop
+#: declares a worker hung (its in-worker alarm should fire long before).
+_BACKSTOP_GRACE = 10.0
+
+#: driver poll interval while waiting on in-flight futures.
+_POLL_S = 0.05
+
+
+@dataclass
+class CellOutcome:
+    """One cell's final disposition within a campaign run."""
+
+    cell: CellSpec
+    cell_id: str
+    status: str  #: ``ok`` or ``failed``
+    attempts: int
+    elapsed_s: float
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    #: True when the result was found in the store (resume skip).
+    resumed: bool = False
+
+    @property
+    def payload_ok(self) -> bool:
+        """Executed cleanly *and* the payload reports no finding."""
+        if self.status != "ok":
+            return False
+        if isinstance(self.payload, dict) and self.payload.get("ok") is False:
+            return False
+        return True
+
+
+@dataclass
+class CampaignOutcome:
+    """Aggregate result of one ``run_campaign`` invocation."""
+
+    spec: CampaignSpec
+    store_root: str
+    workers: int
+    #: outcomes in spec order — only cells that have a result by now.
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    #: cell ids still without a result (budget exhausted / simulated kill).
+    remaining: List[str] = field(default_factory=list)
+    #: total driver wall-clock for this invocation.
+    elapsed_s: float = 0.0
+
+    @property
+    def failed(self) -> List[CellOutcome]:
+        """Cells recorded ``failed`` after exhausting their attempts."""
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def findings(self) -> List[CellOutcome]:
+        """Cells that executed but whose payload reports ``ok: false``."""
+        return [o for o in self.outcomes if o.status == "ok" and not o.payload_ok]
+
+    @property
+    def complete(self) -> bool:
+        """Every cell of the spec has a result in the store."""
+        return not self.remaining
+
+    @property
+    def ok(self) -> bool:
+        """Complete, nothing failed, no payload-level findings."""
+        return self.complete and not self.failed and not self.findings
+
+    def by_id(self) -> Dict[str, CellOutcome]:
+        """Outcomes keyed by cell hash."""
+        return {o.cell_id: o for o in self.outcomes}
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_Task = Tuple[str, Dict[str, object], Dict[str, object], float, int]
+
+
+def _raise_cell_timeout(signum, frame):  # pragma: no cover - signal path
+    """SIGALRM handler: abort the running cell."""
+    raise CellTimeoutError("cell exceeded its wall-clock budget")
+
+
+def _execute_envelope(task: _Task) -> Dict[str, object]:
+    """Run one cell attempt under its watchdog; never raises.
+
+    Returns an envelope ``{"status", "elapsed_s", "payload"|"error"}``
+    with status ``ok``, ``timeout``, ``error``, or ``spec_error``
+    (malformed cell — failed immediately, never retried).  Exceptions
+    are flattened to ``"TypeName: message"`` so result files stay
+    deterministic across identical runs.
+    """
+    kind, params, options, timeout_s, attempt = task
+    use_alarm = (
+        timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler = None
+    started = time.perf_counter()
+    try:
+        if use_alarm:
+            previous_handler = signal.signal(signal.SIGALRM, _raise_cell_timeout)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        payload = execute_cell(kind, params, options, attempt=attempt)
+        return {
+            "status": "ok",
+            "payload": payload,
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except CellTimeoutError:
+        return {
+            "status": "timeout",
+            "error": f"cell exceeded its {timeout_s:g}s timeout",
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except CampaignError as exc:
+        return {
+            "status": "spec_error",
+            "error": str(exc),
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except Exception as exc:
+        return {
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed_s": time.perf_counter() - started,
+        }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+def _init_worker(extra_paths: Sequence[str]) -> None:
+    """Pool initializer: make caller-side import roots visible.
+
+    Under a ``spawn`` start method the worker re-imports from scratch;
+    bench cells then need the repository root on ``sys.path`` to reach
+    the ``benchmarks`` package.  Harmless no-op under ``fork``.
+    """
+    for path in reversed(list(extra_paths or ())):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Pending:
+    """A cell attempt waiting to be dispatched (or in backoff)."""
+
+    cell: CellSpec
+    cell_id: str
+    attempt: int
+    ready_at: float = 0.0
+    submitted_at: float = 0.0
+    #: how many pool breakages this cell was merely *in flight* for.
+    #: Cells with ``crashes > 0`` are quarantined: dispatched one at a
+    #: time so the actual pool-killer crashes alone and only it is
+    #: charged an attempt — an innocent neighbour never burns its
+    #: retry budget on someone else's ``os._exit``.
+    crashes: int = 0
+
+
+class _Driver:
+    """State machine shared by the inline and pooled execution paths."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        budget: int,
+        progress: Optional[Callable[[CellOutcome], None]],
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.budget = budget
+        self.progress = progress
+        self.outcomes: Dict[str, CellOutcome] = {}
+        self.recorded = 0
+
+    def journal_attempt(self, p: _Pending, env: Dict[str, object]) -> None:
+        """Log one finished attempt (status + timing) to the journal."""
+        self.store.journal(
+            "attempt_done",
+            cell_id=p.cell_id,
+            attempt=p.attempt,
+            status=env["status"],
+            elapsed_s=round(float(env.get("elapsed_s", 0.0)), 6),  # type: ignore[arg-type]
+            error=env.get("error"),
+        )
+
+    def record(self, p: _Pending, env: Dict[str, object]) -> None:
+        """Persist a final (ok/failed) result for a cell."""
+        ok = env["status"] == "ok"
+        record = CellRecord(
+            cell_id=p.cell_id,
+            kind=p.cell.kind,
+            params=dict(p.cell.params),
+            status="ok" if ok else "failed",
+            attempts=p.attempt,
+            payload=env.get("payload") if ok else None,  # type: ignore[arg-type]
+            error=None if ok else str(env.get("error")),
+        )
+        self.store.write_result(record)
+        self.store.journal(
+            "result",
+            cell_id=p.cell_id,
+            status=record.status,
+            attempts=p.attempt,
+        )
+        outcome = CellOutcome(
+            cell=p.cell,
+            cell_id=p.cell_id,
+            status=record.status,
+            attempts=p.attempt,
+            elapsed_s=float(env.get("elapsed_s", 0.0)),  # type: ignore[arg-type]
+            payload=record.payload,
+            error=record.error,
+        )
+        self.outcomes[p.cell_id] = outcome
+        self.recorded += 1
+        if self.progress is not None:
+            self.progress(outcome)
+
+    def settle(self, p: _Pending, env: Dict[str, object]) -> Optional[_Pending]:
+        """Route one attempt result: record it, or return the retry.
+
+        ``ok`` and ``spec_error`` settle immediately; other failures
+        retry with exponential backoff until the attempt budget is
+        spent, then settle as ``failed``.
+        """
+        self.journal_attempt(p, env)
+        if env["status"] == "ok" or env["status"] == "spec_error":
+            self.record(p, env)
+            return None
+        if p.attempt >= self.spec.cell_attempts(p.cell):
+            self.record(p, env)
+            return None
+        delay = self.spec.backoff_s * (2 ** (p.attempt - 1))
+        return _Pending(
+            cell=p.cell,
+            cell_id=p.cell_id,
+            attempt=p.attempt + 1,
+            ready_at=time.monotonic() + delay,
+        )
+
+
+def _run_inline(driver: _Driver, todo: List[CellSpec]) -> None:
+    """Execute cells one at a time in the driver process.
+
+    Same semantics as the pool (timeout via SIGALRM where available,
+    retry with backoff), minus crash isolation — a cell that kills the
+    process kills the driver, exactly like a SIGKILLed campaign.
+    """
+    for cell in todo:
+        if driver.recorded >= driver.budget:
+            return
+        p: Optional[_Pending] = _Pending(cell, cell.cell_id(), attempt=1)
+        while p is not None:
+            wait_s = p.ready_at - time.monotonic()
+            if wait_s > 0:
+                time.sleep(wait_s)
+            driver.store.journal(
+                "attempt_start", cell_id=p.cell_id, attempt=p.attempt
+            )
+            env = _execute_envelope(
+                (
+                    cell.kind,
+                    dict(cell.params),
+                    dict(cell.options),
+                    driver.spec.cell_timeout(cell),
+                    p.attempt,
+                )
+            )
+            p = driver.settle(p, env)
+
+
+def _mp_context():
+    """Prefer ``fork`` (inherits sys.path and imports) when available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return None
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """Best-effort hard kill of a pool's worker processes."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
+def _run_pool(
+    driver: _Driver,
+    todo: List[CellSpec],
+    workers: int,
+    extra_paths: Sequence[str],
+) -> None:
+    """Fan cells out over a process pool; see the module docstring."""
+    context = _mp_context()
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(list(extra_paths),),
+        )
+
+    executor = make_executor()
+    pending: List[_Pending] = [
+        _Pending(cell, cell.cell_id(), attempt=1) for cell in todo
+    ]
+    in_flight: Dict[Future, _Pending] = {}
+
+    def drain_broken(reason: str, overdue: Optional[set] = None) -> None:
+        """Tear the pool down and reroute every in-flight attempt.
+
+        Identified culprits — the single in-flight cell of a solo
+        break, or the cells the hung-worker backstop flagged — are
+        charged a failed attempt.  Unattributable bystanders requeue
+        *uncharged* but quarantined (``crashes + 1``): they will be
+        dispatched alone, so a repeat offender crashes with no one
+        else in flight and gets charged next time.
+        """
+        nonlocal executor
+        executor.shutdown(wait=False, cancel_futures=True)
+        _kill_workers(executor)
+        solo = len(in_flight) == 1
+        now = time.monotonic()
+        for future, p in list(in_flight.items()):
+            in_flight.pop(future)
+            hung = bool(overdue and p.cell_id in overdue)
+            if hung or solo:
+                env = {
+                    "status": "timeout" if hung else "worker_death",
+                    "error": reason,
+                    "elapsed_s": now - p.submitted_at,
+                }
+                retry = driver.settle(p, env)
+                if retry is not None:
+                    retry.crashes = p.crashes + 1
+                    pending.append(retry)
+            else:
+                driver.store.journal(
+                    "attempt_abandoned",
+                    cell_id=p.cell_id,
+                    attempt=p.attempt,
+                    reason=reason,
+                    elapsed_s=round(now - p.submitted_at, 6),
+                )
+                p.crashes += 1
+                p.ready_at = now + driver.spec.backoff_s
+                pending.append(p)
+        executor = make_executor()
+
+    try:
+        while driver.recorded < driver.budget and (pending or in_flight):
+            now = time.monotonic()
+            # Dispatch every ready attempt into free-ish slots.  While
+            # any quarantined cell (a pool-break bystander or culprit)
+            # is pending, run quarantine one-at-a-time instead so the
+            # next crash is attributable.
+            if any(p.crashes > 0 for p in pending):
+                ready = (
+                    [p for p in pending if p.crashes > 0 and p.ready_at <= now][:1]
+                    if not in_flight
+                    else []
+                )
+            else:
+                ready = [p for p in pending if p.ready_at <= now]
+            while ready and len(in_flight) < workers * 2:
+                p = ready.pop(0)
+                pending.remove(p)
+                driver.store.journal(
+                    "attempt_start", cell_id=p.cell_id, attempt=p.attempt
+                )
+                p.submitted_at = now
+                task: _Task = (
+                    p.cell.kind,
+                    dict(p.cell.params),
+                    dict(p.cell.options),
+                    driver.spec.cell_timeout(p.cell),
+                    p.attempt,
+                )
+                try:
+                    in_flight[executor.submit(_execute_envelope, task)] = p
+                except BrokenProcessPool:
+                    # The pool died since the last poll; put the cell
+                    # back (no attempt charged — it never ran) and let
+                    # the drain below charge the in-flight ones.
+                    pending.append(p)
+                    driver.store.journal("pool_rebuild", reason="worker death")
+                    drain_broken("worker process died abruptly")
+                    break
+            if not in_flight:
+                # Everything is in backoff; sleep toward the next retry.
+                next_ready = min(p.ready_at for p in pending)
+                time.sleep(min(max(next_ready - now, 0.0), 0.2))
+                continue
+            done, _ = wait(
+                list(in_flight), timeout=_POLL_S, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                if driver.recorded >= driver.budget:
+                    break
+                p = in_flight.pop(future)
+                try:
+                    env = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    env = {
+                        "status": "worker_death",
+                        "error": "worker process died abruptly",
+                        "elapsed_s": time.monotonic() - p.submitted_at,
+                    }
+                except Exception as exc:  # pragma: no cover - pickling etc.
+                    env = {
+                        "status": "error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "elapsed_s": time.monotonic() - p.submitted_at,
+                    }
+                retry = driver.settle(p, env)
+                if retry is not None:
+                    pending.append(retry)
+            if driver.recorded >= driver.budget:
+                break
+            if broken:
+                driver.store.journal("pool_rebuild", reason="worker death")
+                drain_broken("worker process died abruptly")
+                continue
+            # Backstop: a worker whose in-process alarm never fired.
+            overdue = {
+                p.cell_id
+                for p in in_flight.values()
+                if now - p.submitted_at
+                > 2 * driver.spec.cell_timeout(p.cell) + _BACKSTOP_GRACE
+            }
+            if overdue:
+                driver.store.journal(
+                    "pool_rebuild", reason="hung worker", cells=sorted(overdue)
+                )
+                drain_broken("worker hung past the timeout backstop", overdue)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        _kill_workers(executor)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_dir: str,
+    *,
+    workers: int = 0,
+    resume: bool = False,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+    git_commit: Optional[str] = None,
+    extra_paths: Sequence[str] = (),
+) -> CampaignOutcome:
+    """Run (or resume) a campaign into a result store.
+
+    Args:
+        spec: the expanded campaign.
+        store_dir: result store directory (created if missing).
+        workers: process-pool width; ``0`` executes inline.
+        resume: skip cells that already have a result in the store
+            (required when the store is non-empty).
+        max_cells: record at most this many *new* results, then stop —
+            a deterministic "killed campaign" for tests and smoke jobs.
+        progress: callback invoked with each recorded
+            :class:`CellOutcome`.
+        git_commit: commit recorded in ``campaign.json`` (auto-detected
+            when omitted).
+        extra_paths: import roots for ``spawn``-context workers.
+
+    Returns the :class:`CampaignOutcome`; inspect ``.ok`` /
+    ``.remaining`` / ``.failed`` for disposition.
+    """
+    started = time.perf_counter()
+    store = ResultStore(store_dir)
+    store.initialize(
+        spec,
+        resume=resume,
+        git_commit=git_commit if git_commit is not None else current_git_commit(),
+    )
+
+    existing = store.completed_ids()
+    todo: List[CellSpec] = []
+    resumed: Dict[str, CellOutcome] = {}
+    for cell in spec.cells:
+        cid = cell.cell_id()
+        if cid in existing:
+            record = store.read_result(cid)
+            resumed[cid] = CellOutcome(
+                cell=cell,
+                cell_id=cid,
+                status=record.status,
+                attempts=record.attempts,
+                elapsed_s=0.0,
+                payload=record.payload,
+                error=record.error,
+                resumed=True,
+            )
+            store.journal("resume_skip", cell_id=cid, status=record.status)
+        else:
+            todo.append(cell)
+
+    budget = len(todo) if max_cells is None else max(0, min(max_cells, len(todo)))
+    store.journal(
+        "run_start",
+        cells=len(spec.cells),
+        todo=len(todo),
+        budget=budget,
+        workers=workers,
+        resume=resume,
+    )
+
+    driver = _Driver(spec, store, budget, progress)
+    driver.outcomes.update(resumed)
+    driver.recorded = 0  # budget counts *new* results only
+    if budget > 0:
+        if workers <= 0:
+            _run_inline(driver, todo)
+        else:
+            _run_pool(driver, todo, workers, extra_paths)
+
+    ordered = [
+        driver.outcomes[c.cell_id()]
+        for c in spec.cells
+        if c.cell_id() in driver.outcomes
+    ]
+    remaining = [
+        c.cell_id() for c in spec.cells if c.cell_id() not in driver.outcomes
+    ]
+    outcome = CampaignOutcome(
+        spec=spec,
+        store_root=str(store.root),
+        workers=workers,
+        outcomes=ordered,
+        remaining=remaining,
+        elapsed_s=time.perf_counter() - started,
+    )
+    store.journal(
+        "run_finish",
+        recorded=driver.recorded,
+        failed=len(outcome.failed),
+        remaining=len(remaining),
+        elapsed_s=round(outcome.elapsed_s, 6),
+    )
+    return outcome

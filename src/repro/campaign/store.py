@@ -1,0 +1,357 @@
+"""The persistent, content-addressed campaign result store.
+
+Layout of a store directory::
+
+    <store>/
+      campaign.json        # which campaign lives here: name, spec hash,
+                           # git commit, the ordered cell list
+      results/<id>.json    # one deterministic JSON doc per finished cell,
+                           # named by the cell's content hash
+      journal.jsonl        # append-only event log: attempts, retries,
+                           # timings, worker deaths, resume skips
+      index.db             # SQLite index over results/ (derived; rebuilt
+                           # on demand, safe to delete)
+      obs/                 # optional repro-obs-v1 trace dumps
+
+Design rules:
+
+* **The result files are the truth.**  The journal and the SQLite
+  index are derived conveniences; resume scans ``results/`` and
+  nothing else, so a crash between a result write and a journal
+  append cannot lose or duplicate work.
+* **Result files are deterministic.**  Payloads are pure functions of
+  the cell identity, serialized with sorted keys — an interrupted
+  campaign resumed with ``--resume`` reproduces the uninterrupted
+  store byte-for-byte.  Timing goes in the journal only.
+* **Writes are atomic.**  Each result is written to a temp file and
+  ``rename``d into place, so a SIGKILL mid-write leaves no torn file
+  and at most one result ever exists per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.campaign.spec import SPEC_SCHEMA, SPEC_VERSION, CampaignSpec, CellSpec
+from repro.errors import CampaignError
+
+__all__ = ["CellRecord", "ResultStore", "current_git_commit"]
+
+#: schema tag of one result document.
+RESULT_SCHEMA = "repro-campaign-result"
+RESULT_VERSION = 1
+
+
+def current_git_commit(cwd: Optional[str] = None) -> Optional[str]:
+    """The enclosing checkout's HEAD commit, or ``None`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except Exception:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclass
+class CellRecord:
+    """One finished cell as stored on disk.
+
+    ``status`` is the *execution* outcome: ``ok`` means the executor
+    returned a payload, ``failed`` means every attempt errored, timed
+    out, or died.  A verify cell whose invariants were violated is
+    ``ok`` at this level — the violation is the payload's finding,
+    carried in ``payload["ok"]``.
+    """
+
+    cell_id: str
+    kind: str
+    params: Dict[str, object]
+    status: str
+    attempts: int
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+
+    @property
+    def payload_ok(self) -> bool:
+        """Execution succeeded *and* the payload reports no finding."""
+        if self.status != "ok":
+            return False
+        if isinstance(self.payload, dict) and self.payload.get("ok") is False:
+            return False
+        return True
+
+    def to_json(self) -> Dict[str, object]:
+        """The deterministic on-disk form of this record."""
+        doc: Dict[str, object] = {
+            "schema": RESULT_SCHEMA,
+            "version": RESULT_VERSION,
+            "cell_id": self.cell_id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.payload is not None:
+            doc["payload"] = self.payload
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "CellRecord":
+        """Parse a result document (inverse of :meth:`to_json`)."""
+        if doc.get("schema") != RESULT_SCHEMA:
+            raise CampaignError(
+                f"not a campaign result document (schema={doc.get('schema')!r})"
+            )
+        return cls(
+            cell_id=str(doc["cell_id"]),
+            kind=str(doc["kind"]),
+            params=dict(doc["params"]),  # type: ignore[arg-type]
+            status=str(doc["status"]),
+            attempts=int(doc.get("attempts", 1)),  # type: ignore[arg-type]
+            payload=doc.get("payload"),  # type: ignore[arg-type]
+            error=doc.get("error"),  # type: ignore[arg-type]
+        )
+
+
+class ResultStore:
+    """One campaign's durable results, rooted at a directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = pathlib.Path(root)
+        self.results_dir = self.root / "results"
+        self.campaign_path = self.root / "campaign.json"
+        self.journal_path = self.root / "journal.jsonl"
+        self.index_path = self.root / "index.db"
+
+    # ------------------------------------------------------------------
+    # Campaign header
+    # ------------------------------------------------------------------
+    def initialize(
+        self,
+        spec: CampaignSpec,
+        *,
+        resume: bool = False,
+        git_commit: Optional[str] = None,
+    ) -> None:
+        """Bind this store to ``spec`` (creating directories as needed).
+
+        A store only ever holds one campaign: re-initializing with a
+        different spec hash is an error, and re-initializing a store
+        that already has results requires ``resume=True`` so completed
+        work is never silently clobbered or mixed.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(exist_ok=True)
+        if self.campaign_path.exists():
+            header = self.read_header()
+            if header.get("spec_hash") != spec.spec_hash():
+                raise CampaignError(
+                    f"store {self.root} already holds campaign "
+                    f"{header.get('name')!r} (spec {header.get('spec_hash')}); "
+                    f"refusing to run {spec.name!r} ({spec.spec_hash()}) into it"
+                )
+            if not resume and any(self.iter_results()):
+                raise CampaignError(
+                    f"store {self.root} already has results; pass --resume "
+                    f"to continue, or point at a fresh directory"
+                )
+            return
+        header = {
+            "schema": SPEC_SCHEMA,
+            "version": SPEC_VERSION,
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "git_commit": git_commit,
+            "defaults": {
+                "timeout_s": spec.timeout_s,
+                "max_attempts": spec.max_attempts,
+                "backoff_s": spec.backoff_s,
+            },
+            "cells": [
+                {"cell_id": cell.cell_id(), **cell.to_json()}
+                for cell in spec.cells
+            ],
+        }
+        self._atomic_write(
+            self.campaign_path, json.dumps(header, indent=2, sort_keys=True) + "\n"
+        )
+
+    def read_header(self) -> Dict[str, object]:
+        """The ``campaign.json`` header; errors if the store is unbound."""
+        try:
+            return json.loads(self.campaign_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(
+                f"{self.root} is not a campaign store (no campaign.json)"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"corrupt campaign.json in {self.root}: {exc}"
+            ) from exc
+
+    def expected_cells(self) -> List[Dict[str, object]]:
+        """The campaign's full cell list, from the header."""
+        cells = self.read_header().get("cells", [])
+        return list(cells)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result_path(self, cell_id: str) -> pathlib.Path:
+        """Where the result for ``cell_id`` lives (or would live)."""
+        return self.results_dir / f"{cell_id}.json"
+
+    def has_result(self, cell_id: str) -> bool:
+        """Is there a finished result for this cell already?"""
+        return self.result_path(cell_id).exists()
+
+    def write_result(self, record: CellRecord) -> pathlib.Path:
+        """Atomically persist one finished cell (write-temp + rename)."""
+        path = self.result_path(record.cell_id)
+        self._atomic_write(
+            path, json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def read_result(self, cell_id: str) -> CellRecord:
+        """Load one finished cell by its hash."""
+        path = self.result_path(cell_id)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(f"no result for cell {cell_id} in {self.root}") from None
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"corrupt result {path}: {exc}") from exc
+        return CellRecord.from_json(doc)
+
+    def iter_results(self) -> Iterator[CellRecord]:
+        """Every finished cell, in deterministic (hash) order."""
+        if not self.results_dir.is_dir():
+            return
+        for path in sorted(self.results_dir.glob("*.json")):
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            yield CellRecord.from_json(doc)
+
+    def completed_ids(self) -> Dict[str, str]:
+        """``cell_id -> status`` for every finished cell (resume scan)."""
+        out: Dict[str, str] = {}
+        for record in self.iter_results():
+            out[record.cell_id] = record.status
+        return out
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def journal(self, event: str, **fields: object) -> None:
+        """Append one event line to the JSONL journal (flushed)."""
+        entry = {"event": event, "wall_time": time.time(), **fields}
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_journal(self) -> List[Dict[str, object]]:
+        """Every journal event, oldest first (empty if none yet)."""
+        try:
+            text = self.journal_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        out: List[Dict[str, object]] = []
+        for line in text.splitlines():
+            if line.strip():
+                out.append(json.loads(line))
+        return out
+
+    def cell_timings(self) -> Dict[str, float]:
+        """Wall-clock seconds per cell, summed over recorded attempts."""
+        timings: Dict[str, float] = {}
+        for entry in self.read_journal():
+            if entry.get("event") == "attempt_done" and "elapsed_s" in entry:
+                cid = str(entry.get("cell_id"))
+                timings[cid] = timings.get(cid, 0.0) + float(entry["elapsed_s"])  # type: ignore[arg-type]
+        return timings
+
+    # ------------------------------------------------------------------
+    # SQLite index (derived)
+    # ------------------------------------------------------------------
+    def build_index(self) -> pathlib.Path:
+        """(Re)build the SQLite index over ``results/``; returns its path.
+
+        The index is a pure derivation — status/report queries go
+        through it, and deleting it costs nothing but a rebuild.
+        """
+        tmp = self.index_path.with_suffix(".db.tmp")
+        if tmp.exists():
+            tmp.unlink()
+        conn = sqlite3.connect(tmp)
+        try:
+            conn.execute(
+                """
+                CREATE TABLE cells (
+                    cell_id TEXT PRIMARY KEY,
+                    kind TEXT NOT NULL,
+                    status TEXT NOT NULL,
+                    payload_ok INTEGER NOT NULL,
+                    attempts INTEGER NOT NULL,
+                    elapsed_s REAL,
+                    params TEXT NOT NULL,
+                    error TEXT
+                )
+                """
+            )
+            timings = self.cell_timings()
+            for record in self.iter_results():
+                conn.execute(
+                    "INSERT OR REPLACE INTO cells VALUES (?,?,?,?,?,?,?,?)",
+                    (
+                        record.cell_id,
+                        record.kind,
+                        record.status,
+                        1 if record.payload_ok else 0,
+                        record.attempts,
+                        timings.get(record.cell_id),
+                        json.dumps(record.params, sort_keys=True),
+                        record.error,
+                    ),
+                )
+            conn.commit()
+        finally:
+            conn.close()
+        os.replace(tmp, self.index_path)
+        return self.index_path
+
+    def query_index(self, sql: str, *args: object) -> List[tuple]:
+        """Run a read-only query against a freshly built index."""
+        self.build_index()
+        conn = sqlite3.connect(self.index_path)
+        try:
+            return list(conn.execute(sql, args))
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: pathlib.Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

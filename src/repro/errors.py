@@ -20,6 +20,8 @@ __all__ = [
     "ChannelDownError",
     "TraceFormatError",
     "ObservabilityError",
+    "CampaignError",
+    "CellTimeoutError",
 ]
 
 
@@ -84,3 +86,21 @@ class TraceFormatError(ReproError):
 class ObservabilityError(ReproError):
     """The observability layer was used inconsistently (duplicate
     metric types, malformed spans, double-attached recorders)."""
+
+
+class CampaignError(ReproError):
+    """A campaign spec, store, or run was used inconsistently.
+
+    Raised for malformed or colliding specs, a result store that holds
+    a *different* campaign than the one being run, or re-running into a
+    populated store without ``--resume``.
+    """
+
+
+class CellTimeoutError(CampaignError):
+    """A campaign cell exceeded its per-cell wall-clock budget.
+
+    Raised *inside the worker* by the SIGALRM watchdog; the runner
+    converts it into a ``timeout`` attempt outcome (retried with
+    backoff, then recorded as failed — never silently dropped).
+    """

@@ -1,0 +1,133 @@
+"""Benchmark modules as campaign cells: the cells()/run_cell() pair.
+
+Every ``bench_*.py`` module (and ``run_all`` itself, for the perf
+probes) must expose the import-based ``cells()``/``run_cell(name)``
+protocol from ``benchmarks.support.table_cells`` — the campaign
+engine never ``exec``s a benchmark script.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import benchmarks.run_all as run_all
+from benchmarks.support import table_cells
+from repro.campaign.cells import execute_cell
+from repro.errors import CampaignError
+
+
+class TestModuleProtocol:
+    def test_every_registered_module_exposes_the_pair(self):
+        for module in run_all.MODULES:
+            assert callable(getattr(module, "cells", None)), module.__name__
+            assert callable(getattr(module, "run_cell", None)), module.__name__
+            assert module.cells() == ["table"], module.__name__
+
+    def test_run_all_exposes_the_probe_cells(self):
+        assert run_all.cells() == sorted(run_all.PROBES)
+        with pytest.raises(KeyError, match="no probe cell"):
+            run_all.run_cell("nonsense")
+
+    def test_table_cell_regenerates_the_experiment(self):
+        """One cheap end-to-end table: Figure 1 through the executor."""
+        payload = execute_cell(
+            "bench",
+            {"module": "benchmarks.bench_fig1_sync_two", "cell": "table"},
+        )
+        assert payload["ok"] is True
+        assert "Figure 1" in payload["output"]
+
+    def test_unknown_module_is_a_spec_error(self):
+        with pytest.raises(CampaignError, match="cannot import"):
+            execute_cell(
+                "bench", {"module": "benchmarks.bench_nope", "cell": "table"}
+            )
+
+    def test_unknown_cell_is_a_spec_error(self):
+        with pytest.raises(CampaignError, match="has no cell"):
+            execute_cell(
+                "bench",
+                {"module": "benchmarks.bench_fig1_sync_two", "cell": "nope"},
+            )
+
+
+class TestTableCellsFactory:
+    def test_named_cells_and_main(self):
+        calls = []
+
+        def fake_main():
+            calls.append("main")
+            print("a table")
+
+        cells, run_cell = table_cells(
+            ("extra", lambda: {"n": 3}), main=fake_main
+        )
+        assert cells() == ["extra", "table"]
+        assert run_cell("extra") == {"n": 3}
+        payload = run_cell("table")
+        assert calls == ["main"]
+        assert payload == {"ok": True, "output": "a table\n"}
+
+    def test_non_dict_payloads_are_wrapped(self):
+        _, run_cell = table_cells(("scalar", lambda: 42))
+        assert run_cell("scalar") == {"value": 42}
+
+    def test_unknown_cell_raises(self):
+        cells, run_cell = table_cells(main=lambda: None)
+        with pytest.raises(KeyError):
+            run_cell("nope")
+
+    def test_table_name_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            table_cells(("table", lambda: {}), main=lambda: None)
+
+
+class TestCollectProbes:
+    def _stub_probes(self, monkeypatch):
+        monkeypatch.setattr(
+            run_all, "throughput_probe",
+            lambda n=64, steps=40: {"n": n, "stub": True},
+        )
+        monkeypatch.setattr(
+            run_all, "geometry_cache_probe", lambda: {"stub": True}
+        )
+        monkeypatch.setattr(
+            run_all, "adversarial_transparency_probe",
+            lambda: {"ok": True, "stub": True},
+        )
+
+    def test_probes_route_through_the_campaign_engine(
+        self, monkeypatch, tmp_path
+    ):
+        """Monkeypatched probes still reach the inline executor."""
+        self._stub_probes(monkeypatch)
+        probes, timings = run_all.collect_probes()
+        assert set(probes) == set(run_all.PROBES)
+        assert probes["sync_throughput_n64"] == {"n": 64, "stub": True}
+        assert set(timings) == set(run_all.PROBES)
+        assert all(t >= 0.0 for t in timings.values())
+
+    def test_crashing_probe_is_reported_not_raised(self, monkeypatch):
+        self._stub_probes(monkeypatch)
+
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        monkeypatch.setattr(run_all, "geometry_cache_probe", boom)
+        probes, _ = run_all.collect_probes()
+        assert probes["geometry_cache"]["ok"] is False
+        assert "probe exploded" in probes["geometry_cache"]["error"]
+
+    def test_persistent_store_resumes(self, monkeypatch, tmp_path):
+        self._stub_probes(monkeypatch)
+        store = str(tmp_path / "probes")
+        first, _ = run_all.collect_probes(store_dir=store)
+
+        def never():
+            raise AssertionError("resumed store must not re-execute")
+
+        monkeypatch.setattr(run_all, "geometry_cache_probe", never)
+        monkeypatch.setattr(run_all, "throughput_probe", never)
+        monkeypatch.setattr(run_all, "adversarial_transparency_probe", never)
+        second, _ = run_all.collect_probes(store_dir=store)
+        assert first == second

@@ -1,0 +1,128 @@
+"""The ``python -m repro.campaign`` CLI, driven in-process."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.__main__ import main
+
+
+def _selftest_spec(tmp_path, behaviors, name="cli-test", **defaults):
+    policy = dict(timeout_s=10.0, max_attempts=1, backoff_s=0.05)
+    policy.update(defaults)
+    doc = {
+        "name": name,
+        "defaults": policy,
+        "cells": [
+            {"kind": "selftest", "params": {"behavior": b, "value": i}}
+            for i, b in enumerate(behaviors)
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        spec = _selftest_spec(tmp_path, ["ok", "ok", "ok"])
+        store = str(tmp_path / "store")
+        assert main(["run", "--spec", spec, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 cells done" in out
+        assert "0 failed" in out
+
+    def test_failures_exit_one(self, tmp_path):
+        spec = _selftest_spec(tmp_path, ["ok", "fail"])
+        assert main(
+            ["run", "--spec", spec, "--store", str(tmp_path / "store")]
+        ) == 1
+
+    def test_interrupted_run_exits_three_then_resumes(self, tmp_path):
+        spec = _selftest_spec(tmp_path, ["ok"] * 4)
+        store = str(tmp_path / "store")
+        assert main(
+            ["run", "--spec", spec, "--store", store, "--max-cells", "2"]
+        ) == 3
+        # without --resume a non-empty store is refused (usage error)
+        assert main(["run", "--spec", spec, "--store", store]) == 2
+        assert main(
+            ["run", "--spec", spec, "--store", store, "--resume"]
+        ) == 0
+
+    def test_verify_flags_build_a_matrix_campaign(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            [
+                "run", "--verify", "--protocols", "sync_two",
+                "--schedulers", "synchronous", "--seeds", "1", "--quick",
+                "--store", store,
+            ]
+        )
+        assert code == 0
+        assert "verify" in capsys.readouterr().out
+
+    def test_nothing_to_run_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["run", "--store", str(tmp_path / "s")]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["run", "--spec", str(tmp_path / "nope.json"),
+             "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+
+class TestInspection:
+    @pytest.fixture
+    def stores(self, tmp_path):
+        spec = _selftest_spec(tmp_path, ["ok", "ok"])
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(["run", "--spec", spec, "--store", a]) == 0
+        assert main(["run", "--spec", spec, "--store", b]) == 0
+        return a, b
+
+    def test_status_of_clean_store(self, stores, capsys):
+        a, _ = stores
+        assert main(["status", a]) == 0
+        out = capsys.readouterr().out
+        assert "2/2" in out or "ok" in out
+
+    def test_status_of_incomplete_store(self, tmp_path, capsys):
+        spec = _selftest_spec(tmp_path, ["ok"] * 3)
+        store = str(tmp_path / "store")
+        main(["run", "--spec", spec, "--store", store, "--max-cells", "1"])
+        assert main(["status", store]) == 3
+
+    def test_report_renders(self, stores, capsys):
+        a, _ = stores
+        assert main(["report", a]) == 0
+        out = capsys.readouterr().out
+        assert "selftest" in out
+
+    def test_diff_of_identical_stores_exits_zero(self, stores, capsys):
+        a, b = stores
+        assert main(["diff", a, b]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_diff_flags_structural_changes(self, stores, capsys):
+        import pathlib
+
+        a, b = stores
+        # flip one payload value in store b: a structural disagreement
+        (result,) = [
+            p
+            for p in sorted(pathlib.Path(b).glob("results/*.json"))
+        ][:1]
+        doc = json.loads(result.read_text())
+        doc["payload"]["value"] = "mutated"
+        result.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        assert main(["diff", a, b]) == 1
+
+    def test_status_of_missing_store_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+        assert "not a campaign store" in capsys.readouterr().err

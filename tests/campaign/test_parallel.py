@@ -1,0 +1,58 @@
+"""The worker pool actually overlaps cell execution.
+
+Uses wait-bound (sleeping) cells so the check holds even on the
+single-core runners CI tends to give us — CPU-bound cells cannot
+speed up without cores, sleeps always can.  Margins are deliberately
+loose: the point is overlap, not a benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, CellSpec
+
+#: per-cell sleep; 6 cells -> >= 1.8s floor for any serial execution.
+_SLEEP_S = 0.3
+_CELLS = 6
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="parallel-test",
+        cells=[
+            CellSpec(
+                kind="selftest",
+                params={"behavior": "slow", "sleep_s": _SLEEP_S, "value": i},
+            )
+            for i in range(_CELLS)
+        ],
+        timeout_s=30.0,
+        max_attempts=1,
+    )
+
+
+@pytest.mark.slow
+def test_four_workers_overlap_wait_bound_cells(tmp_path):
+    started = time.perf_counter()
+    sequential = run_campaign(
+        _spec(), str(tmp_path / "seq"), workers=0, git_commit="cafe"
+    )
+    sequential_s = time.perf_counter() - started
+    assert sequential.ok
+    assert sequential_s >= _CELLS * _SLEEP_S  # serial floor
+
+    started = time.perf_counter()
+    pooled = run_campaign(
+        _spec(), str(tmp_path / "par"), workers=4, git_commit="cafe"
+    )
+    pooled_s = time.perf_counter() - started
+    assert pooled.ok
+    # 6 x 0.3s over 4 workers is a 0.6s critical path; allow a very
+    # generous 2x-pool-startup margin and still demand real overlap.
+    assert pooled_s < sequential_s * 0.75, (
+        f"4 workers took {pooled_s:.2f}s vs {sequential_s:.2f}s sequential"
+    )

@@ -1,0 +1,110 @@
+"""Resume semantics: a killed campaign converges on the same store.
+
+The satellite acceptance test: run a campaign, kill it after *k*
+cells (``max_cells`` — the deterministic stand-in for SIGKILL),
+re-run with ``resume=True``, and require (a) exactly one result per
+cell and (b) a ``results/`` directory byte-identical to the one an
+uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import ResultStore
+
+
+def _spec(n: int = 8) -> CampaignSpec:
+    return CampaignSpec(
+        name="resume-test",
+        cells=[
+            CellSpec(kind="selftest", params={"behavior": "ok", "value": i})
+            for i in range(n)
+        ],
+        timeout_s=30.0,
+        max_attempts=2,
+        backoff_s=0.05,
+    )
+
+
+def _result_bytes(root: str) -> dict:
+    results = pathlib.Path(root) / "results"
+    return {p.name: p.read_bytes() for p in sorted(results.glob("*.json"))}
+
+
+class TestResume:
+    def test_killed_campaign_resumes_to_identical_store(self, tmp_path):
+        spec = _spec(8)
+        interrupted = str(tmp_path / "interrupted")
+        straight = str(tmp_path / "straight")
+
+        # Run A: killed after 4 new results (2-way pool, like CI).
+        partial = run_campaign(
+            spec, interrupted, workers=2, max_cells=4, git_commit="cafe"
+        )
+        assert len(partial.outcomes) == 4
+        assert len(partial.remaining) == 4
+        assert not partial.complete
+
+        # Run B: resume — only the missing cells execute.
+        resumed = run_campaign(
+            spec, interrupted, workers=2, resume=True, git_commit="cafe"
+        )
+        assert resumed.complete and resumed.ok
+        assert sum(1 for o in resumed.outcomes if o.resumed) == 4
+        assert sum(1 for o in resumed.outcomes if not o.resumed) == 4
+
+        # Exactly one result per cell, never a duplicate.
+        ids = [o.cell_id for o in resumed.outcomes]
+        assert sorted(ids) == sorted(c.cell_id() for c in spec.cells)
+        assert len(set(ids)) == len(spec.cells)
+
+        # Byte-identical to a run that was never interrupted.
+        run_campaign(spec, straight, workers=2, git_commit="cafe")
+        assert _result_bytes(interrupted) == _result_bytes(straight)
+
+    def test_resume_of_complete_store_runs_nothing(self, tmp_path):
+        spec = _spec(3)
+        store_dir = str(tmp_path / "s")
+        run_campaign(spec, store_dir, git_commit="cafe")
+        executed = []
+        again = run_campaign(
+            spec,
+            store_dir,
+            resume=True,
+            git_commit="cafe",
+            progress=executed.append,
+        )
+        assert again.complete
+        assert executed == []  # progress fires on *new* results only
+        assert all(o.resumed for o in again.outcomes)
+
+    def test_resume_skips_are_journaled(self, tmp_path):
+        spec = _spec(3)
+        store_dir = str(tmp_path / "s")
+        run_campaign(spec, store_dir, max_cells=2, git_commit="cafe")
+        run_campaign(spec, store_dir, resume=True, git_commit="cafe")
+        events = [e["event"] for e in ResultStore(store_dir).read_journal()]
+        assert events.count("resume_skip") == 2
+        assert events.count("run_start") == 2
+        assert events.count("run_finish") == 2
+        assert events.count("result") == 3
+
+    def test_inline_and_pooled_results_are_identical(self, tmp_path):
+        """Worker count is execution policy — the store can't tell."""
+        spec = _spec(5)
+        inline = str(tmp_path / "inline")
+        pooled = str(tmp_path / "pooled")
+        run_campaign(spec, inline, workers=0, git_commit="cafe")
+        run_campaign(spec, pooled, workers=3, git_commit="cafe")
+        assert _result_bytes(inline) == _result_bytes(pooled)
+
+    def test_max_cells_zero_records_nothing(self, tmp_path):
+        spec = _spec(3)
+        outcome = run_campaign(
+            spec, str(tmp_path / "s"), max_cells=0, git_commit="cafe"
+        )
+        assert outcome.outcomes == []
+        assert len(outcome.remaining) == 3

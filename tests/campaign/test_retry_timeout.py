@@ -1,0 +1,155 @@
+"""Retry, timeout, and crash-isolation semantics of the runner.
+
+The satellite acceptance test: a cell that hangs must be killed at
+its per-cell timeout, retried with backoff, and finally reported
+``failed`` — never silently dropped — and the ``status`` exit code
+must reflect the failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.report import EXIT_FAILURES, EXIT_OK, render_status
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import ResultStore
+
+
+def _spec(cells, **defaults) -> CampaignSpec:
+    policy = dict(timeout_s=30.0, max_attempts=2, backoff_s=0.05)
+    policy.update(defaults)
+    return CampaignSpec(name="retry-test", cells=cells, **policy)
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_hanging_cell_is_killed_retried_and_reported_failed(
+        self, tmp_path, workers
+    ):
+        spec = _spec(
+            [CellSpec(kind="selftest", params={"behavior": "hang"})],
+            timeout_s=0.3,
+        )
+        store_dir = str(tmp_path / f"s{workers}")
+        outcome = run_campaign(
+            spec, store_dir, workers=workers, git_commit="cafe"
+        )
+
+        assert outcome.complete  # reported, not dropped
+        (cell,) = outcome.outcomes
+        assert cell.status == "failed"
+        assert cell.attempts == 2  # retried once, then gave up
+        assert "timeout" in (cell.error or "")
+
+        # both attempts were timeouts, visible in the journal
+        store = ResultStore(store_dir)
+        attempts = [
+            e for e in store.read_journal() if e["event"] == "attempt_done"
+        ]
+        assert [a["status"] for a in attempts] == ["timeout", "timeout"]
+        # each attempt died near the 0.3s budget, not the hang's 3600s
+        assert all(float(a["elapsed_s"]) < 5.0 for a in attempts)
+
+        # ...and the status exit code reflects it
+        text, code = render_status(store)
+        assert code == EXIT_FAILURES
+        assert "failed" in text
+
+    def test_retries_back_off_exponentially(self, tmp_path):
+        spec = _spec(
+            [CellSpec(kind="selftest", params={"behavior": "fail"})],
+            max_attempts=3,
+            backoff_s=0.1,
+        )
+        run_campaign(spec, str(tmp_path / "s"), git_commit="cafe")
+        events = ResultStore(str(tmp_path / "s")).read_journal()
+        starts = [
+            e["wall_time"] for e in events if e["event"] == "attempt_start"
+        ]
+        assert len(starts) == 3
+        # gaps >= 0.1s then >= 0.2s (exponential, base 0.1)
+        assert starts[1] - starts[0] >= 0.09
+        assert starts[2] - starts[1] >= 0.19
+
+
+class TestRetry:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_flaky_cell_recovers_within_budget(self, tmp_path, workers):
+        spec = _spec(
+            [
+                CellSpec(
+                    kind="selftest",
+                    params={"behavior": "flaky", "succeed_on_attempt": 2},
+                )
+            ],
+            max_attempts=3,
+        )
+        outcome = run_campaign(
+            spec, str(tmp_path / f"s{workers}"), workers=workers,
+            git_commit="cafe",
+        )
+        (cell,) = outcome.outcomes
+        assert cell.status == "ok"
+        assert cell.attempts == 2
+        assert outcome.ok
+
+    def test_spec_errors_are_never_retried(self, tmp_path):
+        spec = _spec(
+            [CellSpec(kind="selftest", params={"behavior": "no-such"})],
+            max_attempts=5,
+        )
+        outcome = run_campaign(spec, str(tmp_path / "s"), git_commit="cafe")
+        (cell,) = outcome.outcomes
+        assert cell.status == "failed"
+        assert cell.attempts == 1  # malformed cells fail fast
+        assert "unknown selftest behavior" in (cell.error or "")
+
+
+class TestCrashIsolation:
+    def test_dying_worker_fails_only_its_cell(self, tmp_path):
+        """os._exit in one cell: neighbours finish, campaign completes."""
+        cells = [
+            CellSpec(kind="selftest", params={"behavior": "ok", "value": i})
+            for i in range(5)
+        ]
+        cells.append(
+            CellSpec(kind="selftest", params={"behavior": "die"})
+        )
+        spec = _spec(cells)
+        outcome = run_campaign(
+            spec, str(tmp_path / "s"), workers=2, git_commit="cafe"
+        )
+        assert outcome.complete
+        assert len(outcome.failed) == 1
+        (dead,) = outcome.failed
+        assert dead.cell.params["behavior"] == "die"
+        oks = [o for o in outcome.outcomes if o.status == "ok"]
+        assert len(oks) == 5
+        assert all(o.attempts == 1 for o in oks)
+
+
+class TestStatusExit:
+    def test_clean_store_exits_zero(self, tmp_path):
+        spec = _spec(
+            [CellSpec(kind="selftest", params={"behavior": "ok"})]
+        )
+        run_campaign(spec, str(tmp_path / "s"), git_commit="cafe")
+        _, code = render_status(ResultStore(str(tmp_path / "s")))
+        assert code == EXIT_OK
+
+    def test_finding_exits_nonzero(self, tmp_path):
+        """A payload-level finding (ok=False) is a failure exit too."""
+        from repro.campaign.store import CellRecord
+
+        spec = _spec(
+            [CellSpec(kind="selftest", params={"behavior": "ok"})]
+        )
+        store_dir = str(tmp_path / "s")
+        run_campaign(spec, store_dir, git_commit="cafe")
+        store = ResultStore(store_dir)
+        record = next(store.iter_results())
+        record.payload = {"ok": False, "violations": ["boom"]}
+        store.write_result(record)
+        _, code = render_status(store)
+        assert code == EXIT_FAILURES

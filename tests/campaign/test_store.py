@@ -1,0 +1,169 @@
+"""The result store: atomic writes, the journal, the derived index."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import CellRecord, ResultStore
+from repro.errors import CampaignError
+
+
+def _spec(n: int = 3, name: str = "store-test") -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        cells=[
+            CellSpec(kind="selftest", params={"behavior": "ok", "value": i})
+            for i in range(n)
+        ],
+    )
+
+
+def _record(cell: CellSpec, value: int = 0) -> CellRecord:
+    return CellRecord(
+        cell_id=cell.cell_id(),
+        kind=cell.kind,
+        params=dict(cell.params),
+        status="ok",
+        attempts=1,
+        payload={"ok": True, "value": value},
+    )
+
+
+class TestInitialize:
+    def test_fresh_store_writes_header(self, tmp_path):
+        spec = _spec()
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False, git_commit="abc123")
+        header = store.read_header()
+        assert header["name"] == spec.name
+        assert header["spec_hash"] == spec.spec_hash()
+        assert header["git_commit"] == "abc123"
+        assert len(store.expected_cells()) == len(spec.cells)
+
+    def test_nonempty_store_requires_resume(self, tmp_path):
+        spec = _spec()
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        store.write_result(_record(spec.cells[0]))
+        with pytest.raises(CampaignError, match="resume"):
+            ResultStore(str(tmp_path / "s")).initialize(spec, resume=False)
+        # resume over the same spec is fine
+        ResultStore(str(tmp_path / "s")).initialize(spec, resume=True)
+
+    def test_spec_mismatch_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(_spec(), resume=False)
+        store.write_result(_record(_spec().cells[0]))
+        other = _spec(name="something-else")
+        with pytest.raises(CampaignError, match="refusing to run"):
+            ResultStore(str(tmp_path / "s")).initialize(other, resume=True)
+
+
+class TestResults:
+    def test_write_read_round_trip(self, tmp_path):
+        spec = _spec()
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        record = _record(spec.cells[1], value=7)
+        store.write_result(record)
+        loaded = store.read_result(record.cell_id)
+        assert loaded.to_json() == record.to_json()
+        assert loaded.payload == {"ok": True, "value": 7}
+        assert store.completed_ids() == {record.cell_id: "ok"}
+
+    def test_writes_are_atomic(self, tmp_path):
+        """No partially-written temp files survive a completed write."""
+        spec = _spec()
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        for cell in spec.cells:
+            store.write_result(_record(cell))
+        leftovers = [
+            p for p in (tmp_path / "s").rglob("*") if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_result_files_are_canonical_json(self, tmp_path):
+        """Sorted keys + trailing newline: byte-stable across runs."""
+        spec = _spec()
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        path = store.write_result(_record(spec.cells[0], value=1))
+        text = path.read_text()
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def test_iter_results_is_sorted(self, tmp_path):
+        spec = _spec(5)
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        for cell in reversed(spec.cells):
+            store.write_result(_record(cell))
+        ids = [r.cell_id for r in store.iter_results()]
+        assert ids == sorted(ids)
+
+    def test_missing_result_is_a_campaign_error(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(_spec(), resume=False)
+        with pytest.raises(CampaignError, match="no result"):
+            store.read_result("0" * 16)
+
+
+class TestJournal:
+    def test_journal_appends_and_reads_back(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(_spec(), resume=False)
+        store.journal("attempt_start", cell_id="aa", attempt=1)
+        store.journal("attempt_done", cell_id="aa", attempt=1,
+                      status="ok", elapsed_s=0.25)
+        events = store.read_journal()
+        assert [e["event"] for e in events] == [
+            "attempt_start", "attempt_done",
+        ]
+        assert all("wall_time" in e for e in events)
+
+    def test_cell_timings_sum_attempts(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(_spec(), resume=False)
+        store.journal("attempt_done", cell_id="aa", attempt=1,
+                      status="timeout", elapsed_s=0.5)
+        store.journal("attempt_done", cell_id="aa", attempt=2,
+                      status="ok", elapsed_s=0.25)
+        store.journal("attempt_done", cell_id="bb", attempt=1,
+                      status="ok", elapsed_s=1.0)
+        timings = store.cell_timings()
+        assert timings["aa"] == pytest.approx(0.75)
+        assert timings["bb"] == pytest.approx(1.0)
+
+
+class TestIndex:
+    def test_index_is_rebuilt_from_results(self, tmp_path):
+        spec = _spec(4)
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        for i, cell in enumerate(spec.cells):
+            store.write_result(_record(cell, value=i))
+        rows = store.query_index(
+            "SELECT cell_id, kind, status, payload_ok FROM cells "
+            "ORDER BY cell_id"
+        )
+        assert len(rows) == 4
+        assert all(kind == "selftest" for _, kind, _, _ in rows)
+        assert all(status == "ok" and ok == 1 for _, _, status, ok in rows)
+
+    def test_index_marks_findings(self, tmp_path):
+        """payload ok=False is queryable without parsing payloads."""
+        spec = _spec(1)
+        store = ResultStore(str(tmp_path / "s"))
+        store.initialize(spec, resume=False)
+        record = _record(spec.cells[0])
+        record.payload = {"ok": False, "violations": ["x"]}
+        store.write_result(record)
+        rows = store.query_index(
+            "SELECT payload_ok FROM cells WHERE cell_id = ?", record.cell_id
+        )
+        assert rows == [(0,)]

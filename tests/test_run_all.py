@@ -126,6 +126,22 @@ class TestResultsSchema:
         assert isinstance(results["git_commit"], str)
         assert len(results["git_commit"]) == 40
 
+    def test_results_record_wall_clock_and_workers(self, monkeypatch, tmp_path):
+        """v3 payload: per-probe wall clock plus the worker count."""
+        import json
+
+        import benchmarks.run_all as run_all
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        out = tmp_path / "results.json"
+        assert run_all.main(["--quick", "--json", str(out)]) == 0
+        results = json.loads(out.read_text())
+        assert results["workers"] == 0
+        assert results["elapsed_s"] > 0.0
+        timings = results["probes_elapsed_s"]
+        assert set(timings) == set(results["probes"])
+        assert all(t >= 0.0 for t in timings.values())
+
     def test_git_commit_is_none_outside_a_checkout(self, monkeypatch):
         import benchmarks.run_all as run_all
 
