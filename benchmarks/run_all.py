@@ -41,7 +41,11 @@ from typing import Dict, List, Optional, Tuple
 #: schema tag of the machine-readable results document; bump the
 #: version whenever a consumer-visible key changes shape.
 RESULTS_SCHEMA = "repro-bench-results"
-RESULTS_VERSION = 3
+RESULTS_VERSION = 4
+
+#: where the longitudinal metrics history accumulates (one JSONL line
+#: per driver run, appended — never overwritten; see repro.obs.history).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 # Allow `python benchmarks/run_all.py` from the repo root.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
@@ -310,6 +314,33 @@ def obs_probe(path: str, n: int = 8, steps: int = 24) -> Dict:
     }
 
 
+def registry_snapshot(probes: Dict, timings: Dict[str, float],
+                      invariants: Dict[str, bool]) -> List[Dict]:
+    """Fold the run's numbers into one MetricsRegistry snapshot.
+
+    Every numeric probe leaf becomes a gauge labeled by its probe,
+    every invariant verdict a 0/1 gauge — the canonical flat form the
+    metrics history ingests (``results["metrics"]``, schema v4).
+    """
+    from repro.obs.history import flatten_scalars
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for name, probe in probes.items():
+        if isinstance(probe, dict):
+            registry.absorb(flatten_scalars(probe), probe=name)
+        registry.gauge("probe_elapsed_s", probe=name).set(timings.get(name, 0.0))
+    registry.absorb(flatten_scalars(invariants), check="invariant")
+    return registry.collect()
+
+
+def append_history(results: Dict, path: str):
+    """Append this run's metrics to the longitudinal history file."""
+    from repro.obs.history import HistoryStore, entry_from_results
+
+    return HistoryStore(path).append(entry_from_results(results))
+
+
 def sync_invariant_holds() -> bool:
     """The paper's sync-granular cost: exactly 2 instants per bit."""
     from benchmarks.bench_p1_scaling import sync_steps_per_bit
@@ -441,6 +472,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="persist the campaign result stores under DIR "
              "(default: throwaway; re-runs resume from a kept store)",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=DEFAULT_HISTORY,
+        help="append this run's metrics to the longitudinal history "
+             f"(default {DEFAULT_HISTORY}; see python -m repro.obs regress)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the metrics-history append entirely",
+    )
     args = parser.parse_args(argv)
     started = time.perf_counter()
 
@@ -534,10 +577,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures += 1
 
     results["elapsed_s"] = time.perf_counter() - started
+    results["metrics"] = registry_snapshot(probes, probe_timings, invariants)
     if args.json:
         path = pathlib.Path(args.json)
         path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
         print(f"[wrote {path}]")
+
+    if not args.no_history:
+        try:
+            entry = append_history(results, args.history)
+        except Exception as exc:
+            failures += 1
+            print(f"[history append FAILED — {exc!r}]", file=sys.stderr)
+        else:
+            print(
+                f"[history: entry #{entry.seq} "
+                f"({len(entry.metrics)} metrics) -> {args.history}]"
+            )
 
     return 1 if failures else 0
 

@@ -302,8 +302,14 @@ class Simulator:
         enters each of its phases — ``"schedule"``, ``"compute"``
         (the observe+compute loop), ``"move"``, ``"record"`` — and
         once more as ``hook("end", time)`` after the step listeners
-        ran.  An :class:`~repro.obs.recorder.ObsRecorder` pairs these
-        calls with an injected monotonic clock to build the hot-path
+        ran.  Inside the compute loop the hook also fires at the two
+        per-robot sub-phases, ``"compute.observe"`` (building the
+        robot's observation) and ``"compute.decide"`` (the protocol's
+        Compute plus target clamping); the dotted names let the span
+        profiler attribute *self* time to the stage that actually
+        spent it while rolling totals up into ``compute``.  An
+        :class:`~repro.obs.recorder.ObsRecorder` pairs these calls
+        with an injected monotonic clock to build the hot-path
         profile; the hook must not mutate the simulation.  Returns the
         previously installed hook.
         """
@@ -332,7 +338,11 @@ class Simulator:
         new_positions: Dict[int, Vec2] = {}
         for index in sorted(active):
             robot = self._robots[index]
+            if hook is not None:
+                hook("compute.observe", now)
             observation = self._observe(index)
+            if hook is not None:
+                hook("compute.decide", now)
             local_target = robot.protocol.on_activate(observation)
             world_target = robot.frame.to_world(local_target, self._anchors[index])
             clamped = self._positions[index].clamped_toward(world_target, robot.sigma)

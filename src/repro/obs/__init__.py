@@ -22,8 +22,18 @@ subpackage makes runs observable without changing them:
 * ``python -m repro.obs`` — render the activation timeline, the bit
   Gantt, metrics tables and the hot-path profile from an exported run
   (see :mod:`repro.obs.report`).
+* :mod:`repro.obs.history` — the *longitudinal* layer: an append-only
+  git-commit-stamped metrics history (``BENCH_history.jsonl``),
+  ingest adapters for bench results / campaign stores / registry
+  snapshots, and median+MAD regression gating
+  (``python -m repro.obs regress``).
+* :mod:`repro.obs.profiler` — deterministic self/total-time hotspot
+  tables over phase and bit spans (``python -m repro.obs hotspots``).
+* :mod:`repro.obs.diff` — run and history-entry diffing with
+  first-divergence localization (``python -m repro.obs diff``).
 """
 
+from repro.obs.diff import RunDiff, diff_history_entries, diff_runs, render_diff
 from repro.obs.events import Event
 from repro.obs.export import ObsRun, dump_run, load_run, run_from_jsonl, run_to_jsonl
 from repro.obs.recorder import ObsRecorder, dispatch_count
@@ -35,6 +45,17 @@ from repro.obs.registry import (
     default_registry,
     set_default_registry,
 )
+from repro.obs.history import (
+    HistoryEntry,
+    HistoryStore,
+    RegressPolicy,
+    detect,
+    entry_from_campaign,
+    entry_from_registry,
+    entry_from_results,
+    render_regressions,
+)
+from repro.obs.profiler import flow_hotspots, phase_hotspots, render_hotspots
 from repro.obs.report import render_report
 from repro.obs.spans import Span, activation_spans, bit_spans, phase_totals
 
@@ -43,6 +64,21 @@ __all__ = [
     "Span",
     "ObsRun",
     "ObsRecorder",
+    "HistoryEntry",
+    "HistoryStore",
+    "RegressPolicy",
+    "RunDiff",
+    "detect",
+    "diff_runs",
+    "diff_history_entries",
+    "entry_from_campaign",
+    "entry_from_registry",
+    "entry_from_results",
+    "render_regressions",
+    "render_hotspots",
+    "render_diff",
+    "phase_hotspots",
+    "flow_hotspots",
     "MetricsRegistry",
     "Counter",
     "Gauge",

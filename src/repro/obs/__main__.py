@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — inspect a recorded run.
+"""``python -m repro.obs`` — inspect runs and their history.
 
 Examples::
 
@@ -7,22 +7,41 @@ Examples::
     python -m repro.obs gantt run.jsonl         # bit-transmission Gantt
     python -m repro.obs metrics run.jsonl       # metrics tables
     python -m repro.obs profile run.jsonl       # wall-time per phase
+    python -m repro.obs hotspots run.jsonl      # self/total-time table
+    python -m repro.obs diff a.jsonl b.jsonl    # what changed, and the
+                                                # first diverging event
+    python -m repro.obs diff 3 4 --history BENCH_history.jsonl
+    python -m repro.obs history                 # the metrics history
+    python -m repro.obs regress                 # gate on regressions
+    python -m repro.obs regress --report-only   # chart, never gate
     python -m repro.obs demo demo.jsonl         # record a 2-robot
                                                 # sync_two run, then
                                                 # inspect it
 
-Exit status: 0 on success, 1 when the run file is missing or garbled,
-2 on usage errors.
+Run files may be gzipped (``run.jsonl.gz``); the loader decides by
+suffix.  Exit status: 0 on success, 1 when a run or history file is
+missing or garbled (a one-line diagnostic, never a traceback), 2 on
+usage errors, 3 when ``regress`` (not ``--report-only``) or ``diff
+--gate`` found a difference worth failing on.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.obs.diff import diff_history_entries, diff_runs, render_diff
 from repro.obs.export import ObsRun, dump_run, load_run
+from repro.obs.history import (
+    HistoryStore,
+    RegressPolicy,
+    detect,
+    render_regressions,
+)
+from repro.obs.profiler import render_hotspots
 from repro.obs.report import (
     render_gantt,
     render_metrics,
@@ -38,6 +57,42 @@ _VIEWS = {
     "metrics": lambda run, width=None: render_metrics(run),
     "profile": lambda run, width=None: render_profile(run),
 }
+
+#: default location of the longitudinal metrics history.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+
+class _CliError(Exception):
+    """A user-facing failure: printed as one line, exit status 1."""
+
+
+def _load(path: str) -> ObsRun:
+    """Load a run file, or raise a one-line :class:`_CliError`."""
+    try:
+        return load_run(path)
+    except FileNotFoundError:
+        raise _CliError(f"no such run file: {path}") from None
+    except ReproError as exc:
+        raise _CliError(f"{path}: {exc}") from exc
+    except OSError as exc:
+        # IsADirectoryError, PermissionError, BadGzipFile, ...
+        raise _CliError(f"{path}: {exc}") from exc
+
+
+def _history_store(path: str, must_exist: bool = True) -> HistoryStore:
+    store = HistoryStore(path)
+    if must_exist and not store.exists():
+        raise _CliError(f"no such history file: {path}")
+    return store
+
+
+def _history_entries(path: str):
+    try:
+        return _history_store(path).entries()
+    except ReproError as exc:
+        raise _CliError(str(exc)) from exc
+    except OSError as exc:
+        raise _CliError(f"{path}: {exc}") from exc
 
 
 def record_demo(path: str, steps: int = 12, payload: Optional[List[int]] = None) -> str:
@@ -69,10 +124,105 @@ def record_demo(path: str, steps: int = 12, payload: Optional[List[int]] = None)
     return dump_run(recorder.to_run(), path)
 
 
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_view(args: argparse.Namespace) -> int:
+    run = _load(args.run)
+    print(_VIEWS[args.command](run, width=args.width))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    path = record_demo(args.out, steps=args.steps)
+    print(f"[recorded 2-robot sync_two run -> {path}]")
+    return 0
+
+
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    runs = [_load(path) for path in args.runs]
+    print(render_hotspots(runs, top=args.top or None))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    if args.history is not None:
+        entries = {e.seq: e for e in _history_entries(args.history)}
+        try:
+            seq_a, seq_b = int(args.a), int(args.b)
+        except ValueError:
+            raise _CliError(
+                "with --history, A and B are entry seq numbers "
+                f"(got {args.a!r}, {args.b!r})"
+            ) from None
+        for seq in (seq_a, seq_b):
+            if seq not in entries:
+                raise _CliError(
+                    f"no history entry #{seq} in {args.history} "
+                    f"(have {sorted(entries)})"
+                )
+        diff = diff_history_entries(entries[seq_a], entries[seq_b])
+        label_a, label_b = f"entry #{seq_a}", f"entry #{seq_b}"
+    else:
+        diff = diff_runs(_load(args.a), _load(args.b))
+        label_a, label_b = args.a, args.b
+    print(render_diff(diff, label_a=label_a, label_b=label_b))
+    if args.gate and not diff.identical:
+        return 3
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    store = _history_store(args.history)
+    entries = _history_entries(args.history)
+    if args.metric:
+        series = store.series(args.metric)
+        if not series:
+            raise _CliError(
+                f"no metric {args.metric!r} anywhere in {args.history}"
+            )
+        print(f"history of {args.metric}:")
+        for seq, value in series[-args.last:] if args.last else series:
+            print(f"  #{seq:<6d} {value:.6g}")
+        return 0
+    shown = entries[-args.last:] if args.last else entries
+    print(f"history: {len(entries)} entries in {args.history}")
+    for entry in shown:
+        commit = (entry.git_commit or "-")[:12]
+        print(
+            f"  #{entry.seq:<6d} {entry.source:<9s} {entry.run_id:<18s} "
+            f"commit {commit:<12s} {len(entry.metrics)} metrics"
+        )
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    entries = _history_entries(args.history)
+    policy = RegressPolicy(
+        window=args.window,
+        min_samples=args.min_samples,
+        mad_k=args.mad_k,
+        rel_tolerance=args.rel_tolerance,
+        abs_tolerance=args.abs_tolerance,
+        metrics=tuple(args.metric) if args.metric else None,
+    )
+    report = detect(entries, policy)
+    print(render_regressions(report))
+    if args.report_only or report.ok:
+        return 0
+    return 3
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Inspect an exported observability run (repro-obs-v1 JSONL).",
+        description=(
+            "Inspect exported observability runs (repro-obs-v1 JSONL, "
+            "optionally gzipped) and the longitudinal metrics history."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, help_text in (
@@ -83,36 +233,118 @@ def _parser() -> argparse.ArgumentParser:
         ("profile", "render the wall-time-per-phase profile"),
     ):
         view = sub.add_parser(name, help=help_text)
-        view.add_argument("run", help="path to an exported run (JSONL)")
+        view.add_argument("run", help="path to an exported run (JSONL, or .gz)")
         view.add_argument(
             "--width", type=int, default=None,
             help="maximum timeline columns (default 72; wide runs are strided)",
         )
+        view.set_defaults(func=_cmd_view)
+
+    hotspots = sub.add_parser(
+        "hotspots",
+        help="self/total-time hotspot tables, per protocol x scheduler",
+    )
+    hotspots.add_argument(
+        "runs", nargs="+", help="one or more exported runs (JSONL, or .gz)"
+    )
+    hotspots.add_argument(
+        "--top", type=int, default=10,
+        help="rows per table (default 10; 0 = all)",
+    )
+    hotspots.set_defaults(func=_cmd_hotspots)
+
+    diff = sub.add_parser(
+        "diff", help="compare two runs (or two history entries)"
+    )
+    diff.add_argument("a", help="run file A (or entry seq with --history)")
+    diff.add_argument("b", help="run file B (or entry seq with --history)")
+    diff.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="diff two entries of this history file instead of run files",
+    )
+    diff.add_argument(
+        "--gate", action="store_true",
+        help="exit 3 when the two sides differ at all",
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    history = sub.add_parser(
+        "history", help="list the metrics history (or one metric's series)"
+    )
+    history.add_argument(
+        "--history", metavar="PATH", default=DEFAULT_HISTORY,
+        help=f"history file (default {DEFAULT_HISTORY})",
+    )
+    history.add_argument(
+        "--metric", default=None, help="show this one metric over time"
+    )
+    history.add_argument(
+        "--last", type=int, default=0, help="only the most recent N entries"
+    )
+    history.set_defaults(func=_cmd_history)
+
+    regress = sub.add_parser(
+        "regress", help="judge the latest history entry against its baseline"
+    )
+    regress.add_argument(
+        "--history", metavar="PATH", default=DEFAULT_HISTORY,
+        help=f"history file (default {DEFAULT_HISTORY})",
+    )
+    regress.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0 (chart without gating)",
+    )
+    regress.add_argument(
+        "--window", type=int, default=10, help="baseline window (entries)"
+    )
+    regress.add_argument(
+        "--min-samples", type=int, default=3,
+        help="skip metrics with fewer baseline points than this",
+    )
+    regress.add_argument(
+        "--mad-k", type=float, default=4.0,
+        help="noise band half-width, in scaled MADs",
+    )
+    regress.add_argument(
+        "--rel-tolerance", type=float, default=0.10,
+        help="minimum relative deviation to flag (0.10 = 10%%)",
+    )
+    regress.add_argument(
+        "--abs-tolerance", type=float, default=0.0,
+        help="minimum absolute deviation to flag",
+    )
+    regress.add_argument(
+        "--metric", action="append", default=None,
+        help="only check this metric (repeatable)",
+    )
+    regress.set_defaults(func=_cmd_regress)
+
     demo = sub.add_parser(
         "demo", help="record a 2-robot sync_two run and write it as JSONL"
     )
     demo.add_argument("out", help="path to write the recorded run to")
     demo.add_argument("--steps", type=int, default=12, help="instants to run")
+    demo.set_defaults(func=_cmd_demo)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _parser().parse_args(argv)
-    if args.command == "demo":
-        path = record_demo(args.out, steps=args.steps)
-        print(f"[recorded 2-robot sync_two run -> {path}]")
-        return 0
     try:
-        run: ObsRun = load_run(args.run)
-    except FileNotFoundError:
-        print(f"error: no such run file: {args.run}", file=sys.stderr)
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     except ReproError as exc:
-        print(f"error: {args.run}: {exc}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(_VIEWS[args.command](run, width=args.width))
-    return 0
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a pager) — not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

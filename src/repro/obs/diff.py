@@ -1,0 +1,228 @@
+"""Run diffing: what changed between two recorded runs.
+
+``python -m repro.obs diff A B`` compares two ``repro-obs-v1`` traces
+(or, with ``--history``, two history entries) along three axes:
+
+* **event counts** — per-kind totals, the coarse shape of the run;
+* **metrics** — every series present in either run, with the signed
+  delta and a direction-of-goodness annotation (so a reader knows at
+  a glance whether ``cached_s +0.2`` is bad);
+* **first divergence** — the earliest event index at which the two
+  streams disagree, reported with both events and the JSONL line
+  number (header is line 1, so event ``i`` is line ``i + 2``) — the
+  forensic entry point when two "identical" seeded runs are not.
+
+Two traces of the same seeded run diff clean: zero deltas, no
+divergence.  Everything here is a pure function of the inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import ObsRun
+from repro.obs.history.regress import direction_of
+from repro.obs.history.store import HistoryEntry
+from repro.obs.history.ingest import metrics_from_snapshot
+
+__all__ = [
+    "MetricDelta",
+    "Divergence",
+    "RunDiff",
+    "diff_runs",
+    "diff_history_entries",
+    "render_diff",
+]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric that differs (or exists on only one side)."""
+
+    name: str
+    a: Optional[float]
+    b: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        """``b - a``, or None when one side is missing."""
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    @property
+    def direction(self) -> str:
+        """Direction of goodness for this metric's name."""
+        return direction_of(self.name)
+
+    @property
+    def verdict(self) -> str:
+        """``better`` / ``worse`` / ``changed`` — reading the delta
+        through the direction of goodness."""
+        if self.delta is None:
+            return "only in A" if self.b is None else "only in B"
+        direction = self.direction
+        if direction == "either" or self.delta == 0:
+            return "changed"
+        improved = (self.delta < 0) == (direction == "lower")
+        return "better" if improved else "worse"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point at which two event streams disagree."""
+
+    index: int
+    event_a: Optional[Dict[str, object]]
+    event_b: Optional[Dict[str, object]]
+
+    @property
+    def line(self) -> int:
+        """The JSONL line number of the diverging event (header = 1)."""
+        return self.index + 2
+
+    @property
+    def reason(self) -> str:
+        """One-phrase cause: ended early, kind flip, or payload."""
+        if self.event_a is None:
+            return "run A ended here"
+        if self.event_b is None:
+            return "run B ended here"
+        if self.event_a.get("kind") != self.event_b.get("kind"):
+            return (
+                f"kind {self.event_a.get('kind')!r} vs "
+                f"{self.event_b.get('kind')!r}"
+            )
+        return "same kind, different payload"
+
+
+@dataclass
+class RunDiff:
+    """Everything that differs between two runs."""
+
+    meta_a: Dict[str, object] = field(default_factory=dict)
+    meta_b: Dict[str, object] = field(default_factory=dict)
+    event_counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    metric_deltas: List[MetricDelta] = field(default_factory=list)
+    divergence: Optional[Divergence] = None
+    events_total: Tuple[int, int] = (0, 0)
+
+    @property
+    def identical(self) -> bool:
+        """No metric deltas, no event divergence, equal counts."""
+        return (
+            self.divergence is None
+            and not self.metric_deltas
+            and all(a == b for a, b in self.event_counts.values())
+        )
+
+
+def _metric_deltas(
+    metrics_a: Dict[str, float], metrics_b: Dict[str, float]
+) -> List[MetricDelta]:
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        a = metrics_a.get(name)
+        b = metrics_b.get(name)
+        if a != b:
+            deltas.append(MetricDelta(name=name, a=a, b=b))
+    return deltas
+
+
+def diff_runs(run_a: ObsRun, run_b: ObsRun) -> RunDiff:
+    """Compare two loaded runs (see module docstring)."""
+    counts: Dict[str, Tuple[int, int]] = {}
+    kinds = sorted(
+        {e.kind for e in run_a.events} | {e.kind for e in run_b.events}
+    )
+    for kind in kinds:
+        counts[kind] = (
+            sum(1 for e in run_a.events if e.kind == kind),
+            sum(1 for e in run_b.events if e.kind == kind),
+        )
+    divergence: Optional[Divergence] = None
+    for index in range(max(len(run_a.events), len(run_b.events))):
+        a = run_a.events[index].to_json() if index < len(run_a.events) else None
+        b = run_b.events[index].to_json() if index < len(run_b.events) else None
+        if a != b:
+            divergence = Divergence(index=index, event_a=a, event_b=b)
+            break
+    return RunDiff(
+        meta_a=dict(run_a.meta),
+        meta_b=dict(run_b.meta),
+        event_counts=counts,
+        metric_deltas=_metric_deltas(
+            metrics_from_snapshot(run_a.metrics),
+            metrics_from_snapshot(run_b.metrics),
+        ),
+        divergence=divergence,
+        events_total=(len(run_a.events), len(run_b.events)),
+    )
+
+
+def diff_history_entries(a: HistoryEntry, b: HistoryEntry) -> RunDiff:
+    """Compare two history entries (metrics only — no event streams)."""
+    return RunDiff(
+        meta_a={"seq": a.seq, "run_id": a.run_id, "git_commit": a.git_commit},
+        meta_b={"seq": b.seq, "run_id": b.run_id, "git_commit": b.git_commit},
+        metric_deltas=_metric_deltas(
+            {k: float(v) for k, v in a.metrics.items()},
+            {k: float(v) for k, v in b.metrics.items()},
+        ),
+    )
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+def render_diff(diff: RunDiff, label_a: str = "A", label_b: str = "B") -> str:
+    """The ASCII diff report ``python -m repro.obs diff`` prints."""
+    lines = [f"run diff: A={label_a}  B={label_b}"]
+    meta_keys = sorted(
+        k
+        for k in set(diff.meta_a) | set(diff.meta_b)
+        if k != "initial" and diff.meta_a.get(k) != diff.meta_b.get(k)
+    )
+    if meta_keys:
+        lines.append("  meta:")
+        for key in meta_keys:
+            lines.append(
+                f"    {key}: {diff.meta_a.get(key)!r} -> "
+                f"{diff.meta_b.get(key)!r}"
+            )
+    if diff.identical:
+        lines.append(
+            f"  identical: {diff.events_total[0]} events, "
+            f"zero metric deltas"
+        )
+        return "\n".join(lines)
+    changed_counts = {
+        kind: (a, b) for kind, (a, b) in diff.event_counts.items() if a != b
+    }
+    if changed_counts:
+        lines.append("  event counts:")
+        for kind in sorted(changed_counts):
+            a, b = changed_counts[kind]
+            lines.append(f"    {kind:<22s} {a:>8d} -> {b:<8d} ({b - a:+d})")
+    if diff.metric_deltas:
+        lines.append(f"  metric deltas ({len(diff.metric_deltas)}):")
+        for delta in diff.metric_deltas:
+            note = delta.verdict
+            if delta.direction != "either" and delta.delta is not None:
+                note += f", {delta.direction} is better"
+            lines.append(
+                f"    {delta.name}: {_fmt(delta.a)} -> {_fmt(delta.b)}"
+                f"  [{note}]"
+            )
+    if diff.divergence is not None:
+        d = diff.divergence
+        lines.append(
+            f"  first divergence: event #{d.index} (JSONL line {d.line}) "
+            f"— {d.reason}"
+        )
+        lines.append(f"    A: {json.dumps(d.event_a, sort_keys=True)}")
+        lines.append(f"    B: {json.dumps(d.event_b, sort_keys=True)}")
+    return "\n".join(lines)

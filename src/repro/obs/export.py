@@ -15,11 +15,16 @@ Layout (one JSON object per line, like ``analysis/trace_io``):
 The export round-trips exactly (events and metrics compare equal after
 ``load``), and the parser raises :class:`~repro.errors.
 TraceFormatError` with a line number on truncated or garbled input —
-never a bare ``KeyError``.
+never a bare ``KeyError``.  Paths ending in ``.gz`` are transparently
+gzip-compressed on write and decompressed on read (deterministically:
+the gzip mtime field is pinned, so identical runs stay byte-identical
+even compressed).
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -150,16 +155,41 @@ def run_from_jsonl(text: str) -> ObsRun:
     return run
 
 
+def _open_text(path: str, mode: str):
+    """Open ``path`` for text I/O, transparently gzipped for ``*.gz``.
+
+    Large-n traces are multi-megabyte; a ``run.jsonl.gz`` path makes
+    both :func:`dump_run` and :func:`load_run` stream through gzip.
+    Writes pin ``mtime=0`` and omit the embedded-filename header field
+    so identical runs produce byte-identical compressed files whatever
+    they are called (the same determinism contract the plain JSONL
+    export keeps).
+    """
+    if str(path).endswith(".gz"):
+        binary_mode = "wb" if "w" in mode else "rb"
+        raw = open(path, binary_mode)
+        binary = gzip.GzipFile(
+            filename="", fileobj=raw, mode=binary_mode, mtime=0
+        )
+        # GzipFile only closes files it opened itself; handing the raw
+        # file over via myfileobj makes close() cascade to it.
+        binary.myfileobj = raw
+        return io.TextIOWrapper(binary, encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def dump_run(run: ObsRun, path: str) -> str:
-    """Write a run to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a run to ``path`` (gzipped when it ends in ``.gz``);
+    returns the path."""
+    with _open_text(path, "w") as handle:
         handle.write(run_to_jsonl(run))
     return path
 
 
 def load_run(path: str) -> ObsRun:
-    """Read a run previously written by :func:`dump_run`."""
-    with open(path, encoding="utf-8") as handle:
+    """Read a run previously written by :func:`dump_run` (plain or
+    gzipped, decided by the ``.gz`` suffix)."""
+    with _open_text(path, "r") as handle:
         return run_from_jsonl(handle.read())
 
 

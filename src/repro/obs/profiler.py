@@ -1,0 +1,192 @@
+"""The deterministic span profiler: hotspot tables from recorded runs.
+
+Two span families feed it:
+
+* **phase spans** — the timed simulator phases an instrumented run
+  records (``schedule`` / ``compute`` / ``compute.observe`` /
+  ``compute.decide`` / ``move`` / ``record``).  The phase stream is
+  flat and disjoint — each ``phase`` event closes the previous span —
+  so a phase's recorded seconds are its **self time** by
+  construction; dotted names roll up into their parent's **total
+  time** (``compute`` total = compute self + ``compute.*``).
+* **bit spans** — each transmitted bit's encode-started → receipt
+  interval in *model* time (instants), aggregated per flow: the
+  protocol-level hotspot is the flow that spends the most instants
+  in flight.
+
+Everything is a pure function of the event stream: under the
+recorder's injectable clock two identical runs produce byte-identical
+hotspot tables (the property ``tests/obs/test_profiler.py`` pins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import PHASE, Event
+from repro.obs.export import ObsRun
+from repro.obs.spans import bit_spans
+
+__all__ = [
+    "PhaseStat",
+    "FlowStat",
+    "phase_hotspots",
+    "flow_hotspots",
+    "render_hotspots",
+]
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """One phase's aggregated profile row."""
+
+    name: str
+    calls: int
+    self_seconds: float
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean self time per call (0.0 when never called)."""
+        return self.self_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class FlowStat:
+    """One flow's aggregated bit-transmission profile row."""
+
+    src: int
+    dst: int
+    bits: int
+    delivered: int
+    total_instants: float
+
+    @property
+    def mean_instants(self) -> float:
+        """Mean instants per *delivered* bit (0.0 when none landed)."""
+        return self.total_instants / self.delivered if self.delivered else 0.0
+
+
+def phase_hotspots(
+    events: Iterable[Event], top: Optional[int] = None
+) -> List[PhaseStat]:
+    """Phase rows ranked by self time (descending; name breaks ties).
+
+    Self time is what the phase's own spans recorded; total time adds
+    every dotted descendant (``compute.*`` into ``compute``), so the
+    table answers both "where do the seconds go" (self) and "how
+    expensive is this stage end to end" (total).
+    """
+    calls: Dict[str, int] = {}
+    self_s: Dict[str, float] = {}
+    for event in events:
+        if event.kind != PHASE:
+            continue
+        name = str(event.get("phase", "?"))
+        calls[name] = calls.get(name, 0) + 1
+        self_s[name] = self_s.get(name, 0.0) + float(
+            event.get("seconds", 0.0)  # type: ignore[arg-type]
+        )
+    stats: List[PhaseStat] = []
+    for name in self_s:
+        descendants = sum(
+            seconds
+            for other, seconds in self_s.items()
+            if other.startswith(name + ".")
+        )
+        stats.append(
+            PhaseStat(
+                name=name,
+                calls=calls[name],
+                self_seconds=self_s[name],
+                total_seconds=self_s[name] + descendants,
+            )
+        )
+    stats.sort(key=lambda s: (-s.self_seconds, s.name))
+    return stats[:top] if top is not None else stats
+
+
+def flow_hotspots(
+    events: Iterable[Event], top: Optional[int] = None
+) -> List[FlowStat]:
+    """Flow rows ranked by total in-flight instants (descending)."""
+    per_flow: Dict[Tuple[int, int], List] = {}
+    for span in bit_spans(events):
+        flow = (int(span.attrs["src"]), int(span.attrs["dst"]))
+        per_flow.setdefault(flow, []).append(span)
+    stats: List[FlowStat] = []
+    for (src, dst), spans in per_flow.items():
+        delivered = [s for s in spans if s.end is not None]
+        stats.append(
+            FlowStat(
+                src=src,
+                dst=dst,
+                bits=len(spans),
+                delivered=len(delivered),
+                total_instants=sum(s.end - s.start for s in delivered),
+            )
+        )
+    stats.sort(key=lambda s: (-s.total_instants, s.src, s.dst))
+    return stats[:top] if top is not None else stats
+
+
+def _labels_of(run: ObsRun) -> str:
+    protocol = run.meta.get("protocol", "?")
+    scheduler = run.meta.get("scheduler", "?")
+    return f"{protocol} x {scheduler}"
+
+
+def render_hotspots(
+    runs: Sequence[ObsRun], top: Optional[int] = 10
+) -> str:
+    """The hotspot tables, one section per protocol x scheduler.
+
+    Runs sharing the same ``protocol``/``scheduler`` metadata are
+    merged into one section (their event streams concatenate); the
+    section order is the sorted label order, so the output is
+    deterministic regardless of argument order.
+    """
+    grouped: Dict[str, List[ObsRun]] = {}
+    for run in runs:
+        grouped.setdefault(_labels_of(run), []).append(run)
+    sections: List[str] = []
+    for label in sorted(grouped):
+        events: List[Event] = []
+        for run in grouped[label]:
+            events.extend(run.events)
+        lines = [f"hotspots [{label}]"]
+        phases = phase_hotspots(events, top=top)
+        if phases:
+            grand = sum(p.self_seconds for p in phases) or 1.0
+            lines.append(
+                f"  {'phase':<18s} {'calls':>7s} {'self_s':>12s} "
+                f"{'total_s':>12s} {'share':>7s}"
+            )
+            for stat in phases:
+                lines.append(
+                    f"  {stat.name:<18s} {stat.calls:>7d} "
+                    f"{stat.self_seconds:>12.6f} "
+                    f"{stat.total_seconds:>12.6f} "
+                    f"{stat.self_seconds / grand:>7.1%}"
+                )
+        else:
+            lines.append("  (no phase timing recorded)")
+        flows = flow_hotspots(events, top=top)
+        if flows:
+            lines.append(
+                f"  {'flow':<18s} {'bits':>7s} {'delivered':>12s} "
+                f"{'instants':>12s} {'mean':>7s}"
+            )
+            for stat in flows:
+                lines.append(
+                    f"  {f'r{stat.src}->r{stat.dst}':<18s} {stat.bits:>7d} "
+                    f"{stat.delivered:>12d} {stat.total_instants:>12.1f} "
+                    f"{stat.mean_instants:>7.2f}"
+                )
+        else:
+            lines.append("  (no bit traffic recorded)")
+        sections.append("\n".join(lines))
+    if not sections:
+        return "hotspots: (no runs)"
+    return "\n\n".join(sections)

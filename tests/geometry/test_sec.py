@@ -94,12 +94,20 @@ class TestProperties:
     @settings(max_examples=100, deadline=None)
     @given(point_sets, st.integers(min_value=0, max_value=2**16))
     def test_seed_independence(self, pts, seed):
-        """The SEC is unique: any processing order finds the same circle."""
+        """The SEC radius is unique: any processing order agrees on it.
+
+        The *center* is ill-conditioned for near-degenerate inputs —
+        two support sets can tie within eps yet put the center
+        O(sqrt(eps)) apart — so seeds must agree on the radius and on
+        enclosing every point, not on the exact center coordinates.
+        """
         a = smallest_enclosing_circle(pts, seed=0)
         b = smallest_enclosing_circle(pts, seed=seed)
         scale = max(1.0, a.radius)
         assert a.radius == pytest.approx(b.radius, abs=1e-6 * scale)
-        assert a.center.distance_to(b.center) <= 1e-6 * scale
+        for p in pts:
+            assert a.contains(p, eps=1e-6 * scale)
+            assert b.contains(p, eps=1e-6 * scale)
 
     @settings(max_examples=100, deadline=None)
     @given(point_sets)

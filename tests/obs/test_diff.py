@@ -1,0 +1,175 @@
+"""Run diffing: clean on identical seeded runs, forensic otherwise."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.diff import (
+    MetricDelta,
+    diff_history_entries,
+    diff_runs,
+    render_diff,
+)
+from repro.obs.export import ObsRun, dump_run
+from repro.obs.history import HistoryEntry, HistoryStore
+from repro.obs.recorder import ObsRecorder
+from repro.verify.engine import drive
+from repro.verify.scenarios import CELLS, build_run
+
+_SEED = 7
+
+
+def _fake_clock():
+    ticks = itertools.count()
+    return lambda: next(ticks) * 0.001
+
+
+@pytest.fixture(autouse=True)
+def _frozen_shared_memo_stats(monkeypatch):
+    """Pin the process-wide SEC memo counters.
+
+    They accumulate across runs in one process, so without this two
+    recordings of the same seeded scenario would differ in their
+    ``shared_sec_*`` gauges — exactly the cross-run noise the
+    injectable clock removes from the phase profile.
+    """
+    monkeypatch.setattr(
+        "repro.perf.memo.shared_sec_stats",
+        lambda: {"hits": 0, "misses": 0, "entries": 0},
+    )
+
+
+def _record(protocol: str) -> ObsRun:
+    cell = CELLS[(protocol, "synchronous")]
+    run = build_run(cell, _SEED, quick=True)
+    recorder = ObsRecorder(
+        clock=_fake_clock(),
+        meta={"protocol": protocol, "scheduler": "synchronous"},
+    )
+    recorder.attach(run.sim)
+    drive(run)
+    recorder.detach(run.sim)
+    return recorder.to_run()
+
+
+class TestDiffRuns:
+    def test_same_seeded_run_diffs_clean(self):
+        diff = diff_runs(_record("sync_two"), _record("sync_two"))
+        assert diff.identical
+        assert diff.metric_deltas == []
+        assert diff.divergence is None
+        assert "identical" in render_diff(diff)
+        assert "zero metric deltas" in render_diff(diff)
+
+    def test_different_protocols_localize_the_first_divergence(self):
+        diff = diff_runs(_record("sync_two"), _record("sync_granular"))
+        assert not diff.identical
+        assert diff.divergence is not None
+        # header is JSONL line 1, so event i lives on line i + 2
+        assert diff.divergence.line == diff.divergence.index + 2
+        text = render_diff(diff, label_a="sync_two", label_b="sync_granular")
+        assert "first divergence" in text
+        assert f"JSONL line {diff.divergence.line}" in text
+        assert "protocol: 'sync_two' -> 'sync_granular'" in text
+
+    def test_truncation_is_reported_as_an_early_end(self):
+        full = _record("sync_two")
+        cut = ObsRun(
+            meta=dict(full.meta),
+            events=full.events[:-3],
+            metrics=full.metrics,
+        )
+        diff = diff_runs(full, cut)
+        assert diff.divergence is not None
+        assert diff.divergence.index == len(full.events) - 3
+        assert diff.divergence.reason == "run B ended here"
+        assert diff.events_total == (len(full.events), len(full.events) - 3)
+
+    def test_changed_event_counts_are_tabulated(self):
+        a, b = _record("sync_two"), _record("sync_granular")
+        diff = diff_runs(a, b)
+        for kind, (count_a, count_b) in diff.event_counts.items():
+            assert count_a == len(a.of_kind(kind))
+            assert count_b == len(b.of_kind(kind))
+
+
+class TestMetricDelta:
+    def test_verdict_reads_the_direction_of_goodness(self):
+        assert MetricDelta("cached_s", 1.0, 0.5).verdict == "better"
+        assert MetricDelta("cached_s", 0.5, 1.5).verdict == "worse"
+        assert MetricDelta("speedup", 4.0, 2.0).verdict == "worse"
+        assert MetricDelta("sim_epoch", 1.0, 2.0).verdict == "changed"
+        assert MetricDelta("cached_s", None, 1.0).verdict == "only in B"
+        assert MetricDelta("cached_s", 1.0, None).verdict == "only in A"
+
+
+class TestHistoryDiff:
+    def test_equal_entries_diff_clean(self):
+        a = HistoryEntry(source="t", run_id="r", metrics={"x": 1.0}, seq=1)
+        b = HistoryEntry(source="t", run_id="r", metrics={"x": 1.0}, seq=2)
+        assert diff_history_entries(a, b).identical
+
+    def test_deltas_carry_direction_annotations(self):
+        a = HistoryEntry(
+            source="t", run_id="r", metrics={"cached_s": 0.5, "only_a": 1.0},
+            seq=1,
+        )
+        b = HistoryEntry(
+            source="t", run_id="r", metrics={"cached_s": 1.5}, seq=2
+        )
+        diff = diff_history_entries(a, b)
+        names = [d.name for d in diff.metric_deltas]
+        assert names == ["cached_s", "only_a"]
+        text = render_diff(diff, "entry #1", "entry #2")
+        assert "worse, lower is better" in text
+        assert "only in A" in text
+
+
+class TestCli:
+    def test_identical_dumped_runs_exit_zero(self, tmp_path, capsys):
+        a = dump_run(_record("sync_two"), str(tmp_path / "a.jsonl"))
+        b = dump_run(_record("sync_two"), str(tmp_path / "b.jsonl"))
+        assert main(["diff", a, b, "--gate"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_gate_exits_three_on_any_difference(self, tmp_path, capsys):
+        a = dump_run(_record("sync_two"), str(tmp_path / "a.jsonl"))
+        b = dump_run(_record("sync_granular"), str(tmp_path / "b.jsonl"))
+        assert main(["diff", a, b]) == 0  # report-only by default
+        assert main(["diff", a, b, "--gate"]) == 3
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path, capsys):
+        a = dump_run(_record("sync_two"), str(tmp_path / "a.jsonl"))
+        assert main(["diff", a, str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "no such run file" in err
+        assert "Traceback" not in err
+
+    def _history(self, tmp_path, rows):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        for row in rows:
+            store.append(HistoryEntry(source="t", run_id="t", metrics=row))
+        return str(store.path)
+
+    def test_history_entry_diff_by_seq(self, tmp_path, capsys):
+        path = self._history(
+            tmp_path, [{"cached_s": 0.5}, {"cached_s": 0.7}]
+        )
+        assert main(["diff", "1", "2", "--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "entry #1" in out and "entry #2" in out
+        assert "cached_s" in out
+
+    def test_unknown_history_seq_is_a_one_line_error(self, tmp_path, capsys):
+        path = self._history(tmp_path, [{"cached_s": 0.5}])
+        assert main(["diff", "1", "9", "--history", path]) == 1
+        assert "no history entry #9" in capsys.readouterr().err
+
+    def test_non_numeric_seq_with_history_is_rejected(self, tmp_path, capsys):
+        path = self._history(tmp_path, [{"cached_s": 0.5}])
+        assert main(["diff", "a.jsonl", "2", "--history", path]) == 1
+        assert "seq numbers" in capsys.readouterr().err

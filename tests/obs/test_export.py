@@ -50,6 +50,38 @@ class TestRoundTrip:
         assert len(run.of_kind(STEP)) == 2
 
 
+class TestGzip:
+    """``*.jsonl.gz`` paths compress transparently and deterministically."""
+
+    def test_round_trip_through_a_gzipped_file(self, tmp_path):
+        path = dump_run(_sample_run(), str(tmp_path / "run.jsonl.gz"))
+        loaded = load_run(path)
+        assert loaded.meta == _sample_run().meta
+        assert loaded.events == _sample_run().events
+        assert loaded.metrics == _sample_run().metrics
+
+    def test_the_file_really_is_gzip(self, tmp_path):
+        path = dump_run(_sample_run(), str(tmp_path / "run.jsonl.gz"))
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_compressed_dumps_are_byte_identical(self, tmp_path):
+        """The pinned gzip mtime keeps identical runs byte-identical."""
+        a = dump_run(_sample_run(), str(tmp_path / "a.jsonl.gz"))
+        b = dump_run(_sample_run(), str(tmp_path / "b.jsonl.gz"))
+        with open(a, "rb") as ha, open(b, "rb") as hb:
+            assert ha.read() == hb.read()
+
+    def test_garbled_gzip_payload_is_a_trace_format_error(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            load_run(str(path))
+
+
 class TestFormatErrors:
     """Garbled input fails loudly, with the offending line number."""
 

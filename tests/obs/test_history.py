@@ -1,0 +1,199 @@
+"""The longitudinal history store and its ingest adapters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.__main__ import main as campaign_main
+from repro.errors import TraceFormatError
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    HistoryEntry,
+    HistoryStore,
+    entry_from_campaign,
+    entry_from_registry,
+    entry_from_results,
+    flatten_scalars,
+    metrics_from_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _entry(**metrics) -> HistoryEntry:
+    return HistoryEntry(source="test", run_id="t", metrics=metrics)
+
+
+class TestStore:
+    def test_append_assigns_increasing_seq_and_stamps(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        first = store.append(_entry(a=1.0))
+        second = store.append(_entry(a=2.0))
+        assert (first.seq, second.seq) == (1, 2)
+        assert first.recorded_at is not None
+
+    def test_entries_round_trip_exactly(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        entry = HistoryEntry(
+            source="run_all",
+            run_id="quick",
+            metrics={"cached_s": 0.5},
+            meta={"mode": "quick"},
+            git_commit="deadbeef",
+        )
+        store.append(entry)
+        loaded = store.entries()[0]
+        assert loaded.metrics == {"cached_s": 0.5}
+        assert loaded.meta == {"mode": "quick"}
+        assert loaded.git_commit == "deadbeef"
+        assert loaded.source == "run_all"
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "absent.jsonl"))
+        assert store.entries() == []
+        assert not store.exists()
+
+    def test_lines_are_self_describing(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        store.append(_entry(a=1.0))
+        doc = json.loads(store.path.read_text().splitlines()[0])
+        assert doc["schema"] == HISTORY_SCHEMA
+        assert doc["seq"] == 1
+
+    def test_garbled_line_names_the_line(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        store.append(_entry(a=1.0))
+        with open(store.path, "a") as handle:
+            handle.write("{oops\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            store.entries()
+
+    def test_wrong_schema_line_is_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema": "something-else", "seq": 1}\n')
+        with pytest.raises(TraceFormatError, match="line 1"):
+            HistoryStore(str(path)).entries()
+
+    def test_series_tracks_one_metric_over_time(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        store.append(_entry(a=1.0, b=9.0))
+        store.append(_entry(a=2.0))
+        store.append(_entry(b=7.0))
+        assert store.series("a") == [(1, 1.0), (2, 2.0)]
+        assert store.metric_names() == ["a", "b"]
+
+    def test_sqlite_index_is_a_pure_derivation(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        store.append(_entry(a=1.0))
+        store.append(_entry(a=3.0))
+        rows = store.query_index(
+            "SELECT seq, value FROM metrics WHERE name = ? ORDER BY seq", "a"
+        )
+        assert rows == [(1, 1.0), (2, 3.0)]
+        store.index_path.unlink()
+        assert store.query_index("SELECT COUNT(*) FROM entries") == [(2,)]
+
+
+class TestFlatten:
+    def test_numeric_and_boolean_leaves_only(self):
+        flat = flatten_scalars(
+            {"a": 1, "b": {"c": 2.5, "ok": True}, "s": "skip", "l": [1, 2]}
+        )
+        assert flat == {"a": 1.0, "b.c": 2.5, "b.ok": 1.0}
+
+    def test_snapshot_metrics_carry_sorted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("bits", scheduler="sync", protocol="p").inc(3)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        registry.histogram("lat", buckets=[1.0]).observe(1.5)
+        flat = metrics_from_snapshot(registry.collect())
+        assert flat["bits{protocol=p,scheduler=sync}"] == 3.0
+        assert flat["lat.count"] == 2.0
+        assert flat["lat.sum"] == 2.0
+        assert flat["lat.mean"] == 1.0
+
+
+class TestIngest:
+    def test_entry_from_v4_results_uses_the_registry_snapshot(self):
+        results = {
+            "schema": "repro-bench-results",
+            "version": 4,
+            "mode": "quick",
+            "git_commit": "abc123",
+            "metrics": [
+                {"name": "cached_s", "labels": {"probe": "t"},
+                 "type": "gauge", "value": 0.5},
+            ],
+        }
+        entry = entry_from_results(results)
+        assert entry.metrics == {"cached_s{probe=t}": 0.5}
+        assert entry.git_commit == "abc123"
+        assert entry.run_id == "run_all-quick"
+        assert entry.meta["version"] == 4
+
+    def test_entry_from_legacy_results_flattens_probe_blocks(self):
+        results = {
+            "mode": "quick",
+            "elapsed_s": 2.0,
+            "probes": {"t": {"cached_s": 0.5, "output": "text"}},
+            "invariants": {"good": True},
+        }
+        entry = entry_from_results(results)
+        assert entry.metrics == {
+            "probe.t.cached_s": 0.5,
+            "invariant.good": 1.0,
+            "elapsed_s": 2.0,
+        }
+
+    def test_entry_from_registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("epoch").set(7)
+        entry = entry_from_registry(registry, run_id="r1", meta={"n": 4})
+        assert entry.source == "registry"
+        assert entry.metrics == {"epoch": 7.0}
+        assert entry.meta == {"n": 4}
+
+
+def _selftest_spec(tmp_path, behaviors):
+    doc = {
+        "name": "history-export",
+        "defaults": {"timeout_s": 10.0, "max_attempts": 1, "backoff_s": 0.05},
+        "cells": [
+            {"kind": "selftest", "params": {"behavior": b, "value": i}}
+            for i, b in enumerate(behaviors)
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestCampaignExport:
+    def test_export_history_appends_store_aggregates(self, tmp_path, capsys):
+        spec = _selftest_spec(tmp_path, ["ok", "ok"])
+        store = str(tmp_path / "store")
+        assert campaign_main(["run", "--spec", spec, "--store", store]) == 0
+        history = str(tmp_path / "h.jsonl")
+        assert campaign_main(
+            ["export-history", store, "--history", history]
+        ) == 0
+        assert "entry #1" in capsys.readouterr().out
+        entries = HistoryStore(history).entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.source == "campaign"
+        assert entry.run_id == "history-export"
+        assert entry.metrics["cells_total"] == 2.0
+        assert entry.metrics["cells_ok"] == 2.0
+        assert entry.metrics["cells_failed"] == 0.0
+        cell_series = [m for m in entry.metrics if m.startswith("cell.")]
+        assert len(cell_series) == 2
+        assert all(name.endswith(".elapsed_s") for name in cell_series)
+
+    def test_entry_from_campaign_on_a_missing_store_errors(self, tmp_path):
+        from repro.campaign.store import ResultStore
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            entry_from_campaign(ResultStore(str(tmp_path / "nope")))

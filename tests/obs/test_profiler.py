@@ -1,0 +1,100 @@
+"""The deterministic span profiler and its hotspot tables."""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    BIT_ENCODE_STARTED,
+    BIT_RECEIPT,
+    PHASE,
+    Event,
+)
+from repro.obs.export import ObsRun
+from repro.obs.profiler import (
+    flow_hotspots,
+    phase_hotspots,
+    render_hotspots,
+)
+
+
+def _phase(name, seconds, t=0):
+    return Event(PHASE, t, {"phase": name, "seconds": seconds})
+
+
+class TestPhaseHotspots:
+    def test_self_time_ranks_and_totals_roll_up(self):
+        events = [
+            _phase("compute", 0.01),
+            _phase("compute.observe", 0.20),
+            _phase("compute.decide", 0.30),
+            _phase("move", 0.05),
+            _phase("compute.observe", 0.20),
+        ]
+        stats = {s.name: s for s in phase_hotspots(events)}
+        assert stats["compute.observe"].calls == 2
+        assert stats["compute.observe"].self_seconds == 0.40
+        # the parent's total absorbs every dotted descendant
+        assert stats["compute"].self_seconds == 0.01
+        assert abs(stats["compute"].total_seconds - 0.71) < 1e-12
+        assert stats["move"].total_seconds == 0.05
+        # ranking is by self time, descending
+        names = [s.name for s in phase_hotspots(events)]
+        assert names[0] == "compute.observe"
+        assert names[1] == "compute.decide"
+
+    def test_ties_break_by_name_deterministically(self):
+        events = [_phase("b", 0.1), _phase("a", 0.1)]
+        assert [s.name for s in phase_hotspots(events)] == ["a", "b"]
+
+    def test_top_k_truncates(self):
+        events = [_phase(f"p{i}", float(i)) for i in range(6)]
+        assert len(phase_hotspots(events, top=3)) == 3
+
+
+class TestFlowHotspots:
+    def test_flows_aggregate_delivered_bits(self):
+        events = [
+            Event(BIT_ENCODE_STARTED, 0, {"src": 0, "dst": 1, "bit": 1}),
+            Event(BIT_RECEIPT, 2, {"src": 0, "dst": 1, "bit": 1}),
+            Event(BIT_ENCODE_STARTED, 3, {"src": 0, "dst": 1, "bit": 0}),
+            Event(BIT_RECEIPT, 5, {"src": 0, "dst": 1, "bit": 0}),
+            Event(BIT_ENCODE_STARTED, 0, {"src": 2, "dst": 3, "bit": 1}),
+        ]
+        stats = flow_hotspots(events)
+        assert [(s.src, s.dst) for s in stats] == [(0, 1), (2, 3)]
+        first = stats[0]
+        assert first.bits == 2
+        assert first.delivered == 2
+        assert first.total_instants == 4.0
+        assert first.mean_instants == 2.0
+        # the lost bit contributes to the count but not the totals
+        assert stats[1].delivered == 0
+        assert stats[1].mean_instants == 0.0
+
+
+class TestRender:
+    def _run(self, protocol="sync_two", scheduler="synchronous"):
+        return ObsRun(
+            meta={"protocol": protocol, "scheduler": scheduler},
+            events=[
+                _phase("compute", 0.25),
+                _phase("move", 0.75),
+                Event(BIT_ENCODE_STARTED, 0, {"src": 0, "dst": 1, "bit": 1}),
+                Event(BIT_RECEIPT, 1, {"src": 0, "dst": 1, "bit": 1}),
+            ],
+        )
+
+    def test_sections_group_by_protocol_x_scheduler(self):
+        text = render_hotspots([self._run(), self._run(protocol="async_two")])
+        assert "hotspots [async_two x synchronous]" in text
+        assert "hotspots [sync_two x synchronous]" in text
+        # sections are in sorted label order regardless of input order
+        assert text.index("async_two") < text.index("sync_two x")
+
+    def test_rendering_is_byte_identical_for_identical_runs(self):
+        a = render_hotspots([self._run()])
+        b = render_hotspots([self._run()])
+        assert a == b
+        assert "compute" in a and "r0->r1" in a
+
+    def test_empty_input(self):
+        assert "no runs" in render_hotspots([])

@@ -172,10 +172,14 @@ class TestInjectedClock:
         clock = lambda: next(ticks) * 0.5  # noqa: E731 - tiny test stub
         _, recorder = _recorded_pair(steps=3, clock=clock)
         phases = recorder.to_run().of_kind(PHASE)
-        # 4 timed phases per instant (schedule/compute/move/record)
-        assert len(phases) == 12
-        assert [e.get("phase") for e in phases[:4]] == [
-            "schedule", "compute", "move", "record",
+        # 8 timed phases per instant: schedule/compute/move/record plus
+        # one compute.observe + compute.decide pair per active robot
+        assert len(phases) == 24
+        assert [e.get("phase") for e in phases[:8]] == [
+            "schedule", "compute",
+            "compute.observe", "compute.decide",
+            "compute.observe", "compute.decide",
+            "move", "record",
         ]
         # each phase spans exactly one tick of the injected clock
         assert all(e.get("seconds") == pytest.approx(0.5) for e in phases)

@@ -62,6 +62,38 @@ class TestHistogram:
     def test_empty_mean_is_zero(self):
         assert Histogram().mean == 0.0
 
+    def test_exact_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram(bounds=(1.0, 10.0, 100.0))
+        h.observe(1.0)    # exactly the first bound -> first bucket
+        h.observe(10.0)   # exactly the middle bound -> second bucket
+        h.observe(100.0)  # exactly the last bound -> last bucket, not overflow
+        assert h.counts == [1, 1, 1]
+        assert h.overflow == 0
+
+    def test_just_above_an_edge_spills_to_the_next_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1.0000001)
+        assert h.counts == [0, 1]
+        h.observe(10.0000001)
+        assert h.overflow == 1
+
+    def test_negative_and_zero_land_in_the_first_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(-5.0)
+        h.observe(0.0)
+        assert h.counts == [2, 0]
+        assert h.overflow == 0
+        assert h.total == pytest.approx(-5.0)
+
+    def test_overflow_counts_toward_count_and_total(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(99.0)
+        assert h.counts == [0]
+        assert h.overflow == 1
+        assert h.count == 1
+        assert h.total == pytest.approx(99.0)
+        assert h.mean == pytest.approx(99.0)
+
     def test_unsorted_bounds_are_rejected(self):
         with pytest.raises(ObservabilityError):
             Histogram(bounds=(2.0, 1.0))
@@ -116,6 +148,27 @@ class TestMetricsRegistry:
         assert [e["name"] for e in snapshot] == ["a", "a", "z"]
         assert snapshot == reg.collect()
         assert snapshot[0]["labels"] == {"k": "1"}
+
+    def test_snapshots_are_label_order_deterministic(self):
+        """Same series touched with shuffled label kwargs: one snapshot."""
+        reg_a = MetricsRegistry()
+        reg_a.counter("bits", protocol="p", scheduler="s").inc(3)
+        reg_b = MetricsRegistry()
+        reg_b.counter("bits", scheduler="s", protocol="p").inc(3)
+        snap_a, snap_b = reg_a.collect(), reg_b.collect()
+        assert snap_a == snap_b
+        assert list(snap_a[0]["labels"]) == sorted(snap_a[0]["labels"])
+
+    def test_histogram_snapshot_carries_the_bucket_table(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        reg.histogram("lat").observe(50.0)
+        (entry,) = reg.collect()
+        assert entry["type"] == "histogram"
+        assert entry["bounds"] == [1.0, 10.0]
+        assert entry["counts"] == [1, 0]
+        assert entry["overflow"] == 1
+        assert entry["count"] == 2
 
     def test_absorb_records_gauges(self):
         reg = MetricsRegistry()

@@ -80,3 +80,63 @@ class TestCli:
         bad.write_text('{"format": "repro-obs-v1", "version": 1, "meta": {}}\n{oops\n')
         assert main(["report", str(bad)]) == 1
         assert "line 2" in capsys.readouterr().err
+
+
+class TestDiagnostics:
+    """Every failure mode is one line on stderr — never a traceback."""
+
+    def _err(self, capsys) -> str:
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        return err
+
+    def test_directory_instead_of_a_run_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 1
+        self._err(capsys)
+
+    def test_garbled_gzip_run_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl.gz"
+        bad.write_bytes(b"\x1f\x8bnot really gzip")
+        assert main(["report", str(bad)]) == 1
+        self._err(capsys)
+
+    def test_hotspots_with_a_missing_run(self, demo_path, tmp_path, capsys):
+        assert main(["hotspots", demo_path, str(tmp_path / "gone.jsonl")]) == 1
+        assert "no such run file" in self._err(capsys)
+
+    def test_history_on_a_missing_file(self, tmp_path, capsys):
+        assert main(["history", "--history", str(tmp_path / "h.jsonl")]) == 1
+        assert "no such history file" in self._err(capsys)
+
+    def test_history_with_an_unknown_metric(self, tmp_path, capsys):
+        from repro.obs.history import HistoryEntry, HistoryStore
+
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        store.append(HistoryEntry(source="t", run_id="t", metrics={"a": 1.0}))
+        assert main(
+            ["history", "--history", str(store.path), "--metric", "zzz"]
+        ) == 1
+        assert "no metric 'zzz'" in self._err(capsys)
+
+    def test_garbled_history_line_names_the_line(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        path.write_text("{oops\n")
+        assert main(["regress", "--history", str(path)]) == 1
+        assert "line 1" in self._err(capsys)
+
+
+class TestHotspotsCli:
+    def test_hotspots_render_for_the_demo_run(self, demo_path, capsys):
+        assert main(["hotspots", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots [sync_two x synchronous]" in out
+        assert "r0->r1" in out
+
+    def test_top_zero_means_all_rows(self, demo_path, capsys):
+        assert main(["hotspots", demo_path, "--top", "0"]) == 0
+        out = capsys.readouterr().out
+        # the sub-phase rows only fit when nothing is truncated
+        assert "compute.observe" in out
+        assert "compute.decide" in out

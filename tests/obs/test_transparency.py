@@ -9,9 +9,13 @@ And with no recorder attached, the obs layer must dispatch *nothing*
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
 from repro.obs import recorder as recorder_module
+from repro.obs.events import PHASE
+from repro.obs.profiler import phase_hotspots, render_hotspots
 from repro.obs.recorder import ObsRecorder, dispatch_count
 from repro.verify.engine import _received_fingerprint, _trace_fingerprint, drive
 from repro.verify.monitors import attach
@@ -20,14 +24,20 @@ from repro.verify.scenarios import CELLS, PROTOCOLS, build_run
 _SEED = 1
 
 
-def _drive_cell(protocol: str, instrument: bool):
+def _fake_clock():
+    ticks = itertools.count()
+    return lambda: next(ticks) * 0.001
+
+
+def _drive_cell(protocol: str, instrument: bool, clock=None):
     """One seeded synchronous run of ``protocol``; optionally recorded."""
     cell = CELLS[(protocol, "synchronous")]
     run = build_run(cell, _SEED, quick=True)
     recorder = None
     if instrument:
         recorder = ObsRecorder(
-            meta={"protocol": protocol, "scheduler": "synchronous"}
+            clock=clock,
+            meta={"protocol": protocol, "scheduler": "synchronous"},
         )
         recorder.attach(run.sim)
     attach(run.sim, run.monitors)
@@ -59,3 +69,34 @@ class TestBitTransparency:
         _drive_cell(protocol, False)
         assert dispatch_count() == before
         assert recorder_module._dispatches == before
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestProfilerAttachment:
+    """The span profiler rides the same attachment, for every protocol."""
+
+    def test_profiled_run_stays_transparent(self, protocol):
+        bare, bare_steps, bare_verdicts, _ = _drive_cell(protocol, False)
+        inst, inst_steps, _, recorder = _drive_cell(
+            protocol, True, clock=_fake_clock()
+        )
+        assert inst_steps == bare_steps
+        assert _trace_fingerprint(inst) == _trace_fingerprint(bare)
+        assert _received_fingerprint(inst) == _received_fingerprint(bare)
+        # phase spans were recorded, including the compute sub-phases
+        phases = {e.get("phase") for e in recorder.events if e.kind == PHASE}
+        assert {"schedule", "compute", "move"} <= phases
+        assert "compute.observe" in phases
+        assert "compute.decide" in phases
+
+    def test_hotspot_table_is_byte_identical_under_a_fake_clock(self, protocol):
+        runs = [
+            _drive_cell(protocol, True, clock=_fake_clock())[3].to_run()
+            for _ in range(2)
+        ]
+        tables = [render_hotspots([run]) for run in runs]
+        assert tables[0] == tables[1]
+        assert f"hotspots [{protocol} x synchronous]" in tables[0]
+        stats = phase_hotspots(runs[0].events)
+        assert stats  # a non-empty, ranked table
+        assert all(s.self_seconds >= 0.0 for s in stats)

@@ -17,14 +17,18 @@ import sys
 def test_quick_smoke_passes_and_reports_invariants(tmp_path):
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     out = tmp_path / "BENCH_results.json"
+    history = tmp_path / "BENCH_history.jsonl"
     result = subprocess.run(
-        [sys.executable, "-m", "benchmarks.run_all", "--quick", "--json", str(out)],
+        [sys.executable, "-m", "benchmarks.run_all", "--quick",
+         "--json", str(out), "--history", str(history)],
         cwd=repo_root,
         capture_output=True,
         text=True,
         timeout=600,
     )
     assert result.returncode == 0, result.stdout + result.stderr
+    assert "[history: entry #1" in result.stdout
+    assert history.exists()
 
     payload = json.loads(out.read_text())
     assert payload["mode"] == "quick"

@@ -18,7 +18,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 class TestRunAll:
     def test_every_experiment_table_regenerates(self):
         result = subprocess.run(
-            [sys.executable, "benchmarks/run_all.py"],
+            [sys.executable, "benchmarks/run_all.py", "--no-history"],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
@@ -64,7 +64,7 @@ class TestQuickGate:
         import benchmarks.run_all as run_all
 
         self._cheap_probes(monkeypatch, run_all)
-        assert run_all.main(["--quick"]) == 0
+        assert run_all.main(["--quick", "--no-history"]) == 0
 
     def test_transparency_violation_exits_nonzero(self, monkeypatch):
         import benchmarks.run_all as run_all
@@ -74,7 +74,7 @@ class TestQuickGate:
             monkeypatch, run_all,
             throughput_probe=lambda n=64, steps=40: broken,
         )
-        assert run_all.main(["--quick"]) == 1
+        assert run_all.main(["--quick", "--no-history"]) == 1
 
     def test_adversarial_violation_exits_nonzero(self, monkeypatch):
         import benchmarks.run_all as run_all
@@ -86,7 +86,7 @@ class TestQuickGate:
                 "violations": ["[transparency @ end] traces diverged"],
             },
         )
-        assert run_all.main(["--quick"]) == 1
+        assert run_all.main(["--quick", "--no-history"]) == 1
 
     def test_crashing_probe_is_a_failure_not_a_traceback(self, monkeypatch):
         import benchmarks.run_all as run_all
@@ -95,7 +95,7 @@ class TestQuickGate:
             raise RuntimeError("probe exploded")
 
         self._cheap_probes(monkeypatch, run_all, throughput_probe=boom)
-        assert run_all.main(["--quick"]) == 1
+        assert run_all.main(["--quick", "--no-history"]) == 1
 
     @staticmethod
     def _good_throughput():
@@ -118,7 +118,7 @@ class TestResultsSchema:
 
         TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
         out = tmp_path / "results.json"
-        assert run_all.main(["--quick", "--json", str(out)]) == 0
+        assert run_all.main(["--quick", "--no-history", "--json", str(out)]) == 0
         results = json.loads(out.read_text())
         assert results["schema"] == run_all.RESULTS_SCHEMA
         assert results["version"] == run_all.RESULTS_VERSION
@@ -134,7 +134,7 @@ class TestResultsSchema:
 
         TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
         out = tmp_path / "results.json"
-        assert run_all.main(["--quick", "--json", str(out)]) == 0
+        assert run_all.main(["--quick", "--no-history", "--json", str(out)]) == 0
         results = json.loads(out.read_text())
         assert results["workers"] == 0
         assert results["elapsed_s"] > 0.0
@@ -152,6 +152,69 @@ class TestResultsSchema:
         assert run_all.git_commit() is None
 
 
+class TestHistory:
+    """Every driver run appends one entry to the metrics history."""
+
+    def test_two_runs_yield_two_entries_with_increasing_seq(
+        self, monkeypatch, tmp_path
+    ):
+        import benchmarks.run_all as run_all
+        from repro.obs.history import HistoryStore
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        history = tmp_path / "BENCH_history.jsonl"
+        assert run_all.main(["--quick", "--history", str(history)]) == 0
+        assert run_all.main(["--quick", "--history", str(history)]) == 0
+        entries = HistoryStore(str(history)).entries()
+        assert [e.seq for e in entries] == [1, 2]
+        for entry in entries:
+            assert entry.source == "run_all"
+            assert entry.run_id == "run_all-quick"
+            assert len(entry.git_commit) == 40
+            assert entry.metrics  # the registry snapshot flattened
+            assert any(m.startswith("probe_elapsed_s") for m in entry.metrics)
+
+    def test_results_carry_the_registry_snapshot(self, monkeypatch, tmp_path):
+        import json
+
+        import benchmarks.run_all as run_all
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        out = tmp_path / "results.json"
+        assert run_all.main(
+            ["--quick", "--no-history", "--json", str(out)]
+        ) == 0
+        results = json.loads(out.read_text())
+        assert results["version"] == 4
+        series = results["metrics"]
+        assert isinstance(series, list) and series
+        names = [entry["name"] for entry in series]
+        assert names == sorted(names)
+        assert "probe_elapsed_s" in names
+
+    def test_failed_append_fails_the_run(self, monkeypatch, tmp_path):
+        import benchmarks.run_all as run_all
+
+        def boom(results, path):
+            raise OSError("disk full")
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        monkeypatch.setattr(run_all, "append_history", boom)
+        assert run_all.main(
+            ["--quick", "--history", str(tmp_path / "h.jsonl")]
+        ) == 1
+
+    def test_no_history_skips_the_append(self, monkeypatch, tmp_path):
+        import benchmarks.run_all as run_all
+
+        def boom(results, path):
+            raise AssertionError("should not be called")
+
+        TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
+        monkeypatch.setattr(run_all, "append_history", boom)
+        assert run_all.main(["--quick", "--no-history"]) == 0
+
+
 class TestObsFlag:
     """``--obs PATH`` exports a run and gates on transparency."""
 
@@ -165,7 +228,7 @@ class TestObsFlag:
         obs_path = tmp_path / "run.jsonl"
         out = tmp_path / "results.json"
         code = run_all.main(
-            ["--quick", "--obs", str(obs_path), "--json", str(out)]
+            ["--quick", "--no-history", "--obs", str(obs_path), "--json", str(out)]
         )
         assert code == 0
         run = load_run(str(obs_path))
@@ -187,7 +250,9 @@ class TestObsFlag:
                 "events": 0, "transparent": False, "metrics": [],
             },
         )
-        assert run_all.main(["--quick", "--obs", str(tmp_path / "r.jsonl")]) == 1
+        assert run_all.main(
+            ["--quick", "--no-history", "--obs", str(tmp_path / "r.jsonl")]
+        ) == 1
 
     def test_crashing_obs_probe_is_a_failure(self, monkeypatch, tmp_path):
         import benchmarks.run_all as run_all
@@ -197,4 +262,6 @@ class TestObsFlag:
 
         TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
         monkeypatch.setattr(run_all, "obs_probe", boom)
-        assert run_all.main(["--quick", "--obs", str(tmp_path / "r.jsonl")]) == 1
+        assert run_all.main(
+            ["--quick", "--no-history", "--obs", str(tmp_path / "r.jsonl")]
+        ) == 1
