@@ -6,11 +6,17 @@ Not a paper artefact: engineering numbers for the reproduction itself.
   flat at 2; async grows with n);
 * wall-clock cost of the geometric substrate (Voronoi diagram, SEC,
   relative naming) at growing n — the quantities that bound how large
-  a swarm the simulator handles comfortably.
+  a swarm the simulator handles comfortably;
+* robots/second of the vectorized batch backend (``repro.batch``) at
+  n=1k/10k/100k — swarm sizes the scalar engine cannot reach (cells
+  skip cleanly without numpy).
 """
 
 from __future__ import annotations
 
+import time
+
+import repro.batch
 from repro.apps.harness import SwarmHarness, ring_positions
 from repro.geometry.sec import smallest_enclosing_circle
 from repro.geometry.voronoi import voronoi_diagram
@@ -73,6 +79,46 @@ def protocol_scaling_rows():
     return rows
 
 
+#: the batch-backend scaling cells (robots/second at SoA swarm sizes).
+BATCH_SIZES = (1_000, 10_000, 100_000)
+
+
+def batch_steps_for(n: int) -> int:
+    """Step budget per batch cell, scaled to keep wall clock bounded."""
+    return 400 if n <= 1_000 else (200 if n <= 10_000 else 100)
+
+
+def batch_scaling_rows(sizes=BATCH_SIZES):
+    """(n, mode, steps, build_s, run_s, robots/sec) per batch cell.
+
+    Empty on a numpy-free interpreter — the table prints a skip note
+    instead of crashing, mirroring ``repro.batch``'s graceful
+    degradation everywhere else.
+    """
+    if not repro.batch.available():
+        return []
+    from repro.batch.engine import BatchSimulator
+    from repro.model.trace import TracePolicy
+
+    from benchmarks.support import batch_swarm
+
+    rows = []
+    for n in sizes:
+        steps = batch_steps_for(n)
+        started = time.perf_counter()
+        sim = BatchSimulator(batch_swarm(n), trace_policy=TracePolicy(stride=1_000))
+        build_s = time.perf_counter() - started
+        sim.protocol_of(0).send_bits(1, [1, 0, 1, 1])
+        started = time.perf_counter()
+        sim.run(steps)
+        run_s = time.perf_counter() - started
+        rows.append(
+            (n, sim.mode, steps, round(build_s, 2), round(run_s, 2),
+             int(n * steps / run_s) if run_s > 0 else 0)
+        )
+    return rows
+
+
 # --- substrate micro-benchmarks (pytest-benchmark timings) -----------
 
 def test_p1_protocol_scaling(benchmark):
@@ -102,6 +148,19 @@ def test_p1_relative_naming_speed(benchmark):
     assert sorted(labels.values()) == list(range(64))
 
 
+def test_p1_batch_backend_scaling(benchmark):
+    import pytest
+
+    if not repro.batch.available():
+        pytest.skip("batch backend needs numpy (install the [batch] extra)")
+    rows = benchmark.pedantic(
+        lambda: batch_scaling_rows(sizes=(1_000,)), rounds=1, iterations=1
+    )
+    (n, mode, steps, _build_s, _run_s, robots_per_sec) = rows[0]
+    assert n == 1_000 and mode == "kernel" and steps == 400
+    assert robots_per_sec > 0
+
+
 def test_p1_simulator_throughput(benchmark):
     def run():
         h = SwarmHarness(
@@ -123,6 +182,15 @@ def main() -> None:
         ["n", "sync granular", "async (sec naming)"],
         protocol_scaling_rows(),
     )
+    batch_rows = batch_scaling_rows()
+    if batch_rows:
+        print_table(
+            "P1 — batch backend robots/second (vectorized SoA engine)",
+            ["n", "mode", "steps", "build s", "run s", "robots/s"],
+            batch_rows,
+        )
+    else:
+        print("\n== P1 — batch backend robots/second: skipped (no numpy) ==")
 
 
 # The campaign engine's import-based entry points (no exec).

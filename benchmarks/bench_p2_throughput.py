@@ -9,10 +9,17 @@ the 2-instants-per-bit synchronous scheme.
 This is an engineering property of the reproduction with a real
 implication for the paper's programme: the medium does not become the
 bottleneck as swarms grow, observation (decoding everyone) does.
+
+The batch backend rows push the same saturated workload to swarm
+sizes the scalar engine cannot reach, reporting delivered bits *and*
+robots/second (they skip cleanly without numpy).
 """
 
 from __future__ import annotations
 
+import time
+
+import repro.batch
 from repro.apps.harness import SwarmHarness, ring_positions
 from repro.protocols.sync_granular import SyncGranularProtocol
 
@@ -29,29 +36,47 @@ SIZES = (4, 8, 16, 32)
 BITS_PER_SENDER = 20
 STEPS = 2 * BITS_PER_SENDER + 2
 
+#: batch-backend saturated sizes.  Saturation means *every* robot
+#: sends, so every robot overhears every granular: the per-step
+#: bookkeeping is inherently O(n²) and these cells stay modest —
+#: the large-n robots/second story lives in bench_p1_scaling.
+BATCH_SIZES = (64, 256)
 
-def run_saturated(count: int) -> dict:
+
+def run_saturated(count: int, backend: str = "scalar") -> dict:
     h = SwarmHarness(
         ring_positions(count, radius=12.0, jitter=0.05),
         protocol_factory=lambda: SyncGranularProtocol(),
         sigma=4.0,
+        backend=backend,
     )
     for i in range(count):
         h.simulator.protocol_of(i).send_bits((i + 1) % count, [i & 1] * BITS_PER_SENDER)
+    started = time.perf_counter()
     h.run(STEPS)
+    run_s = time.perf_counter() - started
     delivered = sum(
         len(h.simulator.protocol_of(i).received) for i in range(count)
     )
     return {
         "n": count,
+        "backend": backend,
         "delivered": delivered,
         "steps": h.simulator.time,
         "throughput": delivered / h.simulator.time,
+        "robots_per_sec": int(count * STEPS / run_s) if run_s > 0 else 0,
     }
 
 
 def sweep():
     return [run_saturated(count) for count in SIZES]
+
+
+def batch_sweep(sizes=BATCH_SIZES):
+    """Saturated rows on the batch backend; [] without numpy."""
+    if not repro.batch.available():
+        return []
+    return [run_saturated(count, backend="batch") for count in sizes]
 
 
 def test_p2_shape(benchmark):
@@ -67,6 +92,23 @@ def test_p2_shape(benchmark):
     assert by_n[32] / by_n[4] > 6.0
 
 
+def test_p2_batch_backend_shape(benchmark):
+    import pytest
+
+    if not repro.batch.available():
+        pytest.skip("batch backend needs numpy (install the [batch] extra)")
+    rows = benchmark.pedantic(lambda: batch_sweep(sizes=(64,)), rounds=1, iterations=1)
+    (row,) = rows
+    # The vectorized engine delivers the same saturated payload with
+    # the same linear-throughput shape as the scalar medium.
+    assert row["backend"] == "batch"
+    assert row["delivered"] == row["n"] * BITS_PER_SENDER
+    assert row["throughput"] >= 0.9 * row["n"] / 2.0
+    scalar = run_saturated(64)
+    assert row["delivered"] == scalar["delivered"]
+    assert row["steps"] == scalar["steps"]
+
+
 def main() -> None:
     print_table(
         "P2 — aggregate throughput under full saturation (all robots sending)",
@@ -76,6 +118,19 @@ def main() -> None:
             for r in sweep()
         ],
     )
+    batch_rows = batch_sweep()
+    if batch_rows:
+        print_table(
+            "P2 — saturated throughput on the batch backend",
+            ["n", "bits delivered", "bits/instant", "n/2 reference", "robots/s"],
+            [
+                (r["n"], r["delivered"], round(r["throughput"], 2),
+                 r["n"] / 2.0, r["robots_per_sec"])
+                for r in batch_rows
+            ],
+        )
+    else:
+        print("\n== P2 — batch backend saturation: skipped (no numpy) ==")
 
 
 # The campaign engine's import-based entry points (no exec).

@@ -233,6 +233,76 @@ def geometry_cache_probe(n: int = 32, repeats: int = 200) -> Dict:
     }
 
 
+def batch_scaling_probe(
+    sizes: Tuple[int, ...] = (1_000,), compare_n: int = 64
+) -> Dict:
+    """Robots/second of the vectorized backend at large swarm sizes.
+
+    Each cell drives a ``BatchSimulator`` (kernel mode, strided trace)
+    with one active sender and reports build time, run time and
+    robots/second.  ``compare_n`` additionally runs the *same* swarm on
+    both backends, checks the final configurations are bit-identical,
+    and reports the batch/scalar speedup — the number the order-of-
+    magnitude claim in docs/PERFORMANCE.md rests on.
+
+    Skips cleanly (no failure) on a numpy-free interpreter.
+    """
+    import repro.batch
+
+    if not repro.batch.available():
+        return {"skipped": True, "backend": "scalar", "reason": repro.batch.NUMPY_HINT}
+
+    from repro.batch.engine import BatchSimulator
+    from repro.model.simulator import Simulator
+    from repro.model.trace import TracePolicy
+
+    from benchmarks.support import batch_swarm
+
+    # Keyed by size (not a list) so every cell's robots_per_sec
+    # flattens into the metrics history as cells.n10000.robots_per_sec.
+    cells_out: Dict[str, Dict] = {}
+    for n in sizes:
+        steps = 400 if n <= 1_000 else (200 if n <= 10_000 else 100)
+        started = time.perf_counter()
+        sim = BatchSimulator(batch_swarm(n), trace_policy=TracePolicy(stride=1_000))
+        build_s = time.perf_counter() - started
+        sim.protocol_of(0).send_bits(1, [1, 0, 1, 1])
+        started = time.perf_counter()
+        sim.run(steps)
+        run_s = time.perf_counter() - started
+        cells_out[f"n{n}"] = {
+            "n": n,
+            "mode": sim.mode,
+            "steps": steps,
+            "build_s": build_s,
+            "run_s": run_s,
+            "robots_per_sec": n * steps / run_s if run_s > 0 else float("inf"),
+            "delivered": len(sim.protocol_of(1).received),
+        }
+
+    compare_steps = 30
+
+    def timed(cls):
+        sim = cls(batch_swarm(compare_n))
+        sim.protocol_of(0).send_bits(1, [1, 0, 1])
+        started = time.perf_counter()
+        sim.run(compare_steps)
+        return sim, time.perf_counter() - started
+
+    scalar_sim, scalar_s = timed(Simulator)
+    batch_sim, batch_s = timed(BatchSimulator)
+    comparison = {
+        "n": compare_n,
+        "steps": compare_steps,
+        "scalar_robots_per_sec": compare_n * compare_steps / scalar_s,
+        "batch_robots_per_sec": compare_n * compare_steps / batch_s,
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        "traces_identical": tuple(scalar_sim.positions) == tuple(batch_sim.positions)
+        and scalar_sim.protocol_of(1).received == batch_sim.protocol_of(1).received,
+    }
+    return {"backend": "batch", "cells": cells_out, "comparison": comparison}
+
+
 def git_commit() -> Optional[str]:
     """The repo's current commit hash, or None outside a git checkout."""
     try:
@@ -380,10 +450,18 @@ PROBES: Dict[str, object] = {
     "sync_throughput_n64": lambda: throughput_probe(n=64, steps=40),
     "geometry_cache": lambda: geometry_cache_probe(),
     "adversarial_transparency": lambda: adversarial_transparency_probe(),
+    "batch_scaling_n1k": lambda: batch_scaling_probe(sizes=(1_000,), compare_n=64),
+    "batch_scaling_large": lambda: batch_scaling_probe(
+        sizes=(10_000, 100_000), compare_n=256
+    ),
 }
 
 #: probe cell order: registration order, which the report replays.
 _PROBE_ORDER = list(PROBES)
+
+#: probe cells excluded from ``--quick`` (CI smoke stays fast; the
+#: n=1k batch cell remains in quick so every backend is probed there).
+_SLOW_PROBES = {"batch_scaling_large"}
 
 
 def cells() -> List[str]:
@@ -399,7 +477,8 @@ def run_cell(name: str) -> Dict:
 
 
 def collect_probes(workers: int = 0,
-                   store_dir: Optional[str] = None) -> Tuple[Dict, Dict[str, float]]:
+                   store_dir: Optional[str] = None,
+                   exclude: Optional[set] = None) -> Tuple[Dict, Dict[str, float]]:
     """Run every probe as a campaign; return ``(payloads, timings)``.
 
     ``payloads`` maps probe name to its result dict; a probe that
@@ -407,12 +486,18 @@ def collect_probes(workers: int = 0,
     not take the driver (or the JSON report) down with it, but counts
     as a failure :func:`main` turns into a nonzero exit.  ``timings``
     maps probe name to its wall-clock seconds in the worker.
+    ``exclude`` drops probe cells by name (the quick profile uses it
+    to skip the large batch-scaling cells).
     """
     from repro.campaign.spec import probe_cells
 
+    cells_to_run = [
+        cell for cell in probe_cells()
+        if not exclude or cell.params.get("cell") not in exclude
+    ]
     probes: Dict = {}
     timings: Dict[str, float] = {}
-    for outcome in _run_cells("run-all-probes", probe_cells(), workers, store_dir):
+    for outcome in _run_cells("run-all-probes", cells_to_run, workers, store_dir):
         name = str(outcome.cell.params["cell"])
         timings[name] = outcome.elapsed_s
         if outcome.status == "ok":
@@ -487,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     started = time.perf_counter()
 
+    import repro.batch
+
     results: Dict = {
         "schema": RESULTS_SCHEMA,
         "version": RESULTS_VERSION,
@@ -495,6 +582,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
         "workers": args.workers,
+        # the active simulation backend for the batch probes: regress
+        # baselines must never mix scalar-fallback and batch numbers.
+        "backend": "batch" if repro.batch.available() else "scalar",
     }
     table_store = os.path.join(args.store, "tables") if args.store else None
     probe_store = os.path.join(args.store, "probes") if args.store else None
@@ -517,7 +607,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
 
     probes, probe_timings = collect_probes(
-        workers=args.workers, store_dir=probe_store
+        workers=args.workers,
+        store_dir=probe_store,
+        exclude=_SLOW_PROBES if args.quick else None,
     )
     results["probes_elapsed_s"] = probe_timings
     invariants = {
@@ -570,6 +662,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"[probe adversarial_transparency: {adversarial['runs']} runs, "
             f"{adversarial['failures']} failures]"
+        )
+    for name in ("batch_scaling_n1k", "batch_scaling_large"):
+        probe = probes.get(name)
+        if probe is None or "error" in probe:
+            continue
+        if probe.get("skipped"):
+            print(f"[probe {name}: skipped — scalar fallback (no numpy)]")
+            continue
+        for cell in probe["cells"].values():
+            print(
+                f"[probe {name} n={cell['n']}: {cell['robots_per_sec']:,.0f} "
+                f"robots/s over {cell['steps']} steps ({cell['mode']} mode)]"
+            )
+        comparison = probe["comparison"]
+        print(
+            f"[probe {name} scalar-vs-batch n={comparison['n']}: "
+            f"{comparison['speedup']:.1f}x, "
+            f"identical={comparison['traces_identical']}]"
+        )
+        invariants[f"{name}_traces_identical"] = bool(
+            comparison["traces_identical"]
         )
     for name, ok in invariants.items():
         print(f"[invariant {name}: {'ok' if ok else 'VIOLATED'}]")

@@ -19,7 +19,44 @@ from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 from repro.geometry.vec import Vec2
 from repro.perf.spatial import SpatialHashGrid
 
-__all__ = ["print_table", "fmt", "scatter", "table_cells"]
+__all__ = ["print_table", "fmt", "scatter", "table_cells", "batch_swarm"]
+
+
+def batch_swarm(n: int, seed: int = 0) -> list:
+    """A grid-scattered identified sync-granular swarm of ``n`` robots.
+
+    The standard large-``n`` workload of the batch-backend benchmarks:
+    robots on a jittered 10-unit grid (pairwise well separated at any
+    ``n``), identified naming, sense-of-direction frames — the exact
+    envelope the vectorized granular kernel accepts, so a
+    ``BatchSimulator`` built from it runs in kernel mode.
+    """
+    import math
+
+    from repro.geometry.frames import make_frames
+    from repro.model.robot import Robot
+    from repro.protocols.sync_granular import SyncGranularProtocol
+
+    rng = random.Random(seed)
+    side = int(math.ceil(math.sqrt(n)))
+    frames = make_frames(n, "sense_of_direction", seed=seed)
+    robots = []
+    for i in range(n):
+        row, col = divmod(i, side)
+        position = Vec2(
+            col * 10.0 + rng.uniform(-2.0, 2.0),
+            row * 10.0 + rng.uniform(-2.0, 2.0),
+        )
+        robots.append(
+            Robot(
+                position=position,
+                protocol=SyncGranularProtocol(naming="identified"),
+                frame=frames[i],
+                sigma=12.0,
+                observable_id=i,
+            )
+        )
+    return robots
 
 
 def table_cells(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Sequence
 
+from repro.batch import make_simulator
 from repro.channels.mailbox import OverhearingMonitor
 from repro.channels.transport import MovementChannel
 from repro.errors import ModelError
@@ -20,7 +21,6 @@ from repro.geometry.vec import Vec2
 from repro.model.protocol import Protocol
 from repro.model.robot import Robot
 from repro.model.scheduler import Scheduler
-from repro.model.simulator import Simulator
 from repro.model.trace import TracePolicy
 
 __all__ = ["SwarmHarness", "ring_positions"]
@@ -58,6 +58,11 @@ class SwarmHarness:
         caching: forwarded to the simulator (hot-path caches; results
             are identical either way).
         trace_policy: forwarded to the simulator (trace memory bound).
+        backend: simulator backend — ``"scalar"`` (default) or
+            ``"batch"`` (the vectorized engine of :mod:`repro.batch`;
+            degrades gracefully to scalar when numpy is absent).  The
+            backends are trace-equivalent, so everything built on the
+            harness behaves identically either way.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class SwarmHarness:
         frame_seed: int = 0,
         caching: bool = True,
         trace_policy: Optional["TracePolicy"] = None,
+        backend: str = "scalar",
     ) -> None:
         frames: List[Frame] = make_frames(len(positions), frame_regime, seed=frame_seed)
         self.robots = [
@@ -83,14 +89,23 @@ class SwarmHarness:
             )
             for i, p in enumerate(positions)
         ]
-        self.simulator = Simulator(
-            self.robots, scheduler, caching=caching, trace_policy=trace_policy
+        self.simulator = make_simulator(
+            self.robots,
+            scheduler,
+            backend=backend,
+            caching=caching,
+            trace_policy=trace_policy,
         )
+        # Channels and monitors wrap the *simulator's* protocol surface,
+        # not robot.protocol: the batch engine's kernel mode serves bit
+        # streams through per-robot views instead of the bound objects.
         self.channels = [
-            MovementChannel(robot.protocol) for robot in self.robots
+            MovementChannel(self.simulator.protocol_of(i))
+            for i in range(len(self.robots))
         ]
         self.monitors = [
-            OverhearingMonitor(robot.protocol) for robot in self.robots
+            OverhearingMonitor(self.simulator.protocol_of(i))
+            for i in range(len(self.robots))
         ]
 
     @property

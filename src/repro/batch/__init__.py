@@ -1,0 +1,159 @@
+"""``repro.batch`` — the vectorized struct-of-arrays simulation backend.
+
+The scalar engine (:class:`repro.model.simulator.Simulator`) drives one
+Python object per robot per instant, which caps practical swarm sizes
+around a few hundred robots.  This package stores positions, local
+frames, activation bookkeeping and protocol bit-state as flat NumPy
+arrays and executes whole Look-Compute-Move rounds as array operations:
+
+* :mod:`repro.batch.arrays` — the SoA swarm container and the
+  vectorized frame transforms (bit-for-bit mirrors of
+  :class:`~repro.geometry.frames.Frame` / :class:`~repro.geometry.vec.
+  Vec2` arithmetic);
+* :mod:`repro.batch.neighbors` — batched pairwise-distance and
+  nearest-neighbour passes (the vectorized replacement for per-robot
+  ``SpatialHashGrid`` queries);
+* :mod:`repro.batch.sec` — Welzl-free smallest enclosing circle via
+  vectorized candidate enumeration, with a scalar fallback for
+  degenerate inputs;
+* :mod:`repro.batch.granular` — batched granular radii and slice
+  classification;
+* :mod:`repro.batch.geometry` — the epoch-invalidated geometry facade
+  (the :class:`~repro.perf.cache.CachedGeometry` contract, array-backed);
+* :mod:`repro.batch.engine` — :class:`~repro.batch.engine.
+  BatchSimulator`, a drop-in for the scalar simulator.
+
+``numpy`` is an *optional* dependency (the ``[batch]`` extra).  Every
+entry point degrades gracefully: :func:`available` probes without
+raising, :func:`require_numpy` raises a clear ``ImportError``, and
+:func:`make_simulator` falls back to the scalar engine when numpy is
+absent (or, with ``strict=True``, refuses loudly).
+
+Correctness is enforced by the scalar-vs-batch trace-equivalence
+oracle (:mod:`repro.verify.backends`): same seed, byte-identical
+traces, received bit streams and monitor verdicts across the protocol
+x scheduler matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "available",
+    "require_numpy",
+    "make_simulator",
+    "supports",
+    "BACKENDS",
+    "NUMPY_HINT",
+]
+
+#: The selectable backend names (the ``backend=`` vocabulary).
+BACKENDS = ("scalar", "batch")
+
+#: The one sentence every numpy-gated entry point repeats.
+NUMPY_HINT = (
+    "the batch backend needs numpy; install the optional extra with "
+    "`pip install repro-deaf-dumb-chatting[batch]` (or `pip install numpy`), "
+    "or select backend='scalar'"
+)
+
+_NUMPY = None
+_PROBED = False
+
+
+def _probe():
+    """Import numpy once; cache the module (or the failure)."""
+    global _NUMPY, _PROBED
+    if not _PROBED:
+        _PROBED = True
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+def available() -> bool:
+    """Whether the batch backend can run here (numpy importable).
+
+    Benches and tests use this to *skip cleanly* instead of crashing;
+    the default CI test job runs numpy-free to prove the fallback.
+    """
+    return _probe() is not None
+
+
+def require_numpy():
+    """Return the numpy module or raise a clear ``ImportError``."""
+    numpy = _probe()
+    if numpy is None:
+        raise ImportError(NUMPY_HINT)
+    return numpy
+
+
+def supports(robots: Sequence, scheduler=None) -> bool:
+    """Whether the batch engine can host this swarm at all.
+
+    The batch engine implements the base SSM model (unlimited
+    visibility, continuous plane).  Model-variant simulators (CORDA
+    stale looks, limited visibility, discrete worlds) have no batch
+    port yet and must stay scalar.
+    """
+    if not available():
+        return False
+    from repro.batch.engine import swarm_supported
+
+    return swarm_supported(robots)
+
+
+def make_simulator(
+    robots: Sequence,
+    scheduler=None,
+    *,
+    backend: str = "scalar",
+    caching: bool = True,
+    trace_policy=None,
+    strict: bool = False,
+):
+    """Build a simulator for ``robots`` behind a selectable backend.
+
+    Args:
+        backend: ``"scalar"`` (the classic per-object engine) or
+            ``"batch"`` (the vectorized SoA engine).
+        strict: with ``backend="batch"``, raise instead of degrading
+            to scalar when numpy is missing or the swarm is out of the
+            batch engine's envelope.
+
+    The two backends are trace-equivalent by construction — same
+    robots, same scheduler, same seed produce byte-identical traces,
+    received bit streams and final configurations (enforced by
+    ``python -m repro.verify --backend-oracle``).
+    """
+    from repro.model.simulator import Simulator
+
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (choose from {BACKENDS})")
+    if backend == "batch":
+        if not available():
+            if strict:
+                require_numpy()
+            return Simulator(
+                robots, scheduler, caching=caching, trace_policy=trace_policy
+            )
+        from repro.batch.engine import BatchSimulator, swarm_supported
+
+        if not swarm_supported(robots):
+            if strict:
+                raise ValueError(
+                    "the batch backend cannot host this swarm "
+                    "(model-variant simulator required); use backend='scalar'"
+                )
+            return Simulator(
+                robots, scheduler, caching=caching, trace_policy=trace_policy
+            )
+        return BatchSimulator(
+            robots, scheduler, caching=caching, trace_policy=trace_policy
+        )
+    return Simulator(robots, scheduler, caching=caching, trace_policy=trace_policy)

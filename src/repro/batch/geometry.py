@@ -1,0 +1,171 @@
+"""The epoch-invalidated batch geometry facade.
+
+:class:`BatchGeometry` is the array-backed counterpart of
+:class:`repro.perf.cache.CachedGeometry` and obeys the same
+configuration-epoch invalidation rules (docs/PERFORMANCE.md): owners
+call :meth:`update` with the current epoch, the memo is cleared only
+when the epoch advanced, and every accessor serves values derived from
+the configuration of the last update — semantic transparency by
+construction.
+
+SEC and hull are computed by the batched modules; the quantities with
+no array formulation yet (full Voronoi polygons, SEC-relative naming)
+delegate to the scalar implementations on a lazily materialised
+position tuple, so the facade is a drop-in for ``Simulator.geometry``
+consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+from repro.batch import require_numpy
+from repro.batch.granular import granular_radii
+from repro.batch.sec import batch_sec, convex_hull_indices
+from repro.geometry.circle import Circle
+from repro.geometry.convex import ConvexPolygon
+from repro.geometry.vec import Vec2
+from repro.geometry.voronoi import VoronoiCell, voronoi_diagram
+from repro.perf.counters import PerfStats
+
+__all__ = ["BatchGeometry"]
+
+T = TypeVar("T")
+
+
+class BatchGeometry:
+    """Per-epoch memo of geometry derived from SoA position columns.
+
+    Args:
+        stats: counter block to record hits/misses into (the batch
+            counters land in ``stats.registry``).
+        enabled: when False every accessor recomputes (baseline mode).
+    """
+
+    def __init__(self, stats: Optional[PerfStats] = None, enabled: bool = True) -> None:
+        self._np = require_numpy()
+        self._stats = stats if stats is not None else PerfStats()
+        self._enabled = enabled
+        self._epoch: Optional[int] = None
+        self._px = None
+        self._py = None
+        self._memo: Dict[Hashable, object] = {}
+        registry = self._stats.registry
+        self._neighbor_passes = registry.counter("batch_neighbor_passes")
+        self._sec_fallbacks = registry.counter("batch_sec_fallbacks")
+
+    # ------------------------------------------------------------------
+    # Lifecycle (the CachedGeometry contract)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Optional[int]:
+        """The epoch the cached values belong to (None before update)."""
+        return self._epoch
+
+    @property
+    def positions(self) -> Tuple[Vec2, ...]:
+        """The configuration the cached values were derived from."""
+        return self._materialized()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether memoisation is active (False = recompute always)."""
+        return self._enabled
+
+    @property
+    def stats(self) -> PerfStats:
+        """The counter block this cache writes into."""
+        return self._stats
+
+    def update(self, epoch: int, columns: Callable[[], Tuple]) -> None:
+        """Synchronise with the owner's configuration.
+
+        ``columns`` is a factory returning ``(px, py)`` coordinate
+        arrays; it is only called — and the arrays only copied — when
+        the epoch advanced, at which point the memo is invalidated.
+        """
+        if self._epoch == epoch:
+            return
+        px, py = columns()
+        self._epoch = epoch
+        self._px = px.copy()
+        self._py = py.copy()
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    def _derive(self, key: Hashable, compute: Callable[[], T]) -> T:
+        if not self._enabled:
+            return compute()
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self._stats.cache_misses += 1
+            value = self._memo[key] = compute()
+            return value  # type: ignore[return-value]
+        self._stats.cache_hits += 1
+        return value  # type: ignore[return-value]
+
+    def sec(self) -> Circle:
+        """The smallest enclosing circle (batched; scalar on degeneracy)."""
+        return self._derive("sec", self._compute_sec)
+
+    def _compute_sec(self) -> Circle:
+        circle, fell_back = batch_sec(self._px, self._py)
+        if fell_back:
+            self._sec_fallbacks.inc()
+        return circle
+
+    def hull(self) -> ConvexPolygon:
+        """The convex hull of the configuration (vectorized chain)."""
+        return self._derive("hull", self._compute_hull)
+
+    def _compute_hull(self) -> ConvexPolygon:
+        idx = convex_hull_indices(self._px, self._py)
+        return ConvexPolygon(
+            tuple(Vec2(float(self._px[i]), float(self._py[i])) for i in idx)
+        )
+
+    def granular_radii(self):
+        """All granular radii (half nearest-neighbour distances) at once."""
+        def compute():
+            self._neighbor_passes.inc()
+            return granular_radii(self._px, self._py)
+
+        return self._derive("granular_radii", compute)
+
+    def voronoi(self) -> Dict[Vec2, VoronoiCell]:
+        """The Voronoi diagram (scalar; no array formulation yet)."""
+        return self._derive("voronoi", lambda: voronoi_diagram(self._materialized()))
+
+    def labels(self, subject: int, sweep: int = -1) -> Dict[int, int]:
+        """The SEC-relative labelling of all robots for ``subject``."""
+        from repro.naming.sec_naming import relative_labels
+
+        return self._derive(
+            ("labels", subject, sweep),
+            lambda: relative_labels(self._materialized(), subject, sweep),
+        )
+
+    def horizon(self, subject: int) -> Vec2:
+        """The outward horizon direction of ``subject`` (its North)."""
+        from repro.naming.sec_naming import horizon_direction
+
+        return self._derive(
+            ("horizon", subject),
+            lambda: horizon_direction(self._materialized(), subject),
+        )
+
+    # ------------------------------------------------------------------
+    def _materialized(self) -> Tuple[Vec2, ...]:
+        if self._px is None:
+            return ()
+        key = "__materialized__"
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = tuple(
+                Vec2(float(x), float(y)) for x, y in zip(self._px, self._py)
+            )
+            self._memo[key] = cached
+        return cached  # type: ignore[return-value]

@@ -1,0 +1,91 @@
+"""Batched granular-slice geometry.
+
+Array analogues of :mod:`repro.geometry.granular`: whole-swarm granular
+radii in one nearest-neighbour pass, and vectorized classification of
+displaced positions onto labelled diameters (the decode primitive of
+the slice protocols).
+
+The vectorized classifier is a *geometric* batch operation: it serves
+consumers that want to decode many sightings at once (tests, analysis,
+the batch geometry facade).  The batch engine's byte-parity decode path
+does not go through it — kernel-driven excursions carry their own
+label, and fault-displaced robots are classified with the scalar
+:meth:`~repro.geometry.granular.Granular.classify` so ambiguity
+tolerances resolve exactly as the scalar engine would.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.batch import require_numpy
+from repro.batch.neighbors import nearest_neighbor_sq
+from repro.geometry.predicates import DEFAULT_EPS
+
+__all__ = ["granular_radii", "classify_offsets"]
+
+
+def granular_radii(px, py):
+    """Granular radius of every robot: half the nearest-neighbour distance.
+
+    One vectorized pass over the whole configuration, replacing ``n``
+    scalar :func:`repro.geometry.granular.granular_radius` calls.
+    """
+    np = require_numpy()
+    dist_sq, _ = nearest_neighbor_sq(px, py)
+    return np.sqrt(dist_sq) / 2.0
+
+
+def classify_offsets(
+    ox,
+    oy,
+    zero_x: float,
+    zero_y: float,
+    num_diameters: int,
+    sweep: int = -1,
+    angle_tolerance: float | None = None,
+    eps: float = DEFAULT_EPS,
+):
+    """Vectorized :meth:`Granular.classify` over offset columns.
+
+    Args:
+        ox, oy: offsets from the granular centre (``point - center``),
+            one row per sighting.
+        zero_x, zero_y: the unit zero direction of diameter 0.
+        num_diameters: ``m`` labelled diameters (``2m`` slices).
+        sweep: labelling sweep direction, ``-1`` (clockwise) or ``+1``.
+        angle_tolerance: maximum angular deviation from the nearest
+            diameter; defaults to a quarter slice, like the scalar.
+        eps: minimum offset norm considered a movement.
+
+    Returns:
+        ``(labels, positive, ambiguous)`` int64/bool/bool arrays.
+        Ambiguous rows (at the centre, or between diameters) carry
+        label ``-1``; the scalar classifier raises for those instead.
+    """
+    np = require_numpy()
+    if num_diameters < 1:
+        raise ValueError(f"granular needs at least one diameter, got {num_diameters}")
+    if sweep not in (1, -1):
+        raise ValueError(f"sweep must be +1 or -1, got {sweep}")
+    slice_angle = math.pi / num_diameters
+    if angle_tolerance is None:
+        angle_tolerance = slice_angle / 4.0
+
+    norm = np.hypot(ox, oy)
+    at_center = norm <= eps
+
+    raw = np.arctan2(oy, ox) - math.atan2(zero_y, zero_x)
+    swept = np.mod(sweep * raw, 2.0 * math.pi)
+    # mod of values within rounding of 2*pi can land back on 2*pi
+    swept = np.where(swept >= 2.0 * math.pi, swept - 2.0 * math.pi, swept)
+
+    nearest = np.round(swept / slice_angle)
+    deviation = np.abs(swept - nearest * slice_angle)
+    index = nearest.astype(np.int64) % (2 * num_diameters)
+
+    ambiguous = at_center | (deviation > angle_tolerance)
+    positive = index < num_diameters
+    labels = np.where(positive, index, index - num_diameters)
+    labels = np.where(ambiguous, -1, labels)
+    return labels, positive & ~ambiguous, ambiguous

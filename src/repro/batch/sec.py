@@ -1,0 +1,182 @@
+"""Batched smallest enclosing circle (Welzl-free candidate enumeration).
+
+The scalar engine runs Welzl's randomised incremental algorithm
+(:func:`repro.geometry.sec.smallest_enclosing_circle`) — expected
+linear, but an inherently sequential Python loop.  The batch variant:
+
+1. computes the convex hull with a vectorized monotone chain
+   (``lexsort`` + one O(h) pass) — the SEC is determined by hull
+   vertices only, and its farthest-point support always sits on the
+   hull;
+2. enumerates every hull pair and hull triple as a candidate circle
+   with array ops (midpoint circles, circumcircles);
+3. keeps candidates that enclose *all hull points* (enclosing the hull
+   encloses the set) and takes the smallest;
+4. re-derives the winning circle from its support points through the
+   scalar :func:`~repro.geometry.circle.circle_from_two` /
+   :func:`~repro.geometry.circle.circle_from_three`, so the returned
+   ``Circle`` matches what Welzl builds from the same support.
+
+Degenerate inputs — huge hulls, all-collinear sets, no valid candidate
+within tolerance — fall back to the scalar Welzl implementation; the
+engine counts those falls in the ``batch_sec_fallbacks`` metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.batch import require_numpy
+from repro.geometry.circle import Circle, circle_from_three, circle_from_two
+from repro.geometry.predicates import DEFAULT_EPS
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+
+__all__ = ["batch_sec", "convex_hull_indices"]
+
+#: hull sizes beyond this use scalar Welzl — the O(h^3) triple
+#: enumeration stops paying for itself, and real swarm configurations
+#: (rings, scatters) keep hulls far below it
+HULL_CAP = 48
+
+
+def convex_hull_indices(px, py):
+    """Indices of the convex hull vertices, CCW (Andrew's chain).
+
+    Mirrors :func:`repro.geometry.convex.convex_hull`: collinear
+    boundary points are dropped; all-collinear inputs return the two
+    lexicographic extremes; a single distinct point returns itself.
+    """
+    np = require_numpy()
+    order = np.lexsort((py, px))
+    # Drop exact duplicates (same x and y as the previous sorted point).
+    sx, sy = px[order], py[order]
+    keep = np.ones(len(order), dtype=bool)
+    keep[1:] = (sx[1:] != sx[:-1]) | (sy[1:] != sy[:-1])
+    order = order[keep]
+    m = len(order)
+    if m <= 2:
+        return order
+    pts_x, pts_y = px[order], py[order]
+
+    def chain(seq):
+        out = []
+        for k in seq:
+            while len(out) >= 2:
+                a, b = out[-2], out[-1]
+                cross = (pts_x[b] - pts_x[a]) * (pts_y[k] - pts_y[a]) - (
+                    pts_y[b] - pts_y[a]
+                ) * (pts_x[k] - pts_x[a])
+                if cross <= 0.0:
+                    out.pop()
+                else:
+                    break
+            out.append(k)
+        return out
+
+    lower = chain(range(m))
+    upper = chain(range(m - 1, -1, -1))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return order[np.array([0, m - 1])]
+    return order[np.array(hull)]
+
+
+def batch_sec(px, py, eps: float = DEFAULT_EPS) -> Tuple[Circle, bool]:
+    """The smallest enclosing circle of the point columns.
+
+    Returns:
+        ``(circle, fell_back)`` — the circle, and whether the scalar
+        Welzl fallback handled this input (degenerate geometry or an
+        oversized hull).
+    """
+    np = require_numpy()
+    n = len(px)
+    if n == 0:
+        raise ValueError("smallest_enclosing_circle needs at least one point")
+    if n == 1:
+        return Circle(Vec2(float(px[0]), float(py[0])), 0.0), False
+
+    hull = convex_hull_indices(px, py)
+    h = len(hull)
+    if h == 1:
+        return Circle(Vec2(float(px[hull[0]]), float(py[hull[0]])), 0.0), False
+    if h > HULL_CAP:
+        return _scalar_fallback(px, py), True
+
+    hx = px[hull]
+    hy = py[hull]
+
+    # --- pair candidates: diameter circles ---------------------------
+    ii, jj = np.triu_indices(h, k=1)
+    pcx = (hx[ii] + hx[jj]) / 2.0
+    pcy = (hy[ii] + hy[jj]) / 2.0
+    pr2 = (hx[ii] - pcx) ** 2 + (hy[ii] - pcy) ** 2
+
+    cand_cx = pcx
+    cand_cy = pcy
+    cand_r2 = pr2
+    cand_support = [(int(a), int(b), -1) for a, b in zip(ii, jj)]
+
+    # --- triple candidates: circumcircles ----------------------------
+    if h >= 3:
+        ti, tj, tk = _triples(np, h)
+        abx = hx[tj] - hx[ti]
+        aby = hy[tj] - hy[ti]
+        acx = hx[tk] - hx[ti]
+        acy = hy[tk] - hy[ti]
+        d = 2.0 * (abx * acy - aby * acx)
+        ok = np.abs(d) > eps
+        if ok.any():
+            ti, tj, tk = ti[ok], tj[ok], tk[ok]
+            abx, aby, acx, acy, d = abx[ok], aby[ok], acx[ok], acy[ok], d[ok]
+            ab_sq = abx * abx + aby * aby
+            ac_sq = acx * acx + acy * acy
+            ux = (acy * ab_sq - aby * ac_sq) / d
+            uy = (abx * ac_sq - acx * ab_sq) / d
+            tcx = hx[ti] + ux
+            tcy = hy[ti] + uy
+            tr2 = (hx[ti] - tcx) ** 2 + (hy[ti] - tcy) ** 2
+            cand_cx = np.concatenate([cand_cx, tcx])
+            cand_cy = np.concatenate([cand_cy, tcy])
+            cand_r2 = np.concatenate([cand_r2, tr2])
+            cand_support.extend(
+                (int(a), int(b), int(c)) for a, b, c in zip(ti, tj, tk)
+            )
+
+    # --- validity: the candidate must enclose every hull point -------
+    # (containment check mirrors Circle.contains: dist <= r + eps)
+    dist = np.sqrt(
+        (hx[None, :] - cand_cx[:, None]) ** 2
+        + (hy[None, :] - cand_cy[:, None]) ** 2
+    )
+    radius = np.sqrt(cand_r2)
+    valid = (dist <= radius[:, None] + eps).all(axis=1)
+    if not valid.any():
+        return _scalar_fallback(px, py), True
+
+    radius = np.where(valid, radius, np.inf)
+    winner = int(radius.argmin())
+    a, b, c = cand_support[winner]
+    pa = Vec2(float(hx[a]), float(hy[a]))
+    pb = Vec2(float(hx[b]), float(hy[b]))
+    if c < 0:
+        return circle_from_two(pa, pb), False
+    pc = Vec2(float(hx[c]), float(hy[c]))
+    circle: Optional[Circle] = circle_from_three(pa, pb, pc, eps)
+    if circle is None:  # pragma: no cover - masked by the |d| > eps filter
+        return _scalar_fallback(px, py), True
+    return circle, False
+
+
+def _triples(np, h: int):
+    """All index triples ``i < j < k`` over ``range(h)`` as arrays."""
+    idx = np.arange(h)
+    ti, tj, tk = np.meshgrid(idx, idx, idx, indexing="ij")
+    mask = (ti < tj) & (tj < tk)
+    return ti[mask], tj[mask], tk[mask]
+
+
+def _scalar_fallback(px, py) -> Circle:
+    points = [Vec2(float(x), float(y)) for x, y in zip(px, py)]
+    return smallest_enclosing_circle(points)

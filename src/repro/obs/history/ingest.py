@@ -118,7 +118,10 @@ def entry_from_results(
         metrics=metrics,
         meta={
             key: results[key]
-            for key in ("schema", "version", "mode", "python", "workers")
+            # "backend" (v4+) records which simulation backend produced
+            # the batch probes, so baselines never mix scalar-fallback
+            # and vectorized numbers.
+            for key in ("schema", "version", "mode", "python", "workers", "backend")
             if key in results
         },
         git_commit=results.get("git_commit"),  # type: ignore[arg-type]

@@ -7,6 +7,7 @@ Examples::
     python -m repro.verify --quick --seeds 10        # CI-sized sweep
     python -m repro.verify --self-test               # mutants must be caught
     python -m repro.verify --mutant deaf             # show one mutant's report
+    python -m repro.verify --backend-oracle --quick  # scalar vs batch parity
     python -m repro.verify --list                    # cells, skips, mutants
 
 Exit status: 0 when everything holds (or, for ``--self-test``, when
@@ -69,6 +70,12 @@ def _parser() -> argparse.ArgumentParser:
         "--obs-dump", metavar="DIR",
         help="on failure, replay the minimized repro with the obs "
              "recorder attached and dump the event trace (JSONL) here",
+    )
+    parser.add_argument(
+        "--backend-oracle", action="store_true",
+        help="differential oracle: every cell run on both the scalar and "
+             "the batch backend from the same seed must be bit-identical "
+             "(requires numpy; exits 0 with a notice when it is absent)",
     )
     parser.add_argument(
         "--list", action="store_true",
@@ -157,6 +164,40 @@ def _do_mutant(name: str) -> int:
     return 1
 
 
+def _do_backend_oracle(args, protocols, schedulers, seeds) -> int:
+    from repro.batch import NUMPY_HINT, available
+    from repro.verify.backends import BackendCellResult, run_backend_matrix
+
+    if not available():
+        print(f"backend oracle skipped: {NUMPY_HINT}")
+        return 0
+
+    def progress(result: BackendCellResult) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"  {result.protocol} x {result.scheduler} ({result.variant}) "
+            f"seed={result.seed} size={result.size} steps={result.steps} {status}",
+            flush=True,
+        )
+
+    report = run_backend_matrix(
+        protocols,
+        schedulers,
+        seeds,
+        quick=args.quick,
+        progress=progress if args.verbose else None,
+    )
+    print(report.format(verbose=args.verbose))
+    if args.json:
+        payload = json.dumps(report.to_json(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _parser().parse_args(argv)
@@ -173,6 +214,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     protocols = _split(args.protocol, PROTOCOLS, "protocol")
     schedulers = _split(args.scheduler, SCHEDULERS, "scheduler")
     seeds = range(args.base_seed, args.base_seed + args.seeds)
+
+    if args.backend_oracle:
+        return _do_backend_oracle(args, protocols, schedulers, seeds)
 
     def progress(result: CellResult) -> None:
         status = "ok" if result.ok else "FAIL"

@@ -1,0 +1,323 @@
+"""Scalar-vs-batch differential oracle.
+
+The batch backend (:mod:`repro.batch`) promises **bit-identical**
+runs: same robots, same seed, same scheduler must produce the same
+trace — positions, activation sets, bit events, epochs and monitor
+verdicts — as the reference scalar :class:`~repro.model.simulator.Simulator`.
+This module turns that promise into a sweepable oracle by reusing the
+seeded scenario matrix of :mod:`repro.verify.scenarios`: every
+executable cell is built twice from the same seed — once per backend
+(every RNG draw happens before the simulator is constructed, so the
+two builds see the identical swarm, schedule, payload and fault
+plan) — driven to completion with its invariant monitors attached,
+and compared field by field.
+
+Two sweeps compose the oracle:
+
+1. the **matrix arm** — every executable ``(protocol, adversary)``
+   cell except ``worst_stale`` (the stale-look adversary is a scalar
+   ``Simulator`` subclass with no batch twin; those cells are skipped
+   with that reason, mirroring how the matrix documents its envelope);
+2. the **fair-async arm** — every protocol's ``synchronous`` cell
+   re-run under a seeded
+   :class:`~repro.model.scheduler.FairAsynchronousScheduler`, so all
+   six protocols are also checked under genuinely partial activation
+   (each backend gets its own scheduler instance built from the same
+   seed, hence the identical activation sequence).
+
+Equality is strict: run length, retained trace steps
+``(time, active, positions)``, per-robot received streams, final
+configurations, configuration epochs and the full monitor verdict
+lists must match exactly.  A run that *raises* is fine only if the
+twin raises the same exception type and message at the same point —
+the backends promise exception parity at the raise instant.
+
+CLI: ``python -m repro.verify --backend-oracle`` (skips cleanly when
+numpy is absent).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.model.scheduler import FairAsynchronousScheduler, Scheduler
+from repro.verify.engine import _received_fingerprint, _trace_fingerprint, drive
+from repro.verify.monitors import attach
+from repro.verify.scenarios import SKIPS, Cell, ScenarioRun, build_run, cells_for
+
+__all__ = [
+    "BACKEND_SKIPS",
+    "BackendCellResult",
+    "BackendReport",
+    "compare_cell",
+    "run_backend_matrix",
+]
+
+#: Adversaries the batch backend cannot replicate, with the reason —
+#: reported as skips, exactly like the matrix's own ``SKIPS``.
+BACKEND_SKIPS: Dict[str, str] = {
+    "worst_stale": (
+        "the stale-look adversary is a scalar Simulator subclass "
+        "(per-robot Look snapshots); the batch backend has no twin"
+    ),
+}
+
+
+def _fair_async_factory(seed: int) -> Callable[[], Scheduler]:
+    """A seeded fair-async scheduler factory for the second oracle arm.
+
+    Each backend calls the factory once, so each run owns a private
+    scheduler instance whose RNG starts from the identical seed — the
+    activation sequences are therefore bit-identical by construction.
+    """
+
+    def factory() -> Scheduler:
+        return FairAsynchronousScheduler(seed=seed * 1_009 + 11)
+
+    return factory
+
+
+@dataclass
+class BackendCellResult:
+    """Outcome of one scalar-vs-batch comparison at one seed."""
+
+    protocol: str
+    scheduler: str
+    seed: int
+    #: ``"matrix"`` for the cell's own adversary, ``"fair_async"`` for
+    #: the fair-asynchronous re-run of a synchronous cell.
+    variant: str = "matrix"
+    size: int = 0
+    steps: int = 0
+    #: human-readable divergence descriptions; empty means the runs
+    #: were indistinguishable.
+    problems: List[str] = field(default_factory=list)
+    #: populated when a build/drive crashed *asymmetrically* (one
+    #: backend raised, or both raised but differently).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the two backends were indistinguishable."""
+        return self.error is None and not self.problems
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict: comparison coordinates plus divergences."""
+        payload: Dict[str, object] = {
+            "protocol": self.protocol,
+            "scheduler": self.scheduler,
+            "variant": self.variant,
+            "seed": self.seed,
+            "size": self.size,
+            "steps": self.steps,
+            "ok": self.ok,
+        }
+        if self.problems:
+            payload["problems"] = list(self.problems)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def _monitor_verdicts(run: ScenarioRun) -> List[Tuple[object, ...]]:
+    """Flatten a run's monitor violations into a comparable list."""
+    out: List[Tuple[object, ...]] = []
+    for monitor in run.monitors:
+        for v in monitor.violations:
+            out.append((monitor.name, v.invariant, v.time, v.message))
+    return out
+
+
+def _build_and_drive(
+    cell: Cell,
+    seed: int,
+    backend: str,
+    quick: bool,
+    scheduler_factory: Optional[Callable[[], Scheduler]],
+) -> Tuple[Optional[ScenarioRun], int, Optional[BaseException]]:
+    """Run one backend's twin; returns (run, steps, exception)."""
+    try:
+        run = build_run(
+            cell,
+            seed,
+            quick=quick,
+            backend=backend,
+            scheduler_factory=scheduler_factory,
+        )
+        attach(run.sim, run.monitors)
+        steps = drive(run)
+        return run, steps, None
+    except Exception as exc:
+        return None, 0, exc
+
+
+def compare_cell(
+    cell: Cell,
+    seed: int,
+    *,
+    quick: bool = False,
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    variant: str = "matrix",
+) -> BackendCellResult:
+    """Build one cell at one seed on both backends and diff the runs."""
+    result = BackendCellResult(cell.protocol, cell.scheduler, seed, variant=variant)
+    scalar, s_steps, s_exc = _build_and_drive(
+        cell, seed, "scalar", quick, scheduler_factory
+    )
+    batched, b_steps, b_exc = _build_and_drive(
+        cell, seed, "batch", quick, scheduler_factory
+    )
+    if s_exc is not None or b_exc is not None:
+        # Exception parity: identical type and message is a pass —
+        # the backends promise to diverge nowhere before the raise.
+        if (
+            s_exc is not None
+            and b_exc is not None
+            and type(s_exc) is type(b_exc)
+            and str(s_exc) == str(b_exc)
+        ):
+            return result
+        result.error = (
+            "asymmetric failure:\n"
+            f"  scalar: {type(s_exc).__name__ if s_exc else 'ok'}: {s_exc}\n"
+            f"  batch : {type(b_exc).__name__ if b_exc else 'ok'}: {b_exc}\n"
+            + "".join(traceback.format_exception(b_exc or s_exc, limit=6))
+        )
+        return result
+    assert scalar is not None and batched is not None
+    result.size = scalar.size
+    result.steps = s_steps
+    if s_steps != b_steps:
+        result.problems.append(f"run length diverged: {s_steps} vs {b_steps}")
+    if _trace_fingerprint(scalar) != _trace_fingerprint(batched):
+        result.problems.append("position traces diverged")
+    if _received_fingerprint(scalar) != _received_fingerprint(batched):
+        result.problems.append("received bit streams diverged")
+    if tuple(scalar.sim.positions) != tuple(batched.sim.positions):
+        result.problems.append("final configurations diverged")
+    if scalar.sim.epoch != batched.sim.epoch:
+        result.problems.append(
+            f"configuration epochs diverged: {scalar.sim.epoch} vs {batched.sim.epoch}"
+        )
+    if _monitor_verdicts(scalar) != _monitor_verdicts(batched):
+        result.problems.append("monitor verdicts diverged")
+    return result
+
+
+@dataclass
+class BackendReport:
+    """Aggregate outcome of a scalar-vs-batch oracle sweep."""
+
+    results: List[BackendCellResult] = field(default_factory=list)
+    skipped: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every comparison passed."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[BackendCellResult]:
+        """The comparisons that found a divergence."""
+        return [r for r in self.results if not r.ok]
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict of the whole sweep (results and skips)."""
+        return {
+            "ok": self.ok,
+            "runs": len(self.results),
+            "failures": len(self.failures),
+            "skipped": [
+                {"protocol": p, "scheduler": s, "reason": reason}
+                for p, s, reason in self.skipped
+            ],
+            "results": [r.to_json() for r in self.results],
+        }
+
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable per-cell summary with divergence details."""
+        lines: List[str] = []
+        by_cell: Dict[Tuple[str, str, str], List[BackendCellResult]] = {}
+        for r in self.results:
+            by_cell.setdefault((r.protocol, r.scheduler, r.variant), []).append(r)
+        for (protocol, scheduler, variant), runs in sorted(by_cell.items()):
+            bad = [r for r in runs if not r.ok]
+            shown = scheduler if variant == "matrix" else "fair_async*"
+            status = "ok" if not bad else f"FAIL ({len(bad)}/{len(runs)} seeds)"
+            lines.append(
+                f"{protocol:14s} x {shown:15s} {len(runs):4d} seeds  {status}"
+            )
+            for r in bad:
+                for problem in r.problems:
+                    lines.append(f"    seed {r.seed}: {problem}")
+                if r.error is not None:
+                    first = r.error.strip().splitlines()[0]
+                    lines.append(f"    seed {r.seed}: {first}")
+        if verbose and self.skipped:
+            lines.append("")
+            for protocol, scheduler, reason in self.skipped:
+                lines.append(f"skip {protocol} x {scheduler}: {reason}")
+        total = len(self.results)
+        bad_total = len(self.failures)
+        lines.append("")
+        lines.append(
+            f"{total} comparisons, {bad_total} divergences, "
+            f"{len(self.skipped)} cells skipped "
+            "(* = synchronous cell re-run under the fair-async scheduler)"
+        )
+        return "\n".join(lines)
+
+
+def run_backend_matrix(
+    protocols: Optional[Sequence[str]] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = range(5),
+    *,
+    quick: bool = False,
+    fair_async: bool = True,
+    progress: Optional[Callable[[BackendCellResult], None]] = None,
+) -> BackendReport:
+    """Sweep the scalar-vs-batch oracle over the scenario matrix.
+
+    Requires numpy (``pip install repro[batch]``) — import
+    :func:`repro.batch.available` first to skip cleanly without it.
+    With ``fair_async`` (the default), every matching ``synchronous``
+    cell is additionally compared under a seeded fair-asynchronous
+    scheduler, so all protocols are exercised under partial activation.
+    """
+    report = BackendReport()
+    wanted_p = set(protocols) if protocols else None
+    wanted_s = set(schedulers) if schedulers else None
+    for (p, s), reason in sorted(SKIPS.items()):
+        if (wanted_p is None or p in wanted_p) and (wanted_s is None or s in wanted_s):
+            report.skipped.append((p, s, reason))
+    cells = cells_for(protocols, schedulers)
+    for cell in cells:
+        if cell.scheduler in BACKEND_SKIPS:
+            report.skipped.append(
+                (cell.protocol, cell.scheduler, BACKEND_SKIPS[cell.scheduler])
+            )
+            continue
+        for seed in seeds:
+            result = compare_cell(cell, seed, quick=quick)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+    if fair_async:
+        for cell in cells:
+            if cell.scheduler != "synchronous":
+                continue
+            for seed in seeds:
+                result = compare_cell(
+                    cell,
+                    seed,
+                    quick=quick,
+                    scheduler_factory=_fair_async_factory(seed),
+                    variant="fair_async",
+                )
+                report.results.append(result)
+                if progress is not None:
+                    progress(result)
+    return report

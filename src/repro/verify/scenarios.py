@@ -425,12 +425,23 @@ def build_run(
     quick: bool = False,
     size_override: Optional[int] = None,
     max_steps_override: Optional[int] = None,
+    backend: str = "scalar",
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
 ) -> ScenarioRun:
     """Materialize one cell at one seed.
 
     Fully deterministic: the same arguments (except ``caching``, which
     must not matter — that is the transparency invariant) produce the
     identical run.
+
+    ``backend`` selects the simulator implementation (``"scalar"`` or
+    ``"batch"``); every RNG draw happens before the simulator is
+    constructed, so the two backends see the identical scenario — that
+    is what makes :mod:`repro.verify.backends` a differential oracle.
+    ``scheduler_factory``, when given, replaces the cell's scheduler
+    after all seeding draws (the backend oracle uses it to sweep the
+    fair-asynchronous scheduler over cells the static matrix pins to
+    full synchrony).
     """
     # zlib.crc32, not hash(): string hashing is salted per process and
     # would make the "same seed, same run" reproduction promise a lie.
@@ -495,12 +506,25 @@ def build_run(
         )
         for i, pos in enumerate(bp.positions)
     ]
+    if scheduler_factory is not None:
+        scheduler = scheduler_factory()
     if adv == "worst_stale":
+        if backend != "scalar":
+            raise ModelError(
+                "the worst_stale adversary is a scalar Simulator subclass; "
+                f"backend {backend!r} has no stale-look twin"
+            )
         sim: Simulator = SawtoothStaleLookSimulator(
             robots, STALE_MAX_DELAY, scheduler=scheduler, caching=caching
         )
-    else:
+    elif backend == "batch":
+        from repro.batch.engine import BatchSimulator
+
+        sim = BatchSimulator(robots, scheduler, caching=caching)
+    elif backend == "scalar":
         sim = Simulator(robots, scheduler, caching=caching)
+    else:
+        raise ModelError(f"unknown backend {backend!r} (choose scalar or batch)")
 
     # -- traffic --------------------------------------------------------
     sent: TrafficMap = {}

@@ -1,0 +1,144 @@
+"""Degenerate-geometry inputs: the vectorized paths must not wobble.
+
+Collinear swarms, duplicate points, near-degenerate SEC inputs and
+adversarial near-ties are exactly where a vectorized geometry kernel
+silently diverges from its scalar reference.  These tests pin the
+scalar-fallback behaviour of :mod:`repro.batch.sec`, the exactness of
+the neighbour passes, and full-simulation parity on collinear swarms.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+import repro.batch
+from repro.geometry.sec import smallest_enclosing_circle
+from repro.geometry.vec import Vec2
+from repro.protocols.sync_granular import SyncGranularProtocol
+from tests.batch.conftest import assert_lockstep, requires_numpy, twin_sims
+
+pytestmark = requires_numpy
+
+
+def _np():
+    return repro.batch.require_numpy()
+
+
+def _sec_case(points):
+    from repro.batch.sec import batch_sec
+
+    np = _np()
+    px = np.array([p.x for p in points], dtype=np.float64)
+    py = np.array([p.y for p in points], dtype=np.float64)
+    circle, fell_back = batch_sec(px, py)
+    reference = smallest_enclosing_circle(points)
+    assert circle.center.distance_to(reference.center) <= 1e-9 * max(1.0, reference.radius)
+    assert abs(circle.radius - reference.radius) <= 1e-9 * max(1.0, reference.radius)
+    for p in points:
+        assert circle.center.distance_to(p) <= circle.radius + 1e-9
+    return fell_back
+
+
+def test_sec_collinear_points():
+    _sec_case([Vec2(float(i), 2.0 * i) for i in range(7)])
+
+
+def test_sec_duplicate_points():
+    _sec_case([Vec2(0.0, 0.0), Vec2(0.0, 0.0), Vec2(4.0, 0.0), Vec2(4.0, 0.0)])
+
+
+def test_sec_all_identical_points():
+    from repro.batch.sec import batch_sec
+
+    np = _np()
+    px = np.full(5, 3.25)
+    py = np.full(5, -1.5)
+    circle, fell_back = batch_sec(px, py)
+    assert circle.radius == 0.0 and circle.center == Vec2(3.25, -1.5)
+    assert not fell_back
+
+
+def test_sec_near_degenerate_triangle():
+    # Three nearly-collinear points: the circumcircle is enormous and
+    # numerically treacherous; the answer must still match the scalar SEC.
+    _sec_case([Vec2(0.0, 0.0), Vec2(10.0, 1e-9), Vec2(20.0, 0.0)])
+
+
+def test_sec_large_hull_takes_scalar_fallback():
+    # More hull points than HULL_CAP: the candidate enumeration bows
+    # out and the scalar Welzl reference must be used (and flagged).
+    from repro.batch.sec import HULL_CAP
+
+    count = HULL_CAP + 12
+    points = [
+        Vec2(math.cos(2.0 * math.pi * i / count), math.sin(2.0 * math.pi * i / count))
+        for i in range(count)
+    ]
+    assert _sec_case(points) is True
+
+
+def test_sec_fallback_bumps_counter_via_geometry():
+    from repro.batch.geometry import BatchGeometry
+    from repro.batch.sec import HULL_CAP
+
+    np = _np()
+    count = HULL_CAP + 12
+    px = np.cos(2.0 * np.pi * np.arange(count) / count)
+    py = np.sin(2.0 * np.pi * np.arange(count) / count)
+    geometry = BatchGeometry()
+    geometry.update(1, lambda: (px, py))
+    geometry.sec()
+    assert geometry.stats.registry.counter("batch_sec_fallbacks").value == 1
+
+
+def test_nearest_neighbor_matches_bruteforce_scalar():
+    np = _np()
+    from repro.batch.neighbors import nearest_neighbor_sq
+
+    rng = random.Random(7)
+    points = [Vec2(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(200)]
+    px = np.array([p.x for p in points])
+    py = np.array([p.y for p in points])
+    expected = [
+        min(
+            (p.x - q.x) ** 2 + (p.y - q.y) ** 2
+            for j, q in enumerate(points)
+            if j != i
+        )
+        for i, p in enumerate(points)
+    ]
+    for brute_limit in (4096, 1):  # vectorized brute force and grid path
+        dist_sq, _ = nearest_neighbor_sq(px, py, brute_limit=brute_limit)
+        assert dist_sq.tolist() == expected
+
+
+def test_exact_min_hypot_bit_identical_on_near_ties():
+    np = _np()
+    from repro.batch.neighbors import exact_min_hypot
+
+    rng = random.Random(3)
+    base = 12.345678901234567
+    dx = np.array([base * (1.0 + rng.uniform(-1e-13, 1e-13)) for _ in range(64)])
+    dy = np.array([base * (1.0 + rng.uniform(-1e-13, 1e-13)) for _ in range(64)])
+    expected = min(math.hypot(float(a), float(b)) for a, b in zip(dx, dy))
+    assert exact_min_hypot(dx, dy) == expected
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_collinear_swarm_full_parity(seed):
+    # An exactly collinear swarm keeps every granular disc tangent and
+    # the SEC centre on the line — worst case for the naming geometry.
+    positions = [Vec2(6.0 * i, 3.0 * i) for i in range(5)]
+    scalar, batched, _ = twin_sims(
+        seed,
+        5,
+        lambda: SyncGranularProtocol(naming="identified"),
+        positions=positions,
+    )
+    assert batched.mode == "kernel"
+    for sim in (scalar, batched):
+        sim.protocol_of(0).send_bits(4, [1, 0, 1])
+    assert_lockstep(scalar, batched, 50)

@@ -1,0 +1,153 @@
+"""Scalar-vs-batch trace equivalence: the whole protocol zoo.
+
+Seeded property tests: the same swarm driven by the scalar
+:class:`~repro.model.simulator.Simulator` and by
+:class:`~repro.batch.engine.BatchSimulator` must be byte-identical —
+positions, activation sets, received and overheard bit streams,
+activation counts and configuration epochs — under both the
+synchronous and the fair-asynchronous scheduler, for all six
+protocols.  The ``repro.verify`` differential oracle sweeps the full
+adversary matrix; these tests are its fast, always-on arm.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.model.scheduler import FairAsynchronousScheduler, SynchronousScheduler
+from repro.protocols.async_n import AsyncNProtocol
+from repro.protocols.async_two import AsyncTwoProtocol
+from repro.protocols.flocking import FlockingProtocol
+from repro.protocols.sync_granular import SyncGranularProtocol
+from repro.protocols.sync_logk import SyncLogKProtocol
+from repro.protocols.sync_two import SyncTwoProtocol
+from tests.batch.conftest import assert_lockstep, requires_numpy, twin_sims
+
+pytestmark = requires_numpy
+
+SCHEDULERS = {
+    "sync": SynchronousScheduler,
+    "fair_async": lambda: FairAsynchronousScheduler(seed=42),
+}
+
+
+def _pair_positions(rng: random.Random):
+    distance = rng.uniform(8.0, 14.0)
+    angle = rng.uniform(0.0, 6.28)
+    center = Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5))
+    return [center, center + Vec2.from_polar(distance, angle)]
+
+
+@pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize(
+    "naming,regime,identified",
+    [
+        ("identified", "sense_of_direction", True),
+        ("sod", "sense_of_direction", False),
+        ("sec", "chirality", False),
+    ],
+)
+def test_sync_granular_equivalence(naming, regime, identified, seed, sched):
+    scalar, batched, _ = twin_sims(
+        seed,
+        5,
+        lambda: SyncGranularProtocol(naming=naming),
+        regime=regime,
+        identified=identified,
+        scheduler_factory=SCHEDULERS[sched],
+    )
+    assert batched.mode == "kernel"
+    rng = random.Random(seed * 99 + 5)
+    for src, dst in ((0, 3), (2, 1)):
+        payload = [rng.randrange(2) for _ in range(4)]
+        scalar.protocol_of(src).send_bits(dst, payload)
+        batched.protocol_of(src).send_bits(dst, payload)
+    assert_lockstep(scalar, batched, 60)
+
+
+@pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("sync_two", lambda: SyncTwoProtocol()),
+        ("async_two", lambda: AsyncTwoProtocol(bounded=True)),
+    ],
+)
+def test_pair_protocol_equivalence(name, factory, seed, sched):
+    rng = random.Random(seed)
+    positions = _pair_positions(rng)
+    sigma = 0.6 * positions[0].distance_to(positions[1])
+    scalar, batched, _ = twin_sims(
+        seed,
+        2,
+        factory,
+        positions=positions,
+        sigma=sigma,
+        scheduler_factory=SCHEDULERS[sched],
+    )
+    assert batched.mode == "object"
+    for sim in (scalar, batched):
+        sim.protocol_of(0).send_bits(1, [1, 0, 1])
+    assert_lockstep(scalar, batched, 150)
+
+
+@pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize(
+    "name,regime,identified,factory",
+    [
+        (
+            "sync_logk",
+            "sense_of_direction",
+            True,
+            lambda: SyncLogKProtocol(k=2, naming="identified"),
+        ),
+        ("async_n", "chirality", False, lambda: AsyncNProtocol(naming="sec")),
+        (
+            "flocking",
+            "sense_of_direction",
+            True,
+            lambda: FlockingProtocol(
+                SyncGranularProtocol(naming="identified"),
+                direction=Vec2(1.0, 0.0),
+                speed_fraction=0.01,
+            ),
+        ),
+    ],
+)
+def test_swarm_protocol_equivalence(name, regime, identified, factory, seed, sched):
+    scalar, batched, _ = twin_sims(
+        seed,
+        4,
+        factory,
+        regime=regime,
+        identified=identified,
+        scheduler_factory=SCHEDULERS[sched],
+    )
+    assert batched.mode == "object"
+    for sim in (scalar, batched):
+        sim.protocol_of(0).send_bits(2, [1, 0])
+    assert_lockstep(scalar, batched, 200)
+
+
+def test_backend_oracle_cells_quick():
+    """The packaged differential oracle agrees on a matrix sample."""
+    from repro.verify.backends import compare_cell, run_backend_matrix
+    from repro.verify.scenarios import CELLS
+
+    for key in (("sync_granular", "synchronous"), ("async_n", "displacement")):
+        result = compare_cell(CELLS[key], seed=0, quick=True)
+        assert result.ok, (result.problems, result.error)
+
+    report = run_backend_matrix(
+        ["sync_two"], ["synchronous"], seeds=range(2), quick=True
+    )
+    assert report.ok
+    assert len(report.results) == 4  # 2 matrix + 2 fair-async comparisons
+    variants = {r.variant for r in report.results}
+    assert variants == {"matrix", "fair_async"}

@@ -1,0 +1,155 @@
+"""Kernel-mode specifics: eligibility, faults, holds, counters, limits.
+
+The vectorized granular kernel only engages for exact
+:class:`~repro.protocols.sync_granular.SyncGranularProtocol` swarms in
+its envelope; everything else runs through the object core.  These
+tests pin the mode selection and the kernel's trickier parity paths
+(displacement faults, dilation holds, the overheard cap) plus the
+batch counters surfaced through ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.vec import Vec2
+from repro.model.robot import Robot
+from repro.model.simulator import Simulator
+from repro.protocols.sync_granular import SyncGranularProtocol
+from tests.batch.conftest import assert_lockstep, requires_numpy, twin_sims
+
+pytestmark = requires_numpy
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_displacement_tolerant_parity(seed):
+    scalar, batched, positions = twin_sims(
+        seed, 5, lambda: SyncGranularProtocol(tolerate_ambiguity=True)
+    )
+    assert batched.mode == "kernel"
+    for sim in (scalar, batched):
+        sim.protocol_of(0).send_bits(3, [1, 0, 1])
+    center = positions[4]
+    displace = {
+        4: (4, center + Vec2(0.9, 0.4)),
+        11: (4, center + Vec2(-0.2, 0.1)),
+    }
+    assert_lockstep(scalar, batched, 40, displace=displace)
+
+
+def test_displacement_intolerant_parity():
+    scalar, batched, positions = twin_sims(
+        0, 5, lambda: SyncGranularProtocol(tolerate_ambiguity=False)
+    )
+    for sim in (scalar, batched):
+        sim.protocol_of(1).send_bits(2, [1])
+    displace = {4: (4, positions[4] + Vec2(0.77, 0.31))}
+    assert_lockstep(scalar, batched, 30, displace=displace)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_dilation_hold_parity(seed):
+    scalar, batched, _ = twin_sims(
+        seed, 5, lambda: SyncGranularProtocol(dilation=3)
+    )
+    assert batched.mode == "kernel"
+    for sim in (scalar, batched):
+        sim.protocol_of(2).send_bits(0, [1, 1, 0])
+    assert_lockstep(scalar, batched, 60)
+
+
+def test_subclass_forces_object_mode():
+    class Tagged(SyncGranularProtocol):
+        """A subclass must not be captured by the vectorized kernel."""
+
+    _, batched, _ = twin_sims(0, 4, lambda: Tagged(naming="identified"))
+    assert batched.mode == "object"
+
+
+def test_mixed_config_forces_object_mode():
+    from repro.batch.engine import BatchSimulator
+    from repro.geometry.frames import make_frames
+
+    frames = make_frames(4, "sense_of_direction", seed=0)
+    positions = [Vec2(0.0, 0.0), Vec2(9.0, 0.0), Vec2(0.0, 9.0), Vec2(9.0, 9.0)]
+    robots = [
+        Robot(
+            position=p,
+            protocol=SyncGranularProtocol(dilation=1 if i == 0 else 2),
+            frame=frames[i],
+            sigma=2.0,
+            observable_id=i,
+        )
+        for i, p in enumerate(positions)
+    ]
+    batched = BatchSimulator(robots)
+    assert batched.mode == "object"
+
+
+def test_overheard_cap_raises_beyond_limit():
+    from repro.batch.engine import BatchSimulator
+
+    scalar, _, positions = twin_sims(0, 5, SyncGranularProtocol)
+    robots = [
+        Robot(
+            position=p,
+            protocol=SyncGranularProtocol(),
+            frame=r.frame,
+            sigma=r.sigma,
+            observable_id=r.observable_id,
+        )
+        for p, r in zip(positions, scalar.robots)
+    ]
+    capped = BatchSimulator(robots, overheard_limit=2)
+    assert capped.mode == "kernel"
+    capped.protocol_of(0).send_bits(3, [1, 0])
+    capped.run(20)
+    assert capped.protocol_of(3).received  # receipt still works
+    with pytest.raises(ProtocolError):
+        capped.protocol_of(1).overheard
+
+
+def test_batch_counters_recorded():
+    _, batched, _ = twin_sims(0, 5, SyncGranularProtocol)
+    batched.protocol_of(0).send_bits(3, [1, 0, 1])
+    batched.run(30)
+    registry = batched.stats.registry
+    names = {name for name, _, _ in registry.series()}
+    assert {
+        "batch_array_reallocs",
+        "batch_neighbor_passes",
+        "batch_sec_fallbacks",
+    } <= names
+    assert registry.counter("batch_array_reallocs").value > 0
+    # the geometry facade's vectorized neighbour pass bumps the counter
+    before = registry.counter("batch_neighbor_passes").value
+    batched.geometry.granular_radii()
+    assert registry.counter("batch_neighbor_passes").value >= before
+
+
+def test_duplicate_positions_rejected_identically():
+    from repro.batch.engine import BatchSimulator
+    from repro.errors import ModelError
+    from repro.geometry.frames import make_frames
+
+    frames = make_frames(3, "sense_of_direction", seed=0)
+    positions = [Vec2(0.0, 0.0), Vec2(5.0, 0.0), Vec2(5.0, 0.0)]
+
+    def robots():
+        return [
+            Robot(
+                position=p,
+                protocol=SyncGranularProtocol(),
+                frame=frames[i],
+                sigma=2.0,
+                observable_id=i,
+            )
+            for i, p in enumerate(positions)
+        ]
+
+    with pytest.raises(ModelError) as scalar_err:
+        Simulator(robots())
+    with pytest.raises(ModelError) as batch_err:
+        BatchSimulator(robots())
+    assert str(scalar_err.value) == str(batch_err.value)

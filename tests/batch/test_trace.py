@@ -1,0 +1,82 @@
+"""Lean trace recording of the batch engine.
+
+With a strided :class:`~repro.model.trace.TracePolicy`, the batch
+engine materialises :class:`~repro.model.trace.TraceStep` tuples only
+on retained instants and keeps the latest configuration as raw array
+columns — ``latest`` and ``positions_at`` must nonetheless behave
+exactly like the scalar trace.
+"""
+
+from __future__ import annotations
+
+from repro.model.trace import TracePolicy
+from repro.protocols.sync_granular import SyncGranularProtocol
+from tests.batch.conftest import requires_numpy, twin_sims
+
+pytestmark = requires_numpy
+
+
+def _strided_pair(stride: int):
+    from repro.batch.engine import BatchSimulator, BatchTrace
+    from repro.model.robot import Robot
+    from repro.model.simulator import Simulator
+
+    scalar, batched, positions = twin_sims(0, 6, SyncGranularProtocol)
+
+    def clone(sim_robots, cls, **kwargs):
+        robots = [
+            Robot(
+                position=r.position,
+                protocol=SyncGranularProtocol(),
+                frame=r.frame,
+                sigma=r.sigma,
+                observable_id=r.observable_id,
+            )
+            for r in sim_robots
+        ]
+        return cls(robots, **kwargs)
+
+    lean_scalar = clone(scalar.robots, Simulator, trace_policy=TracePolicy(stride=stride))
+    lean_batch = clone(scalar.robots, BatchSimulator, trace_policy=TracePolicy(stride=stride))
+    assert isinstance(lean_batch.trace, BatchTrace)
+    return lean_scalar, lean_batch
+
+
+def test_strided_trace_matches_scalar():
+    lean_scalar, lean_batch = _strided_pair(stride=10)
+    for sim in (lean_scalar, lean_batch):
+        sim.protocol_of(0).send_bits(3, [1, 0])
+        sim.run(55)
+    ta, tb = lean_scalar.trace, lean_batch.trace
+    assert tb.skipped >= 49  # non-retained instants are counted, not stored
+    assert [s.time for s in ta.steps] == [s.time for s in tb.steps]
+    assert len(tb.steps) == 6  # t = 0, 10, 20, 30, 40, 50
+    assert ta.latest.time == tb.latest.time == 54
+    assert ta.latest.positions == tb.latest.positions
+    assert ta.positions_at(55) == tb.positions_at(55)  # served from `latest`
+    assert ta.positions_at(11) == tb.positions_at(11)  # served from a retained step
+    assert ta.positions_at(0) == tb.positions_at(0)
+
+
+def test_unstrided_trace_retains_everything():
+    lean_scalar, lean_batch = _strided_pair(stride=1)
+    for sim in (lean_scalar, lean_batch):
+        sim.protocol_of(0).send_bits(3, [1])
+        sim.run(20)
+    ta, tb = lean_scalar.trace, lean_batch.trace
+    assert tb.skipped == ta.skipped
+    assert [s.time for s in ta.steps] == [s.time for s in tb.steps]
+    assert all(a.positions == b.positions for a, b in zip(ta.steps, tb.steps))
+
+
+def test_latest_survives_step_listener_materialisation():
+    # A step listener forces per-step materialisation; the lean trace
+    # must keep retention decisions independent of that.
+    lean_scalar, lean_batch = _strided_pair(stride=7)
+    seen = []
+    lean_batch.add_step_listener(lambda sim, step: seen.append(step.time))
+    for sim in (lean_scalar, lean_batch):
+        sim.run(15)
+    assert seen == list(range(15))
+    assert [s.time for s in lean_batch.trace.steps] == [s.time for s in lean_scalar.trace.steps]
+    assert lean_batch.trace.latest.positions == lean_scalar.trace.latest.positions
