@@ -69,6 +69,7 @@ from benchmarks import (
     bench_a3_energy,
     bench_a4_staleness,
     bench_a5_noise,
+    bench_event_sparse,
     bench_p1_scaling,
     bench_p2_throughput,
     bench_p3_protocol_matrix,
@@ -93,6 +94,7 @@ MODULES = [
     bench_a3_energy,
     bench_a4_staleness,
     bench_a5_noise,
+    bench_event_sparse,
     bench_p1_scaling,
     bench_p2_throughput,
     bench_p3_protocol_matrix,
@@ -303,6 +305,18 @@ def batch_scaling_probe(
     return {"backend": "batch", "cells": cells_out, "comparison": comparison}
 
 
+def event_sparse_probe(n: int = 10_000, events: int = 30_000) -> Dict:
+    """Event-engine throughput at 1% duty (see bench_event_sparse).
+
+    Pure python — unlike the batch probes there is nothing to skip;
+    the events/sec series lands in the metrics history and the
+    ``python -m repro.obs regress`` gate watches it.
+    """
+    from benchmarks.bench_event_sparse import sparse_probe
+
+    return sparse_probe(n=n, events=events)
+
+
 def git_commit() -> Optional[str]:
     """The repo's current commit hash, or None outside a git checkout."""
     try:
@@ -454,6 +468,7 @@ PROBES: Dict[str, object] = {
     "batch_scaling_large": lambda: batch_scaling_probe(
         sizes=(10_000, 100_000), compare_n=256
     ),
+    "event_sparse_n10k": lambda: event_sparse_probe(),
 }
 
 #: probe cell order: registration order, which the report replays.
@@ -662,6 +677,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"[probe adversarial_transparency: {adversarial['runs']} runs, "
             f"{adversarial['failures']} failures]"
+        )
+    sparse = probes.get("event_sparse_n10k")
+    if sparse is not None and "error" not in sparse:
+        print(
+            f"[probe event_sparse n={sparse['n']}: "
+            f"{sparse['events_per_sec']:,.0f} events/s, "
+            f"duty {sparse['duty']:.2%}, heap max {sparse['heap_depth_max']:.0f}]"
         )
     for name in ("batch_scaling_n1k", "batch_scaling_large"):
         probe = probes.get(name)

@@ -12,7 +12,9 @@ Every ``bench_*.py`` module is both
 from __future__ import annotations
 
 import contextlib
+import functools
 import io
+import itertools
 import random
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
@@ -60,7 +62,7 @@ def batch_swarm(n: int, seed: int = 0) -> list:
 
 
 def table_cells(
-    *named: Tuple[str, Callable[[], object]],
+    *named,
     main: Callable[[], None] = None,
 ) -> Tuple[Callable[[], List[str]], Callable[[str], Dict[str, object]]]:
     """Build the standard ``cells()``/``run_cell()`` pair for a module.
@@ -76,11 +78,43 @@ def table_cells(
     ``(name, fn)`` pairs register finer-grained cells whose return
     value becomes the payload directly.
 
+    A ``(name, fn, params)`` triple parametrizes a cell: ``params``
+    maps keyword names (``backend``, ``engine``, seeds, sizes, ...) to
+    value sequences, and the triple expands into one
+    ``name[key=value,...]`` cell per combination of the cartesian
+    product, each calling ``fn(key=value, ...)``.  Labels are built in
+    sorted-key order, so cell names are deterministic across runs.
+
     Usage, at the bottom of a ``bench_*.py`` module::
 
-        cells, run_cell = table_cells(main=main)
+        cells, run_cell = table_cells(
+            ("sparse", sparse_cell, {"engine": ("events", "rounds")}),
+            main=main,
+        )
     """
-    registry: Dict[str, Callable[[], object]] = dict(named)
+    registry: Dict[str, Callable[[], object]] = {}
+    for entry in named:
+        if len(entry) == 2:
+            name, fn = entry
+            expanded = {name: fn}
+        elif len(entry) == 3:
+            name, fn, params = entry
+            if not params:
+                raise ValueError(f"cell {name!r}: empty parameter grid")
+            keys = sorted(params)
+            expanded = {}
+            for combo in itertools.product(*(params[k] for k in keys)):
+                kwargs = dict(zip(keys, combo))
+                label = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+                expanded[f"{name}[{label}]"] = functools.partial(fn, **kwargs)
+        else:
+            raise ValueError(
+                f"cell entries are (name, fn) or (name, fn, params); got {entry!r}"
+            )
+        for cell_name, cell_fn in expanded.items():
+            if cell_name in registry:
+                raise ValueError(f"duplicate cell name {cell_name!r}")
+            registry[cell_name] = cell_fn
     if main is not None:
         if "table" in registry:
             raise ValueError("cell name 'table' is reserved for main")

@@ -63,6 +63,15 @@ class SwarmHarness:
             degrades gracefully to scalar when numpy is absent).  The
             backends are trace-equivalent, so everything built on the
             harness behaves identically either way.
+        engine: ``"rounds"`` (default, instant-stepped) or ``"events"``
+            (the event-queue engine of :mod:`repro.events`).  With the
+            default round-emulation timing the engines are
+            byte-identical; pass ``timing``/``delay`` for continuous
+            time and observation delays.
+        timing / delay: event-engine knobs (a
+            :class:`~repro.events.timing.TimingModel` and a
+            :class:`~repro.events.delay.DelayModel`); only valid with
+            ``engine="events"``.
     """
 
     def __init__(
@@ -77,6 +86,9 @@ class SwarmHarness:
         caching: bool = True,
         trace_policy: Optional["TracePolicy"] = None,
         backend: str = "scalar",
+        engine: str = "rounds",
+        timing=None,
+        delay=None,
     ) -> None:
         frames: List[Frame] = make_frames(len(positions), frame_regime, seed=frame_seed)
         self.robots = [
@@ -89,12 +101,16 @@ class SwarmHarness:
             )
             for i, p in enumerate(positions)
         ]
+        kwargs = {}
+        if engine != "rounds" or timing is not None or delay is not None:
+            kwargs.update(engine=engine, timing=timing, delay=delay)
         self.simulator = make_simulator(
             self.robots,
             scheduler,
             backend=backend,
             caching=caching,
             trace_policy=trace_policy,
+            **kwargs,
         )
         # Channels and monitors wrap the *simulator's* protocol surface,
         # not robot.protocol: the batch engine's kernel mode serves bit

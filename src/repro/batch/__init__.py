@@ -45,11 +45,17 @@ __all__ = [
     "make_simulator",
     "supports",
     "BACKENDS",
+    "ENGINES",
     "NUMPY_HINT",
 ]
 
 #: The selectable backend names (the ``backend=`` vocabulary).
 BACKENDS = ("scalar", "batch")
+
+#: The selectable engine names (the ``engine=`` vocabulary):
+#: ``"rounds"`` steps every instant, ``"events"`` pops
+#: ``(time, phase, robot)`` events off a heap (:mod:`repro.events`).
+ENGINES = ("rounds", "events")
 
 #: The one sentence every numpy-gated entry point repeats.
 NUMPY_HINT = (
@@ -113,18 +119,32 @@ def make_simulator(
     scheduler=None,
     *,
     backend: str = "scalar",
+    engine: str = "rounds",
     caching: bool = True,
     trace_policy=None,
     strict: bool = False,
+    timing=None,
+    delay=None,
+    registry=None,
 ):
     """Build a simulator for ``robots`` behind a selectable backend.
 
     Args:
         backend: ``"scalar"`` (the classic per-object engine) or
             ``"batch"`` (the vectorized SoA engine).
+        engine: ``"rounds"`` (instant-stepped, the default) or
+            ``"events"`` (the event-queue engine of
+            :mod:`repro.events`; scalar-only).  With the default
+            round-emulation timing the two engines are byte-identical
+            (``python -m repro.verify --event-oracle``).
         strict: with ``backend="batch"``, raise instead of degrading
             to scalar when numpy is missing or the swarm is out of the
             batch engine's envelope.
+        timing / delay / registry: event-engine knobs (a
+            :class:`~repro.events.timing.TimingModel`, a
+            :class:`~repro.events.delay.DelayModel`, a
+            :class:`~repro.obs.registry.MetricsRegistry`); only valid
+            with ``engine="events"``.
 
     The two backends are trace-equivalent by construction — same
     robots, same scheduler, same seed produce byte-identical traces,
@@ -135,6 +155,29 @@ def make_simulator(
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r} (choose from {BACKENDS})")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if engine == "events":
+        if backend != "scalar":
+            raise ValueError(
+                "the event engine runs on the scalar backend only; "
+                "use backend='scalar' (or engine='rounds' with backend='batch')"
+            )
+        from repro.events.engine import EventSimulator
+
+        return EventSimulator(
+            robots,
+            scheduler,
+            timing=timing,
+            delay=delay,
+            registry=registry,
+            caching=caching,
+            trace_policy=trace_policy,
+        )
+    if timing is not None or delay is not None or registry is not None:
+        raise ValueError(
+            "timing/delay/registry are event-engine knobs; pass engine='events'"
+        )
     if backend == "batch":
         if not available():
             if strict:

@@ -12,6 +12,7 @@ __all__ = [
     "AmbiguousDirectionError",
     "ModelError",
     "SchedulerError",
+    "EventError",
     "ProtocolError",
     "DecodingError",
     "NamingError",
@@ -47,6 +48,14 @@ class ModelError(ReproError):
 
 class SchedulerError(ModelError):
     """An activation scheduler produced an invalid activation set."""
+
+
+class EventError(ModelError):
+    """The event-driven engine was configured or driven inconsistently.
+
+    Raised for invalid timing/delay parameters (negative durations,
+    negative observation delays) and for event-queue contract breaches
+    (a popped event older than the engine clock)."""
 
 
 class ProtocolError(ReproError):

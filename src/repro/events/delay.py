@@ -1,0 +1,180 @@
+"""Observation-delay models for the event engine.
+
+The paper's communication primitive is *watching other robots move*:
+a bit becomes readable when its movement becomes visible.  Under the
+round engine visibility is instantaneous — every Look returns the
+exact current configuration.  A :class:`DelayModel` breaks that
+assumption: a position change of robot ``sender`` at time ``t``
+becomes visible to robot ``receiver`` only at
+``t + delay_fcn(sender, receiver, t)``.
+
+Until then the receiver keeps seeing the sender's *previous* position
+— never a future one.  Monotonicity (a delayed observation never
+shows a configuration that has not happened yet) is structural:
+delays are validated non-negative, and the engine serves the latest
+change whose release time has passed.
+
+Models must be **pure functions** of ``(sender, receiver, time)``:
+the engine evaluates them lazily at Look time, so a model that drew
+from a shared RNG per call would make visibility depend on the order
+robots happen to look.  Randomized models should derive their noise
+from a hash of the arguments (see :class:`JitterDelay`).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from abc import ABC, abstractmethod
+
+from repro.errors import EventError
+
+__all__ = [
+    "DelayModel",
+    "ZeroDelay",
+    "ConstantDelay",
+    "JitterDelay",
+    "TargetedSpikeDelay",
+]
+
+
+class DelayModel(ABC):
+    """When a ``sender`` position change becomes visible to ``receiver``."""
+
+    #: engines skip all history bookkeeping when this is True — the
+    #: zero-overhead path that keeps round emulation bit-identical.
+    is_zero: bool = False
+
+    @abstractmethod
+    def delay_fcn(self, sender: int, receiver: int, time: float) -> float:
+        """Visibility lag (``>= 0``) of a ``sender`` change at ``time``.
+
+        A robot always sees itself live; engines never call this with
+        ``sender == receiver``.
+        """
+
+    def __call__(self, sender: int, receiver: int, time: float) -> float:
+        return self.delay_fcn(sender, receiver, time)
+
+
+class ZeroDelay(DelayModel):
+    """Instantaneous visibility — the SSM default."""
+
+    is_zero = True
+
+    def delay_fcn(self, sender: int, receiver: int, time: float) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "ZeroDelay()"
+
+
+class ConstantDelay(DelayModel):
+    """Every observation lags by a fixed amount.
+
+    Because the lag is identical for all senders, a receiver always
+    sees a *consistent past configuration* — the world exactly as it
+    was ``delay`` time units ago.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if not (delay >= 0.0 and math.isfinite(delay)):
+            raise EventError(f"delay must be finite and >= 0, got {delay!r}")
+        self.delay = float(delay)
+        self.is_zero = self.delay == 0.0
+
+    def delay_fcn(self, sender: int, receiver: int, time: float) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.delay!r})"
+
+
+def _unit_hash(*parts: float) -> float:
+    """A deterministic pseudo-uniform in ``[0, 1)`` from the arguments.
+
+    zlib.crc32 rather than ``hash()``: string hashing is salted per
+    process, which would break the "same seed, same run" promise.
+    """
+    blob = ",".join(repr(p) for p in parts).encode("ascii")
+    return zlib.crc32(blob) / 2**32
+
+
+class JitterDelay(DelayModel):
+    """Base delay plus seeded per-``(sender, receiver, time)`` jitter.
+
+    The jitter is hash-derived, not drawn from an RNG stream, so the
+    model stays a pure function — two engines evaluating it in any
+    order see identical lags.
+    """
+
+    __slots__ = ("base", "jitter", "seed")
+
+    def __init__(self, base: float, jitter: float, seed: int = 0) -> None:
+        if not (base >= 0.0 and math.isfinite(base)):
+            raise EventError(f"base delay must be finite and >= 0, got {base!r}")
+        if not (jitter >= 0.0 and math.isfinite(jitter)):
+            raise EventError(f"jitter must be finite and >= 0, got {jitter!r}")
+        self.base = float(base)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.is_zero = self.base == 0.0 and self.jitter == 0.0
+
+    def delay_fcn(self, sender: int, receiver: int, time: float) -> float:
+        return self.base + self.jitter * _unit_hash(self.seed, sender, receiver, time)
+
+    def __repr__(self) -> str:
+        return f"JitterDelay(base={self.base!r}, jitter={self.jitter!r}, seed={self.seed})"
+
+
+class TargetedSpikeDelay(DelayModel):
+    """Periodic delay spikes on one victim receiver.
+
+    Everyone else observes instantly.  The victim's view of every
+    other robot lags by ``spike`` during recurring windows of length
+    ``width`` (one per ``period``), and by ``base`` otherwise — the
+    ``event_delay_spike`` verify adversary.  The lag is identical for
+    all senders, so even mid-spike the victim sees a consistent
+    (merely old) configuration.
+    """
+
+    __slots__ = ("victim", "spike", "period", "width", "base")
+
+    def __init__(
+        self,
+        victim: int,
+        spike: float,
+        period: float,
+        width: float,
+        base: float = 0.0,
+    ) -> None:
+        if victim < 0:
+            raise EventError(f"victim must be a robot index, got {victim!r}")
+        if not (spike >= 0.0 and math.isfinite(spike)):
+            raise EventError(f"spike must be finite and >= 0, got {spike!r}")
+        if not (period > 0.0 and math.isfinite(period)):
+            raise EventError(f"period must be finite and > 0, got {period!r}")
+        if not (0.0 < width <= period):
+            raise EventError(f"width must be in (0, period], got {width!r}")
+        if not (base >= 0.0 and math.isfinite(base)):
+            raise EventError(f"base must be finite and >= 0, got {base!r}")
+        self.victim = int(victim)
+        self.spike = float(spike)
+        self.period = float(period)
+        self.width = float(width)
+        self.base = float(base)
+
+    def delay_fcn(self, sender: int, receiver: int, time: float) -> float:
+        if receiver != self.victim:
+            return 0.0
+        if (time % self.period) < self.width:
+            return self.base + self.spike
+        return self.base
+
+    def __repr__(self) -> str:
+        return (
+            f"TargetedSpikeDelay(victim={self.victim}, spike={self.spike!r}, "
+            f"period={self.period!r}, width={self.width!r}, base={self.base!r})"
+        )

@@ -1,0 +1,111 @@
+"""Per-robot timing models: phase durations and activation gaps.
+
+A :class:`TimingModel` bundles the four duration distributions of one
+Look-Compute-Move cycle:
+
+* ``look`` — from the Look snapshot to the Compute decision;
+* ``compute`` — from the decision to the (instantaneous) Move;
+* ``move`` — settling time after the Move before the robot may rest;
+* ``gap`` — idle time between cycles (the activation gap).
+
+Two operating modes:
+
+* **scheduler-driven** (:meth:`TimingModel.round_emulation`): the
+  engine asks a classic :class:`~repro.model.scheduler.Scheduler` for
+  activation sets and emulates rounds exactly — all phase durations 1,
+  zero delay, byte-identical traces to the round engine (enforced by
+  ``python -m repro.verify --event-oracle``);
+* **free-running** (:meth:`TimingModel.free`): no scheduler at all —
+  each robot cycles on its own clock, drawing every duration from its
+  private RNG stream.  ``max_gap`` clamps the activation gap, which
+  bounds the time between consecutive Looks of any robot by
+  ``look + compute + move + max_gap`` — the continuous-time analogue
+  of the round schedulers' fairness bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EventError
+from repro.events.distributions import Deterministic, Distribution
+
+__all__ = ["TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Duration distributions of one robot activation cycle."""
+
+    look: Distribution
+    compute: Distribution
+    move: Distribution
+    gap: Distribution
+    #: when True the engine replays a round :class:`Scheduler` instead
+    #: of free-running the per-robot clocks.
+    scheduler_driven: bool = False
+    #: free mode: hard clamp on every activation-gap draw (fairness).
+    max_gap: Optional[float] = None
+    #: free mode: when True every robot's first Look fires at t=0 (the
+    #: Section 4.2 assumption "all the robots are awake in t0");
+    #: otherwise first Looks fire after one gap draw.
+    activate_all_first: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("look", "compute", "move", "gap"):
+            value = getattr(self, name)
+            if not isinstance(value, Distribution):
+                raise EventError(
+                    f"timing field {name!r} must be a Distribution, got {value!r}"
+                )
+        if self.max_gap is not None and not (
+            self.max_gap > 0.0 and math.isfinite(self.max_gap)
+        ):
+            raise EventError(f"max_gap must be finite and > 0, got {self.max_gap!r}")
+
+    @classmethod
+    def round_emulation(cls) -> "TimingModel":
+        """The oracle configuration: unit phases, scheduler-driven."""
+        one = Deterministic(1.0)
+        return cls(look=one, compute=one, move=one, gap=one, scheduler_driven=True)
+
+    @classmethod
+    def free(
+        cls,
+        *,
+        look: Optional[Distribution] = None,
+        compute: Optional[Distribution] = None,
+        move: Optional[Distribution] = None,
+        gap: Optional[Distribution] = None,
+        max_gap: Optional[float] = None,
+        activate_all_first: bool = True,
+    ) -> "TimingModel":
+        """A free-running model; omitted phases default to 1 time unit."""
+        one = Deterministic(1.0)
+        return cls(
+            look=look or one,
+            compute=compute or one,
+            move=move or one,
+            gap=gap or one,
+            scheduler_driven=False,
+            max_gap=max_gap,
+            activate_all_first=activate_all_first,
+        )
+
+    def sample_gap(self, rng) -> float:
+        """One activation-gap draw, fairness-clamped in free mode."""
+        value = self.gap.sample(rng)
+        if not (value >= 0.0 and math.isfinite(value)):
+            raise EventError(f"gap distribution produced {value!r}")
+        if self.max_gap is not None and value > self.max_gap:
+            return self.max_gap
+        return value
+
+    def sample_phase(self, name: str, rng) -> float:
+        """One phase-duration draw (``look``/``compute``/``move``)."""
+        value = getattr(self, name).sample(rng)
+        if not (value >= 0.0 and math.isfinite(value)):
+            raise EventError(f"{name} distribution produced {value!r}")
+        return value

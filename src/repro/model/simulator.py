@@ -146,13 +146,22 @@ class Simulator:
             tuple(ids) if self._identified else (None,) * len(self._robots)
         )
         # Visibility depends only on the immutable anchors: compute it
-        # once per robot instead of on every observe.
-        self._visible_sets: Tuple[frozenset, ...] = tuple(
-            self._compute_visible_from(i) for i in range(len(self._robots))
-        )
-        self._visible_lists: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(v)) for v in self._visible_sets
-        )
+        # once per robot instead of on every observe.  Under unlimited
+        # visibility every robot sees the same full set, so one shared
+        # frozenset/tuple serves all n robots — O(n) memory instead of
+        # the O(n²) that made 10k-robot swarms impossible to build.
+        if self._world_visibility_radius() is None:
+            full_set = frozenset(range(len(self._robots)))
+            full_list = tuple(range(len(self._robots)))
+            self._visible_sets: Tuple[frozenset, ...] = (full_set,) * len(self._robots)
+            self._visible_lists: Tuple[Tuple[int, ...], ...] = (full_list,) * len(
+                self._robots
+            )
+        else:
+            self._visible_sets = tuple(
+                self._compute_visible_from(i) for i in range(len(self._robots))
+            )
+            self._visible_lists = tuple(tuple(sorted(v)) for v in self._visible_sets)
         # Per-robot (to_local, anchor) pairs: the observe loop is the
         # hottest code in the engine, so attribute chases are hoisted.
         self._local_transforms: Tuple[Tuple[Callable, Vec2], ...] = tuple(
@@ -175,10 +184,7 @@ class Simulator:
         world_visibility = self._world_visibility_radius()
         for index, robot in enumerate(self._robots):
             visible = self._visible_from(index)
-            initial_local = tuple(
-                robot.frame.to_local(p, self._anchors[index]) if i in visible else None
-                for i, p in enumerate(positions)
-            )
+            initial_local = self._initial_local_view(index, robot, visible, positions)
             robot.protocol.bind(
                 BindingInfo(
                     index=index,
@@ -445,6 +451,29 @@ class Simulator:
         to snap destinations onto a lattice.
         """
         return destination
+
+    def _initial_local_view(
+        self,
+        index: int,
+        robot: Robot,
+        visible: frozenset,
+        positions: Sequence[Vec2],
+    ) -> Sequence[Optional[Vec2]]:
+        """The ``initial_positions`` sequence handed to one protocol bind.
+
+        Entry ``i`` is ``P_i(t_0)`` in the observer's private frame, or
+        None for robots outside its visibility range.  The base engine
+        materializes the tuple eagerly; the event engine's huge-swarm
+        mode (:class:`repro.events.engine.EventSimulator` with
+        ``lazy_views=True``) overrides this with an on-demand view so
+        building an n-robot swarm stays O(n) instead of O(n²).
+        """
+        anchor = self._anchors[index]
+        to_local = robot.frame.to_local
+        return tuple(
+            to_local(p, anchor) if i in visible else None
+            for i, p in enumerate(positions)
+        )
 
     def _world_visibility_radius(self) -> Optional[float]:
         """Visibility range in world units; None means unlimited.

@@ -78,6 +78,12 @@ def _parser() -> argparse.ArgumentParser:
              "(requires numpy; exits 0 with a notice when it is absent)",
     )
     parser.add_argument(
+        "--event-oracle", action="store_true",
+        help="differential oracle: every cell run on both the round engine "
+             "and the event engine (round-emulation mode) from the same "
+             "seed must be bit-identical (pure python)",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list executable cells, skipped cells and mutants, then exit",
     )
@@ -198,6 +204,35 @@ def _do_backend_oracle(args, protocols, schedulers, seeds) -> int:
     return 0 if report.ok else 1
 
 
+def _do_event_oracle(args, protocols, schedulers, seeds) -> int:
+    from repro.verify.events import EventCellResult, run_event_matrix
+
+    def progress(result: EventCellResult) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"  {result.protocol} x {result.scheduler} ({result.variant}) "
+            f"seed={result.seed} size={result.size} steps={result.steps} {status}",
+            flush=True,
+        )
+
+    report = run_event_matrix(
+        protocols,
+        schedulers,
+        seeds,
+        quick=args.quick,
+        progress=progress if args.verbose else None,
+    )
+    print(report.format(verbose=args.verbose))
+    if args.json:
+        payload = json.dumps(report.to_json(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _parser().parse_args(argv)
@@ -217,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.backend_oracle:
         return _do_backend_oracle(args, protocols, schedulers, seeds)
+    if args.event_oracle:
+        return _do_event_oracle(args, protocols, schedulers, seeds)
 
     def progress(result: CellResult) -> None:
         status = "ok" if result.ok else "FAIL"

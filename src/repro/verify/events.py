@@ -1,39 +1,35 @@
-"""Scalar-vs-batch differential oracle.
+"""Round-engine vs event-engine differential oracle.
 
-The batch backend (:mod:`repro.batch`) promises **bit-identical**
-runs: same robots, same seed, same scheduler must produce the same
+The event engine (:mod:`repro.events`) promises that its
+**round-emulation mode** — scheduler-driven, all phase durations 1,
+zero observation delay — is *byte-identical* to the classic round
+engine: same robots, same seed, same scheduler must produce the same
 trace — positions, activation sets, bit events, epochs and monitor
-verdicts — as the reference scalar :class:`~repro.model.simulator.Simulator`.
-This module turns that promise into a sweepable oracle by reusing the
-seeded scenario matrix of :mod:`repro.verify.scenarios`: every
-executable cell is built twice from the same seed — once per backend
-(every RNG draw happens before the simulator is constructed, so the
-two builds see the identical swarm, schedule, payload and fault
-plan) — driven to completion with its invariant monitors attached,
-and compared field by field.
+verdicts.  This module turns that promise into a sweepable oracle,
+mirroring the scalar-vs-batch oracle of :mod:`repro.verify.backends`:
+every executable cell of the scenario matrix is built twice from the
+same seed — once per engine (every RNG draw happens before the
+simulator is constructed) — driven to completion with its invariant
+monitors attached, and compared field by field.
 
 Two sweeps compose the oracle:
 
 1. the **matrix arm** — every executable ``(protocol, adversary)``
-   cell except ``worst_stale`` (the stale-look adversary is a scalar
-   ``Simulator`` subclass with no batch twin; those cells are skipped
-   with that reason, mirroring how the matrix documents its envelope);
+   cell except ``worst_stale`` (a round-engine ``Simulator`` subclass
+   with no event twin) and the ``event_*`` adversaries (inherently
+   event-engine cells: there is no round twin to diff against);
 2. the **fair-async arm** — every protocol's ``synchronous`` cell
    re-run under a seeded
    :class:`~repro.model.scheduler.FairAsynchronousScheduler`, so all
-   six protocols are also checked under genuinely partial activation
-   (each backend gets its own scheduler instance built from the same
-   seed, hence the identical activation sequence).
+   six protocols are also diffed under genuinely partial activation.
 
-Equality is strict: run length, retained trace steps
-``(time, active, positions)``, per-robot received streams, final
-configurations, configuration epochs and the full monitor verdict
-lists must match exactly.  A run that *raises* is fine only if the
-twin raises the same exception type and message at the same point —
-the backends promise exception parity at the raise instant.
+Equality is strict: run length, retained trace steps, per-robot
+received streams, final configurations, configuration epochs and the
+full monitor verdict lists must match exactly; a run that raises is
+fine only if the twin raises the same exception type and message.
 
-CLI: ``python -m repro.verify --backend-oracle`` (skips cleanly when
-numpy is absent).
+CLI: ``python -m repro.verify --event-oracle`` (pure python — no
+optional dependency involved).
 """
 
 from __future__ import annotations
@@ -48,27 +44,27 @@ from repro.verify.monitors import attach
 from repro.verify.scenarios import SKIPS, Cell, ScenarioRun, build_run, cells_for
 
 __all__ = [
-    "BACKEND_SKIPS",
-    "BackendCellResult",
-    "BackendReport",
+    "EVENT_ORACLE_SKIPS",
+    "EventCellResult",
+    "EventOracleReport",
     "compare_cell",
-    "run_backend_matrix",
+    "run_event_matrix",
 ]
 
-#: Adversaries the batch backend cannot replicate, with the reason —
-#: reported as skips, exactly like the matrix's own ``SKIPS``.
-BACKEND_SKIPS: Dict[str, str] = {
+#: Adversaries the event oracle cannot twin, with the reason — reported
+#: as skips, exactly like the matrix's own ``SKIPS``.
+EVENT_ORACLE_SKIPS: Dict[str, str] = {
     "worst_stale": (
-        "the stale-look adversary is a scalar Simulator subclass "
-        "(per-robot Look snapshots); the batch backend has no twin"
+        "the stale-look adversary is a round-engine Simulator subclass "
+        "(per-robot Look snapshots); the event engine has no twin"
     ),
     "event_heavy_tail": (
-        "an event-engine cell (free-running continuous-time timing); "
-        "the batch backend has no event twin"
+        "inherently an event-engine cell (free-running heavy-tail "
+        "timing); the round engine has no continuous-time twin"
     ),
     "event_delay_spike": (
-        "an event-engine cell (observation-delay model); the batch "
-        "backend has no event twin"
+        "inherently an event-engine cell (observation-delay model); "
+        "the round engine has no delayed-visibility twin"
     ),
 }
 
@@ -76,20 +72,20 @@ BACKEND_SKIPS: Dict[str, str] = {
 def _fair_async_factory(seed: int) -> Callable[[], Scheduler]:
     """A seeded fair-async scheduler factory for the second oracle arm.
 
-    Each backend calls the factory once, so each run owns a private
+    Each engine calls the factory once, so each run owns a private
     scheduler instance whose RNG starts from the identical seed — the
     activation sequences are therefore bit-identical by construction.
     """
 
     def factory() -> Scheduler:
-        return FairAsynchronousScheduler(seed=seed * 1_009 + 11)
+        return FairAsynchronousScheduler(seed=seed * 1_013 + 17)
 
     return factory
 
 
 @dataclass
-class BackendCellResult:
-    """Outcome of one scalar-vs-batch comparison at one seed."""
+class EventCellResult:
+    """Outcome of one rounds-vs-events comparison at one seed."""
 
     protocol: str
     scheduler: str
@@ -103,12 +99,12 @@ class BackendCellResult:
     #: were indistinguishable.
     problems: List[str] = field(default_factory=list)
     #: populated when a build/drive crashed *asymmetrically* (one
-    #: backend raised, or both raised but differently).
+    #: engine raised, or both raised but differently).
     error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
-        """True when the two backends were indistinguishable."""
+        """True when the two engines were indistinguishable."""
         return self.error is None and not self.problems
 
     def to_json(self) -> Dict[str, object]:
@@ -141,17 +137,17 @@ def _monitor_verdicts(run: ScenarioRun) -> List[Tuple[object, ...]]:
 def _build_and_drive(
     cell: Cell,
     seed: int,
-    backend: str,
+    engine: str,
     quick: bool,
     scheduler_factory: Optional[Callable[[], Scheduler]],
 ) -> Tuple[Optional[ScenarioRun], int, Optional[BaseException]]:
-    """Run one backend's twin; returns (run, steps, exception)."""
+    """Run one engine's twin; returns (run, steps, exception)."""
     try:
         run = build_run(
             cell,
             seed,
             quick=quick,
-            backend=backend,
+            engine=engine,
             scheduler_factory=scheduler_factory,
         )
         attach(run.sim, run.monitors)
@@ -168,57 +164,57 @@ def compare_cell(
     quick: bool = False,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     variant: str = "matrix",
-) -> BackendCellResult:
-    """Build one cell at one seed on both backends and diff the runs."""
-    result = BackendCellResult(cell.protocol, cell.scheduler, seed, variant=variant)
-    scalar, s_steps, s_exc = _build_and_drive(
-        cell, seed, "scalar", quick, scheduler_factory
+) -> EventCellResult:
+    """Build one cell at one seed on both engines and diff the runs."""
+    result = EventCellResult(cell.protocol, cell.scheduler, seed, variant=variant)
+    rounds, r_steps, r_exc = _build_and_drive(
+        cell, seed, "rounds", quick, scheduler_factory
     )
-    batched, b_steps, b_exc = _build_and_drive(
-        cell, seed, "batch", quick, scheduler_factory
+    events, e_steps, e_exc = _build_and_drive(
+        cell, seed, "events", quick, scheduler_factory
     )
-    if s_exc is not None or b_exc is not None:
+    if r_exc is not None or e_exc is not None:
         # Exception parity: identical type and message is a pass —
-        # the backends promise to diverge nowhere before the raise.
+        # the engines promise to diverge nowhere before the raise.
         if (
-            s_exc is not None
-            and b_exc is not None
-            and type(s_exc) is type(b_exc)
-            and str(s_exc) == str(b_exc)
+            r_exc is not None
+            and e_exc is not None
+            and type(r_exc) is type(e_exc)
+            and str(r_exc) == str(e_exc)
         ):
             return result
         result.error = (
             "asymmetric failure:\n"
-            f"  scalar: {type(s_exc).__name__ if s_exc else 'ok'}: {s_exc}\n"
-            f"  batch : {type(b_exc).__name__ if b_exc else 'ok'}: {b_exc}\n"
-            + "".join(traceback.format_exception(b_exc or s_exc, limit=6))
+            f"  rounds: {type(r_exc).__name__ if r_exc else 'ok'}: {r_exc}\n"
+            f"  events: {type(e_exc).__name__ if e_exc else 'ok'}: {e_exc}\n"
+            + "".join(traceback.format_exception(e_exc or r_exc, limit=6))
         )
         return result
-    assert scalar is not None and batched is not None
-    result.size = scalar.size
-    result.steps = s_steps
-    if s_steps != b_steps:
-        result.problems.append(f"run length diverged: {s_steps} vs {b_steps}")
-    if _trace_fingerprint(scalar) != _trace_fingerprint(batched):
+    assert rounds is not None and events is not None
+    result.size = rounds.size
+    result.steps = r_steps
+    if r_steps != e_steps:
+        result.problems.append(f"run length diverged: {r_steps} vs {e_steps}")
+    if _trace_fingerprint(rounds) != _trace_fingerprint(events):
         result.problems.append("position traces diverged")
-    if _received_fingerprint(scalar) != _received_fingerprint(batched):
+    if _received_fingerprint(rounds) != _received_fingerprint(events):
         result.problems.append("received bit streams diverged")
-    if tuple(scalar.sim.positions) != tuple(batched.sim.positions):
+    if tuple(rounds.sim.positions) != tuple(events.sim.positions):
         result.problems.append("final configurations diverged")
-    if scalar.sim.epoch != batched.sim.epoch:
+    if rounds.sim.epoch != events.sim.epoch:
         result.problems.append(
-            f"configuration epochs diverged: {scalar.sim.epoch} vs {batched.sim.epoch}"
+            f"configuration epochs diverged: {rounds.sim.epoch} vs {events.sim.epoch}"
         )
-    if _monitor_verdicts(scalar) != _monitor_verdicts(batched):
+    if _monitor_verdicts(rounds) != _monitor_verdicts(events):
         result.problems.append("monitor verdicts diverged")
     return result
 
 
 @dataclass
-class BackendReport:
-    """Aggregate outcome of a scalar-vs-batch oracle sweep."""
+class EventOracleReport:
+    """Aggregate outcome of a rounds-vs-events oracle sweep."""
 
-    results: List[BackendCellResult] = field(default_factory=list)
+    results: List[EventCellResult] = field(default_factory=list)
     skipped: List[Tuple[str, str, str]] = field(default_factory=list)
 
     @property
@@ -227,7 +223,7 @@ class BackendReport:
         return all(r.ok for r in self.results)
 
     @property
-    def failures(self) -> List[BackendCellResult]:
+    def failures(self) -> List[EventCellResult]:
         """The comparisons that found a divergence."""
         return [r for r in self.results if not r.ok]
 
@@ -247,7 +243,7 @@ class BackendReport:
     def format(self, verbose: bool = False) -> str:
         """Human-readable per-cell summary with divergence details."""
         lines: List[str] = []
-        by_cell: Dict[Tuple[str, str, str], List[BackendCellResult]] = {}
+        by_cell: Dict[Tuple[str, str, str], List[EventCellResult]] = {}
         for r in self.results:
             by_cell.setdefault((r.protocol, r.scheduler, r.variant), []).append(r)
         for (protocol, scheduler, variant), runs in sorted(by_cell.items()):
@@ -278,24 +274,24 @@ class BackendReport:
         return "\n".join(lines)
 
 
-def run_backend_matrix(
+def run_event_matrix(
     protocols: Optional[Sequence[str]] = None,
     schedulers: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = range(5),
     *,
     quick: bool = False,
     fair_async: bool = True,
-    progress: Optional[Callable[[BackendCellResult], None]] = None,
-) -> BackendReport:
-    """Sweep the scalar-vs-batch oracle over the scenario matrix.
+    progress: Optional[Callable[[EventCellResult], None]] = None,
+) -> EventOracleReport:
+    """Sweep the rounds-vs-events oracle over the scenario matrix.
 
-    Requires numpy (``pip install repro[batch]``) — import
-    :func:`repro.batch.available` first to skip cleanly without it.
-    With ``fair_async`` (the default), every matching ``synchronous``
-    cell is additionally compared under a seeded fair-asynchronous
-    scheduler, so all protocols are exercised under partial activation.
+    Pure python — unlike the backend oracle there is no optional
+    dependency to probe.  With ``fair_async`` (the default), every
+    matching ``synchronous`` cell is additionally compared under a
+    seeded fair-asynchronous scheduler, so all protocols are exercised
+    under partial activation.
     """
-    report = BackendReport()
+    report = EventOracleReport()
     wanted_p = set(protocols) if protocols else None
     wanted_s = set(schedulers) if schedulers else None
     for (p, s), reason in sorted(SKIPS.items()):
@@ -303,9 +299,9 @@ def run_backend_matrix(
             report.skipped.append((p, s, reason))
     cells = cells_for(protocols, schedulers)
     for cell in cells:
-        if cell.scheduler in BACKEND_SKIPS:
+        if cell.scheduler in EVENT_ORACLE_SKIPS:
             report.skipped.append(
-                (cell.protocol, cell.scheduler, BACKEND_SKIPS[cell.scheduler])
+                (cell.protocol, cell.scheduler, EVENT_ORACLE_SKIPS[cell.scheduler])
             )
             continue
         for seed in seeds:

@@ -61,6 +61,7 @@ from repro.verify.schedulers import (
 __all__ = [
     "PROTOCOLS",
     "SCHEDULERS",
+    "EVENT_ADVERSARIES",
     "Cell",
     "CELLS",
     "SKIPS",
@@ -80,6 +81,9 @@ PROTOCOLS: Tuple[str, ...] = (
 )
 
 #: Adversary keys: the scheduler zoo plus the non-scheduler adversaries.
+#: The ``event_*`` keys are continuous-time adversaries hosted by the
+#: free-running event engine (:mod:`repro.events`) — no round
+#: scheduler is involved at all.
 SCHEDULERS: Tuple[str, ...] = (
     "synchronous",
     "bounded_unfair",
@@ -87,7 +91,12 @@ SCHEDULERS: Tuple[str, ...] = (
     "crash",
     "worst_stale",
     "displacement",
+    "event_heavy_tail",
+    "event_delay_spike",
 )
+
+#: The adversaries executed on the free-running event engine.
+EVENT_ADVERSARIES: Tuple[str, ...] = ("event_heavy_tail", "event_delay_spike")
 
 #: Maximum Look staleness used by every ``worst_stale`` cell.
 STALE_MAX_DELAY = 2
@@ -154,6 +163,12 @@ CELLS: Dict[Tuple[str, str], Cell] = {
         _cell("async_two", "bounded_unfair", (_C, _R, _F, _SC), 2500, 800),
         _cell("async_two", "burst", (_C, _R, _F, _SC), 2500, 800),
         _cell("async_two", "worst_stale", (_C, _R, _F, _ST, _SC), 600, 250),
+        _cell("async_two", "event_heavy_tail", (_C, _R, _F), 4000, 1500),
+        # Like async_n below: a targeted visibility spike can park the
+        # implicit-ack handshake (the ack *is* a movement observation;
+        # a victim that cannot see it yet keeps the sender waiting)
+        # beyond any fixed budget, so this cell checks *safety only*.
+        _cell("async_two", "event_delay_spike", (_C, _F), 1200, 600),
         # -- AsyncN (Section 4.3): n asynchronous robots ----------------
         _cell("async_n", "synchronous", (_C, _R, _F, _SC), 1200, 400),
         _cell("async_n", "bounded_unfair", (_C, _R, _F, _SC), 2500, 800),
@@ -161,6 +176,13 @@ CELLS: Dict[Tuple[str, str], Cell] = {
         _cell("async_n", "crash", (_C, _F, _SC), 250, 150),
         _cell("async_n", "worst_stale", (_C, _R, _F, _ST, _SC), 600, 250),
         _cell("async_n", "displacement", (_C, _R, _F, _SC), 600, 250),
+        _cell("async_n", "event_heavy_tail", (_C, _R, _F), 8000, 2500),
+        # Targeted delay spikes can stall the n-robot handshake
+        # indefinitely (the victim's looks mix visibility epochs, which
+        # the SEC-naming decode does not claim to survive), so this
+        # cell checks *safety only*: no collisions, no forged bits —
+        # delivery is explicitly not claimed here.
+        _cell("async_n", "event_delay_spike", (_C, _F), 1200, 600),
         # -- Flocking (Section 4.4): chatting while moving --------------
         _cell("flocking", "synchronous", (_C, _R, _F, _T2, _SC), 150, 80),
         _cell("flocking", "crash", (_C, _R, _F, _SC), 250, 120),
@@ -215,6 +237,42 @@ SKIPS: Dict[Tuple[str, str], str] = {
     ("flocking", "worst_stale"): (
         "stale looks break the drift schedule agreement the overlay "
         "de-drifts against; out of the Section 4.4 envelope"
+    ),
+    ("sync_two", "event_heavy_tail"): (
+        "the Section 3 framing assumes round-aligned activations; the "
+        "free-running continuous-time engine is outside the synchronous "
+        "envelope (the async protocols are its natural hosts)"
+    ),
+    ("sync_two", "event_delay_spike"): (
+        "the Section 3 framing assumes round-aligned activations and "
+        "instantaneous visibility; delayed looks are outside the "
+        "synchronous envelope"
+    ),
+    ("sync_granular", "event_heavy_tail"): (
+        "the Section 3 framing assumes round-aligned activations; the "
+        "free-running continuous-time engine is outside the synchronous "
+        "envelope"
+    ),
+    ("sync_granular", "event_delay_spike"): (
+        "the Section 3 framing assumes round-aligned activations and "
+        "instantaneous visibility; delayed looks are outside the "
+        "synchronous envelope"
+    ),
+    ("sync_logk", "event_heavy_tail"): (
+        "the Section 3.3 address/digit framing assumes full synchrony; "
+        "free-running activations desynchronize the digit blocks"
+    ),
+    ("sync_logk", "event_delay_spike"): (
+        "the Section 3.3 address/digit framing assumes full synchrony "
+        "and instantaneous visibility"
+    ),
+    ("flocking", "event_heavy_tail"): (
+        "the Section 4.4 drift overlay assumes every robot executes the "
+        "common drift schedule at every instant (full synchrony)"
+    ),
+    ("flocking", "event_delay_spike"): (
+        "the Section 4.4 drift overlay assumes every robot executes the "
+        "common drift schedule at every instant (full synchrony)"
     ),
 }
 
@@ -426,6 +484,7 @@ def build_run(
     size_override: Optional[int] = None,
     max_steps_override: Optional[int] = None,
     backend: str = "scalar",
+    engine: str = "rounds",
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
 ) -> ScenarioRun:
     """Materialize one cell at one seed.
@@ -438,6 +497,12 @@ def build_run(
     ``"batch"``); every RNG draw happens before the simulator is
     constructed, so the two backends see the identical scenario — that
     is what makes :mod:`repro.verify.backends` a differential oracle.
+    ``engine`` selects ``"rounds"`` (the classic instant-stepped
+    engine) or ``"events"`` (the event engine in round-emulation mode:
+    unit phase durations, zero delay) — the twin axis of the
+    :mod:`repro.verify.events` oracle.  The ``event_*`` adversary cells
+    are *inherently* event-engine runs (free-running timing, delay
+    models) and ignore the ``engine`` argument.
     ``scheduler_factory``, when given, replaces the cell's scheduler
     after all seeding draws (the backend oracle uses it to sweep the
     fair-asynchronous scheduler over cells the static matrix pins to
@@ -457,8 +522,45 @@ def build_run(
     crashed: Optional[set] = None
     crash_time: Optional[int] = None
     fault: Optional[TransientDisplacementFault] = None
-    scheduler: Scheduler
-    if adv == "synchronous" or adv == "worst_stale" or adv == "displacement":
+    event_timing = None
+    event_delay = None
+    scheduler: Optional[Scheduler]
+    if adv in EVENT_ADVERSARIES:
+        from repro.events.delay import TargetedSpikeDelay, ZeroDelay
+        from repro.events.distributions import Exponential, Pareto, Uniform
+        from repro.events.timing import TimingModel
+
+        # Free-running continuous time: the engine owns the schedule.
+        scheduler = None
+        if adv == "event_heavy_tail":
+            # Phase durations with infinite variance (alpha < 2): any
+            # robot can occasionally stall mid-cycle for a long time
+            # while the gap clamp keeps every window fair.
+            heavy = lambda: Pareto(alpha=1.4, scale=0.3)
+            event_timing = TimingModel.free(
+                look=heavy(),
+                compute=heavy(),
+                move=heavy(),
+                gap=Exponential(mean=1.0),
+                max_gap=8.0,
+            )
+            event_delay = ZeroDelay()
+        else:
+            # Benign timing, adversarial visibility: one robot — the
+            # declared flow's receiver — suffers recurring delay
+            # spikes, so its looks lag far behind the sender's moves.
+            victim = bp.flows[0][1]
+            event_timing = TimingModel.free(
+                look=Uniform(0.5, 1.5),
+                compute=Uniform(0.5, 1.5),
+                move=Uniform(0.5, 1.5),
+                gap=Exponential(mean=1.0),
+                max_gap=6.0,
+            )
+            event_delay = TargetedSpikeDelay(
+                victim, spike=10.0, period=40.0, width=8.0
+            )
+    elif adv == "synchronous" or adv == "worst_stale" or adv == "displacement":
         scheduler = SynchronousScheduler()
         fairness = 1
     elif adv == "bounded_unfair":
@@ -506,16 +608,54 @@ def build_run(
         )
         for i, pos in enumerate(bp.positions)
     ]
-    if scheduler_factory is not None:
+    if scheduler_factory is not None and scheduler is not None:
         scheduler = scheduler_factory()
-    if adv == "worst_stale":
+    if engine not in ("rounds", "events"):
+        raise ModelError(f"unknown engine {engine!r} (choose rounds or events)")
+    if adv in EVENT_ADVERSARIES:
+        from repro.events.engine import EventSimulator
+
+        if backend != "scalar":
+            raise ModelError(
+                f"the {adv} adversary runs on the event engine, which is "
+                f"scalar-only; backend {backend!r} has no twin"
+            )
+        sim: Simulator = EventSimulator(
+            robots,
+            None,
+            timing=event_timing,
+            delay=event_delay,
+            seed=seed * 9_176 + 5,
+            caching=caching,
+        )
+    elif adv == "worst_stale":
         if backend != "scalar":
             raise ModelError(
                 "the worst_stale adversary is a scalar Simulator subclass; "
                 f"backend {backend!r} has no stale-look twin"
             )
-        sim: Simulator = SawtoothStaleLookSimulator(
+        if engine != "rounds":
+            raise ModelError(
+                "the worst_stale adversary is a round-engine Simulator "
+                "subclass; the event engine has no stale-look twin"
+            )
+        sim = SawtoothStaleLookSimulator(
             robots, STALE_MAX_DELAY, scheduler=scheduler, caching=caching
+        )
+    elif engine == "events":
+        from repro.events.engine import EventSimulator
+        from repro.events.timing import TimingModel
+
+        if backend != "scalar":
+            raise ModelError(
+                "engine='events' runs on the scalar backend only; "
+                f"got backend {backend!r}"
+            )
+        sim = EventSimulator(
+            robots,
+            scheduler,
+            timing=TimingModel.round_emulation(),
+            caching=caching,
         )
     elif backend == "batch":
         from repro.batch.engine import BatchSimulator

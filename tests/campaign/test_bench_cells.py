@@ -21,7 +21,9 @@ class TestModuleProtocol:
         for module in run_all.MODULES:
             assert callable(getattr(module, "cells", None)), module.__name__
             assert callable(getattr(module, "run_cell", None)), module.__name__
-            assert module.cells() == ["table"], module.__name__
+            # Every module regenerates its table; parametrized modules
+            # expose additional name[key=value] cells alongside it.
+            assert "table" in module.cells(), module.__name__
 
     def test_run_all_exposes_the_probe_cells(self):
         assert run_all.cells() == sorted(run_all.PROBES)
@@ -81,6 +83,32 @@ class TestTableCellsFactory:
         with pytest.raises(ValueError, match="reserved"):
             table_cells(("table", lambda: {}), main=lambda: None)
 
+    def test_param_grid_expands_to_labeled_cells(self):
+        def run(engine="rounds", n=0):
+            return {"engine": engine, "n": n}
+
+        cells, run_cell = table_cells(
+            ("sweep", run, {"engine": ("events", "rounds"), "n": (4, 8)}),
+        )
+        assert cells() == [
+            "sweep[engine=events,n=4]",
+            "sweep[engine=events,n=8]",
+            "sweep[engine=rounds,n=4]",
+            "sweep[engine=rounds,n=8]",
+        ]
+        assert run_cell("sweep[engine=events,n=8]") == {
+            "engine": "events", "n": 8,
+        }
+
+    def test_param_grid_rejects_empty_and_duplicate(self):
+        with pytest.raises(ValueError, match="empty parameter grid"):
+            table_cells(("sweep", lambda: {}, {}))
+        with pytest.raises(ValueError, match="duplicate cell name"):
+            table_cells(
+                ("a", lambda: {}),
+                ("a", lambda: {}),
+            )
+
 
 class TestCollectProbes:
     def _stub_probes(self, monkeypatch):
@@ -94,6 +122,10 @@ class TestCollectProbes:
         monkeypatch.setattr(
             run_all, "adversarial_transparency_probe",
             lambda: {"ok": True, "stub": True},
+        )
+        monkeypatch.setattr(
+            run_all, "event_sparse_probe",
+            lambda n=10_000, events=30_000: {"n": n, "stub": True},
         )
 
     def test_probes_route_through_the_campaign_engine(

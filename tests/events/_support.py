@@ -1,0 +1,59 @@
+"""Shared swarm builders for the event-engine test suite.
+
+World-frame robots on a well-separated line: with the default
+:class:`~repro.geometry.frames.Frame` the local/world transform is a
+pure translation by the robot's anchor, which keeps the white-box
+tests (delay visibility, heap invariants) free of rotation algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.geometry.vec import Vec2
+from repro.model.observation import Observation
+from repro.model.protocol import BitEvent, Protocol
+from repro.model.robot import Robot
+
+
+class IdleProtocol(Protocol):
+    """Decode nothing, stay put — pure engine ballast."""
+
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        return []
+
+    def _compute(self, observation: Observation) -> Vec2:
+        return observation.self_position
+
+
+class MarchProtocol(Protocol):
+    """March +x by a fixed stride every activation."""
+
+    def __init__(self, stride: float = 0.5) -> None:
+        super().__init__()
+        self.stride = stride
+
+    def _decode(self, observation: Observation) -> List[BitEvent]:
+        return []
+
+    def _compute(self, observation: Observation) -> Vec2:
+        return observation.self_position + Vec2(self.stride, 0.0)
+
+
+def line_swarm(
+    n: int,
+    factory: Callable[[], Protocol] = IdleProtocol,
+    *,
+    sigma: float = 1.0,
+    pitch: float = 10.0,
+) -> List[Robot]:
+    """n world-frame robots on a line, ``pitch`` units apart."""
+    return [
+        Robot(
+            position=Vec2(pitch * i, 0.0),
+            protocol=factory(),
+            sigma=sigma,
+            observable_id=i,
+        )
+        for i in range(n)
+    ]

@@ -1,0 +1,104 @@
+"""Delay models: pure functions, validation, spike-window geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.delay import (
+    ConstantDelay,
+    JitterDelay,
+    TargetedSpikeDelay,
+    ZeroDelay,
+)
+
+pytestmark = pytest.mark.events
+
+
+class TestZeroAndConstant:
+    def test_zero_delay_is_the_fast_path(self):
+        model = ZeroDelay()
+        assert model.is_zero is True
+        assert model.delay_fcn(0, 1, 12.5) == 0.0
+        assert model(3, 4, 0.0) == 0.0  # __call__ alias
+
+    def test_constant_delay_flags_is_zero_only_at_zero(self):
+        assert ConstantDelay(0.0).is_zero is True
+        lagged = ConstantDelay(2.5)
+        assert lagged.is_zero is False
+        assert lagged.delay_fcn(0, 1, 100.0) == 2.5
+        assert lagged.delay_fcn(1, 0, 0.0) == 2.5  # sender/receiver blind
+
+    @pytest.mark.parametrize("bad", [-0.1, float("inf"), float("nan")])
+    def test_constant_delay_rejects_bad_values(self, bad):
+        with pytest.raises(EventError, match="finite and >= 0"):
+            ConstantDelay(bad)
+
+
+class TestJitter:
+    def test_jitter_is_a_pure_function_of_the_arguments(self):
+        # Evaluation order must not matter: two fresh instances with
+        # the same seed agree call-for-call, in any order.
+        a = JitterDelay(base=1.0, jitter=0.5, seed=9)
+        b = JitterDelay(base=1.0, jitter=0.5, seed=9)
+        calls = [(0, 1, 3.25), (5, 2, 0.0), (1, 0, 3.25), (0, 1, 3.25)]
+        forward = [a.delay_fcn(*c) for c in calls]
+        backward = [b.delay_fcn(*c) for c in reversed(calls)]
+        assert forward == list(reversed(backward))
+        assert forward[0] == forward[3]  # same args, same lag
+
+    def test_jitter_stays_within_base_plus_jitter(self):
+        model = JitterDelay(base=2.0, jitter=0.5, seed=1)
+        for t in range(50):
+            lag = model.delay_fcn(t % 7, (t + 1) % 7, float(t) / 3.0)
+            assert 2.0 <= lag < 2.5
+
+    def test_different_seeds_give_different_jitter(self):
+        calls = [(0, 1, float(t)) for t in range(20)]
+        one = [JitterDelay(0.0, 1.0, seed=1).delay_fcn(*c) for c in calls]
+        two = [JitterDelay(0.0, 1.0, seed=2).delay_fcn(*c) for c in calls]
+        assert one != two
+
+    def test_jitter_rejects_negative_components(self):
+        with pytest.raises(EventError, match="base delay"):
+            JitterDelay(base=-1.0, jitter=0.5)
+        with pytest.raises(EventError, match="jitter"):
+            JitterDelay(base=1.0, jitter=-0.5)
+
+    def test_jitter_is_zero_only_when_both_components_are(self):
+        assert JitterDelay(0.0, 0.0).is_zero is True
+        assert JitterDelay(0.0, 0.1).is_zero is False
+        assert JitterDelay(0.1, 0.0).is_zero is False
+
+
+class TestTargetedSpike:
+    def test_non_victims_always_observe_instantly(self):
+        model = TargetedSpikeDelay(victim=2, spike=50.0, period=10.0, width=3.0)
+        for receiver in (0, 1, 3, 7):
+            for t in (0.0, 1.5, 9.99, 100.0):
+                assert model.delay_fcn(0, receiver, t) == 0.0
+
+    def test_victim_lags_inside_the_periodic_window(self):
+        model = TargetedSpikeDelay(
+            victim=1, spike=40.0, period=10.0, width=3.0, base=0.5
+        )
+        # Inside a window (time mod period < width): base + spike.
+        for t in (0.0, 2.9, 10.0, 12.5, 22.0):
+            assert model.delay_fcn(0, 1, t) == 40.5
+        # Outside: base only.
+        for t in (3.0, 9.9, 13.0, 19.5):
+            assert model.delay_fcn(0, 1, t) == 0.5
+
+    def test_spike_validation(self):
+        with pytest.raises(EventError, match="victim"):
+            TargetedSpikeDelay(victim=-1, spike=1.0, period=5.0, width=1.0)
+        with pytest.raises(EventError, match="period"):
+            TargetedSpikeDelay(victim=0, spike=1.0, period=0.0, width=1.0)
+        with pytest.raises(EventError, match="width"):
+            TargetedSpikeDelay(victim=0, spike=1.0, period=5.0, width=0.0)
+        with pytest.raises(EventError, match="width"):
+            TargetedSpikeDelay(victim=0, spike=1.0, period=5.0, width=6.0)
+        with pytest.raises(EventError, match="spike"):
+            TargetedSpikeDelay(victim=0, spike=-1.0, period=5.0, width=1.0)
+        with pytest.raises(EventError, match="base"):
+            TargetedSpikeDelay(victim=0, spike=1.0, period=5.0, width=1.0, base=-0.1)

@@ -1,0 +1,106 @@
+"""Delay-model visibility: a Look may lag reality, never lead it.
+
+White-box tests of ``EventSimulator._config_for_observation``: the
+engine's release rule (a change of ``j`` at ``t`` becomes visible at
+``t + delay_fcn(j, i, t)``) is driven directly by planting position
+changes in the history via :meth:`displace` and advancing the clock
+by hand — no stepping, so every assertion pins one rule exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.delay import (
+    ConstantDelay,
+    DelayModel,
+    TargetedSpikeDelay,
+    ZeroDelay,
+)
+from repro.events.engine import EventSimulator
+from repro.geometry.vec import Vec2
+
+from tests.events._support import IdleProtocol, line_swarm
+
+pytestmark = pytest.mark.events
+
+
+def _sim(delay, n=3):
+    return EventSimulator(line_swarm(n, IdleProtocol), None, delay=delay)
+
+
+class TestReleaseRule:
+    def test_change_is_hidden_until_its_release_time(self):
+        sim = _sim(ConstantDelay(5.0))
+        sim._clock = 10.0
+        sim.displace(1, Vec2(105.0, 0.0))
+        sim._clock = 12.0  # release is 10 + 5 = 15
+        assert sim._config_for_observation(0)[1] == Vec2(10.0, 0.0)
+        sim._clock = 15.0  # boundary: released at exactly change+delay
+        assert sim._config_for_observation(0)[1] == Vec2(105.0, 0.0)
+
+    def test_latest_released_change_wins(self):
+        sim = _sim(ConstantDelay(3.0))
+        sim._clock = 2.0
+        sim.displace(1, Vec2(105.0, 0.0))  # releases at 5
+        sim._clock = 8.0
+        sim.displace(1, Vec2(205.0, 0.0))  # releases at 11
+        sim._clock = 3.0  # neither released: the initial position
+        assert sim._config_for_observation(0)[1] == Vec2(10.0, 0.0)
+        sim._clock = 9.0  # only the first change has been released
+        assert sim._config_for_observation(0)[1] == Vec2(105.0, 0.0)
+        sim._clock = 11.0  # the newest released change shadows older ones
+        assert sim._config_for_observation(0)[1] == Vec2(205.0, 0.0)
+
+    def test_initial_positions_are_always_visible(self):
+        # Even an absurd delay cannot hide where everyone started: the
+        # time-zero configuration is common knowledge (Section 2).
+        sim = _sim(ConstantDelay(1e6))
+        sim._clock = 1.0
+        assert list(sim._config_for_observation(0)) == list(sim._anchors)
+
+    def test_a_robot_senses_itself_live(self):
+        sim = _sim(ConstantDelay(50.0))
+        sim._clock = 10.0
+        sim.displace(0, Vec2(-7.0, 0.0))
+        # Own odometry, not a sighting: index 0 sees itself moved now.
+        assert sim._config_for_observation(0)[0] == Vec2(-7.0, 0.0)
+        # Everyone else still sees the old position until release.
+        assert sim._config_for_observation(1)[0] == Vec2(0.0, 0.0)
+
+
+class TestFastPathAndErrors:
+    def test_zero_delay_serves_the_live_configuration_object(self):
+        # Identity, not a copy: the observation cache (and with it the
+        # round-engine byte-identity) hangs off this exact fast path.
+        sim = _sim(ZeroDelay())
+        assert sim._config_for_observation(0) is sim._positions
+        assert sim._track_history is False
+
+    def test_negative_delay_is_rejected_at_look_time(self):
+        class Broken(DelayModel):
+            def delay_fcn(self, sender, receiver, time):
+                return -1.0
+
+        sim = _sim(Broken())
+        sim._clock = 1.0
+        sim.displace(1, Vec2(105.0, 0.0))
+        sim._clock = 2.0
+        with pytest.raises(EventError, match="negative delay"):
+            sim._config_for_observation(0)
+
+
+class TestTargetedSpike:
+    def test_only_the_victim_sees_a_stale_world(self):
+        # width == period: the victim is permanently inside a spike
+        # window, so the asymmetry is unconditional in this test.
+        delay = TargetedSpikeDelay(victim=0, spike=50.0, period=100.0, width=100.0)
+        sim = _sim(delay)
+        sim._clock = 10.0
+        sim.displace(1, Vec2(105.0, 0.0))
+        sim._clock = 20.0
+        assert sim._config_for_observation(0)[1] == Vec2(10.0, 0.0)  # victim: stale
+        assert sim._config_for_observation(2)[1] == Vec2(105.0, 0.0)  # others: live
+        sim._clock = 60.0  # 10 + 50: released even for the victim
+        assert sim._config_for_observation(0)[1] == Vec2(105.0, 0.0)

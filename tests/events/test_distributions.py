@@ -1,0 +1,106 @@
+"""Duration distributions: validation, sampling, means, determinism."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.distributions import Deterministic, Exponential, Pareto, Uniform
+
+pytestmark = pytest.mark.events
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1.0, -0.001, float("nan"), float("inf")])
+    def test_deterministic_rejects_non_finite_or_negative(self, bad):
+        with pytest.raises(EventError, match="finite and >= 0"):
+            Deterministic(bad)
+
+    @pytest.mark.parametrize(
+        "low, high",
+        [(2.0, 1.0), (-1.0, 1.0), (0.0, float("inf")), (float("nan"), 1.0)],
+    )
+    def test_uniform_rejects_bad_bounds(self, low, high):
+        with pytest.raises(EventError, match="uniform bounds"):
+            Uniform(low, high)
+
+    @pytest.mark.parametrize("bad", [0.0, -3.0, float("inf"), float("nan")])
+    def test_exponential_rejects_non_positive_mean(self, bad):
+        with pytest.raises(EventError, match="exponential mean"):
+            Exponential(bad)
+
+    def test_pareto_rejects_bad_shape_and_scale(self):
+        with pytest.raises(EventError, match="alpha"):
+            Pareto(alpha=0.0)
+        with pytest.raises(EventError, match="alpha"):
+            Pareto(alpha=float("inf"))
+        with pytest.raises(EventError, match="scale"):
+            Pareto(alpha=1.5, scale=0.0)
+        with pytest.raises(EventError, match="scale"):
+            Pareto(alpha=1.5, scale=-2.0)
+
+
+class TestSampling:
+    def test_deterministic_never_consumes_the_rng(self):
+        rng = random.Random(7)
+        before = rng.getstate()
+        dist = Deterministic(2.5)
+        assert all(dist.sample(rng) == 2.5 for _ in range(10))
+        assert rng.getstate() == before
+
+    def test_uniform_stays_within_bounds(self):
+        dist = Uniform(1.0, 3.0)
+        rng = random.Random(11)
+        for _ in range(500):
+            assert 1.0 <= dist.sample(rng) <= 3.0
+
+    def test_exponential_is_positive_with_roughly_the_right_mean(self):
+        dist = Exponential(mean=5.0)
+        rng = random.Random(13)
+        draws = [dist.sample(rng) for _ in range(4_000)]
+        assert all(d >= 0.0 for d in draws)
+        assert abs(sum(draws) / len(draws) - 5.0) < 0.5
+
+    def test_pareto_consumes_exactly_one_draw_per_sample(self):
+        # The engine's per-robot RNG streams rely on predictable draw
+        # counts; Pareto promises a single rng.random() per sample.
+        a, b = random.Random(3), random.Random(3)
+        Pareto(alpha=1.2).sample(a)
+        b.random()
+        assert a.getstate() == b.getstate()
+
+    def test_pareto_is_heavy_tailed_but_non_negative(self):
+        dist = Pareto(alpha=0.8, scale=0.5)
+        rng = random.Random(5)
+        draws = [dist.sample(rng) for _ in range(5_000)]
+        assert all(d >= 0.0 for d in draws)
+        # Infinite-mean regime: the max dwarfs the median.
+        assert max(draws) > 100 * sorted(draws)[len(draws) // 2]
+
+    @pytest.mark.parametrize(
+        "dist",
+        [Uniform(0.5, 2.0), Exponential(mean=3.0), Pareto(alpha=1.5, scale=2.0)],
+        ids=["uniform", "exponential", "pareto"],
+    )
+    def test_same_seed_same_sequence(self, dist):
+        rng1, rng2 = random.Random(42), random.Random(42)
+        seq1 = [dist.sample(rng1) for _ in range(20)]
+        seq2 = [dist.sample(rng2) for _ in range(20)]
+        assert seq1 == seq2
+
+
+class TestMeans:
+    def test_closed_form_means(self):
+        assert Deterministic(2.0).mean() == 2.0
+        assert Uniform(1.0, 3.0).mean() == 2.0
+        assert Exponential(mean=7.5).mean() == 7.5
+        # E[scale * (X - 1)] with X ~ Pareto(alpha): scale / (alpha - 1).
+        assert Pareto(alpha=3.0, scale=4.0).mean() == 2.0
+
+    def test_pareto_mean_is_infinite_at_or_below_alpha_one(self):
+        assert Pareto(alpha=1.0).mean() == math.inf
+        assert Pareto(alpha=0.5).mean() == math.inf
+        assert math.isfinite(Pareto(alpha=1.001).mean())

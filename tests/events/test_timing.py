@@ -1,0 +1,75 @@
+"""Timing models: the two operating modes and the fairness clamp."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.distributions import Deterministic, Exponential, Uniform
+from repro.events.timing import TimingModel
+
+pytestmark = pytest.mark.events
+
+
+class TestConstruction:
+    def test_round_emulation_is_the_oracle_configuration(self):
+        timing = TimingModel.round_emulation()
+        assert timing.scheduler_driven is True
+        assert timing.max_gap is None
+        rng = random.Random(0)
+        for name in ("look", "compute", "move"):
+            assert timing.sample_phase(name, rng) == 1.0
+        assert timing.sample_gap(rng) == 1.0
+
+    def test_free_defaults_omitted_phases_to_unit(self):
+        timing = TimingModel.free(gap=Exponential(mean=4.0))
+        assert timing.scheduler_driven is False
+        assert timing.activate_all_first is True
+        rng = random.Random(0)
+        assert timing.sample_phase("look", rng) == 1.0
+        assert timing.sample_phase("compute", rng) == 1.0
+        assert timing.sample_phase("move", rng) == 1.0
+
+    def test_non_distribution_fields_are_rejected(self):
+        with pytest.raises(EventError, match="must be a Distribution"):
+            TimingModel.free(look=1.0)  # a bare float is not a Distribution
+        with pytest.raises(EventError, match="must be a Distribution"):
+            TimingModel(
+                look=Deterministic(1.0),
+                compute=Deterministic(1.0),
+                move=Deterministic(1.0),
+                gap="soon",
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("inf"), float("nan")])
+    def test_invalid_max_gap_is_rejected(self, bad):
+        with pytest.raises(EventError, match="max_gap"):
+            TimingModel.free(gap=Exponential(mean=1.0), max_gap=bad)
+
+
+class TestSampling:
+    def test_gap_draws_are_clamped_to_max_gap(self):
+        timing = TimingModel.free(gap=Deterministic(10.0), max_gap=2.0)
+        assert timing.sample_gap(random.Random(0)) == 2.0
+        # Draws under the clamp pass through untouched.
+        loose = TimingModel.free(gap=Uniform(0.0, 1.0), max_gap=2.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0.0 <= loose.sample_gap(rng) <= 1.0
+
+    def test_belt_and_braces_guard_against_buggy_distributions(self):
+        class Negative(Deterministic):
+            def __init__(self):
+                super().__init__(1.0)
+
+            def sample(self, rng):
+                return -1.0
+
+        timing = TimingModel.free(look=Negative(), gap=Negative())
+        rng = random.Random(0)
+        with pytest.raises(EventError, match="look distribution produced"):
+            timing.sample_phase("look", rng)
+        with pytest.raises(EventError, match="gap distribution produced"):
+            timing.sample_gap(rng)

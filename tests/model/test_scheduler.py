@@ -31,9 +31,28 @@ class TestFairAsynchronous:
         with pytest.raises(SchedulerError):
             FairAsynchronousScheduler(fairness_bound=0)
         with pytest.raises(SchedulerError):
+            FairAsynchronousScheduler(fairness_bound=-3)
+        with pytest.raises(SchedulerError):
             FairAsynchronousScheduler(activation_probability=0.0)
         with pytest.raises(SchedulerError):
+            FairAsynchronousScheduler(activation_probability=-0.2)
+        with pytest.raises(SchedulerError):
             FairAsynchronousScheduler(activation_probability=1.5)
+
+    def test_fairness_bound_one_degenerates_to_synchronous(self):
+        # With a bound of 1 the fairness patch forces every robot at
+        # every instant, whatever the coin flips say: the scheduler IS
+        # the synchronous scheduler.  Regression guard for the event
+        # engine's fairness reasoning (docs/EVENTS.md).
+        for seed in (0, 7, 99):
+            sched = FairAsynchronousScheduler(
+                fairness_bound=1,
+                activation_probability=0.01,
+                seed=seed,
+                activate_all_first=False,
+            )
+            for t in range(50):
+                assert sched.activations(t, 5) == frozenset(range(5))
 
     def test_activate_all_first(self):
         sched = FairAsynchronousScheduler(seed=1, activate_all_first=True)

@@ -48,3 +48,32 @@ def test_quick_smoke_passes_and_reports_invariants(tmp_path):
     geometry = payload["probes"]["geometry_cache"]
     assert geometry["cache_hits"] > 0
     assert geometry["hit_rate"] > 0.9
+
+    sparse = payload["probes"]["event_sparse_n10k"]
+    assert sparse["n"] == 10_000
+    assert sparse["events_per_sec"] > 0
+    # The workload really was sparse: ~1% duty, heap bounded by n.
+    assert 0.001 < sparse["duty"] < 0.05
+    assert sparse["heap_depth_max"] <= sparse["n"] + 10
+
+
+def test_engine_parametrized_cells_run_both_engines():
+    """table_cells param grids: engine= sweeps like backend= sweeps.
+
+    The sparse benchmark registers one cell per engine; both must be
+    executable through the campaign cells()/run_cell() protocol and
+    produce duty-matched rows (small n keeps this a smoke test).
+    """
+    from benchmarks import bench_event_sparse
+
+    names = bench_event_sparse.cells()
+    assert "sparse[engine=events]" in names
+    assert "sparse[engine=rounds]" in names
+
+    events_row = bench_event_sparse.duty_matched_cell(engine="events", n=300)
+    rounds_row = bench_event_sparse.duty_matched_cell(engine="rounds", n=100)
+    assert events_row["engine"] == "events"
+    assert rounds_row["engine"] == "rounds"
+    for row in (events_row, rounds_row):
+        assert row["activations"] > 0
+        assert 0.001 < row["duty"] < 0.06
