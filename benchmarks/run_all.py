@@ -398,24 +398,87 @@ def obs_probe(path: str, n: int = 8, steps: int = 24) -> Dict:
     }
 
 
+def bit_latency_probe(seeds: int = 1) -> Dict:
+    """End-to-end bit latency histograms, per protocol x engine.
+
+    Drives two synchronous matrix cells instrumented with the obs
+    recorder — on the round engine *and* the event engine in
+    round-emulation mode — and exports the recorder's
+    ``bit_latency_instants`` histograms (observed encode -> implicit
+    ack, labeled protocol x scheduler x engine) as a metric ``series``.
+    :func:`registry_snapshot` merges the series into the run snapshot,
+    so the history ingests them as
+    ``bit_latency_instants{...}.count/.sum/.mean``.
+    """
+    from repro.obs.recorder import ObsRecorder
+    from repro.verify.engine import drive
+    from repro.verify.scenarios import CELLS, build_run
+
+    series: List[Dict] = []
+    samples = 0
+    for key in (("sync_two", "synchronous"), ("async_n", "synchronous")):
+        cell = CELLS[key]
+        for engine in ("rounds", "events"):
+            for seed in range(seeds):
+                recorder = ObsRecorder(
+                    meta={
+                        "protocol": cell.protocol,
+                        "scheduler": cell.scheduler,
+                        "seed": seed,
+                    }
+                )
+                run = build_run(cell, seed, quick=True, engine=engine)
+                recorder.attach(run.sim)
+                try:
+                    drive(run)
+                finally:
+                    recorder.detach(run.sim)
+                for entry in recorder.registry.collect():
+                    if entry.get("name") == "bit_latency_instants":
+                        series.append(entry)
+                        samples += int(entry.get("count", 0))
+    return {
+        "cells": 2,
+        "engines": 2,
+        "histograms": len(series),
+        "latency_samples": samples,
+        "series": series,
+    }
+
+
 def registry_snapshot(probes: Dict, timings: Dict[str, float],
                       invariants: Dict[str, bool]) -> List[Dict]:
     """Fold the run's numbers into one MetricsRegistry snapshot.
 
     Every numeric probe leaf becomes a gauge labeled by its probe,
     every invariant verdict a 0/1 gauge — the canonical flat form the
-    metrics history ingests (``results["metrics"]``, schema v4).
+    metrics history ingests (``results["metrics"]``, schema v4).  A
+    probe may also return pre-labeled registry entries under a
+    ``"series"`` key (e.g. the bit-latency histograms); those are
+    merged into the snapshot verbatim, keeping their own labels.
     """
     from repro.obs.history import flatten_scalars
     from repro.obs.registry import MetricsRegistry
 
     registry = MetricsRegistry()
+    collected: List[Dict] = []
     for name, probe in probes.items():
         if isinstance(probe, dict):
             registry.absorb(flatten_scalars(probe), probe=name)
+            for entry in probe.get("series") or ():
+                if isinstance(entry, dict):
+                    collected.append(dict(entry))
         registry.gauge("probe_elapsed_s", probe=name).set(timings.get(name, 0.0))
     registry.absorb(flatten_scalars(invariants), check="invariant")
-    return registry.collect()
+    collected.extend(registry.collect())
+    # Deterministic order regardless of which probe contributed what.
+    collected.sort(
+        key=lambda e: (
+            str(e.get("name", "")),
+            sorted((k, str(v)) for k, v in (e.get("labels") or {}).items()),
+        )
+    )
+    return collected
 
 
 def append_history(results: Dict, path: str):
@@ -469,6 +532,7 @@ PROBES: Dict[str, object] = {
         sizes=(10_000, 100_000), compare_n=256
     ),
     "event_sparse_n10k": lambda: event_sparse_probe(),
+    "bit_latency": lambda: bit_latency_probe(),
 }
 
 #: probe cell order: registration order, which the report replays.

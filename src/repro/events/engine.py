@@ -306,12 +306,18 @@ class EventSimulator(Simulator):
     def _handle_look(self, time: float, robot: int, hook, now: int) -> None:
         if hook is not None:
             hook("compute.observe", now)
+        rhook = self._robot_phase_hook
+        if rhook is not None:
+            rhook("look", robot, now)
         self._pending_obs[robot] = self._observe(robot)
         self._push(time + self._sample_phase("look", _LOOK, robot), _COMPUTE, robot)
 
     def _handle_compute(self, time: float, robot: int, hook, now: int) -> None:
         if hook is not None:
             hook("compute.decide", now)
+        rhook = self._robot_phase_hook
+        if rhook is not None:
+            rhook("compute", robot, now)
         spec = self._robots[robot]
         observation = self._pending_obs[robot]
         self._pending_obs[robot] = None
@@ -366,6 +372,7 @@ class EventSimulator(Simulator):
         round engine.
         """
         hook = self._phase_hook
+        rhook = self._robot_phase_hook
         now = self._time
         if hook is not None:
             hook("schedule", now)
@@ -394,6 +401,8 @@ class EventSimulator(Simulator):
             elif phase == _COMPUTE:
                 self._handle_compute(time, robot, hook, now)
             else:
+                if rhook is not None:
+                    rhook("move", robot, now)
                 new_positions[robot] = self._pending_target[robot]
                 self._pending_target[robot] = None
                 move_times[robot] = time
@@ -429,6 +438,7 @@ class EventSimulator(Simulator):
         if not self._heap:  # pragma: no cover - cycles self-perpetuate
             raise EventError("no pending events")
         hook = self._phase_hook
+        rhook = self._robot_phase_hook
         now = self._time
         if hook is not None:
             hook("compute", now)
@@ -446,6 +456,8 @@ class EventSimulator(Simulator):
             elif phase == _COMPUTE:
                 self._handle_compute(time, robot, hook, now)
             else:
+                if rhook is not None:
+                    rhook("move", robot, now)
                 new_positions[robot] = self._pending_target[robot]
                 self._pending_target[robot] = None
                 move_times[robot] = time

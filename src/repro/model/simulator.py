@@ -179,6 +179,10 @@ class Simulator:
         # identity check per phase — the zero-overhead-when-disabled
         # contract of repro.obs.
         self._phase_hook: Optional[Callable[[str, int], None]] = None
+        # Per-robot Look/Compute/Move hook — the vector-clock injection
+        # point of repro.obs.causal.  Same contract as the phase hook:
+        # None by default, one identity check per robot phase.
+        self._robot_phase_hook: Optional[Callable[[str, int, int], None]] = None
 
         observable_ids = tuple(ids) if self._identified else None
         world_visibility = self._world_visibility_radius()
@@ -323,12 +327,31 @@ class Simulator:
         self._phase_hook = hook
         return previous
 
+    def set_robot_phase_hook(
+        self, hook: Optional[Callable[[str, int, int], None]]
+    ) -> Optional[Callable[[str, int, int], None]]:
+        """Install (or clear, with None) the per-robot phase hook.
+
+        The hook is called as ``hook(phase, robot, time)`` at each
+        robot's Look (``"look"``, just before its observation is
+        built), Compute (``"compute"``, just before its protocol runs)
+        and Move (``"move"``, as its destination is applied) — the
+        three phases of one activation cycle.  The causal tracer
+        (:mod:`repro.obs.causal`) advances each robot's vector clock
+        here; the hook must not mutate the simulation.  Returns the
+        previously installed hook.
+        """
+        previous = self._robot_phase_hook
+        self._robot_phase_hook = hook
+        return previous
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> TraceStep:
         """Advance one instant: activate, observe, compute, move."""
         hook = self._phase_hook
+        rhook = self._robot_phase_hook
         now = self._time
         if hook is not None:
             hook("schedule", now)
@@ -346,9 +369,13 @@ class Simulator:
             robot = self._robots[index]
             if hook is not None:
                 hook("compute.observe", now)
+            if rhook is not None:
+                rhook("look", index, now)
             observation = self._observe(index)
             if hook is not None:
                 hook("compute.decide", now)
+            if rhook is not None:
+                rhook("compute", index, now)
             local_target = robot.protocol.on_activate(observation)
             world_target = robot.frame.to_world(local_target, self._anchors[index])
             clamped = self._positions[index].clamped_toward(world_target, robot.sigma)
@@ -365,6 +392,8 @@ class Simulator:
             if position != self._positions[index]
         ]
         for index, position in new_positions.items():
+            if rhook is not None:
+                rhook("move", index, now)
             self._positions[index] = position
         if moved:
             self._epoch += 1

@@ -31,12 +31,31 @@ subpackage makes runs observable without changing them:
   tables over phase and bit spans (``python -m repro.obs hotspots``).
 * :mod:`repro.obs.diff` — run and history-entry diffing with
   first-divergence localization (``python -m repro.obs diff``).
+* :mod:`repro.obs.causal` — happens-before DAGs from vector-clock
+  stamped traces, per-flow critical paths with 100% latency
+  attribution, and causality invariants (``python -m repro.obs
+  causal``; swept by ``python -m repro.verify --causal-oracle``).
+* :mod:`repro.obs.stream` — the live tap: a bounded
+  :class:`~repro.obs.stream.StreamingSink` the recorder tees into and
+  rolling per-flow latency percentiles (``python -m repro.obs watch``).
 """
 
+from repro.obs.causal import (
+    CausalTrace,
+    build_causal,
+    causal_to_dot,
+    causal_to_json,
+    check_invariants,
+    critical_path,
+    load_causal,
+    render_causal,
+    render_critical_path,
+)
 from repro.obs.diff import RunDiff, diff_history_entries, diff_runs, render_diff
 from repro.obs.events import Event
 from repro.obs.export import ObsRun, dump_run, load_run, run_from_jsonl, run_to_jsonl
 from repro.obs.recorder import ObsRecorder, dispatch_count
+from repro.obs.stream import FlowLatencyTracker, StreamingSink, watch_file
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -94,4 +113,16 @@ __all__ = [
     "dump_run",
     "load_run",
     "render_report",
+    "CausalTrace",
+    "build_causal",
+    "load_causal",
+    "critical_path",
+    "check_invariants",
+    "render_causal",
+    "render_critical_path",
+    "causal_to_json",
+    "causal_to_dot",
+    "StreamingSink",
+    "FlowLatencyTracker",
+    "watch_file",
 ]

@@ -6,8 +6,16 @@ Examples::
     python -m repro.obs timeline run.jsonl      # activation timeline only
     python -m repro.obs gantt run.jsonl         # bit-transmission Gantt
     python -m repro.obs metrics run.jsonl       # metrics tables
+    python -m repro.obs timeline run.jsonl --format json   # machine form
     python -m repro.obs profile run.jsonl       # wall-time per phase
     python -m repro.obs hotspots run.jsonl      # self/total-time table
+    python -m repro.obs causal run.jsonl        # happens-before DAG
+    python -m repro.obs causal run.jsonl --critical-path
+                                                # latency attribution
+    python -m repro.obs causal run.jsonl --dot  # graphviz form
+    python -m repro.obs watch run.jsonl         # live per-flow latency
+                                                # percentiles (tails the
+                                                # file as it grows)
     python -m repro.obs diff a.jsonl b.jsonl    # what changed, and the
                                                 # first diverging event
     python -m repro.obs diff 3 4 --history BENCH_history.jsonl
@@ -28,27 +36,40 @@ usage errors, 3 when ``regress`` (not ``--report-only``) or ``diff
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.obs.causal import (
+    build_causal,
+    causal_to_dot,
+    causal_to_json,
+    render_causal,
+    render_critical_path,
+)
 from repro.obs.diff import diff_history_entries, diff_runs, render_diff
 from repro.obs.export import ObsRun, dump_run, load_run
 from repro.obs.history import (
     HistoryStore,
     RegressPolicy,
     detect,
+    render_regression_line,
     render_regressions,
 )
 from repro.obs.profiler import render_hotspots
 from repro.obs.report import (
+    gantt_to_json,
+    metrics_to_json,
     render_gantt,
     render_metrics,
     render_profile,
     render_report,
     render_timeline,
+    timeline_to_json,
 )
+from repro.obs.stream import watch_file
 
 _VIEWS = {
     "report": render_report,
@@ -56,6 +77,13 @@ _VIEWS = {
     "gantt": render_gantt,
     "metrics": lambda run, width=None: render_metrics(run),
     "profile": lambda run, width=None: render_profile(run),
+}
+
+#: the machine-readable twins behind ``--format json``.
+_JSON_VIEWS = {
+    "timeline": timeline_to_json,
+    "gantt": gantt_to_json,
+    "metrics": metrics_to_json,
 }
 
 #: default location of the longitudinal metrics history.
@@ -129,7 +157,41 @@ def record_demo(path: str, steps: int = 12, payload: Optional[List[int]] = None)
 # ----------------------------------------------------------------------
 def _cmd_view(args: argparse.Namespace) -> int:
     run = _load(args.run)
+    if getattr(args, "format", "ascii") == "json":
+        print(json.dumps(_JSON_VIEWS[args.command](run), indent=2))
+        return 0
     print(_VIEWS[args.command](run, width=args.width))
+    return 0
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    trace = build_causal(_load(args.run))
+    if args.json:
+        print(json.dumps(causal_to_json(trace), indent=2))
+    elif args.dot:
+        print(causal_to_dot(trace))
+    elif args.critical_path:
+        print(render_critical_path(trace))
+    else:
+        print(render_causal(trace))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.run):
+        raise _CliError(f"no such run file: {args.run}")
+    try:
+        watch_file(
+            args.run,
+            interval=args.interval,
+            iterations=args.iterations,
+            window=args.window,
+            once=args.once,
+        )
+    except KeyboardInterrupt:
+        pass  # a tail loop's normal exit
+    except OSError as exc:
+        raise _CliError(f"{args.run}: {exc}") from exc
     return 0
 
 
@@ -210,6 +272,9 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     print(render_regressions(report))
     if args.report_only or report.ok:
         return 0
+    # The exit-3 path also gets a one-line, grep-able diagnostic on
+    # stderr naming each offender and the band it had to stay inside.
+    print(render_regression_line(report, policy), file=sys.stderr)
     return 3
 
 
@@ -238,7 +303,54 @@ def _parser() -> argparse.ArgumentParser:
             "--width", type=int, default=None,
             help="maximum timeline columns (default 72; wide runs are strided)",
         )
+        if name in _JSON_VIEWS:
+            view.add_argument(
+                "--format", choices=("ascii", "json"), default="ascii",
+                help="output format (default ascii)",
+            )
         view.set_defaults(func=_cmd_view)
+
+    causal = sub.add_parser(
+        "causal",
+        help="happens-before DAG: flows, critical paths, latency attribution",
+    )
+    causal.add_argument("run", help="path to an exported run (JSONL, or .gz)")
+    mode = causal.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--critical-path", action="store_true",
+        help="per-flow critical path with 100%% latency attribution",
+    )
+    mode.add_argument(
+        "--dot", action="store_true", help="graphviz dot of every flow's DAG"
+    )
+    mode.add_argument(
+        "--json", action="store_true", help="full machine form (repro-causal-v1)"
+    )
+    causal.set_defaults(func=_cmd_causal)
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a growing trace, printing rolling per-flow latency "
+             "percentiles",
+    )
+    watch.add_argument("run", help="trace being appended to (JSONL; .gz => one frame)")
+    watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames (default 2)",
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N frames (default 0 = until interrupted)",
+    )
+    watch.add_argument(
+        "--window", type=int, default=256,
+        help="rolling latency window per flow (default 256)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="read the whole file, print one frame, exit",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     hotspots = sub.add_parser(
         "hotspots",

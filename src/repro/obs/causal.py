@@ -1,0 +1,727 @@
+"""Happens-before graphs and bit-latency attribution.
+
+The paper's protocols speak a bit over several instants of motion, so
+the real cost of a message is a *causal chain*:
+
+    encode-started → moved (excursion legs) → [look] → receipt → ack
+
+This module reconstructs that chain per bit-flow from a recorded trace
+(an in-memory :class:`~repro.obs.export.ObsRun` or a ``repro-obs-v1``
+JSONL file, including ``.jsonl.gz``), computes per-flow end-to-end
+latency, and extracts the critical path with per-edge attribution:
+
+* ``sender-compute``    — encode decision to the first encoding move
+* ``scheduler-gap``     — between consecutive excursion legs
+* ``observation-delay`` — last relevant move to the decoding Look
+* ``decode``            — the decoding Look to the receipt
+* ``ack-wait``          — receipt to the implicit acknowledgement
+* ``sender-turnaround`` — ack consumed to the next bit's encode
+* ``overhear``          — move to a third party's decode
+
+Edge durations are wall-clock differences between endpoint stamps, so
+every complete path telescopes: the critical path's edge durations sum
+*exactly* to the flow's end-to-end latency — attribution is always
+100% of the measured cost, never an estimate.
+
+Vector-clock stamps (``vc`` attrs written by
+:class:`~repro.obs.recorder.ObsRecorder`) let :func:`check_invariants`
+verify the happens-before relation independently of wall time:
+receipts happen after encodes, acks after receipts, the DAG is acyclic
+and every overheard bit is downstream of an encoding move.  Traces
+recorded before stamping existed still build (the vc checks are simply
+skipped), so old archives remain analyzable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .events import (
+    BIT_ACK,
+    BIT_ENCODE_STARTED,
+    BIT_KINDS,
+    BIT_MOVED,
+    BIT_OVERHEARD,
+    BIT_RECEIPT,
+    DISPLACEMENT,
+    Event,
+)
+from .export import ObsRun, load_run
+
+__all__ = [
+    "CausalNode",
+    "CausalEdge",
+    "BitFlight",
+    "FlowGraph",
+    "CausalTrace",
+    "CriticalPath",
+    "vc_leq",
+    "vc_less",
+    "build_causal",
+    "load_causal",
+    "critical_path",
+    "is_artifact_flow",
+    "check_invariants",
+    "render_causal",
+    "render_critical_path",
+    "causal_to_json",
+    "causal_to_dot",
+]
+
+LOOK = "look"  # synthetic node kind for the decoding Look
+
+
+def _vc_map(vc: Sequence[Sequence[int]]) -> Dict[int, int]:
+    return {int(r): int(c) for r, c in vc}
+
+
+def vc_leq(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> bool:
+    """``a`` happens-before-or-equals ``b`` (componentwise ≤)."""
+    bm = _vc_map(b)
+    return all(bm.get(int(r), 0) >= int(c) for r, c in a)
+
+
+def vc_less(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> bool:
+    """``a`` strictly happens-before ``b``."""
+    return vc_leq(a, b) and not vc_leq(b, a)
+
+
+@dataclass(frozen=True)
+class CausalNode:
+    """One stamped point on a bit's causal chain."""
+
+    id: str
+    kind: str
+    flow: Tuple[int, int]
+    seq: int
+    robot: Optional[int]
+    time: int
+    wall: float
+    vc: Optional[List[List[int]]]
+    order: float
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialize for the ``repro-causal-v1`` document (sparse keys)."""
+        record: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "flow": list(self.flow),
+            "seq": self.seq,
+            "t": self.time,
+            "wall": self.wall,
+        }
+        if self.robot is not None:
+            record["robot"] = self.robot
+        if self.vc is not None:
+            record["vc"] = self.vc
+        return record
+
+
+@dataclass(frozen=True)
+class CausalEdge:
+    """A happens-before edge with its latency attribution category."""
+
+    src: str
+    dst: str
+    category: str
+    duration: float
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialize for the ``repro-causal-v1`` document."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "category": self.category,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class BitFlight:
+    """One bit's life on a flow: encode → moves → receipt → ack."""
+
+    seq: int
+    encode: Optional[CausalNode] = None
+    moves: List[CausalNode] = field(default_factory=list)
+    look: Optional[CausalNode] = None
+    receipt: Optional[CausalNode] = None
+    ack: Optional[CausalNode] = None
+    overheard: List[CausalNode] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> bool:
+        return self.receipt is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Wall-clock encode→ack (falls back to receipt, then last move)."""
+        if self.encode is None:
+            return None
+        end = self.ack or self.receipt or (self.moves[-1] if self.moves else None)
+        if end is None:
+            return None
+        return end.wall - self.encode.wall
+
+
+@dataclass
+class FlowGraph:
+    """The happens-before DAG of one sender→addressee flow."""
+
+    flow: Tuple[int, int]
+    flights: List[BitFlight] = field(default_factory=list)
+    nodes: Dict[str, CausalNode] = field(default_factory=dict)
+    edges: List[CausalEdge] = field(default_factory=list)
+    anomalies: List[str] = field(default_factory=list)
+
+    @property
+    def bits_sent(self) -> int:
+        return sum(1 for f in self.flights if f.encode is not None)
+
+    @property
+    def bits_delivered(self) -> int:
+        return sum(1 for f in self.flights if f.delivered)
+
+    @property
+    def bits_acked(self) -> int:
+        return sum(1 for f in self.flights if f.ack is not None)
+
+
+@dataclass
+class CausalTrace:
+    """Every flow's causal graph plus the run metadata it came from."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    flows: Dict[Tuple[int, int], FlowGraph] = field(default_factory=dict)
+    #: recorded displacement faults, as ``(time, robot)`` pairs — the
+    #: evidence that lets :func:`is_artifact_flow` excuse phantom bits
+    #: a teleportation masqueraded into existence.
+    displacements: List[Tuple[int, int]] = field(default_factory=list)
+
+    def flow(self, src: int, dst: int) -> Optional[FlowGraph]:
+        """The ``src -> dst`` flow graph, or ``None`` if never seen."""
+        return self.flows.get((src, dst))
+
+
+@dataclass
+class CriticalPath:
+    """The dominant chain through one flow's DAG."""
+
+    flow: Tuple[int, int]
+    nodes: List[CausalNode]
+    edges: List[CausalEdge]
+
+    @property
+    def total(self) -> float:
+        return sum(edge.duration for edge in self.edges)
+
+    def attribution(self) -> Dict[str, float]:
+        """Per-category duration totals along the path."""
+        totals: Dict[str, float] = {}
+        for edge in self.edges:
+            totals[edge.category] = totals.get(edge.category, 0.0) + edge.duration
+        return totals
+
+
+class _FlowBuilder:
+    def __init__(self, flow: Tuple[int, int]) -> None:
+        self.graph = FlowGraph(flow=flow)
+        self._receipt_seq = 0
+        self._overheard_seq: Dict[int, int] = {}
+
+    def _flight(self, seq: int) -> BitFlight:
+        flights = self.graph.flights
+        while len(flights) <= seq:
+            flights.append(BitFlight(seq=len(flights)))
+        return flights[seq]
+
+    def _latest_seq(self) -> int:
+        return max(len(self.graph.flights) - 1, 0)
+
+    def add(self, event: Event, order: int) -> None:
+        flow = self.graph.flow
+        kind = event.kind
+        wall = event.get("wall")
+        wall = float(wall) if isinstance(wall, (int, float)) else float(event.time)
+        vc = event.get("vc")
+        vc = [list(map(int, pair)) for pair in vc] if isinstance(vc, list) else None
+        robot = event.get("by")
+        robot = int(robot) if isinstance(robot, int) else None
+        seq = event.get("seq")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            seq = int(seq)
+        elif kind == BIT_OVERHEARD:
+            seq = self._latest_seq()
+        elif kind == BIT_RECEIPT:
+            seq = self._receipt_seq
+        else:
+            seq = self._latest_seq()
+        flight = self._flight(seq)
+
+        suffix = ""
+        if kind == BIT_MOVED:
+            suffix = f"#{len(flight.moves)}"
+        elif kind == BIT_OVERHEARD:
+            suffix = f"@{robot}" if robot is not None else f"#{len(flight.overheard)}"
+        node = CausalNode(
+            id=f"{kind}:{flow[0]}->{flow[1]}:{seq}{suffix}",
+            kind=kind,
+            flow=flow,
+            seq=seq,
+            robot=robot,
+            time=event.time,
+            wall=wall,
+            vc=vc,
+            order=float(order),
+        )
+        self.graph.nodes[node.id] = node
+
+        if kind == BIT_ENCODE_STARTED:
+            if flight.encode is not None:
+                self.graph.anomalies.append(
+                    f"duplicate encode for bit {seq} on flow {flow[0]}->{flow[1]}"
+                )
+            flight.encode = node
+        elif kind == BIT_MOVED:
+            flight.moves.append(node)
+        elif kind == BIT_RECEIPT:
+            self._receipt_seq = seq + 1
+            if flight.receipt is not None:
+                self.graph.anomalies.append(
+                    f"duplicate receipt for bit {seq} on flow {flow[0]}->{flow[1]}"
+                )
+            flight.receipt = node
+            look_wall = event.get("look_wall")
+            if isinstance(look_wall, (int, float)):
+                look = CausalNode(
+                    id=f"{LOOK}:{flow[0]}->{flow[1]}:{seq}",
+                    kind=LOOK,
+                    flow=flow,
+                    seq=seq,
+                    robot=robot,
+                    time=event.time,
+                    wall=float(look_wall),
+                    vc=None,
+                    order=float(order) - 0.5,
+                )
+                flight.look = look
+        elif kind == BIT_ACK:
+            if flight.ack is not None:
+                self.graph.anomalies.append(
+                    f"duplicate ack for bit {seq} on flow {flow[0]}->{flow[1]}"
+                )
+            flight.ack = node
+        elif kind == BIT_OVERHEARD:
+            flight.overheard.append(node)
+
+    def _move_before(self, flight: BitFlight, node: CausalNode) -> Optional[CausalNode]:
+        parent = None
+        for move in flight.moves:
+            if move.order < node.order and move.wall <= node.wall:
+                parent = move
+        return parent
+
+    def _edge(self, src: CausalNode, dst: CausalNode, category: str) -> None:
+        self.graph.edges.append(
+            CausalEdge(src=src.id, dst=dst.id, category=category,
+                       duration=dst.wall - src.wall)
+        )
+
+    def finish(self) -> FlowGraph:
+        flow = self.graph.flow
+        for flight in self.graph.flights:
+            if flight.encode is not None and flight.moves:
+                self._edge(flight.encode, flight.moves[0], "sender-compute")
+            for prev, move in zip(flight.moves, flight.moves[1:]):
+                self._edge(prev, move, "scheduler-gap")
+            receipt = flight.receipt
+            if receipt is not None:
+                parent = self._move_before(flight, receipt)
+                if parent is None:
+                    self.graph.anomalies.append(
+                        f"receipt of bit {flight.seq} on flow "
+                        f"{flow[0]}->{flow[1]} has no preceding move"
+                    )
+                else:
+                    look = flight.look
+                    if look is not None and parent.wall <= look.wall <= receipt.wall:
+                        self.graph.nodes[look.id] = look
+                        self._edge(parent, look, "observation-delay")
+                        self._edge(look, receipt, "decode")
+                    else:
+                        flight.look = None
+                        self._edge(parent, receipt, "observation-delay")
+            ack = flight.ack
+            if ack is not None:
+                if receipt is None:
+                    self.graph.anomalies.append(
+                        f"ack of bit {flight.seq} on flow "
+                        f"{flow[0]}->{flow[1]} without a receipt"
+                    )
+                elif receipt.order < ack.order:
+                    self._edge(receipt, ack, "ack-wait")
+                else:
+                    self.graph.anomalies.append(
+                        f"ack of bit {flight.seq} on flow "
+                        f"{flow[0]}->{flow[1]} precedes its receipt"
+                    )
+            for overheard in flight.overheard:
+                parent = self._move_before(flight, overheard)
+                if parent is None:
+                    self.graph.anomalies.append(
+                        f"overheard bit {flight.seq} on flow "
+                        f"{flow[0]}->{flow[1]} by robot {overheard.robot} "
+                        f"has no preceding move"
+                    )
+                else:
+                    self._edge(parent, overheard, "overhear")
+        for prev, flight in zip(self.graph.flights, self.graph.flights[1:]):
+            if prev.ack is not None and flight.encode is not None:
+                self._edge(prev.ack, flight.encode, "sender-turnaround")
+        return self.graph
+
+
+def build_causal(run: ObsRun) -> CausalTrace:
+    """Reconstruct the happens-before DAG of every bit-flow in a run."""
+    builders: Dict[Tuple[int, int], _FlowBuilder] = {}
+    trace = CausalTrace(meta=dict(run.meta))
+    for order, event in enumerate(run.events):
+        if event.kind == DISPLACEMENT:
+            robot = event.get("robot")
+            if isinstance(robot, int):
+                trace.displacements.append((event.time, int(robot)))
+            continue
+        if event.kind not in BIT_KINDS:
+            continue
+        src = event.get("src")
+        dst = event.get("dst")
+        if not isinstance(src, int) or not isinstance(dst, int):
+            continue
+        flow = (int(src), int(dst))
+        builder = builders.get(flow)
+        if builder is None:
+            builder = builders[flow] = _FlowBuilder(flow)
+        builder.add(event, order)
+    for flow in sorted(builders):
+        trace.flows[flow] = builders[flow].finish()
+    return trace
+
+
+def load_causal(path: str) -> CausalTrace:
+    """Build the causal trace straight from a ``repro-obs-v1`` file.
+
+    Accepts plain ``.jsonl`` and gzip-compressed ``.jsonl.gz`` traces;
+    malformed lines raise :class:`~repro.errors.TraceFormatError` with
+    the 1-based line number, exactly like :func:`repro.obs.load_run`.
+    """
+    return build_causal(load_run(path))
+
+
+def critical_path(graph: FlowGraph) -> CriticalPath:
+    """The longest-duration chain through one flow's DAG.
+
+    Because every edge's duration is the wall difference of its
+    endpoints, the returned path's edge durations telescope to exactly
+    ``last.wall - first.wall`` — the flow's end-to-end latency over
+    the spanned flights.
+    """
+    outgoing: Dict[str, List[CausalEdge]] = {}
+    for edge in graph.edges:
+        outgoing.setdefault(edge.src, []).append(edge)
+    nodes = sorted(graph.nodes.values(), key=lambda n: n.order, reverse=True)
+    # best[node] = (duration, hops, edges-from-node)
+    best: Dict[str, Tuple[float, int, List[CausalEdge]]] = {}
+    for node in nodes:
+        choice: Tuple[float, int, List[CausalEdge]] = (0.0, 0, [])
+        for edge in outgoing.get(node.id, ()):  # dst always later in order
+            tail = best.get(edge.dst, (0.0, 0, []))
+            candidate = (edge.duration + tail[0], 1 + tail[1], [edge] + tail[2])
+            if (candidate[0], candidate[1]) > (choice[0], choice[1]):
+                choice = candidate
+        best[node.id] = choice
+    start_id = None
+    start_best: Tuple[float, int] = (float("-inf"), 0)
+    for node in reversed(nodes):  # forward order: earliest start wins ties
+        duration, hops, _ = best[node.id]
+        if (duration, hops) > start_best:
+            start_best = (duration, hops)
+            start_id = node.id
+    if start_id is None:
+        return CriticalPath(flow=graph.flow, nodes=[], edges=[])
+    edges = best[start_id][2]
+    path_nodes = [graph.nodes[start_id]]
+    for edge in edges:
+        path_nodes.append(graph.nodes[edge.dst])
+    return CriticalPath(flow=graph.flow, nodes=path_nodes, edges=edges)
+
+
+def is_artifact_flow(trace: CausalTrace, flow: Tuple[int, int]) -> bool:
+    """Is this flow a decode artifact rather than a real channel?
+
+    An adversary can conjure "bits" no sender ever encoded: a
+    transient displacement teleports a robot and observers decode the
+    jump as an encoding movement, and a crashed robot under the
+    flocking drift overlay stops drifting and reads as speaking — to
+    itself (``src == dst``; the protocol stack never builds a
+    self-flow).  Such flows carry receipts and overhears but no encode
+    and no move; their causal chain starts at the *fault*, not at an
+    encode, so :func:`check_invariants` reports them as artifacts
+    rather than phantom-bit causality violations.
+
+    A flow qualifies only when it has **no** encode and no move on any
+    flight (one real encode makes every phantom check apply again),
+    and either is a self-flow or its nominal sender suffered a
+    recorded displacement no later than the flow's first decode.
+    """
+    graph = trace.flows.get(flow)
+    if graph is None:
+        return False
+    if any(f.encode is not None or f.moves for f in graph.flights):
+        return False
+    if not any(f.receipt is not None or f.overheard for f in graph.flights):
+        return False
+    if flow[0] == flow[1]:
+        return True
+    decode_times = [
+        node.time
+        for f in graph.flights
+        for node in ([f.receipt] if f.receipt else []) + f.overheard
+    ]
+    first_decode = min(decode_times)
+    return any(
+        robot == flow[0] and time <= first_decode
+        for time, robot in trace.displacements
+    )
+
+
+def check_invariants(trace: CausalTrace, strict_acks: bool = False) -> List[str]:
+    """Causality violations across every flow (empty list = clean).
+
+    Checks, per flow:
+
+    * every receipt happens-after its bit's encode (event order, and
+      strict vector-clock precedence when both events carry stamps);
+    * the happens-before DAG has no cycles;
+    * every overheard decode is downstream of an encoding move;
+    * when ``strict_acks`` (flows whose protocol gates the sender's
+      advance on the implicit acknowledgement of Lemma 4.1 — not the
+      log-K digit-block rhythm — and whose scenario guarantees
+      receipts), every ack happens-after its bit's receipt.
+
+    Anomalies found while building the graph (orphan receipts, acks
+    without receipts, …) are folded in; ack-ordering anomalies only
+    count under ``strict_acks`` because a rhythm-based sender may
+    legitimately advance before the addressee commits the decode.
+    Flows that :func:`is_artifact_flow` recognizes as fault-conjured
+    (displacement phantoms, crash self-flows) are skipped entirely —
+    their chain starts at the adversary's injection, not an encode.
+    """
+    violations: List[str] = []
+    for flow, graph in trace.flows.items():
+        if is_artifact_flow(trace, flow):
+            continue
+        label = f"{flow[0]}->{flow[1]}"
+        for anomaly in graph.anomalies:
+            if ("ack" in anomaly) and not strict_acks:
+                continue
+            violations.append(f"flow {label}: {anomaly}")
+        for flight in graph.flights:
+            encode, receipt, ack = flight.encode, flight.receipt, flight.ack
+            if receipt is not None:
+                if encode is None:
+                    violations.append(
+                        f"flow {label}: bit {flight.seq} received but never encoded"
+                    )
+                else:
+                    if receipt.order <= encode.order:
+                        violations.append(
+                            f"flow {label}: receipt of bit {flight.seq} "
+                            f"does not happen-after its encode"
+                        )
+                    if (encode.vc is not None and receipt.vc is not None
+                            and not vc_less(encode.vc, receipt.vc)):
+                        violations.append(
+                            f"flow {label}: receipt of bit {flight.seq} is not "
+                            f"vector-clock after its encode"
+                        )
+            if strict_acks and ack is not None and receipt is not None:
+                if ack.order <= receipt.order:
+                    violations.append(
+                        f"flow {label}: ack of bit {flight.seq} "
+                        f"does not happen-after its receipt"
+                    )
+                if (receipt.vc is not None and ack.vc is not None
+                        and not vc_leq(receipt.vc, ack.vc)):
+                    violations.append(
+                        f"flow {label}: ack of bit {flight.seq} is not "
+                        f"vector-clock after its receipt"
+                    )
+            for overheard in flight.overheard:
+                if not flight.moves:
+                    continue  # already reported as an anomaly
+                stamped = [m for m in flight.moves if m.vc is not None]
+                if (overheard.vc is not None and stamped
+                        and not any(vc_less(m.vc, overheard.vc) for m in stamped)):
+                    violations.append(
+                        f"flow {label}: overheard bit {flight.seq} by robot "
+                        f"{overheard.robot} is not downstream of any move"
+                    )
+        cycle = _find_cycle(graph)
+        if cycle is not None:
+            violations.append(f"flow {label}: causal cycle through {cycle}")
+    return violations
+
+
+def _find_cycle(graph: FlowGraph) -> Optional[str]:
+    outgoing: Dict[str, List[str]] = {}
+    for edge in graph.edges:
+        outgoing.setdefault(edge.src, []).append(edge.dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    for root in graph.nodes:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[str, Iterable[str]]] = [(root, iter(outgoing.get(root, ())))]
+        color[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = color.get(child, WHITE)
+                if state == GREY:
+                    return child
+                if state == WHITE:
+                    color[child] = GREY
+                    stack.append((child, iter(outgoing.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+
+
+def render_causal(trace: CausalTrace) -> str:
+    """Human summary: per-flow flights, delivery, and latency."""
+    lines = ["causal trace"]
+    meta_bits = [
+        f"{key}={trace.meta[key]}"
+        for key in ("protocol", "scheduler", "engine", "seed")
+        if key in trace.meta
+    ]
+    if meta_bits:
+        lines.append("  " + "  ".join(meta_bits))
+    if not trace.flows:
+        lines.append("  (no bit-lifecycle events in trace)")
+        return "\n".join(lines)
+    for flow, graph in trace.flows.items():
+        artifact = " (decode artifact)" if is_artifact_flow(trace, flow) else ""
+        lines.append(
+            f"flow {flow[0]}->{flow[1]}: {graph.bits_sent} sent, "
+            f"{graph.bits_delivered} delivered, {graph.bits_acked} acked, "
+            f"{len(graph.nodes)} nodes, {len(graph.edges)} edges{artifact}"
+        )
+        for flight in graph.flights:
+            latency = flight.latency
+            latency_text = f"{latency:g}" if latency is not None else "?"
+            lines.append(
+                f"  bit {flight.seq}: {len(flight.moves)} legs, "
+                f"{'delivered' if flight.delivered else 'in flight'}"
+                f"{', acked' if flight.ack else ''}, latency {latency_text}"
+            )
+        for anomaly in graph.anomalies:
+            lines.append(f"  ! {anomaly}")
+    return "\n".join(lines)
+
+
+def render_critical_path(trace: CausalTrace) -> str:
+    """Per-flow critical path with 100% latency attribution."""
+    lines: List[str] = []
+    if not trace.flows:
+        return "(no bit-lifecycle events in trace)"
+    for flow, graph in trace.flows.items():
+        path = critical_path(graph)
+        lines.append(
+            f"flow {flow[0]}->{flow[1]} critical path: "
+            f"{len(path.edges)} edges, total latency {path.total:g}"
+        )
+        for edge in path.edges:
+            lines.append(
+                f"  {edge.src} -> {edge.dst}  [{edge.category}]  +{edge.duration:g}"
+            )
+        totals = path.attribution()
+        if path.total > 0:
+            lines.append("  attribution:")
+            for category in sorted(totals, key=lambda c: -totals[c]):
+                share = 100.0 * totals[category] / path.total
+                lines.append(
+                    f"    {category:<18} {totals[category]:>8g}  {share:5.1f}%"
+                )
+            lines.append(
+                f"    {'total':<18} {path.total:>8g}  100.0%"
+            )
+    return "\n".join(lines)
+
+
+def causal_to_json(trace: CausalTrace) -> Dict[str, object]:
+    """Machine form: flows with nodes, edges, flights, critical paths."""
+    flows = []
+    for flow, graph in trace.flows.items():
+        path = critical_path(graph)
+        flows.append(
+            {
+                "flow": list(flow),
+                "artifact": is_artifact_flow(trace, flow),
+                "bits_sent": graph.bits_sent,
+                "bits_delivered": graph.bits_delivered,
+                "bits_acked": graph.bits_acked,
+                "nodes": [n.to_json() for n in sorted(
+                    graph.nodes.values(), key=lambda n: n.order)],
+                "edges": [e.to_json() for e in graph.edges],
+                "flights": [
+                    {
+                        "seq": f.seq,
+                        "legs": len(f.moves),
+                        "delivered": f.delivered,
+                        "acked": f.ack is not None,
+                        "latency": f.latency,
+                    }
+                    for f in graph.flights
+                ],
+                "critical_path": {
+                    "total": path.total,
+                    "edges": [e.to_json() for e in path.edges],
+                    "attribution": path.attribution(),
+                },
+                "anomalies": list(graph.anomalies),
+            }
+        )
+    return {
+        "format": "repro-causal-v1",
+        "meta": dict(trace.meta),
+        "displacements": [list(pair) for pair in trace.displacements],
+        "flows": flows,
+    }
+
+
+def causal_to_dot(trace: CausalTrace) -> str:
+    """Graphviz dot of every flow's happens-before DAG."""
+    lines = ["digraph causal {", "  rankdir=LR;", "  node [shape=box];"]
+    for index, (flow, graph) in enumerate(trace.flows.items()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="flow {flow[0]}->{flow[1]}";')
+        for node in sorted(graph.nodes.values(), key=lambda n: n.order):
+            label = f"{node.kind}\\nseq={node.seq} wall={node.wall:g}"
+            lines.append(f'    "{node.id}" [label="{label}"];')
+        for edge in graph.edges:
+            lines.append(
+                f'    "{edge.src}" -> "{edge.dst}" '
+                f'[label="{edge.category} +{edge.duration:g}"];'
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from repro.obs.history.regress import (
     RegressReport,
     detect,
     direction_of,
+    render_regression_line,
     render_regressions,
 )
 from repro.obs.history.store import (
@@ -53,5 +54,6 @@ __all__ = [
     "RegressReport",
     "detect",
     "direction_of",
+    "render_regression_line",
     "render_regressions",
 ]

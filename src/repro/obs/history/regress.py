@@ -38,6 +38,7 @@ __all__ = [
     "baseline",
     "detect",
     "render_regressions",
+    "render_regression_line",
 ]
 
 #: MAD -> sigma-equivalent scale for normally distributed noise.
@@ -274,3 +275,32 @@ def render_regressions(report: RegressReport) -> str:
         for finding in report.findings:
             lines.append(f"    - {finding}")
     return "\n".join(lines)
+
+
+def render_regression_line(
+    report: RegressReport, policy: Optional[RegressPolicy] = None
+) -> str:
+    """One grep-able line naming every offender with its accepted band.
+
+    This is what the CLI prints to stderr alongside exit status 3, so a
+    CI log scraper (or a human skimming red builds) sees the verdict
+    without parsing the full chart: each offending metric, the value it
+    landed on, and the median +/- k*MAD band it had to stay inside.
+    """
+    if report.ok or report.candidate is None:
+        return "regress: ok"
+    policy = policy or RegressPolicy()
+    parts = []
+    for finding in report.findings:
+        band = policy.mad_k * _MAD_SCALE * finding.baseline_mad
+        lo = finding.baseline_median - band
+        hi = finding.baseline_median + band
+        parts.append(
+            f"{finding.metric}={finding.value:.6g} "
+            f"(median {finding.baseline_median:.6g}, "
+            f"band [{lo:.6g}, {hi:.6g}])"
+        )
+    return (
+        f"regress: {len(report.findings)} metric(s) out of bounds: "
+        + "; ".join(parts)
+    )

@@ -16,6 +16,7 @@ is the truth.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import pathlib
@@ -119,7 +120,11 @@ class HistoryStore:
                 (the store never guesses around corruption).
         """
         try:
-            text = self.path.read_text(encoding="utf-8")
+            if self.path.suffix == ".gz":
+                with gzip.open(self.path, "rt", encoding="utf-8") as handle:
+                    text = handle.read()
+            else:
+                text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
             return []
         out: List[HistoryEntry] = []
@@ -180,10 +185,23 @@ class HistoryStore:
             entry.recorded_at = time.time()
         if self.path.parent and not self.path.parent.is_dir():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry.to_json(), sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = json.dumps(entry.to_json(), sort_keys=True) + "\n"
+        if self.path.suffix == ".gz":
+            # Each append is its own deterministic gzip member (mtime
+            # pinned, no filename) — concatenated members read back as
+            # one stream, preserving the journal discipline.
+            with open(self.path, "ab") as raw:
+                with gzip.GzipFile(
+                    fileobj=raw, mode="ab", filename="", mtime=0
+                ) as packed:
+                    packed.write(line.encode("utf-8"))
+                raw.flush()
+                os.fsync(raw.fileno())
+        else:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
         return entry
 
     # ------------------------------------------------------------------

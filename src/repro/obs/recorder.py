@@ -17,6 +17,28 @@ a structured event stream plus a metrics registry:
 * the **monitor hook** (:func:`repro.verify.monitors.set_flag_hook`)
   yields ``monitor`` events and firing counters.
 
+Causal stamping
+---------------
+
+The recorder maintains one **vector clock per robot**, advanced at
+every Look/Compute/Move (via the simulator's per-robot phase hook) and
+at every bit-lifecycle emission.  Each bit event carries three stamp
+attributes — ``by`` (the robot the event happened at), ``vc`` (that
+robot's vector clock, as sorted ``[robot, count]`` pairs) and ``wall``
+(the engine's continuous clock where one exists, else the instant) —
+plus ``seq`` so :mod:`repro.obs.causal` can rebuild the happens-before
+DAG without re-pairing by order.  Clock merges follow the physical
+causality of the model: a receipt/overhear merges the sender's clock
+as of its last visible encoding movement, and a synthesized ack merges
+the receiver's clock as of the acknowledged receipt.  All stamps are
+deterministic (they derive from simulation state, never from the host
+clock), so two recordings of the same seeded run still diff clean.
+
+A recorder can also **tee** its event stream into live sinks
+(:meth:`ObsRecorder.add_sink`, typically a
+:class:`~repro.obs.stream.StreamingSink`) — the telemetry tap behind
+``python -m repro.obs watch``.
+
 Everything is opt-in and bit-transparent: with no recorder attached,
 every hook is None and the simulation takes the exact same code path;
 with one attached, the recorder only *reads*.  The module-level
@@ -48,7 +70,12 @@ from repro.obs.events import (
 )
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["ObsRecorder", "dispatch_count"]
+__all__ = ["ObsRecorder", "dispatch_count", "LATENCY_BUCKETS"]
+
+#: bucket bounds (in instants) of the end-to-end bit-latency histogram.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
 
 #: process-wide count of obs hook dispatches; stays frozen while no
 #: recorder is attached (the zero-overhead-when-disabled witness).
@@ -120,6 +147,26 @@ class ObsRecorder:
         #: last encode-started (seq, bit) per flow, for ack synthesis
         self._flow_seq: Dict[Tuple[int, int], int] = {}
         self._flow_last_bit: Dict[Tuple[int, int], int] = {}
+        # -- causal stamping state --------------------------------------
+        #: per-robot sparse vector clocks (robot -> component counts)
+        self._vclocks: Dict[int, Dict[int, int]] = {}
+        #: wall time of each robot's most recent Look (per-robot hook)
+        self._last_look_wall: Dict[int, float] = {}
+        #: per flow: the last / previous bit-moved (time, vc) snapshots —
+        #: a decode merges the last snapshot strictly before its instant
+        self._flow_moved_vc: Dict[Tuple[int, int], Tuple[int, List[List[int]]]] = {}
+        self._flow_moved_prev: Dict[Tuple[int, int], Tuple[int, List[List[int]]]] = {}
+        #: receipt clock snapshots per (src, dst, seq), consumed by acks
+        self._flow_receipt_vc: Dict[Tuple[int, int, int], List[List[int]]] = {}
+        self._flow_receipt_count: Dict[Tuple[int, int], int] = {}
+        self._flow_overheard_count: Dict[Tuple[int, int, int], int] = {}
+        #: encode instant per flow, for the end-to-end latency histogram
+        self._flow_encode_time: Dict[Tuple[int, int], int] = {}
+        #: engine label of the attached simulator ("rounds" / "events")
+        self._engine: str = "rounds"
+        self._robot_hook_installed = False
+        #: live sinks the event stream is teed into (the telemetry tap)
+        self._streams: List[object] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -140,6 +187,8 @@ class ObsRecorder:
         self.meta.setdefault(
             "initial", [[p.x, p.y] for p in sim.trace.initial_positions]
         )
+        self._engine = "events" if hasattr(sim, "delay_model") else "rounds"
+        self.meta.setdefault("engine", self._engine)
         labels = {}
         for key in ("protocol", "scheduler"):
             if key in self.meta:
@@ -149,6 +198,10 @@ class ObsRecorder:
         sim.add_fault_listener(self._on_fault)
         if self._timing:
             sim.set_phase_hook(self._on_phase)
+        set_robot_hook = getattr(sim, "set_robot_phase_hook", None)
+        if set_robot_hook is not None:
+            set_robot_hook(self._on_robot_phase)
+            self._robot_hook_installed = True
         for robot in sim.robots:
             for protocol in _protocol_chain(robot.protocol):
                 protocol._obs_sink = self
@@ -165,6 +218,9 @@ class ObsRecorder:
         sim.remove_fault_listener(self._on_fault)
         if self._timing:
             sim.set_phase_hook(None)
+        if self._robot_hook_installed:
+            sim.set_robot_phase_hook(None)
+            self._robot_hook_installed = False
         for robot in sim.robots:
             for protocol in _protocol_chain(robot.protocol):
                 if protocol._obs_sink is self:
@@ -191,11 +247,84 @@ class ObsRecorder:
             pass
 
     # ------------------------------------------------------------------
+    # Live sinks (the streaming telemetry tap)
+    # ------------------------------------------------------------------
+    def add_sink(self, sink) -> None:
+        """Tee every subsequently emitted event into ``sink``.
+
+        A sink only needs an ``accept(event)`` method;
+        :class:`~repro.obs.stream.StreamingSink` is the bounded-queue
+        implementation the live watcher drains.  Sinks only *read* the
+        stream — the recording itself is unaffected.
+        """
+        self._streams.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Stop teeing into a previously added sink."""
+        self._streams.remove(sink)
+
+    # ------------------------------------------------------------------
+    # Vector clocks
+    # ------------------------------------------------------------------
+    def _wall(self) -> float:
+        """The engine's continuous clock, or the instant as a float."""
+        sim = self._sim
+        if sim is None:  # pragma: no cover - sinks only fire attached
+            return -1.0
+        clock = getattr(sim, "clock", None)
+        return float(clock) if clock is not None else float(sim.time)
+
+    def _tick(self, robot: int) -> List[List[int]]:
+        """Advance ``robot``'s own component; returns a fresh snapshot."""
+        clock = self._vclocks.get(robot)
+        if clock is None:
+            clock = self._vclocks[robot] = {}
+        clock[robot] = clock.get(robot, 0) + 1
+        return [[r, clock[r]] for r in sorted(clock)]
+
+    def _merge(self, robot: int, snapshot: Optional[List[List[int]]]) -> None:
+        """Fold a received clock snapshot into ``robot``'s clock."""
+        if not snapshot:
+            return
+        clock = self._vclocks.setdefault(robot, {})
+        for r, c in snapshot:
+            if c > clock.get(r, 0):
+                clock[r] = c
+
+    def _moved_snapshot_before(
+        self, flow: Tuple[int, int], time: int
+    ) -> Optional[List[List[int]]]:
+        """The sender's clock at its last move strictly before ``time``.
+
+        A decode at instant ``t`` can only have seen movements applied
+        at earlier instants, so a same-instant move (not yet applied
+        when the observer Looked) must not leak into the merge.
+        """
+        last = self._flow_moved_vc.get(flow)
+        if last is not None and last[0] < time:
+            return last[1]
+        prev = self._flow_moved_prev.get(flow)
+        if prev is not None and prev[0] < time:
+            return prev[1]
+        return None
+
+    def _on_robot_phase(self, phase: str, robot: int, time: int) -> None:
+        _bump()
+        clock = self._vclocks.get(robot)
+        if clock is None:
+            clock = self._vclocks[robot] = {}
+        clock[robot] = clock.get(robot, 0) + 1
+        if phase == "look":
+            self._last_look_wall[robot] = self._wall()
+
+    # ------------------------------------------------------------------
     # Stream callbacks
     # ------------------------------------------------------------------
     def _emit(self, event: Event) -> None:
         _bump()
         self.events.append(event)
+        for sink in self._streams:
+            sink.accept(event)
 
     def _on_step(self, sim, step: TraceStep) -> None:
         active = sorted(step.active)
@@ -257,18 +386,32 @@ class ObsRecorder:
     # ------------------------------------------------------------------
     # Bit-lifecycle sink (called by the Protocol base class)
     # ------------------------------------------------------------------
+    def _latency_histogram(self):
+        """The per-flow end-to-end bit-latency histogram (in instants)."""
+        return self.registry.histogram(
+            "bit_latency_instants",
+            buckets=LATENCY_BUCKETS,
+            engine=self._engine,
+            **self._labels,
+        )
+
     def bit_encode_started(self, src: int, dst: int, bit: int, time: int) -> None:
         """A sender popped a bit off its queue and began encoding it.
 
         Also synthesizes the previous bit's ``bit-ack`` event on the
         same flow: a protocol only advances once its ack condition
-        (Lemma 4.1 or the synchronous rhythm) was consumed.
+        (Lemma 4.1 or the synchronous rhythm) was consumed.  The ack
+        merges the receiver's clock as of the acknowledged receipt —
+        making receipt→ack a happens-before edge — and feeds the
+        end-to-end ``bit_latency_instants`` histogram.
         """
         flow = (src, dst)
         seq = self._flow_seq.get(flow, 0)
+        wall = self._wall()
         if seq > 0:
             # The sender only advances once the previous bit's leg is
             # complete — the implicit acknowledgement was consumed.
+            self._merge(src, self._flow_receipt_vc.pop((src, dst, seq - 1), None))
             self._emit(
                 Event(
                     BIT_ACK,
@@ -278,19 +421,34 @@ class ObsRecorder:
                         "dst": dst,
                         "seq": seq - 1,
                         "bit": self._flow_last_bit.get(flow),
+                        "by": src,
+                        "vc": self._tick(src),
+                        "wall": wall,
                     },
                 )
             )
             self.registry.counter(
                 "bits_total", phase="ack", **self._labels
             ).inc()
+            encode_time = self._flow_encode_time.get(flow)
+            if encode_time is not None:
+                self._latency_histogram().observe(float(time - encode_time))
         self._flow_seq[flow] = seq + 1
         self._flow_last_bit[flow] = bit
+        self._flow_encode_time[flow] = time
         self._emit(
             Event(
                 BIT_ENCODE_STARTED,
                 time,
-                {"src": src, "dst": dst, "bit": bit, "seq": seq},
+                {
+                    "src": src,
+                    "dst": dst,
+                    "bit": bit,
+                    "seq": seq,
+                    "by": src,
+                    "vc": self._tick(src),
+                    "wall": wall,
+                },
             )
         )
         self.registry.counter(
@@ -299,6 +457,12 @@ class ObsRecorder:
 
     def bit_moved(self, src: int, dst: int, bit: int, time: int, target: Vec2) -> None:
         """The sender's encoding movement was computed (the excursion)."""
+        flow = (src, dst)
+        vc = self._tick(src)
+        last = self._flow_moved_vc.get(flow)
+        if last is not None:
+            self._flow_moved_prev[flow] = last
+        self._flow_moved_vc[flow] = (time, vc)
         self._emit(
             Event(
                 BIT_MOVED,
@@ -307,7 +471,11 @@ class ObsRecorder:
                     "src": src,
                     "dst": dst,
                     "bit": bit,
+                    "seq": self._flow_seq.get(flow, 1) - 1,
                     "target": [target.x, target.y],
+                    "by": src,
+                    "vc": vc,
+                    "wall": self._wall(),
                 },
             )
         )
@@ -315,29 +483,48 @@ class ObsRecorder:
 
     def bit_receipt(self, observer: int, event: BitEvent) -> None:
         """The addressee decoded a bit (it entered ``received``)."""
-        self._emit(
-            Event(
-                BIT_RECEIPT,
-                event.time,
-                {"src": event.src, "dst": event.dst, "bit": event.bit},
-            )
-        )
+        flow = (event.src, event.dst)
+        self._merge(observer, self._moved_snapshot_before(flow, event.time))
+        vc = self._tick(observer)
+        seq = self._flow_receipt_count.get(flow, 0)
+        self._flow_receipt_count[flow] = seq + 1
+        self._flow_receipt_vc[(event.src, event.dst, seq)] = vc
+        attrs = {
+            "src": event.src,
+            "dst": event.dst,
+            "bit": event.bit,
+            "seq": seq,
+            "by": observer,
+            "vc": vc,
+            "wall": self._wall(),
+        }
+        look_wall = self._last_look_wall.get(observer)
+        if look_wall is not None:
+            attrs["look_wall"] = look_wall
+        self._emit(Event(BIT_RECEIPT, event.time, attrs))
         self.registry.counter("bits_total", phase="receipt", **self._labels).inc()
 
     def bit_overheard(self, observer: int, event: BitEvent) -> None:
         """A third party decoded a bit addressed to someone else."""
-        self._emit(
-            Event(
-                BIT_OVERHEARD,
-                event.time,
-                {
-                    "src": event.src,
-                    "dst": event.dst,
-                    "bit": event.bit,
-                    "by": observer,
-                },
-            )
-        )
+        flow = (event.src, event.dst)
+        self._merge(observer, self._moved_snapshot_before(flow, event.time))
+        vc = self._tick(observer)
+        key = (event.src, event.dst, observer)
+        seq = self._flow_overheard_count.get(key, 0)
+        self._flow_overheard_count[key] = seq + 1
+        attrs = {
+            "src": event.src,
+            "dst": event.dst,
+            "bit": event.bit,
+            "seq": seq,
+            "by": observer,
+            "vc": vc,
+            "wall": self._wall(),
+        }
+        look_wall = self._last_look_wall.get(observer)
+        if look_wall is not None:
+            attrs["look_wall"] = look_wall
+        self._emit(Event(BIT_OVERHEARD, event.time, attrs))
         self.registry.counter("bits_total", phase="overheard", **self._labels).inc()
 
     # ------------------------------------------------------------------

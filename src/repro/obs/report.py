@@ -31,6 +31,9 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "render_report",
+    "timeline_to_json",
+    "gantt_to_json",
+    "metrics_to_json",
 ]
 
 _DEFAULT_WIDTH = 72
@@ -222,6 +225,86 @@ def render_profile(run: ObsRun) -> str:
         )
     lines.append(f"  {'total':<10s} {grand:>12.6f}s")
     return "\n".join(lines)
+
+
+def timeline_to_json(run: ObsRun) -> Dict[str, object]:
+    """The activation timeline as a JSON-ready dict (``--format json``).
+
+    One entry per recorded instant with the active set, plus the
+    displacement faults — the same facts the ASCII view draws, with no
+    column downsampling.
+    """
+    steps = run.of_kind(STEP)
+    return {
+        "view": "timeline",
+        "robots": run.count,
+        "instants": [
+            {"t": s.time, "active": sorted(s.get("active", ()))}  # type: ignore[arg-type]
+            for s in steps
+        ],
+        "displacements": [
+            {"t": e.time, "robot": int(e.get("robot", -1))}
+            for e in run.of_kind(DISPLACEMENT)
+        ],
+    }
+
+
+def gantt_to_json(run: ObsRun) -> Dict[str, object]:
+    """The bit-lifecycle view as a JSON-ready dict (``--format json``)."""
+    moved: Dict[Tuple[int, int], List[int]] = {}
+    acks: Dict[Tuple[int, int, int], int] = {}
+    for event in run.events:
+        if event.kind == BIT_MOVED:
+            flow = (int(event.get("src", -1)), int(event.get("dst", -1)))
+            moved.setdefault(flow, []).append(event.time)
+        elif event.kind == BIT_ACK:
+            key = (
+                int(event.get("src", -1)),
+                int(event.get("dst", -1)),
+                int(event.get("seq", -1)),
+            )
+            acks[key] = event.time
+    bits: List[Dict[str, object]] = []
+    for span in bit_spans(run.events):
+        src = int(span.attrs["src"])
+        dst = int(span.attrs["dst"])
+        seq = int(span.attrs["seq"])
+        start = int(span.start)
+        end = None if span.end is None else int(span.end)
+        bits.append(
+            {
+                "src": src,
+                "dst": dst,
+                "seq": seq,
+                "bit": span.attrs.get("bit"),
+                "start": start,
+                "end": end,
+                "delivered": bool(span.attrs.get("delivered")),
+                "moves": [
+                    t
+                    for t in moved.get((src, dst), ())
+                    if start <= t and (end is None or t <= end)
+                ],
+                "ack": acks.get((src, dst, seq)),
+            }
+        )
+    return {
+        "view": "gantt",
+        "bits": bits,
+        "monitors": [
+            {
+                "t": e.time,
+                "invariant": e.get("invariant"),
+                "message": e.get("message"),
+            }
+            for e in run.of_kind(MONITOR)
+        ],
+    }
+
+
+def metrics_to_json(run: ObsRun) -> Dict[str, object]:
+    """The metrics registry snapshot as a JSON-ready dict."""
+    return {"view": "metrics", "metrics": [dict(m) for m in run.metrics]}
 
 
 def _render_header(run: ObsRun) -> str:

@@ -8,6 +8,7 @@ Examples::
     python -m repro.verify --self-test               # mutants must be caught
     python -m repro.verify --mutant deaf             # show one mutant's report
     python -m repro.verify --backend-oracle --quick  # scalar vs batch parity
+    python -m repro.verify --causal-oracle --quick   # happens-before checks
     python -m repro.verify --list                    # cells, skips, mutants
 
 Exit status: 0 when everything holds (or, for ``--self-test``, when
@@ -82,6 +83,14 @@ def _parser() -> argparse.ArgumentParser:
         help="differential oracle: every cell run on both the round engine "
              "and the event engine (round-emulation mode) from the same "
              "seed must be bit-identical (pure python)",
+    )
+    parser.add_argument(
+        "--causal-oracle", action="store_true",
+        help="causality oracle: every cell runs instrumented on both "
+             "engines; the recorded trace must rebuild into a clean "
+             "happens-before DAG (receipt after encode, ack after "
+             "receipt, acyclic, overheard downstream of moves) with "
+             "telescoping critical-path attribution",
     )
     parser.add_argument(
         "--list", action="store_true",
@@ -233,6 +242,35 @@ def _do_event_oracle(args, protocols, schedulers, seeds) -> int:
     return 0 if report.ok else 1
 
 
+def _do_causal_oracle(args, protocols, schedulers, seeds) -> int:
+    from repro.verify.causal import CausalCellResult, run_causal_matrix
+
+    def progress(result: CausalCellResult) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"  {result.protocol} x {result.scheduler} [{result.engine}] "
+            f"seed={result.seed} size={result.size} steps={result.steps} {status}",
+            flush=True,
+        )
+
+    report = run_causal_matrix(
+        protocols,
+        schedulers,
+        seeds,
+        quick=args.quick,
+        progress=progress if args.verbose else None,
+    )
+    print(report.format(verbose=args.verbose))
+    if args.json:
+        payload = json.dumps(report.to_json(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _parser().parse_args(argv)
@@ -254,6 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _do_backend_oracle(args, protocols, schedulers, seeds)
     if args.event_oracle:
         return _do_event_oracle(args, protocols, schedulers, seeds)
+    if args.causal_oracle:
+        return _do_causal_oracle(args, protocols, schedulers, seeds)
 
     def progress(result: CellResult) -> None:
         status = "ok" if result.ok else "FAIL"

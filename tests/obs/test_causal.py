@@ -1,0 +1,261 @@
+"""Happens-before graphs: building, critical paths, invariants."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.obs.causal import (
+    build_causal,
+    causal_to_dot,
+    causal_to_json,
+    check_invariants,
+    critical_path,
+    is_artifact_flow,
+    load_causal,
+    render_causal,
+    render_critical_path,
+    vc_leq,
+    vc_less,
+)
+from repro.obs.events import (
+    BIT_ACK,
+    BIT_ENCODE_STARTED,
+    BIT_MOVED,
+    BIT_OVERHEARD,
+    BIT_RECEIPT,
+    DISPLACEMENT,
+    Event,
+)
+from repro.obs.export import ObsRun, dump_run
+from repro.obs.__main__ import record_demo
+
+
+@pytest.fixture(scope="module")
+def demo_trace(tmp_path_factory):
+    """The causal trace of the canonical recorded 2-robot demo run."""
+    path = tmp_path_factory.mktemp("causal") / "demo.jsonl"
+    return load_causal(record_demo(str(path), steps=12))
+
+
+def _vc(*pairs):
+    return [list(pair) for pair in pairs]
+
+
+def _hand_run(events, meta=None) -> ObsRun:
+    return ObsRun(meta=meta or {"protocol": "t", "scheduler": "t"}, events=events)
+
+
+def _clean_flight_events():
+    """One fully stamped bit: encode -> move -> receipt -> ack."""
+    return [
+        Event(BIT_ENCODE_STARTED, 0, {
+            "src": 0, "dst": 1, "seq": 0, "bit": 1, "by": 0,
+            "wall": 0.0, "vc": _vc((0, 1)),
+        }),
+        Event(BIT_MOVED, 0, {
+            "src": 0, "dst": 1, "by": 0, "wall": 0.0, "vc": _vc((0, 2)),
+        }),
+        Event(BIT_RECEIPT, 1, {
+            "src": 0, "dst": 1, "bit": 1, "by": 1,
+            "wall": 1.0, "vc": _vc((0, 2), (1, 3)),
+        }),
+        Event(BIT_ACK, 2, {
+            "src": 0, "dst": 1, "seq": 0, "by": 0,
+            "wall": 2.0, "vc": _vc((0, 4), (1, 3)),
+        }),
+    ]
+
+
+class TestVectorClocks:
+    def test_leq_is_componentwise(self):
+        assert vc_leq(_vc((0, 1)), _vc((0, 2), (1, 5)))
+        assert not vc_leq(_vc((0, 3)), _vc((0, 2)))
+
+    def test_less_is_strict(self):
+        assert vc_less(_vc((0, 1)), _vc((0, 2)))
+        assert not vc_less(_vc((0, 1)), _vc((0, 1)))
+
+    def test_concurrent_clocks_are_unordered(self):
+        a, b = _vc((0, 2), (1, 1)), _vc((0, 1), (1, 2))
+        assert not vc_less(a, b) and not vc_less(b, a)
+
+
+class TestBuild:
+    def test_demo_has_one_flow_with_three_flights(self, demo_trace):
+        graph = demo_trace.flow(0, 1)
+        assert graph is not None
+        assert graph.bits_sent == 3
+        assert graph.bits_delivered == 3
+
+    def test_every_bit_event_is_stamped(self, demo_trace):
+        graph = demo_trace.flow(0, 1)
+        for flight in graph.flights:
+            assert flight.encode is not None and flight.encode.vc
+            assert flight.receipt is not None and flight.receipt.vc
+
+    def test_hand_built_flight_yields_the_canonical_chain(self):
+        trace = build_causal(_hand_run(_clean_flight_events()))
+        graph = trace.flow(0, 1)
+        assert [e.category for e in graph.edges] == [
+            "sender-compute", "observation-delay", "ack-wait",
+        ]
+        assert graph.flights[0].latency == 2.0
+
+    def test_displacements_are_recorded_on_the_trace(self):
+        trace = build_causal(_hand_run([
+            Event(DISPLACEMENT, 3, {"robot": 2}),
+        ]))
+        assert trace.displacements == [(3, 2)]
+
+
+class TestCriticalPath:
+    def test_telescoping_total_equals_wall_span(self, demo_trace):
+        for graph in demo_trace.flows.values():
+            path = critical_path(graph)
+            assert path.edges
+            span = path.nodes[-1].wall - path.nodes[0].wall
+            assert path.total == pytest.approx(span)
+
+    def test_attribution_sums_to_the_total(self, demo_trace):
+        for graph in demo_trace.flows.values():
+            path = critical_path(graph)
+            assert sum(path.attribution().values()) == pytest.approx(path.total)
+
+    def test_empty_graph_yields_an_empty_path(self):
+        trace = build_causal(_hand_run([]))
+        assert trace.flows == {}
+
+
+class TestInvariants:
+    def test_demo_trace_is_clean(self, demo_trace):
+        assert check_invariants(demo_trace, strict_acks=True) == []
+
+    def test_phantom_receipt_is_a_violation(self):
+        trace = build_causal(_hand_run([
+            Event(BIT_RECEIPT, 1, {"src": 0, "dst": 1, "bit": 1, "by": 1}),
+        ]))
+        violations = check_invariants(trace)
+        assert any("never encoded" in v for v in violations)
+
+    def test_vc_regression_on_receipt_is_a_violation(self):
+        events = _clean_flight_events()
+        # break the receipt's clock: concurrent with the encode
+        events[2] = Event(BIT_RECEIPT, 1, {
+            "src": 0, "dst": 1, "bit": 1, "by": 1,
+            "wall": 1.0, "vc": _vc((1, 3)),
+        })
+        violations = check_invariants(build_causal(_hand_run(events)))
+        assert any("not vector-clock after its encode" in v for v in violations)
+
+    def test_ack_before_receipt_only_flags_under_strict(self):
+        events = _clean_flight_events()
+        events[2], events[3] = (
+            Event(BIT_ACK, 1, {"src": 0, "dst": 1, "seq": 0, "by": 0, "wall": 1.0}),
+            Event(BIT_RECEIPT, 2, {"src": 0, "dst": 1, "bit": 1, "by": 1, "wall": 2.0}),
+        )
+        trace = build_causal(_hand_run(events))
+        assert check_invariants(trace, strict_acks=False) == []
+        assert any(
+            "precedes its receipt" in v
+            for v in check_invariants(trace, strict_acks=True)
+        )
+
+    def test_unstamped_legacy_traces_still_check(self):
+        events = [
+            Event(BIT_ENCODE_STARTED, 0, {"src": 0, "dst": 1, "seq": 0, "bit": 1}),
+            Event(BIT_MOVED, 0, {"src": 0, "dst": 1}),
+            Event(BIT_RECEIPT, 1, {"src": 0, "dst": 1, "bit": 1}),
+        ]
+        assert check_invariants(build_causal(_hand_run(events))) == []
+
+
+class TestArtifactFlows:
+    def test_displaced_sender_phantom_is_an_artifact(self):
+        trace = build_causal(_hand_run([
+            Event(DISPLACEMENT, 3, {"robot": 2}),
+            Event(BIT_RECEIPT, 5, {"src": 2, "dst": 1, "bit": 0, "by": 1}),
+        ]))
+        assert is_artifact_flow(trace, (2, 1))
+        assert check_invariants(trace) == []
+
+    def test_phantom_without_a_displacement_still_violates(self):
+        trace = build_causal(_hand_run([
+            Event(BIT_RECEIPT, 5, {"src": 2, "dst": 1, "bit": 0, "by": 1}),
+        ]))
+        assert not is_artifact_flow(trace, (2, 1))
+        assert check_invariants(trace)
+
+    def test_displacement_after_the_decode_does_not_excuse_it(self):
+        trace = build_causal(_hand_run([
+            Event(BIT_RECEIPT, 2, {"src": 2, "dst": 1, "bit": 0, "by": 1}),
+            Event(DISPLACEMENT, 7, {"robot": 2}),
+        ]))
+        assert not is_artifact_flow(trace, (2, 1))
+
+    def test_self_flow_is_an_artifact(self):
+        trace = build_causal(_hand_run([
+            Event(BIT_OVERHEARD, 4, {"src": 1, "dst": 1, "bit": 0, "by": 3}),
+        ]))
+        assert is_artifact_flow(trace, (1, 1))
+        assert check_invariants(trace) == []
+
+    def test_a_real_encode_disqualifies_the_excuse(self):
+        trace = build_causal(_hand_run([
+            Event(DISPLACEMENT, 0, {"robot": 0}),
+            *_clean_flight_events(),
+        ]))
+        assert not is_artifact_flow(trace, (0, 1))
+
+
+class TestRenderers:
+    def test_summary_names_the_flow_and_latency(self, demo_trace):
+        text = render_causal(demo_trace)
+        assert "flow 0->1" in text
+        assert "latency" in text
+
+    def test_critical_path_reports_full_attribution(self, demo_trace):
+        text = render_critical_path(demo_trace)
+        assert "100.0%" in text
+        assert "observation-delay" in text
+
+    def test_json_form_is_serializable_and_versioned(self, demo_trace):
+        doc = json.loads(json.dumps(causal_to_json(demo_trace)))
+        assert doc["format"] == "repro-causal-v1"
+        (flow,) = doc["flows"]
+        assert flow["critical_path"]["edges"]
+        assert flow["artifact"] is False
+
+    def test_dot_output_is_a_digraph(self, demo_trace):
+        dot = causal_to_dot(demo_trace)
+        assert dot.startswith("digraph causal {")
+        assert '"bit-encode-started:0->1:0"' in dot
+
+
+class TestLoadCausal:
+    def test_loads_from_gzipped_trace(self, tmp_path):
+        path = dump_run(
+            _hand_run(_clean_flight_events()), str(tmp_path / "run.jsonl.gz")
+        )
+        trace = load_causal(path)
+        assert trace.flow(0, 1).bits_acked == 1
+
+    def test_truncated_line_names_its_line_number(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text(
+            '{"format": "repro-obs-v1", "version": 1, "meta": {}}\n'
+            '{"kind": "bit-receipt", "t": 1, "src": 0, "ds\n'
+        )
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_causal(str(path))
+
+    def test_corrupt_gzipped_line_names_its_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-obs-v1", "version": 1, "meta": {}}\n')
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_causal(str(path))

@@ -95,6 +95,44 @@ class TestStore:
         assert store.query_index("SELECT COUNT(*) FROM entries") == [(2,)]
 
 
+class TestGzipStore:
+    """``*.jsonl.gz`` histories append and read transparently."""
+
+    def test_append_and_read_back_through_gzip(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl.gz"))
+        store.append(_entry(a=1.0))
+        store.append(_entry(a=2.0))
+        loaded = store.entries()
+        assert [e.seq for e in loaded] == [1, 2]
+        assert loaded[1].metrics == {"a": 2.0}
+
+    def test_the_file_really_is_gzip(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl.gz"))
+        store.append(_entry(a=1.0))
+        with open(store.path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_cli_diff_reads_a_gzipped_history(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        store = HistoryStore(str(tmp_path / "h.jsonl.gz"))
+        store.append(_entry(a=1.0))
+        store.append(_entry(a=5.0))
+        assert obs_main(["diff", "1", "2", "--history", str(store.path)]) == 0
+        out = capsys.readouterr().out
+        assert "entry #1" in out and "entry #2" in out
+        assert "a" in out
+
+    def test_cli_regress_gates_a_gzipped_history(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        store = HistoryStore(str(tmp_path / "h.jsonl.gz"))
+        for value in (1.0, 1.0, 1.1, 1.0, 50.0):
+            store.append(_entry(elapsed_s=value))
+        assert obs_main(["regress", "--history", str(store.path)]) == 3
+        assert "elapsed_s" in capsys.readouterr().err
+
+
 class TestFlatten:
     def test_numeric_and_boolean_leaves_only(self):
         flat = flatten_scalars(

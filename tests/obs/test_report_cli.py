@@ -127,6 +127,131 @@ class TestDiagnostics:
         assert "line 1" in self._err(capsys)
 
 
+class TestJsonFormat:
+    """``--format json`` machine twins of the ASCII views."""
+
+    @pytest.mark.parametrize("command", ["timeline", "gantt", "metrics"])
+    def test_json_output_parses_and_names_its_view(
+        self, demo_path, command, capsys
+    ):
+        import json
+
+        assert main([command, demo_path, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["view"] == command
+
+    def test_timeline_json_carries_instants_and_active_sets(
+        self, demo_path, capsys
+    ):
+        import json
+
+        main(["timeline", demo_path, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["robots"] == 2
+        assert doc["instants"][0]["active"] == [0, 1]
+
+    def test_gantt_json_carries_bit_milestones(self, demo_path, capsys):
+        import json
+
+        main(["gantt", demo_path, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        first = doc["bits"][0]
+        assert first["src"] == 0 and first["dst"] == 1
+        assert first["delivered"] is True
+        assert first["moves"]
+
+    def test_ascii_stays_the_default(self, demo_path, capsys):
+        assert main(["metrics", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "bits_total" in out and not out.startswith("{")
+
+    def test_views_without_a_json_twin_reject_the_flag(self, demo_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", demo_path, "--format", "json"])
+
+
+class TestCausalCli:
+    def test_summary_lists_the_flow(self, demo_path, capsys):
+        assert main(["causal", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "flow 0->1" in out
+
+    def test_critical_path_attributes_all_latency(self, demo_path, capsys):
+        assert main(["causal", demo_path, "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "100.0%" in out
+
+    def test_dot_emits_graphviz(self, demo_path, capsys):
+        assert main(["causal", demo_path, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph causal {")
+
+    def test_json_emits_the_versioned_document(self, demo_path, capsys):
+        import json
+
+        assert main(["causal", demo_path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-causal-v1"
+        assert doc["flows"][0]["critical_path"]["edges"]
+
+    def test_output_modes_are_mutually_exclusive(self, demo_path):
+        with pytest.raises(SystemExit):
+            main(["causal", demo_path, "--dot", "--json"])
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["causal", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such run file" in capsys.readouterr().err
+
+
+class TestWatchCli:
+    def test_once_prints_the_latency_table(self, demo_path, capsys):
+        assert main(["watch", demo_path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "0->1" in out and "p99" in out
+
+    def test_bounded_iterations_terminate(self, demo_path, capsys):
+        assert main(["watch", demo_path, "--iterations", "1",
+                     "--interval", "0"]) == 0
+        assert "watch frame 1" in capsys.readouterr().out
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "gone.jsonl")]) == 1
+        assert "no such run file" in capsys.readouterr().err
+
+
+class TestRegressDiagnostic:
+    """Exit 3 comes with a one-line stderr diagnostic naming offenders."""
+
+    def _history_with_regression(self, tmp_path):
+        from repro.obs.history import HistoryEntry, HistoryStore
+
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        for value in (1.0, 1.0, 1.1, 1.0):
+            store.append(
+                HistoryEntry(source="t", run_id="t", metrics={"elapsed_s": value})
+            )
+        store.append(
+            HistoryEntry(source="t", run_id="t", metrics={"elapsed_s": 10.0})
+        )
+        return str(store.path)
+
+    def test_gating_failure_names_metric_and_band(self, tmp_path, capsys):
+        path = self._history_with_regression(tmp_path)
+        assert main(["regress", "--history", path]) == 3
+        captured = capsys.readouterr()
+        assert "REGRESSIONS" in captured.out
+        line = captured.err.strip()
+        assert line.count("\n") == 0  # one line, grep-able
+        assert "out of bounds" in line
+        assert "elapsed_s=10" in line
+        assert "median 1" in line and "band [" in line
+
+    def test_report_only_suppresses_the_diagnostic(self, tmp_path, capsys):
+        path = self._history_with_regression(tmp_path)
+        assert main(["regress", "--history", path, "--report-only"]) == 0
+        assert capsys.readouterr().err == ""
+
+
 class TestHotspotsCli:
     def test_hotspots_render_for_the_demo_run(self, demo_path, capsys):
         assert main(["hotspots", demo_path]) == 0

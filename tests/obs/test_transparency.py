@@ -29,7 +29,7 @@ def _fake_clock():
     return lambda: next(ticks) * 0.001
 
 
-def _drive_cell(protocol: str, instrument: bool, clock=None):
+def _drive_cell(protocol: str, instrument: bool, clock=None, sink=None):
     """One seeded synchronous run of ``protocol``; optionally recorded."""
     cell = CELLS[(protocol, "synchronous")]
     run = build_run(cell, _SEED, quick=True)
@@ -40,6 +40,8 @@ def _drive_cell(protocol: str, instrument: bool, clock=None):
             meta={"protocol": protocol, "scheduler": "synchronous"},
         )
         recorder.attach(run.sim)
+        if sink is not None:
+            recorder.add_sink(sink)
     attach(run.sim, run.monitors)
     steps = drive(run)
     if recorder is not None:
@@ -69,6 +71,66 @@ class TestBitTransparency:
         _drive_cell(protocol, False)
         assert dispatch_count() == before
         assert recorder_module._dispatches == before
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestCausalStampingTransparency:
+    """Vector-clock stamping rides attach/detach without perturbing."""
+
+    def test_bit_events_carry_vector_clock_stamps(self, protocol):
+        from repro.obs.events import BIT_KINDS
+
+        _, _, _, recorder = _drive_cell(protocol, True)
+        bit_events = [e for e in recorder.events if e.kind in BIT_KINDS]
+        assert bit_events
+        for event in bit_events:
+            assert event.get("vc"), f"unstamped {event.kind}"
+            assert isinstance(event.get("wall"), (int, float))
+
+    def test_robot_phase_hook_is_uninstalled_after_detach(self, protocol):
+        run, _, _, _ = _drive_cell(protocol, True)
+        assert getattr(run.sim, "_robot_phase_hook", None) is None
+
+    def test_stamps_are_deterministic_across_runs(self, protocol):
+        stamps = []
+        for _ in range(2):
+            _, _, _, recorder = _drive_cell(protocol, True)
+            stamps.append(
+                [(e.kind, e.time, e.get("vc")) for e in recorder.events
+                 if e.get("vc") is not None]
+            )
+        assert stamps[0] == stamps[1]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestTapTransparency:
+    """A live sink teed from the recorder must not perturb the run."""
+
+    def test_tapped_run_is_byte_identical(self, protocol):
+        from repro.obs.stream import StreamingSink
+
+        bare, bare_steps, bare_verdicts, _ = _drive_cell(protocol, False)
+        sink = StreamingSink()
+        inst, inst_steps, inst_verdicts, recorder = _drive_cell(
+            protocol, True, sink=sink
+        )
+        assert inst_steps == bare_steps
+        assert _trace_fingerprint(inst) == _trace_fingerprint(bare)
+        assert _received_fingerprint(inst) == _received_fingerprint(bare)
+        assert inst_verdicts == bare_verdicts
+        # the tap saw the exact event stream the recorder kept
+        assert sink.accepted == len(recorder.events)
+        assert sink.dropped == 0
+        assert sink.drain() == recorder.events
+
+    def test_disabled_path_still_dispatches_nothing_with_stream_loaded(
+        self, protocol
+    ):
+        import repro.obs.stream  # noqa: F401 — loading the tap changes nothing
+
+        before = dispatch_count()
+        _drive_cell(protocol, False)
+        assert dispatch_count() == before
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)

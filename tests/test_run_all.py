@@ -12,6 +12,8 @@ import pathlib
 import subprocess
 import sys
 
+import pytest
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
@@ -222,6 +224,65 @@ class TestHistory:
         TestQuickGate._cheap_probes(TestQuickGate(), monkeypatch, run_all)
         monkeypatch.setattr(run_all, "append_history", boom)
         assert run_all.main(["--quick", "--no-history"]) == 0
+
+
+class TestBitLatencyProbe:
+    """The bit-latency histograms land in the snapshot with labels."""
+
+    @pytest.fixture(scope="class")
+    def probe(self):
+        import benchmarks.run_all as run_all
+
+        return run_all.bit_latency_probe()
+
+    def test_probe_covers_both_engines_per_protocol(self, probe):
+        coverage = {
+            (e["labels"]["protocol"], e["labels"]["engine"])
+            for e in probe["series"]
+        }
+        assert ("sync_two", "rounds") in coverage
+        assert ("sync_two", "events") in coverage
+        assert ("async_n", "rounds") in coverage
+        assert probe["latency_samples"] > 0
+
+    def test_engines_agree_on_the_measured_latency(self, probe):
+        by_key = {
+            (e["labels"]["protocol"], e["labels"]["engine"]): e
+            for e in probe["series"]
+        }
+        for protocol in ("sync_two", "async_n"):
+            rounds = by_key[(protocol, "rounds")]
+            events = by_key[(protocol, "events")]
+            assert rounds["count"] == events["count"]
+            assert rounds["sum"] == pytest.approx(events["sum"])
+
+    def test_series_merges_into_the_snapshot_sorted(self, probe):
+        import benchmarks.run_all as run_all
+
+        snapshot = run_all.registry_snapshot({"bit_latency": probe}, {}, {})
+        names = [e["name"] for e in snapshot]
+        assert names == sorted(names)
+        assert names.count("bit_latency_instants") == probe["histograms"]
+
+    def test_history_ingest_flattens_with_labels(self, probe):
+        import benchmarks.run_all as run_all
+        from repro.obs.history import metrics_from_snapshot
+
+        flat = metrics_from_snapshot(
+            run_all.registry_snapshot({"bit_latency": probe}, {}, {})
+        )
+        key = (
+            "bit_latency_instants{engine=rounds,protocol=sync_two,"
+            "scheduler=synchronous}"
+        )
+        assert flat[f"{key}.count"] >= 1
+        assert flat[f"{key}.mean"] > 0
+
+    def test_probe_registry_includes_bit_latency_in_quick(self):
+        import benchmarks.run_all as run_all
+
+        assert "bit_latency" in run_all.PROBES
+        assert "bit_latency" not in run_all._SLOW_PROBES
 
 
 class TestObsFlag:
