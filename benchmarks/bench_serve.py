@@ -1,0 +1,151 @@
+"""Experiment S1 — the serving layer under open-loop session load.
+
+The paper's deaf-dumb bit channel is a transport; :mod:`repro.serve`
+is the multi-tenant service built on it — thousands of concurrent
+swarm sessions multiplexed over one asyncio loop and a worker pool,
+with bounded admission, LRU eviction and CRC-verified checkpoint
+restore.  This module is the thin benchmark face of that layer:
+
+* the ``throughput`` cell drives an open-loop (Poisson-arrival) cohort
+  of chat sessions, all held live at once, and reports sessions/sec,
+  instants/sec and client-observed p50/p99 step latency;
+* the ``churn`` cell forces the live-session budget far below the
+  cohort size, so every session is repeatedly evicted to the
+  checkpoint store and restored — each restore re-proving trace-CRC
+  byte identity with the uninterrupted run.
+
+The heavy acceptance configuration (>= 1000 concurrent sessions) lives
+behind ``python -m repro.serve bench --quick``; this module's cells
+are the campaign-sized probes ``run_all`` folds into
+``BENCH_history.jsonl`` under the ``python -m repro.obs regress`` gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+# Support running as a standalone script (python benchmarks/bench_serve.py).
+if __package__ in (None, ""):
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.support import print_table, table_cells
+
+
+def serve_cell(
+    phase: str = "throughput", sessions: int = 0, seed: int = 0
+) -> Dict[str, object]:
+    """One serving-layer probe cell; ``phase`` picks the workload.
+
+    * ``throughput``: open-loop arrivals, whole cohort concurrently
+      live (default 100 sessions) — the latency/throughput numbers.
+    * ``churn``: cohort several times larger than ``max_live``
+      (default 24 sessions over 6 slots) — the eviction/restore
+      numbers, every restore CRC-checked against its checkpoint.
+    """
+    from repro.serve.bench import churn_phase, throughput_phase
+
+    if phase == "throughput":
+        row = asyncio.run(
+            throughput_phase(sessions=sessions or 100, seed=seed)
+        )
+        row.pop("metrics", None)  # keep the cell payload compact
+        return row
+    if phase == "churn":
+        return asyncio.run(
+            churn_phase(sessions=sessions or 24, max_live=6, seed=seed)
+        )
+    raise ValueError(f"unknown phase {phase!r}")
+
+
+def serve_probe(
+    sessions: int = 40, churn_sessions: int = 12, seed: int = 0
+) -> Dict[str, object]:
+    """Both phases at campaign-probe size, one flat metrics payload.
+
+    The shape ``run_all`` ingests into the longitudinal history: the
+    throughput row's live :class:`MetricsRegistry` snapshot is kept
+    under ``"metrics"`` and the churn verdicts ride alongside, so the
+    regress gate watches sessions/sec, p99 latency *and* the
+    CRC-verified restore count in one entry.
+    """
+    from repro.serve.bench import churn_phase, throughput_phase
+
+    row = asyncio.run(throughput_phase(sessions=sessions, seed=seed))
+    churn = asyncio.run(
+        churn_phase(sessions=churn_sessions, max_live=4, seed=seed)
+    )
+    merged = dict(row)
+    merged.update(churn)
+    merged["crc_restore_identity"] = (
+        churn["crc_verified_restores"] == churn["restores"]
+    )
+    return merged
+
+
+def test_serve_cells_shape(benchmark):
+    """Both cells at test size: cohort fully live, churn really churns."""
+    rows = benchmark.pedantic(
+        lambda: [
+            serve_cell("throughput", sessions=12, seed=3),
+            serve_cell("churn", sessions=12, seed=3),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    throughput, churn = rows
+    assert throughput["completed"] == 12
+    assert throughput["peak_concurrent"] == 12
+    assert 0.0 < throughput["step_p50_ms"] <= throughput["step_p99_ms"]
+    assert churn["evictions"] > 0
+    assert churn["crc_verified_restores"] == churn["restores"] > 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Delegate to the real load generator (``repro.serve.bench``).
+
+    ``python benchmarks/bench_serve.py --quick`` is therefore exactly
+    ``python -m repro.serve bench --quick`` — one CLI, one acceptance
+    configuration, two spellings.
+    """
+    from repro.serve.bench import main as bench_main
+
+    return bench_main(argv)
+
+
+def _table_main() -> None:
+    """Regenerate the S1 table from both campaign-sized cells."""
+    rows = [
+        serve_cell("throughput", sessions=100),
+        serve_cell("churn", sessions=24),
+    ]
+    throughput, churn = rows
+    print_table(
+        "S1 — serving layer: open-loop load and eviction churn",
+        ["phase", "sessions", "peak live", "sessions/s", "instants/s",
+         "p50 ms", "p99 ms", "evict", "restore (CRC ok)"],
+        [
+            ("throughput", throughput["sessions"],
+             throughput["peak_concurrent"],
+             int(throughput["sessions_per_sec"]),
+             int(throughput["steps_per_sec"]),
+             round(throughput["step_p50_ms"], 2),
+             round(throughput["step_p99_ms"], 2), "-", "-"),
+            ("churn", churn["churn_sessions"], churn["churn_max_live"],
+             "-", "-", "-", "-", churn["evictions"],
+             churn["crc_verified_restores"]),
+        ],
+    )
+
+
+cells, run_cell = table_cells(
+    ("serve", serve_cell, {"phase": ("throughput", "churn")}),
+    main=_table_main,
+)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

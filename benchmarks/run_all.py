@@ -70,6 +70,7 @@ from benchmarks import (
     bench_a4_staleness,
     bench_a5_noise,
     bench_event_sparse,
+    bench_serve,
     bench_p1_scaling,
     bench_p2_throughput,
     bench_p3_protocol_matrix,
@@ -95,6 +96,7 @@ MODULES = [
     bench_a4_staleness,
     bench_a5_noise,
     bench_event_sparse,
+    bench_serve,
     bench_p1_scaling,
     bench_p2_throughput,
     bench_p3_protocol_matrix,
@@ -317,6 +319,19 @@ def event_sparse_probe(n: int = 10_000, events: int = 30_000) -> Dict:
     return sparse_probe(n=n, events=events)
 
 
+def serve_load_probe(sessions: int = 40, churn_sessions: int = 12) -> Dict:
+    """Serving-layer load + churn at campaign-probe size (bench_serve).
+
+    Pure python over the stdlib event loop.  The payload carries the
+    service's live metrics snapshot plus the churn verdicts, so the
+    history tracks sessions/sec, p99 step latency and the CRC-verified
+    restore count; ``crc_restore_identity`` doubles as an invariant.
+    """
+    from benchmarks.bench_serve import serve_probe
+
+    return serve_probe(sessions=sessions, churn_sessions=churn_sessions)
+
+
 def git_commit() -> Optional[str]:
     """The repo's current commit hash, or None outside a git checkout."""
     try:
@@ -532,6 +547,7 @@ PROBES: Dict[str, object] = {
         sizes=(10_000, 100_000), compare_n=256
     ),
     "event_sparse_n10k": lambda: event_sparse_probe(),
+    "serve_load": lambda: serve_load_probe(),
     "bit_latency": lambda: bit_latency_probe(),
 }
 
@@ -748,6 +764,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"[probe event_sparse n={sparse['n']}: "
             f"{sparse['events_per_sec']:,.0f} events/s, "
             f"duty {sparse['duty']:.2%}, heap max {sparse['heap_depth_max']:.0f}]"
+        )
+    serve = probes.get("serve_load")
+    if serve is not None and "error" not in serve:
+        print(
+            f"[probe serve_load: {serve['completed']} sessions "
+            f"(peak {serve['peak_concurrent']} live), "
+            f"{serve['sessions_per_sec']:.0f} sessions/s, "
+            f"p99 {serve['step_p99_ms']:.1f}ms, "
+            f"{serve['evictions']} evictions / "
+            f"{serve['crc_verified_restores']} CRC-verified restores]"
+        )
+        invariants["serve_crc_restore_identity"] = bool(
+            serve.get("crc_restore_identity", False)
         )
     for name in ("batch_scaling_n1k", "batch_scaling_large"):
         probe = probes.get(name)

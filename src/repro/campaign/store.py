@@ -48,6 +48,27 @@ __all__ = ["CellRecord", "ResultStore", "current_git_commit"]
 RESULT_SCHEMA = "repro-campaign-result"
 RESULT_VERSION = 1
 
+#: how long a connection waits on a locked index before giving up.
+#: The serving layer checkpoints sessions into a store while
+#: ``campaign status`` style readers rebuild/query the index; without
+#: a budget the loser of that race dies with ``database is locked``.
+INDEX_BUSY_TIMEOUT_S = 5.0
+
+
+def _connect(path: pathlib.Path) -> sqlite3.Connection:
+    """Open the index in WAL mode with a busy timeout.
+
+    WAL lets readers proceed under a concurrent writer (each sees a
+    consistent snapshot); the busy timeout turns the residual
+    writer-vs-writer collisions into short waits instead of immediate
+    ``database is locked`` errors.  The journal mode is persistent —
+    set when the index is built, inherited by every later reader.
+    """
+    conn = sqlite3.connect(path, timeout=INDEX_BUSY_TIMEOUT_S)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute(f"PRAGMA busy_timeout={int(INDEX_BUSY_TIMEOUT_S * 1000)}")
+    return conn
+
 
 def current_git_commit(cwd: Optional[str] = None) -> Optional[str]:
     """The enclosing checkout's HEAD commit, or ``None`` outside git."""
@@ -299,7 +320,7 @@ class ResultStore:
         tmp = self.index_path.with_suffix(".db.tmp")
         if tmp.exists():
             tmp.unlink()
-        conn = sqlite3.connect(tmp)
+        conn = _connect(tmp)
         try:
             conn.execute(
                 """
@@ -339,7 +360,7 @@ class ResultStore:
     def query_index(self, sql: str, *args: object) -> List[tuple]:
         """Run a read-only query against a freshly built index."""
         self.build_index()
-        conn = sqlite3.connect(self.index_path)
+        conn = _connect(self.index_path)
         try:
             return list(conn.execute(sql, args))
         finally:

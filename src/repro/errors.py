@@ -23,6 +23,9 @@ __all__ = [
     "ObservabilityError",
     "CampaignError",
     "CellTimeoutError",
+    "ServeError",
+    "SessionRejectedError",
+    "UnknownSessionError",
 ]
 
 
@@ -113,3 +116,33 @@ class CellTimeoutError(CampaignError):
     converts it into a ``timeout`` attempt outcome (retried with
     backoff, then recorded as failed — never silently dropped).
     """
+
+
+class ServeError(ReproError):
+    """The serving layer (:mod:`repro.serve`) was used inconsistently.
+
+    Raised for malformed session specs, operations on closed or failed
+    sessions, and serving-infrastructure contract breaches.
+    """
+
+
+class SessionRejectedError(ServeError):
+    """The service refused new work under load (HTTP-429 semantics).
+
+    Carries ``code = 429``.  Raised when the pending-step queue is at
+    its high watermark; the service accepts again once the queue drains
+    to the low watermark (hysteresis, so admission does not flap).
+    Clients are expected to back off and retry.
+    """
+
+    code = 429
+
+
+class UnknownSessionError(ServeError):
+    """No session with the given id exists (HTTP-404 semantics).
+
+    Carries ``code = 404``.  Raised for operations addressed to a
+    session id that was never created or has already been closed.
+    """
+
+    code = 404

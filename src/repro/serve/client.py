@@ -1,0 +1,79 @@
+"""The in-process client: the service API without sockets.
+
+Tests, the smoke job and the load generator all speak to the service
+through this class, which is a thin veneer over
+:class:`~repro.serve.manager.SessionManager` — the *same* code paths
+(admission gate, batch ticker, eviction, persistence) a TCP client
+exercises, minus serialization.  ``repro.serve.net`` implements the
+byte-level twin over asyncio streams with the identical verb set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.serve.manager import SessionManager
+from repro.serve.session import SessionSpec
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Async client bound to an in-process manager."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    async def create(
+        self,
+        app: str,
+        size: int,
+        seed: int = 0,
+        params: Optional[Dict[str, object]] = None,
+        record: bool = False,
+    ) -> str:
+        """Open a session; returns its id."""
+        spec = SessionSpec(app=app, size=size, seed=seed, params=dict(params or {}))
+        return await self.manager.create(spec, record=record)
+
+    async def send(
+        self, sid: str, src: int, dst: int, payload: Union[str, bytes]
+    ) -> Dict:
+        """Inject one message (text is UTF-8 encoded)."""
+        data = payload.encode("utf-8") if isinstance(payload, str) else payload
+        return await self.manager.send(sid, src, dst, data)
+
+    async def step(self, sid: str, instants: Optional[int] = None) -> Dict:
+        """Advance a session; resolves with its post-tick status."""
+        return await self.manager.step(sid, instants)
+
+    async def run_to_completion(
+        self, sid: str, instants_per_step: int = 25, max_requests: int = 2_000
+    ) -> Dict:
+        """Step until the session leaves the ``running`` state."""
+        doc = await self.manager.step(sid, instants_per_step)
+        requests = 1
+        while doc["status"] == "running" and requests < max_requests:
+            doc = await self.manager.step(sid, instants_per_step)
+            requests += 1
+        return doc
+
+    async def query(self, sid: str) -> Dict:
+        """Status + app summary (parked sessions answer from disk)."""
+        return await self.manager.query(sid)
+
+    async def checkpoint(self, sid: str) -> Dict:
+        """The session's current checkpoint document."""
+        return await self.manager.checkpoint(sid)
+
+    async def close(self, sid: str) -> Dict:
+        """Tear the session down; returns its final summary."""
+        return await self.manager.close(sid)
+
+    async def export_obs(self, sid: str, path: str) -> str:
+        """Dump a recorded session's obs trace; returns the path."""
+        return await self.manager.export_obs(sid, path)
+
+    def stats(self) -> Dict[str, object]:
+        """The service-level stats snapshot."""
+        return self.manager.stats()

@@ -1,0 +1,158 @@
+"""The session host: a command-driven table of live sessions.
+
+One host owns a set of :class:`~repro.serve.session.Session` objects
+and executes plain-data commands against them — the exact surface the
+worker pool ships across process boundaries, so the in-process pool
+and the process pool are interchangeable by construction.  Commands
+and results are JSON-shaped (dicts, lists, strings, numbers) and
+exceptions travel as ``{"error": {"type", "message"}}`` envelopes that
+the pool re-raises as the matching :mod:`repro.errors` class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError, UnknownSessionError
+from repro.serve.session import Session, SessionSpec
+
+__all__ = ["SessionHost"]
+
+
+class SessionHost:
+    """Executes session commands; one per worker."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, Session] = {}
+        self._recorders: Dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def session_ids(self) -> List[str]:
+        return sorted(self._sessions)
+
+    def _get(self, sid: str) -> Session:
+        try:
+            return self._sessions[sid]
+        except KeyError:
+            raise UnknownSessionError(f"no session {sid!r} on this worker") from None
+
+    def create(
+        self,
+        sid: str,
+        spec_doc: Dict[str, object],
+        checkpoint: Optional[Dict[str, object]] = None,
+        record: bool = False,
+    ) -> Dict[str, object]:
+        """Create (or restore, when a checkpoint is given) one session.
+
+        ``record=True`` attaches an :class:`~repro.obs.recorder.ObsRecorder`
+        to the session's simulator — byte-transparent by the obs
+        layer's enforced contract, so recorded and unrecorded sessions
+        take identical trajectories.
+        """
+        if sid in self._sessions:
+            raise ServeError(f"session {sid!r} already exists on this worker")
+        if checkpoint is not None:
+            session = Session.restore(checkpoint)
+            if SessionSpec.from_json(spec_doc) != session.spec:
+                raise ServeError(
+                    f"checkpoint for {sid!r} carries a different spec"
+                )
+        else:
+            session = Session(SessionSpec.from_json(spec_doc))
+        self._sessions[sid] = session
+        if record:
+            from repro.obs.recorder import ObsRecorder
+
+            recorder = ObsRecorder(meta={"session": sid, "app": session.spec.app})
+            recorder.attach(session.harness.simulator)
+            self._recorders[sid] = recorder
+        return session.status_doc()
+
+    def close(self, sid: str) -> Dict[str, object]:
+        """Remove one session; returns its final summary."""
+        session = self._get(sid)
+        summary = session.summary()
+        self._drop(sid)
+        return summary
+
+    def _drop(self, sid: str) -> None:
+        session = self._sessions.pop(sid)
+        recorder = self._recorders.pop(sid, None)
+        if recorder is not None:
+            recorder.detach(session.harness.simulator)  # type: ignore[attr-defined]
+
+    # -- work ----------------------------------------------------------
+    def send(self, sid: str, src: int, dst: int, data: str) -> Dict[str, object]:
+        """Inject one hex-encoded external message; returns the status."""
+        session = self._get(sid)
+        session.apply_send(src, dst, bytes.fromhex(data))
+        return session.status_doc()
+
+    def step(self, sid: str, instants: int) -> Dict[str, object]:
+        """Advance one session; the status doc gains a ``ran`` count."""
+        session = self._get(sid)
+        ran = session.step(instants)
+        return {**session.status_doc(), "ran": ran}
+
+    def step_batch(
+        self, requests: Sequence[Tuple[str, int]]
+    ) -> List[Dict[str, object]]:
+        """One worker tick: step many sessions in one command.
+
+        Per-session failures are embedded in that session's slot (the
+        error envelope) instead of aborting the whole tick — one bad
+        session must not stall its batch neighbours.
+        """
+        out: List[Dict[str, object]] = []
+        for sid, instants in requests:
+            try:
+                out.append(self.step(sid, instants))
+            except Exception as exc:
+                out.append(
+                    {"error": {"type": type(exc).__name__, "message": str(exc)}}
+                )
+        return out
+
+    def query(self, sid: str) -> Dict[str, object]:
+        """Status plus the app's own outcome view."""
+        return self._get(sid).summary()
+
+    # -- durability ----------------------------------------------------
+    def checkpoint(self, sid: str) -> Dict[str, object]:
+        """The session's checkpoint document (session stays live)."""
+        return self._get(sid).checkpoint()
+
+    def evict(self, sid: str) -> Dict[str, object]:
+        """Checkpoint a session and drop the live object."""
+        checkpoint = self._get(sid).checkpoint()
+        self._drop(sid)
+        return checkpoint
+
+    def trace_crc(self, sid: str) -> str:
+        """The session's current trace fingerprint."""
+        return self._get(sid).trace_crc()
+
+    def export_obs(self, sid: str, path: str) -> str:
+        """Dump a recorded session's obs trace as JSONL; returns path."""
+        recorder = self._recorders.get(sid)
+        if recorder is None:
+            raise ServeError(
+                f"session {sid!r} was not created with record=True"
+            )
+        from repro.obs.export import dump_run
+
+        return dump_run(recorder.to_run(), path)  # type: ignore[attr-defined]
+
+    # -- command dispatch (the wire surface) ---------------------------
+    def execute(self, command: Tuple[object, ...]) -> object:
+        """Run one ``(op, *args)`` command; exceptions propagate."""
+        op, *args = command
+        handler = getattr(self, str(op), None)
+        if handler is None or str(op).startswith("_"):
+            raise ServeError(f"unknown host command {op!r}")
+        return handler(*args)

@@ -1,0 +1,158 @@
+"""The TCP front end: JSON-lines over asyncio streams.
+
+Wire protocol (one JSON object per ``\\n``-terminated line, UTF-8):
+
+Request::
+
+    {"op": "create", "app": "chat", "size": 2, "seed": 1,
+     "params": {...}, "record": false}
+    {"op": "send",   "sid": "s…", "src": 0, "dst": 1, "data": "<hex>"}
+    {"op": "step",   "sid": "s…", "instants": 25}
+    {"op": "query",  "sid": "s…"}
+    {"op": "close",  "sid": "s…"}
+    {"op": "stats"}
+
+Response::
+
+    {"ok": true,  ...result fields...}
+    {"ok": false, "error": "SessionRejectedError", "code": 429,
+     "message": "..."}
+
+Error codes follow the exception family: 429 for admission rejection,
+404 for unknown sessions, 400 for everything else the library raised.
+The server is deliberately minimal — every interesting behaviour lives
+in the :class:`~repro.serve.manager.SessionManager` it fronts, which
+the in-process client exercises identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.errors import ReproError, ServeError
+from repro.serve.manager import SessionManager
+from repro.serve.session import SessionSpec
+
+__all__ = ["request", "serve_forever", "start_server"]
+
+
+async def _dispatch(manager: SessionManager, doc: Dict[str, object]) -> Dict:
+    op = doc.get("op")
+    if op == "create":
+        spec = SessionSpec(
+            app=str(doc["app"]),
+            size=int(doc.get("size", 2)),  # type: ignore[arg-type]
+            seed=int(doc.get("seed", 0)),  # type: ignore[arg-type]
+            params=dict(doc.get("params") or {}),  # type: ignore[arg-type]
+        )
+        sid = await manager.create(spec, record=bool(doc.get("record", False)))
+        return {"sid": sid}
+    if op == "send":
+        return await manager.send(
+            str(doc["sid"]),
+            int(doc["src"]),  # type: ignore[arg-type]
+            int(doc["dst"]),  # type: ignore[arg-type]
+            bytes.fromhex(str(doc["data"])),
+        )
+    if op == "step":
+        instants = doc.get("instants")
+        return await manager.step(
+            str(doc["sid"]), None if instants is None else int(instants)  # type: ignore[arg-type]
+        )
+    if op == "query":
+        return await manager.query(str(doc["sid"]))
+    if op == "checkpoint":
+        return await manager.checkpoint(str(doc["sid"]))
+    if op == "close":
+        return await manager.close(str(doc["sid"]))
+    if op == "stats":
+        return dict(manager.stats())
+    raise ServeError(f"unknown op {op!r}")
+
+
+async def _handle_connection(
+    manager: SessionManager,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                doc = json.loads(line)
+                if not isinstance(doc, dict):
+                    raise ServeError("request must be a JSON object")
+                result = await _dispatch(manager, doc)
+                reply = {"ok": True, **result}
+            except ReproError as exc:
+                reply = {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "code": getattr(exc, "code", 400),
+                    "message": str(exc),
+                }
+            except json.JSONDecodeError as exc:
+                reply = {
+                    "ok": False,
+                    "error": "JSONDecodeError",
+                    "code": 400,
+                    "message": str(exc),
+                }
+            writer.write(json.dumps(reply, sort_keys=True).encode("utf-8") + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def start_server(
+    manager: SessionManager, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the service; ``port=0`` picks a free port (tests)."""
+    manager.start()
+
+    async def handler(reader, writer):
+        await _handle_connection(manager, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+async def serve_forever(
+    manager: SessionManager, host: str = "127.0.0.1", port: int = 7642
+) -> None:
+    """Run the front end until cancelled (the ``serve`` CLI verb)."""
+    server = await start_server(manager, host, port)
+    addr = server.sockets[0].getsockname() if server.sockets else (host, port)
+    print(f"[repro.serve] listening on {addr[0]}:{addr[1]}")
+    async with server:
+        await server.serve_forever()
+
+
+async def request(
+    doc: Dict[str, object], host: str = "127.0.0.1", port: int = 7642
+) -> Dict:
+    """One client round-trip (the ``status`` CLI verb, and tests)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+    if not line:
+        raise ServeError("server closed the connection without replying")
+    reply = json.loads(line)
+    if not isinstance(reply, dict):
+        raise ServeError(f"malformed reply {reply!r}")
+    return reply

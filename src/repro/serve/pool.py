@@ -1,0 +1,161 @@
+"""Worker pools: where session commands actually execute.
+
+Two interchangeable implementations of the same tiny async interface:
+
+* :class:`InlinePool` — one :class:`~repro.serve.host.SessionHost` in
+  the service process.  No sockets, no pipes, no pickling: the default
+  for tests and the only sensible choice on a single-core box.
+* :class:`ProcessPool` — ``n`` forked workers, each owning a host,
+  spoken to over a duplex pipe.  Session affinity is static —
+  ``crc32(sid) % n`` — so a session's live object never migrates and
+  per-session command ordering is free.  Each worker's pipe is
+  serialized by an :class:`asyncio.Lock`; blocking ``recv`` calls run
+  in the default executor so the event loop keeps multiplexing other
+  workers' traffic.
+
+Both pools re-raise worker-side exceptions as the matching
+:mod:`repro.errors` class, so callers cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import zlib
+from typing import List, Optional, Tuple
+
+from repro import errors as _errors
+from repro.errors import ServeError
+from repro.serve.host import SessionHost
+
+__all__ = ["InlinePool", "ProcessPool", "WorkerPool", "make_pool"]
+
+_STOP = ("__stop__",)
+
+
+def _reraise(type_name: str, message: str) -> None:
+    """Rebuild a worker-side exception as its local errors class."""
+    cls = getattr(_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, _errors.ReproError)):
+        cls = ServeError
+        message = f"{type_name}: {message}"
+    raise cls(message)
+
+
+class WorkerPool:
+    """The pool interface the session manager programs against."""
+
+    size: int = 1
+
+    def worker_of(self, sid: str) -> int:
+        """Static session affinity: a session never changes workers."""
+        return zlib.crc32(sid.encode("utf-8")) % self.size
+
+    async def call(self, worker: int, command: Tuple[object, ...]) -> object:
+        """Execute one host command on the given worker."""
+        raise NotImplementedError
+
+    async def call_for(self, sid: str, command: Tuple[object, ...]) -> object:
+        """Route a command to the session's worker."""
+        return await self.call(self.worker_of(sid), command)
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+
+class InlinePool(WorkerPool):
+    """Everything in-process: one host, zero transport."""
+
+    size = 1
+
+    def __init__(self) -> None:
+        self.host = SessionHost()
+
+    async def call(self, worker: int, command: Tuple[object, ...]) -> object:
+        """Execute one host command on the single in-process worker."""
+        if worker != 0:
+            raise ServeError(f"inline pool has one worker, got index {worker}")
+        return self.host.execute(command)
+
+
+def _worker_main(conn) -> None:
+    """A worker process: execute commands until told to stop."""
+    host = SessionHost()
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError):
+            break
+        if command == _STOP:
+            break
+        try:
+            result = host.execute(command)
+            conn.send(("ok", result))
+        except Exception as exc:  # shipped back, re-raised caller-side
+            conn.send(("error", type(exc).__name__, str(exc)))
+    conn.close()
+
+
+class ProcessPool(WorkerPool):
+    """``n`` forked session hosts behind duplex pipes."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ServeError(f"need >= 1 worker, got {workers}")
+        self.size = workers
+        self._conns = []
+        self._procs: List[multiprocessing.Process] = []
+        self._locks: List[asyncio.Lock] = [asyncio.Lock() for _ in range(workers)]
+        self._closed = False
+        for _ in range(workers):
+            parent, child = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_worker_main, args=(child,), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    async def call(self, worker: int, command: Tuple[object, ...]) -> object:
+        """Execute one host command on a worker process, serialized per pipe."""
+        if self._closed:
+            raise ServeError("pool is closed")
+        if not (0 <= worker < self.size):
+            raise ServeError(f"worker index {worker} out of range")
+        conn = self._conns[worker]
+        loop = asyncio.get_running_loop()
+        async with self._locks[worker]:
+            conn.send(command)
+            try:
+                reply = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError) as exc:
+                raise ServeError(
+                    f"worker {worker} died executing {command[0]!r}"
+                ) from exc
+        if reply[0] == "ok":
+            return reply[1]
+        _reraise(reply[1], reply[2])
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+
+def make_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The right pool for a worker count (None/0/1 -> inline)."""
+    if not workers or workers <= 1:
+        return InlinePool()
+    return ProcessPool(workers)

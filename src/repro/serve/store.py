@@ -1,0 +1,93 @@
+"""Session persistence over the campaign result store.
+
+Evicted sessions park their checkpoints in a campaign
+:class:`~repro.campaign.store.ResultStore` — the same atomic
+write-temp-and-rename result files, fsync'd journal and derived SQLite
+index the experiment engine trusts for byte-identical ``--resume``.
+Each session is one :class:`~repro.campaign.store.CellRecord` of kind
+``serve_session`` whose payload *is* the checkpoint document; eviction
+and restore events land in the journal; ``python -m repro.campaign``
+style status queries go through the (WAL-mode) index while the service
+keeps writing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.campaign.store import CellRecord, ResultStore
+from repro.errors import ServeError, UnknownSessionError
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore:
+    """Durable checkpoints for evicted (or archived) sessions."""
+
+    def __init__(self, root: str) -> None:
+        self.store = ResultStore(root)
+        self.store.root.mkdir(parents=True, exist_ok=True)
+        self.store.results_dir.mkdir(exist_ok=True)
+
+    @property
+    def root(self) -> pathlib.Path:
+        return self.store.root
+
+    def save(self, sid: str, checkpoint: Dict[str, object]) -> None:
+        """Atomically persist one checkpoint; journals the eviction."""
+        if checkpoint.get("schema") != "repro-serve-session":
+            raise ServeError(
+                f"not a session checkpoint (schema={checkpoint.get('schema')!r})"
+            )
+        record = CellRecord(
+            cell_id=sid,
+            kind="serve_session",
+            params={
+                "app": checkpoint["spec"]["app"],  # type: ignore[index]
+                "spec_hash": checkpoint["spec_hash"],
+            },
+            status="ok",
+            attempts=1,
+            payload=checkpoint,
+        )
+        self.store.write_result(record)
+        self.store.journal(
+            "session_checkpoint",
+            session=sid,
+            steps=checkpoint["steps_applied"],
+            trace_crc=checkpoint["trace_crc"],
+        )
+
+    def load(self, sid: str) -> Dict[str, object]:
+        """One parked checkpoint; journals the restore."""
+        if not self.store.has_result(sid):
+            raise UnknownSessionError(f"no checkpoint for session {sid!r}")
+        record = self.store.read_result(sid)
+        if record.kind != "serve_session" or record.payload is None:
+            raise ServeError(f"result {sid!r} is not a session checkpoint")
+        self.store.journal("session_restore", session=sid)
+        return dict(record.payload)
+
+    def has(self, sid: str) -> bool:
+        """Is a checkpoint parked for this session?"""
+        return self.store.has_result(sid)
+
+    def discard(self, sid: str) -> None:
+        """Drop a parked checkpoint (closed sessions need no replay)."""
+        path = self.store.result_path(sid)
+        if path.exists():
+            path.unlink()
+
+    def session_ids(self) -> List[str]:
+        """Every parked session, via the (concurrent-safe) index."""
+        rows = self.store.query_index(
+            "SELECT cell_id FROM cells WHERE kind = 'serve_session' "
+            "ORDER BY cell_id"
+        )
+        return [str(row[0]) for row in rows]
+
+    def checkpoint_bytes(self, sid: str) -> Optional[int]:
+        """On-disk size of one checkpoint (metrics food)."""
+        path = self.store.result_path(sid)
+        return path.stat().st_size if path.exists() else None

@@ -15,9 +15,10 @@ monitors attached, and compared field by field.
 Two sweeps compose the oracle:
 
 1. the **matrix arm** — every executable ``(protocol, adversary)``
-   cell except ``worst_stale`` (a round-engine ``Simulator`` subclass
-   with no event twin) and the ``event_*`` adversaries (inherently
-   event-engine cells: there is no round twin to diff against);
+   cell except the ``event_*`` adversaries (inherently event-engine
+   cells: there is no round twin to diff against); ``worst_stale``
+   diffs through its dedicated event twin,
+   :class:`repro.verify.adversaries.SawtoothStaleEventSimulator`;
 2. the **fair-async arm** — every protocol's ``synchronous`` cell
    re-run under a seeded
    :class:`~repro.model.scheduler.FairAsynchronousScheduler`, so all
@@ -54,10 +55,6 @@ __all__ = [
 #: Adversaries the event oracle cannot twin, with the reason — reported
 #: as skips, exactly like the matrix's own ``SKIPS``.
 EVENT_ORACLE_SKIPS: Dict[str, str] = {
-    "worst_stale": (
-        "the stale-look adversary is a round-engine Simulator subclass "
-        "(per-robot Look snapshots); the event engine has no twin"
-    ),
     "event_heavy_tail": (
         "inherently an event-engine cell (free-running heavy-tail "
         "timing); the round engine has no continuous-time twin"

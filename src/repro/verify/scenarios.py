@@ -634,14 +634,16 @@ def build_run(
                 "the worst_stale adversary is a scalar Simulator subclass; "
                 f"backend {backend!r} has no stale-look twin"
             )
-        if engine != "rounds":
-            raise ModelError(
-                "the worst_stale adversary is a round-engine Simulator "
-                "subclass; the event engine has no stale-look twin"
+        if engine == "events":
+            from repro.verify.adversaries import SawtoothStaleEventSimulator
+
+            sim = SawtoothStaleEventSimulator(
+                robots, STALE_MAX_DELAY, scheduler=scheduler, caching=caching
             )
-        sim = SawtoothStaleLookSimulator(
-            robots, STALE_MAX_DELAY, scheduler=scheduler, caching=caching
-        )
+        else:
+            sim = SawtoothStaleLookSimulator(
+                robots, STALE_MAX_DELAY, scheduler=scheduler, caching=caching
+            )
     elif engine == "events":
         from repro.events.engine import EventSimulator
         from repro.events.timing import TimingModel

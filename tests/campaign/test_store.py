@@ -167,3 +167,62 @@ class TestIndex:
             "SELECT payload_ok FROM cells WHERE cell_id = ?", record.cell_id
         )
         assert rows == [(0,)]
+
+
+# ----------------------------------------------------------------------
+# Index concurrency (WAL mode)
+# ----------------------------------------------------------------------
+
+def test_index_is_wal_mode_with_busy_timeout(tmp_path):
+    """The derived index must serve readers under a concurrent writer.
+
+    The serving layer checkpoints sessions into a store while status
+    tooling queries the index; WAL journal mode (persistent in the db
+    file) plus a busy timeout is what keeps that from dying with
+    ``database is locked``.
+    """
+    import sqlite3
+
+    store = ResultStore(str(tmp_path))
+    spec = _spec(2)
+    store.initialize(spec)
+    for cell in spec.cells:
+        store.write_result(_record(cell))
+    store.build_index()
+
+    conn = sqlite3.connect(store.index_path)
+    try:
+        mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+    finally:
+        conn.close()
+
+
+def test_index_readable_while_writer_holds_transaction(tmp_path):
+    """A reader sees a consistent snapshot under an open write txn."""
+    from repro.campaign.store import _connect
+
+    store = ResultStore(str(tmp_path))
+    spec = _spec(3)
+    store.initialize(spec)
+    for cell in spec.cells:
+        store.write_result(_record(cell))
+    store.build_index()
+
+    writer = _connect(store.index_path)
+    try:
+        writer.execute("BEGIN IMMEDIATE")
+        writer.execute("UPDATE cells SET attempts = attempts + 1")
+        # Under rollback journaling this read would raise
+        # "database is locked"; under WAL it sees the pre-txn snapshot.
+        reader = _connect(store.index_path)
+        try:
+            rows = reader.execute(
+                "SELECT COUNT(*), MAX(attempts) FROM cells"
+            ).fetchone()
+            assert rows == (3, 1)
+        finally:
+            reader.close()
+        writer.rollback()
+    finally:
+        writer.close()

@@ -1,0 +1,82 @@
+"""The load generator and the serve CLI entry points."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.bench import churn_phase, main as bench_main, throughput_phase
+
+pytestmark = pytest.mark.serve
+
+
+def test_throughput_phase_shape():
+    row = asyncio.run(throughput_phase(sessions=25, seed=3))
+    assert row["completed"] == 25
+    assert row["peak_concurrent"] == 25  # the cohort stays open
+    assert row["sessions_per_sec"] > 0
+    assert row["steps_per_sec"] > 0
+    assert 0.0 < row["step_p50_ms"] <= row["step_p99_ms"]
+    assert row["rejections"] == 0
+
+
+def test_throughput_is_seeded():
+    a = asyncio.run(throughput_phase(sessions=10, seed=5))
+    b = asyncio.run(throughput_phase(sessions=10, seed=5))
+    # Wall-clock numbers differ run to run; the workload must not.
+    assert a["instants_total"] == b["instants_total"]
+
+
+def test_churn_phase_forces_evictions(tmp_path):
+    row = asyncio.run(
+        churn_phase(sessions=10, max_live=3, seed=1,
+                    store_root=str(tmp_path))
+    )
+    assert row["evictions"] > 0
+    assert row["restores"] > 0
+    assert row["crc_verified_restores"] == row["restores"]
+    assert row["checkpoint_bytes"] > 0
+
+
+def test_bench_main_writes_history(tmp_path, capsys):
+    history = tmp_path / "BENCH_history.jsonl"
+    assert bench_main(["--sessions", "12", "--seed", "2",
+                       "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "serve throughput: 12 sessions" in out
+    assert "CRC-verified restores" in out
+    entries = [json.loads(line) for line in history.read_text().splitlines()]
+    assert len(entries) == 1
+    metrics = entries[0]["metrics"]
+    for name in (
+        "sessions_per_sec{probe=serve}",
+        "steps_per_sec{probe=serve}",
+        "step_p99_ms{probe=serve}",
+        "peak_concurrent{probe=serve}",
+        "crc_verified_restores{probe=serve}",
+    ):
+        assert name in metrics, sorted(metrics)[:20]
+
+
+def test_serve_cli_smoke(tmp_path, capsys):
+    from repro.serve.__main__ import main as serve_main
+
+    obs_path = tmp_path / "trace.jsonl"
+    code = serve_main([
+        "smoke", "--sessions", "8", "--max-live", "2",
+        "--store", str(tmp_path / "store"), "--obs", str(obs_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "8 sessions done" in out and "OK" in out
+    assert obs_path.exists() and obs_path.stat().st_size > 0
+
+
+def test_serve_cli_bench_quick_flagging(capsys):
+    from repro.serve.__main__ import main as serve_main
+
+    code = serve_main(["bench", "--sessions", "10", "--seed", "4"])
+    assert code == 0
+    assert "serve churn" in capsys.readouterr().out

@@ -1,0 +1,234 @@
+"""Manager behaviour: batching, backpressure hysteresis, LRU, stats."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError, SessionRejectedError, UnknownSessionError
+from repro.serve.client import ServeClient
+from repro.serve.manager import ServeConfig, SessionManager
+from repro.serve.pool import make_pool
+from repro.serve.store import SessionStore
+
+from tests.serve.test_session import spec_for
+
+pytestmark = pytest.mark.serve
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_config_validation():
+    with pytest.raises(ServeError, match="max_live"):
+        ServeConfig(max_live=0)
+    with pytest.raises(ServeError, match="queue_low"):
+        ServeConfig(queue_high=10, queue_low=20)
+    with pytest.raises(ServeError, match="batch_max"):
+        ServeConfig(batch_max=0)
+
+
+def test_create_step_close_round_trip():
+    async def body():
+        async with SessionManager(make_pool(0)) as manager:
+            client = ServeClient(manager)
+            sid = await client.create("chat", 2, seed=4,
+                                      params={"script": [[0, "a"], [1, "b"]]})
+            doc = await client.run_to_completion(sid, instants_per_step=32)
+            assert doc["status"] == "done"
+            summary = await client.close(sid)
+            assert summary["delivered"] == summary["expected"]
+            assert manager.stats()["open"] == 0
+            assert manager.stats()["closed"] == 1
+
+    run(body())
+
+
+def test_concurrent_steps_coalesce_into_batches():
+    async def body():
+        async with SessionManager(make_pool(0)) as manager:
+            client = ServeClient(manager)
+            sids = [
+                await client.create("chat", 2, seed=i,
+                                    params={"script": [[0, "x"], [1, "y"]]})
+                for i in range(20)
+            ]
+            docs = await asyncio.gather(
+                *(client.run_to_completion(s, instants_per_step=16)
+                  for s in sids)
+            )
+            assert all(d["status"] == "done" for d in docs)
+            # Coalescing really happened: far fewer instants than a
+            # per-request accounting would produce is impossible, but
+            # the totals must be exact.
+            stats = manager.stats()
+            assert stats["instants"] == sum(d["steps_applied"] for d in docs)
+            for sid in sids:
+                await client.close(sid)
+
+    run(body())
+
+
+def test_backpressure_rejects_and_recovers():
+    async def body():
+        from repro.serve.manager import _StepRequest
+
+        config = ServeConfig(queue_high=4, queue_low=2, batch_max=2,
+                             default_instants=1)
+        async with SessionManager(make_pool(0), config=config) as manager:
+            client = ServeClient(manager)
+            sid = await client.create("chat", 2, seed=0,
+                                      params={"script": [[0, "m"]]})
+            # Fill the queue to the high watermark synchronously (no
+            # yields, so the ticker cannot drain underneath the test).
+            loop = asyncio.get_running_loop()
+            futures = []
+            for _ in range(config.queue_high):
+                future = loop.create_future()
+                manager._queue.append(_StepRequest(sid, 1, future))
+                manager._sessions[sid].pending += 1
+                futures.append(future)
+            with pytest.raises(SessionRejectedError, match="retry after"):
+                await client.step(sid, 1)
+            assert manager.stats()["rejections"] == 1
+            assert not manager.stats()["accepting"]
+            # Let the ticker drain; below the low watermark admission
+            # resumes (hysteresis: one gate, two thresholds).
+            manager._wakeup.set()
+            docs = await asyncio.gather(*futures)
+            assert all(doc["status"] in ("running", "done") for doc in docs)
+            doc = await client.step(sid, 1)
+            assert doc["status"] in ("running", "done")
+            assert manager.stats()["accepting"]
+            await client.close(sid)
+
+    run(body())
+
+
+def test_max_open_ceiling():
+    async def body():
+        config = ServeConfig(max_open=2)
+        async with SessionManager(make_pool(0), config=config) as manager:
+            client = ServeClient(manager)
+            await client.create("chat", 2, seed=0)
+            await client.create("chat", 2, seed=1)
+            with pytest.raises(SessionRejectedError, match="ceiling"):
+                await client.create("chat", 2, seed=2)
+
+    run(body())
+
+
+def test_lru_order_drives_eviction(tmp_path):
+    async def body():
+        config = ServeConfig(max_live=2)
+        store = SessionStore(str(tmp_path))
+        async with SessionManager(make_pool(0), store=store,
+                                  config=config) as manager:
+            client = ServeClient(manager)
+            a = await client.create("chat", 2, seed=0)
+            b = await client.create("chat", 2, seed=1)
+            await client.step(a, 4)  # b is now least recently used
+            c = await client.create("chat", 2, seed=2)
+            stats = manager.stats()
+            assert stats["live"] == 2 and stats["evicted"] == 1
+            assert (await client.query(b)).get("evicted") is True
+            assert "evicted" not in await client.query(a)
+            assert store.session_ids() == [b]
+            # Touching b parks someone else, not b itself.
+            await client.step(b, 4)
+            assert "evicted" not in await client.query(b)
+            for sid in (a, b, c):
+                await client.close(sid)
+            assert store.session_ids() == []
+
+    run(body())
+
+
+def test_step_errors_resolve_their_futures():
+    async def body():
+        async with SessionManager(make_pool(0)) as manager:
+            client = ServeClient(manager)
+            with pytest.raises(UnknownSessionError):
+                await client.step("s99999999", 1)
+            # A failing session rejects its own future with the host
+            # error, and stays open (status failed) for post-mortems.
+            sid = await client.create("token_ring", 4, seed=1)
+            await client.send(sid, 2, 3, b"TOK 99")
+            with pytest.raises(ServeError, match="failed at instant"):
+                await client.step(sid, 400)
+            assert (await client.query(sid))["status"] == "failed"
+
+    run(body())
+
+
+def test_close_with_pending_steps_refuses():
+    async def body():
+        async with SessionManager(make_pool(0)) as manager:
+            client = ServeClient(manager)
+            sid = await client.create("chat", 2, seed=0,
+                                      params={"script": [[0, "m"]]})
+            future = asyncio.ensure_future(client.step(sid, 1))
+            await asyncio.sleep(0)  # enqueued but possibly not ticked
+            if manager._sessions[sid].pending:
+                with pytest.raises(ServeError, match="steps pending"):
+                    await client.close(sid)
+            await future
+            await client.close(sid)
+
+    run(body())
+
+
+def test_stop_fails_pending_futures():
+    async def body():
+        manager = SessionManager(make_pool(0))
+        client = ServeClient(manager)
+        sid = await client.create("chat", 2, seed=0)
+        # Enqueue without starting the ticker, then stop the service.
+        manager._admission_gate("step")
+        future = asyncio.get_running_loop().create_future()
+        from repro.serve.manager import _StepRequest
+
+        manager._queue.append(_StepRequest(sid, 1, future))
+        await manager.stop()
+        with pytest.raises(ServeError, match="service stopped"):
+            await future
+
+    run(body())
+
+
+def test_query_of_parked_session_does_not_restore(tmp_path):
+    async def body():
+        config = ServeConfig(max_live=1)
+        store = SessionStore(str(tmp_path))
+        async with SessionManager(make_pool(0), store=store,
+                                  config=config) as manager:
+            client = ServeClient(manager)
+            a = await client.create("chat", 2, seed=0)
+            await client.create("chat", 2, seed=1)
+            assert (await client.query(a))["evicted"] is True
+            # Monitoring traffic must not thrash the LRU: still parked.
+            assert (await client.query(a))["evicted"] is True
+            assert manager.stats()["restores"] == 0
+
+    run(body())
+
+
+def test_metrics_registry_carries_serve_gauges():
+    async def body():
+        async with SessionManager(make_pool(0)) as manager:
+            client = ServeClient(manager)
+            sid = await client.create("chat", 2, seed=0,
+                                      params={"script": [[0, "m"]]})
+            await client.step(sid, 8)
+            from repro.obs.history import metrics_from_snapshot
+
+            snapshot = metrics_from_snapshot(manager.registry.collect())
+            assert snapshot["serve_open_sessions"] == 1
+            assert snapshot["serve_instants_total"] == 8
+            assert any(
+                name.startswith("serve_step_latency_s") for name in snapshot
+            )
+
+    run(body())

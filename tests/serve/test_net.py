@@ -1,0 +1,103 @@
+"""The TCP JSONL front end: same verbs, wire-level error envelopes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.manager import ServeConfig, SessionManager
+from repro.serve.net import request, start_server
+from repro.serve.pool import make_pool
+
+pytestmark = pytest.mark.serve
+
+
+async def _with_server(config=None):
+    manager = SessionManager(make_pool(0), config=config)
+    server = await start_server(manager, port=0)
+    port = server.sockets[0].getsockname()[1]
+    return manager, server, port
+
+
+def test_full_session_over_the_wire():
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            reply = await request(
+                {"op": "create", "app": "chat", "size": 2, "seed": 7,
+                 "params": {"script": [[0, "hi"], [1, "yo"]]}},
+                port=port,
+            )
+            assert reply["ok"]
+            sid = reply["sid"]
+            sent = await request(
+                {"op": "send", "sid": sid, "src": 0, "dst": 1,
+                 "data": b"extra".hex()},
+                port=port,
+            )
+            assert sent["ok"] and sent["status"] == "running"
+            doc = {"ok": True, "status": "running"}
+            while doc["status"] == "running":
+                doc = await request(
+                    {"op": "step", "sid": sid, "instants": 32}, port=port
+                )
+                assert doc["ok"]
+            assert doc["status"] == "done"
+            stats = await request({"op": "stats"}, port=port)
+            assert stats["ok"] and stats["open"] == 1
+            closed = await request({"op": "close", "sid": sid}, port=port)
+            assert closed["ok"] and closed["status"] == "done"
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_wire_error_envelopes():
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            missing = await request(
+                {"op": "step", "sid": "s99999999"}, port=port
+            )
+            assert missing == {
+                "ok": False,
+                "error": "UnknownSessionError",
+                "code": 404,
+                "message": missing["message"],
+            }
+            bad_op = await request({"op": "frobnicate"}, port=port)
+            assert (bad_op["error"], bad_op["code"]) == ("ServeError", 400)
+            bad_app = await request(
+                {"op": "create", "app": "nope", "size": 2}, port=port
+            )
+            assert bad_app["code"] == 400
+            assert "unknown app" in bad_app["message"]
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_wire_backpressure_is_429():
+    async def body():
+        config = ServeConfig(max_open=0)
+        manager, server, port = await _with_server(config)
+        try:
+            reply = await request(
+                {"op": "create", "app": "chat", "size": 2}, port=port
+            )
+            assert (reply["error"], reply["code"]) == (
+                "SessionRejectedError", 429,
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())

@@ -1,0 +1,106 @@
+"""Worker pools: host command surface, affinity, process round-trips."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError, UnknownSessionError
+from repro.serve.host import SessionHost
+from repro.serve.pool import InlinePool, ProcessPool, make_pool
+
+from tests.serve.test_session import spec_for
+
+pytestmark = pytest.mark.serve
+
+
+# -- host --------------------------------------------------------------
+
+def test_host_lifecycle_and_step_batch():
+    host = SessionHost()
+    host.create("a", spec_for("chat").to_json(), None, False)
+    host.create("b", spec_for("chat", seed=2).to_json(), None, False)
+    docs = host.step_batch([("a", 16), ("b", 16), ("ghost", 4)])
+    assert docs[0]["steps_applied"] == 16
+    assert docs[1]["steps_applied"] == 16
+    # Per-session error envelope: one bad session can't abort the tick.
+    assert docs[2]["error"]["type"] == "UnknownSessionError"
+    assert host.close("a")["app"] == "chat"
+    with pytest.raises(UnknownSessionError):
+        host.query("a")
+    host.close("b")
+
+
+def test_host_rejects_private_ops():
+    host = SessionHost()
+    with pytest.raises(ServeError, match="unknown host command"):
+        host.execute(("_sessions",))
+    with pytest.raises(ServeError, match="unknown host command"):
+        host.execute(("no_such_verb",))
+
+
+# -- pools -------------------------------------------------------------
+
+def test_make_pool_picks_inline_for_small_sizes():
+    for workers in (None, 0, 1):
+        pool = make_pool(workers)
+        assert isinstance(pool, InlinePool)
+        assert pool.size == 1
+        pool.close()
+    pool = make_pool(3)
+    try:
+        assert isinstance(pool, ProcessPool)
+        assert pool.size == 3
+    finally:
+        pool.close()
+
+
+def test_worker_affinity_is_stable_and_in_range():
+    pool = InlinePool()
+    try:
+        sids = [f"s{i:08d}" for i in range(50)]
+        assert all(pool.worker_of(s) == 0 for s in sids)
+    finally:
+        pool.close()
+    pool = ProcessPool(4)
+    try:
+        workers = {s: pool.worker_of(s) for s in sids}
+        assert set(workers.values()) <= {0, 1, 2, 3}
+        assert workers == {s: pool.worker_of(s) for s in sids}
+        assert len(set(workers.values())) > 1  # really spreads out
+    finally:
+        pool.close()
+
+
+def test_process_pool_round_trip_and_error_mapping():
+    async def run() -> None:
+        pool = ProcessPool(2)
+        try:
+            await pool.call_for("x", ("create", "x", spec_for("chat").to_json(),
+                                      None, False))
+            doc = await pool.call_for("x", ("step", "x", 16))
+            assert doc["steps_applied"] == 16
+            # Exceptions cross the pipe as their repro.errors types.
+            with pytest.raises(UnknownSessionError):
+                await pool.call_for("ghost", ("query", "ghost"))
+            summary = await pool.call_for("x", ("close", "x"))
+            assert summary["app"] == "chat"
+        finally:
+            pool.close()
+
+    asyncio.run(run())
+
+
+def test_inline_pool_runs_without_subprocesses():
+    async def run() -> None:
+        pool = InlinePool()
+        try:
+            await pool.call(0, ("create", "s", spec_for("gossip").to_json(),
+                                None, False))
+            assert pool.host.query("s")["app"] == "gossip"
+            await pool.call(0, ("close", "s"))
+        finally:
+            pool.close()
+
+    asyncio.run(run())

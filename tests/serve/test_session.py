@@ -1,0 +1,131 @@
+"""Session core: specs, app drivers, cadence invariance, failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.session import APPS, Session, SessionSpec
+
+pytestmark = pytest.mark.serve
+
+
+def drive(session: Session, chunk: int = 32, limit: int = 200) -> Session:
+    for _ in range(limit):
+        if session.status != "running":
+            break
+        session.step(chunk)
+    return session
+
+
+def spec_for(app: str, seed: int = 1) -> SessionSpec:
+    if app == "chat":
+        return SessionSpec(app, 2, seed,
+                           params={"script": [[0, "hi"], [1, "yo"]]})
+    if app == "gossip":
+        return SessionSpec(app, 5, seed, params={"rumor": "r"})
+    return SessionSpec(app, 4, seed)
+
+
+# -- specs -------------------------------------------------------------
+
+def test_spec_rejects_unknown_app():
+    with pytest.raises(ServeError, match="unknown app"):
+        SessionSpec("pigeon_post", 2, 0)
+
+
+def test_spec_rejects_bad_sizes():
+    with pytest.raises(ServeError, match="two-robot"):
+        SessionSpec("chat", 3, 0)
+    with pytest.raises(ServeError, match=">= 2 robots"):
+        SessionSpec("gossip", 1, 0)
+
+
+def test_spec_roundtrip_and_hash():
+    spec = spec_for("chat")
+    assert SessionSpec.from_json(spec.to_json()) == spec
+    assert spec.spec_hash() == SessionSpec.from_json(spec.to_json()).spec_hash()
+    assert spec.spec_hash() != spec_for("chat", seed=2).spec_hash()
+
+
+# -- all four apps complete --------------------------------------------
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_app_completes(app):
+    session = drive(Session(spec_for(app)))
+    assert session.status == "done"
+    summary = session.summary()
+    if app == "chat":
+        assert summary["delivered"] == summary["expected"]
+    elif app == "gossip":
+        assert summary["informed"] == 5
+    elif app == "leader_election":
+        assert summary["leader"] is not None
+        assert len(set(summary["decided_by"])) == 1
+    else:
+        assert summary["hops"] == summary["total_hops"]
+
+
+def test_token_ring_multiple_laps():
+    session = drive(Session(SessionSpec("token_ring", 4, 3, params={"laps": 2})))
+    assert session.status == "done"
+    assert session.summary()["hops"] == 8
+
+
+# -- cadence invariance ------------------------------------------------
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_step_chunking_does_not_change_trajectory(app):
+    coarse = drive(Session(spec_for(app)), chunk=64)
+    fine = drive(Session(spec_for(app)), chunk=1, limit=coarse.steps_applied + 8)
+    assert fine.steps_applied == coarse.steps_applied
+    assert fine.trace_crc() == coarse.trace_crc()
+
+
+# -- external traffic --------------------------------------------------
+
+def test_external_send_reopens_done_chat():
+    session = drive(Session(spec_for("chat")))
+    assert session.status == "done"
+    session.apply_send(0, 1, b"one more thing")
+    assert session.status == "running"
+    drive(session)
+    assert session.status == "done"
+    assert len(session.inputs) == 1
+
+
+def test_send_validates_flow():
+    session = Session(spec_for("chat"))
+    with pytest.raises(ServeError, match="invalid flow"):
+        session.apply_send(0, 0, b"self-talk")
+    with pytest.raises(ServeError, match="invalid flow"):
+        session.apply_send(0, 7, b"nobody there")
+
+
+# -- stalls and failures -----------------------------------------------
+
+def test_session_stalls_at_max_steps():
+    spec = SessionSpec("chat", 2, 1, params={"script": [], "max_steps": 5})
+    session = Session(spec)
+    session.apply_send(0, 1, b"m")  # pending delivery: never done in 5
+    session.step(50)
+    assert session.status == "stalled"
+    assert session.steps_applied == 5
+
+
+def test_failed_session_cannot_step_or_checkpoint():
+    # An externally injected fake token hop arrives out of order.
+    session = Session(SessionSpec("token_ring", 4, 1))
+    session.apply_send(2, 3, b"TOK 99")
+    with pytest.raises(ServeError, match="failed at instant"):
+        session.step(400)
+    assert session.status == "failed"
+    with pytest.raises(ServeError, match="cannot step"):
+        session.step(1)
+    with pytest.raises(ServeError, match="cannot checkpoint"):
+        session.checkpoint()
+
+
+def test_negative_instants_rejected():
+    with pytest.raises(ServeError, match=">= 0"):
+        Session(spec_for("chat")).step(-1)

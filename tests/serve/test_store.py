@@ -1,0 +1,61 @@
+"""Session persistence: checkpoints as campaign cell records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError, UnknownSessionError
+from repro.serve.session import Session
+from repro.serve.store import SessionStore
+
+from tests.serve.test_session import spec_for
+
+pytestmark = pytest.mark.serve
+
+
+def checkpoint_for(app: str = "chat", steps: int = 16):
+    session = Session(spec_for(app))
+    session.step(steps)
+    return session.checkpoint()
+
+
+def test_save_load_round_trip(tmp_path):
+    store = SessionStore(str(tmp_path))
+    doc = checkpoint_for()
+    store.save("s1", doc)
+    assert store.has("s1")
+    assert store.load("s1") == doc
+    assert Session.restore(store.load("s1")).steps_applied == 16
+
+
+def test_load_unknown_session_raises(tmp_path):
+    store = SessionStore(str(tmp_path))
+    with pytest.raises(UnknownSessionError, match="no checkpoint"):
+        store.load("ghost")
+
+
+def test_save_rejects_non_checkpoint_payload(tmp_path):
+    store = SessionStore(str(tmp_path))
+    with pytest.raises(ServeError, match="not a session checkpoint"):
+        store.save("s1", {"schema": "something-else"})
+
+
+def test_discard_and_index_listing(tmp_path):
+    store = SessionStore(str(tmp_path))
+    store.save("s2", checkpoint_for("gossip"))
+    store.save("s1", checkpoint_for("chat"))
+    assert store.session_ids() == ["s1", "s2"]
+    assert store.checkpoint_bytes("s1") > 0
+    store.discard("s1")
+    store.discard("s1")  # idempotent
+    assert store.session_ids() == ["s2"]
+    assert store.checkpoint_bytes("s1") is None
+
+
+def test_checkpoints_journal_evictions_and_restores(tmp_path):
+    store = SessionStore(str(tmp_path))
+    store.save("s1", checkpoint_for())
+    store.load("s1")
+    kinds = [entry["event"] for entry in store.store.read_journal()]
+    assert "session_checkpoint" in kinds
+    assert "session_restore" in kinds
