@@ -69,8 +69,10 @@ def serve_probe(
     The shape ``run_all`` ingests into the longitudinal history: the
     throughput row's live :class:`MetricsRegistry` snapshot is kept
     under ``"metrics"`` and the churn verdicts ride alongside, so the
-    regress gate watches sessions/sec, p99 latency *and* the
-    CRC-verified restore count in one entry.
+    regress gate watches sessions/sec, p99 latency, queue-wait p99 and
+    SLO attainment (the request tracer's ``queue_wait_p99_ms`` and
+    ``slo_*`` row fields) *and* the CRC-verified restore count in one
+    entry.
     """
     from repro.serve.bench import churn_phase, throughput_phase
 
@@ -83,6 +85,7 @@ def serve_probe(
     merged["crc_restore_identity"] = (
         churn["crc_verified_restores"] == churn["restores"]
     )
+    assert "slo_ok" in merged and "queue_wait_p99_ms" in merged
     return merged
 
 

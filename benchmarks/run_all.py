@@ -326,6 +326,11 @@ def serve_load_probe(sessions: int = 40, churn_sessions: int = 12) -> Dict:
     service's live metrics snapshot plus the churn verdicts, so the
     history tracks sessions/sec, p99 step latency and the CRC-verified
     restore count; ``crc_restore_identity`` doubles as an invariant.
+    The throughput run is request-traced, so the row also carries
+    ``queue_wait_p99_ms`` (server-side queueing attributed by the
+    tracer) and the ``slo_*`` attainment/burn metrics — the regress
+    gate watches objectives, not just raw latencies, from this entry
+    forward.
     """
     from benchmarks.bench_serve import serve_probe
 
@@ -771,9 +776,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"[probe serve_load: {serve['completed']} sessions "
             f"(peak {serve['peak_concurrent']} live), "
             f"{serve['sessions_per_sec']:.0f} sessions/s, "
-            f"p99 {serve['step_p99_ms']:.1f}ms, "
+            f"p99 {serve['step_p99_ms']:.1f}ms "
+            f"(queue-wait p99 {serve.get('queue_wait_p99_ms', 0.0):.1f}ms), "
             f"{serve['evictions']} evictions / "
-            f"{serve['crc_verified_restores']} CRC-verified restores]"
+            f"{serve['crc_verified_restores']} CRC-verified restores, "
+            f"slo {'OK' if serve.get('slo_ok') else 'VIOLATED'}]"
         )
         invariants["serve_crc_restore_identity"] = bool(
             serve.get("crc_restore_identity", False)

@@ -38,6 +38,11 @@ subpackage makes runs observable without changing them:
 * :mod:`repro.obs.stream` — the live tap: a bounded
   :class:`~repro.obs.stream.StreamingSink` the recorder tees into and
   rolling per-flow latency percentiles (``python -m repro.obs watch``).
+* :mod:`repro.obs.live` / :mod:`repro.obs.slo` — the serving-tier
+  plane: request-scoped traces with telescoping spans
+  (:class:`~repro.obs.live.RequestTracer`), Prometheus text
+  exposition, SLO attainment/error-budget burn, and the
+  ``python -m repro.obs top`` terminal dashboard.
 """
 
 from repro.obs.causal import (
@@ -54,7 +59,17 @@ from repro.obs.causal import (
 from repro.obs.diff import RunDiff, diff_history_entries, diff_runs, render_diff
 from repro.obs.events import Event
 from repro.obs.export import ObsRun, dump_run, load_run, run_from_jsonl, run_to_jsonl
+from repro.obs.live import (
+    RequestTrace,
+    RequestTracer,
+    TraceRing,
+    WindowAggregator,
+    render_top,
+    to_prometheus,
+    validate_exposition,
+)
 from repro.obs.recorder import ObsRecorder, dispatch_count
+from repro.obs.slo import SLO, SLOTracker, default_serve_slos, slos_from_json
 from repro.obs.stream import FlowLatencyTracker, StreamingSink, watch_file
 from repro.obs.registry import (
     Counter,
@@ -125,4 +140,15 @@ __all__ = [
     "StreamingSink",
     "FlowLatencyTracker",
     "watch_file",
+    "RequestTrace",
+    "RequestTracer",
+    "TraceRing",
+    "WindowAggregator",
+    "render_top",
+    "to_prometheus",
+    "validate_exposition",
+    "SLO",
+    "SLOTracker",
+    "default_serve_slos",
+    "slos_from_json",
 ]

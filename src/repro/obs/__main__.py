@@ -16,6 +16,9 @@ Examples::
     python -m repro.obs watch run.jsonl         # live per-flow latency
                                                 # percentiles (tails the
                                                 # file as it grows)
+    python -m repro.obs top --port 7642         # live service dashboard
+                                                # (requests, spans, SLOs
+                                                # of a running server)
     python -m repro.obs diff a.jsonl b.jsonl    # what changed, and the
                                                 # first diverging event
     python -m repro.obs diff 3 4 --history BENCH_history.jsonl
@@ -195,6 +198,41 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running service's telemetry op."""
+    import asyncio
+    import time as _time
+
+    from repro.obs.live import render_top
+    from repro.serve.net import request  # lazy: serve is optional here
+
+    frame = 0
+    while True:
+        try:
+            reply = asyncio.run(
+                request({"op": "telemetry"}, host=args.host, port=args.port)
+            )
+        except (ConnectionError, OSError) as exc:
+            raise _CliError(
+                f"no service at {args.host}:{args.port} ({exc})"
+            ) from exc
+        if not reply.get("ok"):
+            raise _CliError(
+                f"telemetry request failed: {reply.get('message', reply)}"
+            )
+        frame += 1
+        if not args.once and frame > 1:
+            print()
+        print(f"-- top frame {frame} @ {args.host}:{args.port} --")
+        print(render_top(reply))
+        if args.once or (args.iterations and frame >= args.iterations):
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     path = record_demo(args.out, steps=args.steps)
     print(f"[recorded 2-robot sync_two run -> {path}]")
@@ -351,6 +389,25 @@ def _parser() -> argparse.ArgumentParser:
         help="read the whole file, print one frame, exit",
     )
     watch.set_defaults(func=_cmd_watch)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a running service (requests, spans, SLOs)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7642)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N frames (default 0 = until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top.set_defaults(func=_cmd_top)
 
     hotspots = sub.add_parser(
         "hotspots",

@@ -35,9 +35,15 @@ __all__ = ["StreamingSink", "FlowLatencyTracker", "watch_file"]
 
 
 class StreamingSink:
-    """A bounded drop-oldest event queue safe to drain from another thread."""
+    """A bounded drop-oldest event queue safe to drain from another thread.
 
-    def __init__(self, maxlen: int = 4096) -> None:
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` to surface the
+    drops as an ``obs_stream_dropped_events`` counter — a consumer
+    falling behind then shows up on the metrics endpoint instead of
+    only in this object's own ``dropped`` property.
+    """
+
+    def __init__(self, maxlen: int = 4096, registry=None) -> None:
         if maxlen <= 0:
             raise ValueError("maxlen must be positive")
         self._maxlen = maxlen
@@ -45,6 +51,11 @@ class StreamingSink:
         self._queue: Deque[Event] = deque()
         self._dropped = 0
         self._accepted = 0
+        self._c_dropped = (
+            registry.counter("obs_stream_dropped_events")
+            if registry is not None
+            else None
+        )
 
     def accept(self, event: Event) -> None:
         """Called by the recorder for every emitted event."""
@@ -52,6 +63,8 @@ class StreamingSink:
             if len(self._queue) >= self._maxlen:
                 self._queue.popleft()
                 self._dropped += 1
+                if self._c_dropped is not None:
+                    self._c_dropped.inc()
             self._queue.append(event)
             self._accepted += 1
 

@@ -10,8 +10,16 @@ loop and a (optionally multi-process) worker pool:
 * :mod:`repro.serve.manager` — lifecycle, cooperative batch stepping,
   watermark backpressure, LRU eviction through the campaign store,
 * :mod:`repro.serve.client` / :mod:`repro.serve.net` — the in-process
-  and TCP JSONL front ends (identical verb set),
+  and TCP JSONL front ends (identical verb set); the TCP port also
+  answers ``GET /metrics`` (Prometheus text) and ``GET /healthz``,
 * :mod:`repro.serve.bench` — the seeded open-loop load generator.
+
+Wire a :class:`~repro.obs.live.RequestTracer` into the manager
+(``SessionManager(..., tracer=RequestTracer())``) and every request
+gets a trace with telescoping queue-wait/restore/execute/dispatch
+spans, rolling percentiles per op x app, and SLO attainment — all off
+(zero dispatches) when no tracer is given.  ``python -m repro.obs
+top`` renders a live dashboard from the ``telemetry`` verb.
 
 ``pip install repro[serve]`` additionally pulls in `uvloop`__; without
 it the service runs unchanged on the stdlib event loop —

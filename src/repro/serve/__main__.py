@@ -3,10 +3,12 @@
 * ``serve``  — run the TCP JSONL front end until interrupted.
 * ``bench``  — the seeded open-loop load generator
   (:mod:`repro.serve.bench`); ``--quick`` is the CI acceptance run.
-* ``status`` — one ``stats`` round-trip against a running service.
+* ``status`` — one ``stats``/``healthz``/``telemetry`` round-trip
+  against a running service (``--op``).
 * ``smoke``  — boot an in-process service, drive N sessions across
-  all four apps with forced eviction + CRC-verified restore, and
-  optionally export one session's obs trace (the CI smoke job).
+  all four apps with forced eviction + CRC-verified restore,
+  optionally export one session's obs trace and/or scrape + validate
+  the live ``/metrics`` + ``/healthz`` endpoints (the CI smoke job).
 """
 
 from __future__ import annotations
@@ -37,11 +39,14 @@ def _cmd_serve(args) -> int:
     else:
         print("[repro.serve] event loop: asyncio (uvloop not installed)")
 
+    from repro.obs.live import RequestTracer
+
     async def run() -> None:
         store = SessionStore(args.store) if args.store else None
         config = ServeConfig(max_live=args.max_live)
         async with SessionManager(
-            make_pool(args.workers), store=store, config=config
+            make_pool(args.workers), store=store, config=config,
+            tracer=RequestTracer(),
         ) as manager:
             await serve_forever(manager, host=args.host, port=args.port)
 
@@ -56,7 +61,7 @@ def _cmd_status(args) -> int:
     from repro.serve.net import request
 
     reply = asyncio.run(
-        request({"op": "stats"}, host=args.host, port=args.port)
+        request({"op": args.op}, host=args.host, port=args.port)
     )
     print(json.dumps(reply, indent=2, sort_keys=True))
     return 0 if reply.get("ok") else 1
@@ -78,14 +83,57 @@ def _cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+async def _scrape_endpoints(port: int, out_path: str) -> bool:
+    """Scrape /metrics + /healthz mid-run; validate, persist, verdict."""
+    from repro.errors import ObservabilityError
+    from repro.obs.live import validate_exposition
+    from repro.serve.net import scrape
+
+    metrics_status, exposition = await scrape("/metrics", port=port)
+    health_status, health_body = await scrape("/healthz", port=port)
+    try:
+        samples = validate_exposition(exposition)
+    except ObservabilityError as exc:
+        print(f"[smoke: scrape INVALID — {exc}]")
+        return False
+    requests_total = sum(
+        float(line.rsplit(" ", 1)[1])
+        for line in exposition.splitlines()
+        if line.startswith("serve_requests_total{")
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(f"# healthz {health_status} {health_body}\n")
+        handle.write(exposition)
+    ok = (
+        metrics_status == 200
+        and health_status in (200, 503)
+        and requests_total > 0
+    )
+    print(
+        f"[smoke: scraped {samples} samples "
+        f"({int(requests_total)} requests counted), healthz "
+        f"{health_status} -> {out_path} {'OK' if ok else 'FAIL'}]"
+    )
+    return ok
+
+
 async def _smoke(args) -> int:
     """N sessions over a tiny ``max_live``: every layer gets touched."""
+    from repro.obs.live import RequestTracer
 
     async def run(root: str) -> int:
         config = ServeConfig(max_live=args.max_live)
+        scrape_ok = True
         async with SessionManager(
-            make_pool(args.workers), store=SessionStore(root), config=config
+            make_pool(args.workers), store=SessionStore(root), config=config,
+            tracer=RequestTracer(),
         ) as manager:
+            server = None
+            if args.scrape:
+                from repro.serve.net import start_server
+
+                server = await start_server(manager)
+                port = server.sockets[0].getsockname()[1]
             client = ServeClient(manager)
 
             async def drive(i: int) -> str:
@@ -118,12 +166,19 @@ async def _smoke(args) -> int:
             outcomes = await asyncio.gather(
                 *(drive(i) for i in range(args.sessions))
             )
+            if server is not None:
+                # the service is still up: this is the live scrape the
+                # CI job asserts on
+                scrape_ok = await _scrape_endpoints(port, args.scrape)
+                server.close()
+                await server.wait_closed()
             stats = manager.stats()
 
         ok = (
             all(status == "done" for status in outcomes)
             and stats["evictions"] > 0
             and stats["restores"] > 0
+            and scrape_ok
         )
         print(
             f"[smoke: {len(outcomes)} sessions done over "
@@ -164,6 +219,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_status = sub.add_parser("status", help="query a running service")
     p_status.add_argument("--host", default="127.0.0.1")
     p_status.add_argument("--port", type=int, default=7642)
+    p_status.add_argument("--op", default="stats",
+                          choices=("stats", "healthz", "telemetry"),
+                          help="which status verb to round-trip")
     p_status.set_defaults(func=_cmd_status)
 
     p_bench = sub.add_parser("bench", help="seeded open-loop load generator")
@@ -181,6 +239,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_smoke.add_argument("--store", default=None)
     p_smoke.add_argument("--obs", default=None,
                          help="export session 0's obs trace to this path")
+    p_smoke.add_argument(
+        "--scrape", metavar="PATH", default=None,
+        help="boot the TCP front end, scrape /metrics + /healthz "
+             "mid-run, validate the exposition and write it here",
+    )
     p_smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

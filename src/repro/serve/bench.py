@@ -34,6 +34,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.errors import ServeError
+from repro.obs.live import RequestTracer
 from repro.serve.client import ServeClient
 from repro.serve.manager import ServeConfig, SessionManager
 from repro.serve.pool import make_pool
@@ -99,7 +100,10 @@ async def throughput_phase(
     latencies: List[float] = []
     outcomes: List[str] = []
     started = time.perf_counter()
-    async with SessionManager(make_pool(workers), config=config) as manager:
+    tracer = RequestTracer()
+    async with SessionManager(
+        make_pool(workers), config=config, tracer=tracer
+    ) as manager:
         client = ServeClient(manager)
 
         async def one(session_seed: int) -> None:
@@ -135,8 +139,14 @@ async def throughput_phase(
         "steps_per_sec": stats["instants"] / wall_s if wall_s > 0 else 0.0,
         "step_p50_ms": 1e3 * _percentile(latencies, 0.50),
         "step_p99_ms": 1e3 * _percentile(latencies, 0.99),
+        # server-side queueing, attributed by the request tracer (the
+        # rolling window covers the tail of the run)
+        "queue_wait_p99_ms": 1e3 * tracer.span_percentile("queue-wait", 99),
         "rejections": stats["rejections"],
         "workers": stats["workers"],
+        # SLO attainment / error-budget burn over the same run, so the
+        # regress gate watches objectives, not just raw latencies
+        **tracer.slo.as_metrics(),
         "metrics": snapshot,
     }
 
@@ -245,6 +255,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"[serve churn: {row['churn_sessions']} sessions over "
         f"max_live={row['churn_max_live']}: {row['evictions']} evictions, "
         f"{row['restores']} CRC-verified restores in {row['churn_wall_s']:.2f}s]"
+    )
+    print(
+        f"[serve slo: step-latency {row['slo_step_latency_attainment']:.4f}, "
+        f"availability {row['slo_availability_attainment']:.4f}, "
+        f"queue-wait p99 {row['queue_wait_p99_ms']:.1f} ms -> "
+        f"{'OK' if row['slo_ok'] else 'VIOLATED'}]"
     )
     if row["peak_concurrent"] < min(1_000, row["sessions"]):  # type: ignore[operator]
         print("[serve: WARNING — peak concurrency below target]")

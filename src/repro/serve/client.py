@@ -31,21 +31,31 @@ class ServeClient:
         seed: int = 0,
         params: Optional[Dict[str, object]] = None,
         record: bool = False,
+        trace: Optional[str] = None,
     ) -> str:
         """Open a session; returns its id."""
         spec = SessionSpec(app=app, size=size, seed=seed, params=dict(params or {}))
-        return await self.manager.create(spec, record=record)
+        return await self.manager.create(spec, record=record, trace=trace)
 
     async def send(
-        self, sid: str, src: int, dst: int, payload: Union[str, bytes]
+        self, sid: str, src: int, dst: int, payload: Union[str, bytes],
+        trace: Optional[str] = None,
     ) -> Dict:
         """Inject one message (text is UTF-8 encoded)."""
         data = payload.encode("utf-8") if isinstance(payload, str) else payload
-        return await self.manager.send(sid, src, dst, data)
+        return await self.manager.send(sid, src, dst, data, trace=trace)
 
-    async def step(self, sid: str, instants: Optional[int] = None) -> Dict:
-        """Advance a session; resolves with its post-tick status."""
-        return await self.manager.step(sid, instants)
+    async def step(
+        self, sid: str, instants: Optional[int] = None,
+        trace: Optional[str] = None,
+    ) -> Dict:
+        """Advance a session; resolves with its post-tick status.
+
+        When the manager carries a tracer the reply's ``trace`` field
+        names the request trace; ``self.manager.tracer.ring.find(...)``
+        retrieves its spans.
+        """
+        return await self.manager.step(sid, instants, trace=trace)
 
     async def run_to_completion(
         self, sid: str, instants_per_step: int = 25, max_requests: int = 2_000
@@ -77,3 +87,11 @@ class ServeClient:
     def stats(self) -> Dict[str, object]:
         """The service-level stats snapshot."""
         return self.manager.stats()
+
+    def health(self) -> Dict[str, object]:
+        """The service health verdict (the ``/healthz`` payload)."""
+        return self.manager.health()
+
+    def telemetry(self) -> Dict[str, object]:
+        """The live-dashboard frame (stats + health + tracer windows)."""
+        return self.manager.telemetry()

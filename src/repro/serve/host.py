@@ -11,9 +11,11 @@ the pool re-raises as the matching :mod:`repro.errors` class.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServeError, UnknownSessionError
+from repro.serve.log import session_logger
 from repro.serve.session import Session, SessionSpec
 
 __all__ = ["SessionHost"]
@@ -94,10 +96,18 @@ class SessionHost:
         return session.status_doc()
 
     def step(self, sid: str, instants: int) -> Dict[str, object]:
-        """Advance one session; the status doc gains a ``ran`` count."""
+        """Advance one session; the status doc gains a ``ran`` count.
+
+        The doc also carries ``exec_s`` — wall seconds this worker
+        spent executing, measured host-side so the manager can
+        attribute the ``execute`` span of a request trace across the
+        pool boundary without trusting queue timing.
+        """
         session = self._get(sid)
+        t0 = time.perf_counter()
         ran = session.step(instants)
-        return {**session.status_doc(), "ran": ran}
+        exec_s = time.perf_counter() - t0
+        return {**session.status_doc(), "ran": ran, "exec_s": exec_s}
 
     def step_batch(
         self, requests: Sequence[Tuple[str, int]]
@@ -113,6 +123,11 @@ class SessionHost:
             try:
                 out.append(self.step(sid, instants))
             except Exception as exc:
+                session = self._sessions.get(sid)
+                session_logger(
+                    "host", sid=sid, app=session.spec.app if session else None
+                ).warning("step(%d) failed: %s: %s",
+                          instants, type(exc).__name__, exc)
                 out.append(
                     {"error": {"type": type(exc).__name__, "message": str(exc)}}
                 )

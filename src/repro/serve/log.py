@@ -1,0 +1,57 @@
+"""Structured serving-tier logging: session-scoped LoggerAdapters.
+
+The serving layer logs little — its state lives in metrics and traces
+— but when it *does* log (admission rejections, batch-tick failures,
+wire-protocol garbage) the line must carry enough context to join the
+rest of the observability plane: the session id (the key that joins
+request traces to the PR 8 causal DAG), the app, and the trace id.
+
+:func:`session_logger` returns a :class:`logging.LoggerAdapter` that
+prefixes every message with a stable ``[sid=… app=… trace=…]`` block,
+so plain-text logs stay greppable by the same keys the metrics and
+trace ring use.  Handlers/levels are the caller's business — the
+library never calls ``basicConfig``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Tuple
+
+__all__ = ["SessionLogAdapter", "session_logger"]
+
+#: every serving-tier logger hangs off this name.
+ROOT_LOGGER = "repro.serve"
+
+
+class SessionLogAdapter(logging.LoggerAdapter):
+    """Prefixes messages with the session/app/trace context block."""
+
+    def process(self, msg: str, kwargs) -> Tuple[str, dict]:
+        extra = self.extra or {}
+        parts = [
+            f"{key}={extra[key]}"
+            for key in ("sid", "app", "trace")
+            if extra.get(key) is not None
+        ]
+        if parts:
+            return f"[{' '.join(parts)}] {msg}", kwargs
+        return msg, kwargs
+
+
+def session_logger(
+    component: str = "manager",
+    sid: Optional[str] = None,
+    app: Optional[str] = None,
+    trace: Optional[str] = None,
+) -> SessionLogAdapter:
+    """A context-carrying logger for one serving-tier component.
+
+    ``component`` names the emitting layer (``manager``, ``host``,
+    ``net``); the resulting logger is ``repro.serve.<component>``, so
+    operators can dial levels per layer.
+    """
+    return SessionLogAdapter(
+        logging.getLogger(f"{ROOT_LOGGER}.{component}"),
+        {"sid": sid, "app": app, "trace": trace},
+    )

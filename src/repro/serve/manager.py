@@ -37,7 +37,9 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ServeError, SessionRejectedError, UnknownSessionError
+from repro.obs.live import RequestTrace, RequestTracer
 from repro.obs.registry import MetricsRegistry
+from repro.serve.log import session_logger
 from repro.serve.pool import WorkerPool
 from repro.serve.session import SessionSpec
 from repro.serve.store import SessionStore
@@ -101,13 +103,26 @@ class _SessionEntry:
 
 
 class _StepRequest:
-    __slots__ = ("sid", "instants", "future", "enqueued_at")
+    __slots__ = ("sid", "instants", "future", "enqueued_at",
+                 "trace", "drained_at", "restore_s")
 
-    def __init__(self, sid: str, instants: int, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        sid: str,
+        instants: int,
+        future: asyncio.Future,
+        trace: Optional[RequestTrace] = None,
+    ) -> None:
         self.sid = sid
         self.instants = instants
         self.future = future
         self.enqueued_at = time.perf_counter()
+        #: request trace opened at enqueue (None when tracing is off)
+        self.trace = trace
+        #: when the ticker popped this request off the queue
+        self.drained_at: Optional[float] = None
+        #: this request's share of the tick's restore time (seconds)
+        self.restore_s = 0.0
 
 
 class SessionManager:
@@ -124,11 +139,20 @@ class SessionManager:
         store: Optional[SessionStore] = None,
         config: Optional[ServeConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         self.pool = pool
         self.store = store
         self.config = config or ServeConfig()
-        self.registry = registry or MetricsRegistry()
+        #: request-scoped tracing plane; ``None`` keeps the manager on
+        #: the zero-dispatch path (every hook below is gated on it).
+        self.tracer = tracer
+        if registry is not None:
+            self.registry = registry
+        elif tracer is not None:
+            self.registry = tracer.registry
+        else:
+            self.registry = MetricsRegistry()
         #: LRU order: least recently touched first.
         self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._queue: Deque[_StepRequest] = deque()
@@ -151,8 +175,9 @@ class SessionManager:
         self._c_rejected = self.registry.counter("serve_rejections")
         self._c_ckpt_bytes = self.registry.counter("serve_checkpoint_bytes")
         self._h_latency = self.registry.histogram(
-            "serve_step_latency_s", bounds=_LATENCY_BOUNDS
+            "serve_step_latency_s", buckets=_LATENCY_BOUNDS
         )
+        self._log = session_logger("manager")
 
     # -- lifecycle of the manager itself -------------------------------
     async def __aenter__(self) -> "SessionManager":
@@ -195,6 +220,10 @@ class SessionManager:
             self._accepting = True
         if not self._accepting:
             self._c_rejected.inc()
+            self._log.warning(
+                "%s rejected: %d steps pending (high watermark %d)",
+                what, depth, self.config.queue_high,
+            )
             raise SessionRejectedError(
                 f"{what} rejected: {depth} steps pending (high watermark "
                 f"{self.config.queue_high}; retry after the queue drains "
@@ -210,14 +239,57 @@ class SessionManager:
     def _touch(self, sid: str) -> None:
         self._sessions.move_to_end(sid)
 
+    def _app_of(self, sid: Optional[str]) -> Optional[str]:
+        entry = self._sessions.get(sid) if sid else None
+        return entry.spec.app if entry is not None else None
+
+    async def _traced(self, op, app, sid, trace, run):
+        """Run one non-step operation under a request trace.
+
+        Non-step verbs are a single awaited round-trip, so one
+        ``dispatch`` span covering the whole request is exact (100%
+        coverage by construction).  With no tracer this is a bare
+        ``await`` — nothing is constructed, nothing dispatched.
+        """
+        if self.tracer is None:
+            return await run()
+        opened = self.tracer.start(op, app=app, sid=sid, trace_id=trace)
+        error: Optional[str] = None
+        try:
+            result = await run()
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            ended = time.perf_counter()
+            opened.add_span("dispatch", opened.started, ended)
+            self.tracer.finish(opened, error=error, ended=ended)
+        # checkpoint documents are byte-identity artifacts (restore
+        # re-proves their CRC) — never decorate those.
+        if isinstance(result, dict) and op != "checkpoint":
+            result["trace"] = opened.trace_id
+        return result
+
     # -- public API -----------------------------------------------------
     async def create(
         self,
         spec: SessionSpec,
         sid: Optional[str] = None,
         record: bool = False,
+        trace: Optional[str] = None,
     ) -> str:
         """Open a session; returns its id."""
+        return await self._traced(
+            "create", spec.app, sid, trace,
+            lambda: self._create(spec, sid, record),
+        )
+
+    async def _create(
+        self,
+        spec: SessionSpec,
+        sid: Optional[str] = None,
+        record: bool = False,
+    ) -> str:
         self._admission_gate("create")
         if self.config.max_open is not None and len(
             self._sessions
@@ -238,13 +310,23 @@ class SessionManager:
         entry = _SessionEntry(sid, spec, live=True, status=str(doc["status"]))
         self._sessions[sid] = entry
         self._c_created.inc()
+        self.registry.counter("serve_sessions_created", app=spec.app).inc()
         self._peak_open = max(self._peak_open, len(self._sessions))
         self._update_gauges()
         await self._evict_over_limit()
         return sid
 
-    async def send(self, sid: str, src: int, dst: int, payload: bytes) -> Dict:
+    async def send(
+        self, sid: str, src: int, dst: int, payload: bytes,
+        trace: Optional[str] = None,
+    ) -> Dict:
         """Inject one message into a session (restoring it if parked)."""
+        return await self._traced(
+            "send", self._app_of(sid), sid, trace,
+            lambda: self._send(sid, src, dst, payload),
+        )
+
+    async def _send(self, sid: str, src: int, dst: int, payload: bytes) -> Dict:
         entry = self._entry(sid)
         await self._ensure_live(entry)
         self._touch(sid)
@@ -252,22 +334,45 @@ class SessionManager:
         entry.status = str(doc["status"])
         return doc  # type: ignore[return-value]
 
-    async def step(self, sid: str, instants: Optional[int] = None) -> Dict:
+    async def step(
+        self, sid: str, instants: Optional[int] = None,
+        trace: Optional[str] = None,
+    ) -> Dict:
         """Queue a step request; resolves after its batch tick ran."""
         self.start()  # idempotent: the ticker must be running to resolve
-        self._admission_gate("step")
-        entry = self._entry(sid)
+        opened: Optional[RequestTrace] = None
+        if self.tracer is not None:
+            opened = self.tracer.start(
+                "step", app=self._app_of(sid), sid=sid, trace_id=trace
+            )
+        try:
+            self._admission_gate("step")
+            entry = self._entry(sid)
+        except Exception as exc:
+            if opened is not None:
+                ended = time.perf_counter()
+                opened.add_span("dispatch", opened.started, ended)
+                self.tracer.finish(
+                    opened, error=type(exc).__name__, ended=ended
+                )
+            raise
         k = self.config.default_instants if instants is None else int(instants)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.append(_StepRequest(sid, k, future))
+        request = _StepRequest(sid, k, future, trace=opened)
+        self._queue.append(request)
         entry.pending += 1
         self._g_queue.set(len(self._queue))
         self._wakeup.set()
         return await future
 
-    async def query(self, sid: str) -> Dict:
+    async def query(self, sid: str, trace: Optional[str] = None) -> Dict:
         """Status + app summary.  Parked sessions answer from their
         checkpoint without being restored (a query is not a touch)."""
+        return await self._traced(
+            "query", self._app_of(sid), sid, trace, lambda: self._query(sid)
+        )
+
+    async def _query(self, sid: str) -> Dict:
         entry = self._entry(sid)
         if not entry.live:
             assert self.store is not None
@@ -283,8 +388,14 @@ class SessionManager:
         self._touch(sid)
         return await self.pool.call_for(sid, ("query", sid))  # type: ignore[return-value]
 
-    async def checkpoint(self, sid: str) -> Dict:
+    async def checkpoint(self, sid: str, trace: Optional[str] = None) -> Dict:
         """The session's current checkpoint document (live or parked)."""
+        return await self._traced(
+            "checkpoint", self._app_of(sid), sid, trace,
+            lambda: self._checkpoint(sid),
+        )
+
+    async def _checkpoint(self, sid: str) -> Dict:
         entry = self._entry(sid)
         if not entry.live:
             assert self.store is not None
@@ -292,8 +403,13 @@ class SessionManager:
         self._touch(sid)
         return await self.pool.call_for(sid, ("checkpoint", sid))  # type: ignore[return-value]
 
-    async def close(self, sid: str) -> Dict:
+    async def close(self, sid: str, trace: Optional[str] = None) -> Dict:
         """Tear a session down; returns its final summary."""
+        return await self._traced(
+            "close", self._app_of(sid), sid, trace, lambda: self._close(sid)
+        )
+
+    async def _close(self, sid: str) -> Dict:
         entry = self._entry(sid)
         if entry.pending:
             raise ServeError(
@@ -315,6 +431,7 @@ class SessionManager:
             self.store.discard(sid)
         del self._sessions[sid]
         self._c_closed.inc()
+        self.registry.counter("serve_sessions_closed", app=entry.spec.app).inc()
         self._update_gauges()
         return summary  # type: ignore[return-value]
 
@@ -323,6 +440,41 @@ class SessionManager:
         entry = self._entry(sid)
         await self._ensure_live(entry)
         return str(await self.pool.call_for(sid, ("export_obs", sid, path)))
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` verdict: admission state + SLO attainment.
+
+        ``ok`` while the service accepts work and (when a tracer is
+        wired) every SLO is attained; otherwise ``degraded`` with the
+        reasons named.
+        """
+        reasons: List[str] = []
+        if not self._accepting:
+            reasons.append("backpressure: admission closed")
+        slos: List[Dict[str, object]] = []
+        if self.tracer is not None:
+            slos = self.tracer.slo.status()
+            reasons.extend(
+                f"slo violated: {row['objective']}"
+                for row in slos
+                if not row["ok"]
+            )
+        return {
+            "status": "degraded" if reasons else "ok",
+            "accepting": self._accepting,
+            "reasons": reasons,
+            "slos": slos,
+        }
+
+    def telemetry(self) -> Dict[str, object]:
+        """The live-dashboard payload (stats + health + tracer windows)."""
+        frame: Dict[str, object] = {
+            "stats": self.stats(),
+            "health": self.health(),
+        }
+        if self.tracer is not None:
+            frame.update(self.tracer.telemetry())
+        return frame
 
     def session_ids(self) -> List[str]:
         """Every open session id, LRU order (least recent first)."""
@@ -408,6 +560,10 @@ class SessionManager:
         while self._queue and len(batch) < self.config.batch_max:
             batch.append(self._queue.popleft())
         self._g_queue.set(len(self._queue))
+        if self.tracer is not None:
+            drained_at = time.perf_counter()
+            for request in batch:
+                request.drained_at = drained_at
 
         # Coalesce per session (requests keep their own futures), group
         # by worker affinity, restore parked sessions first.
@@ -424,7 +580,17 @@ class SessionManager:
                 )
                 continue
             try:
+                restore_t0 = time.perf_counter()
+                was_live = entry.live
                 await self._ensure_live(entry)
+                if self.tracer is not None and not was_live:
+                    # attribute the restore across the coalesced
+                    # requests by their instants share, so the sid's
+                    # spans still telescope
+                    restore_s = time.perf_counter() - restore_t0
+                    total = sum(r.instants for r in requests) or 1
+                    for request in requests:
+                        request.restore_s = restore_s * request.instants / total
             except Exception as exc:
                 self._resolve(requests, None, exc)
                 continue
@@ -473,23 +639,87 @@ class SessionManager:
         """Resolve one session's coalesced requests for this tick."""
         now = time.perf_counter()
         entry = self._sessions.get(requests[0].sid) if requests else None
+        app = entry.spec.app if entry is not None else None
         if doc is not None and entry is not None:
             entry.status = str(doc["status"])
             entry.steps_applied = int(doc["steps_applied"])  # type: ignore[arg-type]
-            self._c_steps.inc(int(doc.get("ran", 0)))  # type: ignore[arg-type]
+            ran = int(doc.get("ran", 0))  # type: ignore[arg-type]
+            self._c_steps.inc(ran)
+            self.registry.counter("serve_instants_total", app=app).inc(ran)
+        if exc is not None and requests:
+            session_logger("manager", sid=requests[0].sid, app=app).warning(
+                "step batch failed for %d request(s): %s: %s",
+                len(requests), type(exc).__name__, exc,
+            )
+        exec_s = float(doc.get("exec_s", 0.0)) if doc is not None else 0.0  # type: ignore[arg-type]
+        total_instants = sum(r.instants for r in requests) or 1
         for request in requests:
             if entry is not None:
                 entry.pending -= 1
-            self._h_latency.observe(now - request.enqueued_at)
+            seconds = now - request.enqueued_at
+            self._h_latency.observe(seconds)
+            if app is not None:
+                self.registry.histogram(
+                    "serve_step_latency_s", buckets=_LATENCY_BOUNDS, app=app
+                ).observe(seconds)
+            trace = request.trace
+            if trace is not None:
+                drained = request.drained_at
+                if drained is None:
+                    drained = now
+                # spans telescope: queue-wait + restore + execute +
+                # dispatch == end-to-end, the causal-DAG attribution
+                # discipline applied to the serving tier
+                trace.add_span("queue-wait", trace.started, drained)
+                cursor = drained
+                if request.restore_s > 0.0:
+                    trace.add_span("restore", cursor, cursor + request.restore_s)
+                    cursor += request.restore_s
+                share = exec_s * request.instants / total_instants
+                if share > 0.0:
+                    trace.add_span("execute", cursor, min(cursor + share, now))
+                    cursor = min(cursor + share, now)
+                trace.add_span("dispatch", cursor, now)
+                self.tracer.finish(
+                    trace,
+                    error=type(exc).__name__ if exc is not None else None,
+                    ended=now,
+                )
             if request.future.done():
                 continue
             if exc is not None:
                 request.future.set_exception(exc)
             else:
-                request.future.set_result(dict(doc))  # type: ignore[arg-type]
+                payload = dict(doc)  # type: ignore[arg-type]
+                if trace is not None:
+                    payload["trace"] = trace.trace_id
+                request.future.set_result(payload)
 
     def _update_gauges(self) -> None:
         live = sum(1 for e in self._sessions.values() if e.live)
         self._g_open.set(len(self._sessions))
         self._g_live.set(live)
         self._g_peak.set(self._peak_open)
+        # per-app views of the same gauges (labels zeroed when the last
+        # session of an app closes, so stale series never lie)
+        open_by_app: Dict[str, int] = {}
+        live_by_app: Dict[str, int] = {}
+        for entry in self._sessions.values():
+            open_by_app[entry.spec.app] = open_by_app.get(entry.spec.app, 0) + 1
+            if entry.live:
+                live_by_app[entry.spec.app] = (
+                    live_by_app.get(entry.spec.app, 0) + 1
+                )
+        seen = set(open_by_app)
+        for name, labels, _ in self.registry.series():
+            if name in ("serve_open_sessions", "serve_live_sessions"):
+                app = dict(labels).get("app")
+                if app:
+                    seen.add(app)
+        for app in seen:
+            self.registry.gauge("serve_open_sessions", app=app).set(
+                open_by_app.get(app, 0)
+            )
+            self.registry.gauge("serve_live_sessions", app=app).set(
+                live_by_app.get(app, 0)
+            )

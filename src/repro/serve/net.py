@@ -1,16 +1,19 @@
-"""The TCP front end: JSON-lines over asyncio streams.
+"""The TCP front end: JSON-lines over asyncio streams, plus scrapes.
 
 Wire protocol (one JSON object per ``\\n``-terminated line, UTF-8):
 
 Request::
 
     {"op": "create", "app": "chat", "size": 2, "seed": 1,
-     "params": {...}, "record": false}
+     "params": {...}, "record": false, "trace": "optional-id"}
     {"op": "send",   "sid": "s…", "src": 0, "dst": 1, "data": "<hex>"}
-    {"op": "step",   "sid": "s…", "instants": 25}
+    {"op": "step",   "sid": "s…", "instants": 25, "trace": "optional-id"}
     {"op": "query",  "sid": "s…"}
     {"op": "close",  "sid": "s…"}
     {"op": "stats"}
+    {"op": "healthz"}
+    {"op": "telemetry"}
+    {"op": "metrics"}
 
 Response::
 
@@ -18,8 +21,23 @@ Response::
     {"ok": false, "error": "SessionRejectedError", "code": 429,
      "message": "..."}
 
+A ``trace`` field on a mutating request propagates the caller's
+request id through the manager into the request trace (absent, the
+service mints one); step replies echo it back as ``"trace"``.
+
 Error codes follow the exception family: 429 for admission rejection,
-404 for unknown sessions, 400 for everything else the library raised.
+404 for unknown sessions, 400 for everything else the library raised —
+including protocol garbage: malformed JSON, non-object lines and
+oversized lines all get a 400 envelope (an oversized line also closes
+the connection, since the stream position is unrecoverable), and a
+peer that disconnects mid-line is dropped without ceremony.
+
+The same port speaks just enough HTTP for operators: ``GET /metrics``
+serves the registry in Prometheus text exposition format and
+``GET /healthz`` serves the manager's health verdict as JSON (200 when
+ok, 503 when degraded) — one scrape per connection, close-delimited,
+which is all Prometheus and a load balancer need.
+
 The server is deliberately minimal — every interesting behaviour lives
 in the :class:`~repro.serve.manager.SessionManager` it fronts, which
 the in-process client exercises identically.
@@ -32,14 +50,18 @@ import json
 from typing import Dict, Optional
 
 from repro.errors import ReproError, ServeError
+from repro.obs.live import to_prometheus
+from repro.serve.log import session_logger
 from repro.serve.manager import SessionManager
 from repro.serve.session import SessionSpec
 
-__all__ = ["request", "serve_forever", "start_server"]
+__all__ = ["request", "scrape", "serve_forever", "start_server"]
 
 
 async def _dispatch(manager: SessionManager, doc: Dict[str, object]) -> Dict:
     op = doc.get("op")
+    trace = doc.get("trace")
+    trace = None if trace is None else str(trace)
     if op == "create":
         spec = SessionSpec(
             app=str(doc["app"]),
@@ -47,7 +69,9 @@ async def _dispatch(manager: SessionManager, doc: Dict[str, object]) -> Dict:
             seed=int(doc.get("seed", 0)),  # type: ignore[arg-type]
             params=dict(doc.get("params") or {}),  # type: ignore[arg-type]
         )
-        sid = await manager.create(spec, record=bool(doc.get("record", False)))
+        sid = await manager.create(
+            spec, record=bool(doc.get("record", False)), trace=trace
+        )
         return {"sid": sid}
     if op == "send":
         return await manager.send(
@@ -55,21 +79,85 @@ async def _dispatch(manager: SessionManager, doc: Dict[str, object]) -> Dict:
             int(doc["src"]),  # type: ignore[arg-type]
             int(doc["dst"]),  # type: ignore[arg-type]
             bytes.fromhex(str(doc["data"])),
+            trace=trace,
         )
     if op == "step":
         instants = doc.get("instants")
         return await manager.step(
-            str(doc["sid"]), None if instants is None else int(instants)  # type: ignore[arg-type]
+            str(doc["sid"]),
+            None if instants is None else int(instants),  # type: ignore[arg-type]
+            trace=trace,
         )
     if op == "query":
-        return await manager.query(str(doc["sid"]))
+        return await manager.query(str(doc["sid"]), trace=trace)
     if op == "checkpoint":
-        return await manager.checkpoint(str(doc["sid"]))
+        return await manager.checkpoint(str(doc["sid"]), trace=trace)
     if op == "close":
-        return await manager.close(str(doc["sid"]))
+        return await manager.close(str(doc["sid"]), trace=trace)
     if op == "stats":
         return dict(manager.stats())
+    if op == "healthz":
+        return dict(manager.health())
+    if op == "telemetry":
+        return dict(manager.telemetry())
+    if op == "metrics":
+        return {"exposition": to_prometheus(manager.registry)}
     raise ServeError(f"unknown op {op!r}")
+
+
+def _http_response(status: int, content_type: str, body: str) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}.get(
+        status, "OK"
+    )
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def _handle_http(
+    manager: SessionManager,
+    first_line: bytes,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one HTTP scrape (``GET /metrics`` / ``GET /healthz``)."""
+    parts = first_line.decode("ascii", "replace").split()
+    path = parts[1] if len(parts) > 1 else "/"
+    while True:  # drain the request headers; we need none of them
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            break
+        if not line or line in (b"\r\n", b"\n"):
+            break
+    if path.split("?", 1)[0] == "/metrics":
+        writer.write(
+            _http_response(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                to_prometheus(manager.registry),
+            )
+        )
+    elif path.split("?", 1)[0] == "/healthz":
+        health = manager.health()
+        writer.write(
+            _http_response(
+                200 if health["status"] == "ok" else 503,
+                "application/json",
+                json.dumps(health, sort_keys=True),
+            )
+        )
+    else:
+        writer.write(
+            _http_response(404, "text/plain; charset=utf-8",
+                           "only /metrics and /healthz live here\n")
+        )
+    await writer.drain()
 
 
 async def _handle_connection(
@@ -77,10 +165,34 @@ async def _handle_connection(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
+    log = session_logger("net")
     try:
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # line exceeded the stream limit: the rest of the
+                # stream is unframed garbage, so answer and hang up
+                reply = {
+                    "ok": False,
+                    "error": "ServeError",
+                    "code": 400,
+                    "message": "request line exceeds the size limit",
+                }
+                log.warning("oversized request line; closing connection")
+                writer.write(
+                    json.dumps(reply, sort_keys=True).encode("utf-8") + b"\n"
+                )
+                await writer.drain()
+                break
             if not line:
+                break
+            if not line.endswith(b"\n"):
+                # mid-line disconnect: the peer is gone, nothing to say
+                log.debug("peer disconnected mid-line (%d bytes)", len(line))
+                break
+            if line[:4] in (b"GET ", b"HEAD"):
+                await _handle_http(manager, line, reader, writer)
                 break
             try:
                 doc = json.loads(line)
@@ -89,21 +201,40 @@ async def _handle_connection(
                 result = await _dispatch(manager, doc)
                 reply = {"ok": True, **result}
             except ReproError as exc:
+                sid = None
+                if isinstance(doc, dict):  # type: ignore[possibly-undefined]
+                    sid = doc.get("sid")
+                session_logger("net", sid=sid).warning(
+                    "request failed: %s: %s", type(exc).__name__, exc
+                )
                 reply = {
                     "ok": False,
                     "error": type(exc).__name__,
                     "code": getattr(exc, "code", 400),
                     "message": str(exc),
                 }
-            except json.JSONDecodeError as exc:
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                log.warning("undecodable request line: %s", exc)
                 reply = {
                     "ok": False,
                     "error": "JSONDecodeError",
                     "code": 400,
                     "message": str(exc),
                 }
+            except (KeyError, TypeError, ValueError) as exc:
+                # missing/mistyped fields in an otherwise-valid object
+                log.warning("malformed request: %s: %s",
+                            type(exc).__name__, exc)
+                reply = {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "code": 400,
+                    "message": str(exc),
+                }
             writer.write(json.dumps(reply, sort_keys=True).encode("utf-8") + b"\n")
             await writer.drain()
+    except (ConnectionError, OSError):  # peer vanished mid-reply
+        pass
     finally:
         writer.close()
         try:
@@ -156,3 +287,32 @@ async def request(
     if not isinstance(reply, dict):
         raise ServeError(f"malformed reply {reply!r}")
     return reply
+
+
+async def scrape(
+    path: str, host: str = "127.0.0.1", port: int = 7642
+) -> "tuple[int, str]":
+    """One HTTP GET against the front end; returns (status, body).
+
+    The smoke/CI scrape step and tests use this instead of an HTTP
+    client library — the front end's HTTP is close-delimited, so
+    "read to EOF" is the whole protocol.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split()
+    if len(status_line) < 2 or not status_line[0].startswith(b"HTTP/"):
+        raise ServeError(f"not an HTTP response: {head[:80]!r}")
+    return int(status_line[1]), body.decode("utf-8")

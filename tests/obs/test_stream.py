@@ -47,6 +47,23 @@ class TestStreamingSink:
         with pytest.raises(ValueError):
             StreamingSink(maxlen=0)
 
+    def test_writer_outrunning_reader_surfaces_on_the_registry(self):
+        """A consumer falling behind is visible on the metrics endpoint,
+        not only on the sink's own ``dropped`` property."""
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sink = StreamingSink(maxlen=4, registry=registry)
+        for t in range(16):  # writer races ahead; nobody drains
+            sink.accept(Event(STEP, t, {}))
+        assert sink.dropped == 12
+        counter = registry.counter("obs_stream_dropped_events")
+        assert counter.value == 12
+        # the survivors are the newest, in order
+        assert [e.time for e in sink.drain()] == [12, 13, 14, 15]
+        sink.accept(Event(STEP, 99, {}))  # room again: no new drops
+        assert counter.value == 12
+
     def test_recorder_tees_every_event_into_the_sink(self, tmp_path):
         from repro.obs.recorder import ObsRecorder  # noqa: F401 — assert importable
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import json
 
 import pytest
 
@@ -95,6 +96,178 @@ def test_wire_backpressure_is_429():
             assert (reply["error"], reply["code"]) == (
                 "SessionRejectedError", 429,
             )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_malformed_json_gets_400_and_the_connection_survives():
+    """Protocol garbage earns an envelope, not a dropped connection."""
+
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"{this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert (reply["ok"], reply["code"]) == (False, 400)
+                assert reply["error"] == "JSONDecodeError"
+                # same connection, next line: back to normal service
+                writer.write(b'{"op": "stats"}\n')
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["ok"] and reply["open"] == 0
+                # a non-object JSON line is garbage too
+                writer.write(b"[1, 2, 3]\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert (reply["error"], reply["code"]) == ("ServeError", 400)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_missing_fields_get_400_envelopes():
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            reply = await request({"op": "send", "sid": "s1"}, port=port)
+            assert (reply["ok"], reply["code"]) == (False, 400)
+            assert reply["error"] == "KeyError"
+            reply = await request(
+                {"op": "create", "app": "chat", "size": "many"}, port=port
+            )
+            assert (reply["ok"], reply["code"]) == (False, 400)
+            assert reply["error"] == "ValueError"
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_oversized_line_gets_400_and_closes_the_connection():
+    """Past the stream limit the framing is lost, so the server must
+    answer once and hang up rather than parse garbage."""
+
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b'{"op": "stats", "pad": "' + b"x" * 70_000)
+                writer.write(b'"}\n')
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert (reply["ok"], reply["code"]) == (False, 400)
+                assert "size limit" in reply["message"]
+                assert await reader.read() == b""  # server hung up
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            # the service itself is unharmed
+            stats = await request({"op": "stats"}, port=port)
+            assert stats["ok"]
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_mid_line_disconnect_leaves_the_server_alive():
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"op": "stats"')  # no newline, then vanish
+            await writer.drain()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            await asyncio.sleep(0.01)  # let the handler notice EOF
+            stats = await request({"op": "stats"}, port=port)
+            assert stats["ok"] and stats["open"] == 0
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_http_scrape_endpoints():
+    """The same port answers GET /metrics and GET /healthz."""
+    from repro.obs.live import validate_exposition
+    from repro.serve.net import scrape
+
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            created = await request(
+                {"op": "create", "app": "chat", "size": 2, "seed": 1,
+                 "params": {"script": [[0, "hi"], [1, "yo"]]}},
+                port=port,
+            )
+            await request(
+                {"op": "step", "sid": created["sid"], "instants": 8},
+                port=port,
+            )
+            status, text = await scrape("/metrics", port=port)
+            assert status == 200
+            assert validate_exposition(text) > 0
+            assert "serve_open_sessions 1" in text
+            status, text = await scrape("/healthz", port=port)
+            assert status == 200
+            health = json.loads(text)
+            assert health["status"] == "ok" and health["accepting"]
+            status, text = await scrape("/nope", port=port)
+            assert status == 404
+            # degrade the service: the scrape flips to 503
+            manager._accepting = False
+            status, text = await scrape("/healthz", port=port)
+            assert status == 503
+            assert json.loads(text)["status"] == "degraded"
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.stop()
+
+    asyncio.run(body())
+
+
+def test_observability_ops_over_jsonl():
+    """healthz / telemetry / metrics are first-class wire verbs too."""
+    from repro.obs.live import validate_exposition
+
+    async def body():
+        manager, server, port = await _with_server()
+        try:
+            health = await request({"op": "healthz"}, port=port)
+            assert health["ok"] and health["status"] == "ok"
+            frame = await request({"op": "telemetry"}, port=port)
+            assert frame["ok"] and "stats" in frame and "health" in frame
+            metrics = await request({"op": "metrics"}, port=port)
+            assert metrics["ok"]
+            assert validate_exposition(metrics["exposition"]) > 0
         finally:
             server.close()
             await server.wait_closed()
